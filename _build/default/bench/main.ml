@@ -1,0 +1,823 @@
+(* The experiment harness: regenerates every figure and every reported
+   statistic of the paper's evaluation (see DESIGN.md §2 for the E1-E14
+   index and EXPERIMENTS.md for paper-vs-measured numbers), then runs
+   the Bechamel microbenchmarks — one Test.make per measured
+   experiment.
+
+   Run with: dune exec bench/main.exe *)
+
+open Sgraph
+
+let section id title =
+  Fmt.pr "@.========================================================@.";
+  Fmt.pr "%s — %s@." id title;
+  Fmt.pr "========================================================@."
+
+let time_it f =
+  let t0 = Sys.time () in
+  let r = f () in
+  (r, Sys.time () -. t0)
+
+let ms t = t *. 1000.
+
+(* ----------------------------------------------------------------- *)
+(* E1 — Fig. 2: the data graph produced by the BibTeX wrapper         *)
+(* ----------------------------------------------------------------- *)
+
+let e1 () =
+  section "E1" "Fig. 2 — data-graph fragment (BibTeX wrapper → DDL)";
+  let g, _ = Ddl.parse ~graph_name:"BIBTEX" Sites.Paper_example.data_ddl in
+  Fmt.pr "%a@." Graph.pp_stats g;
+  Fmt.pr "@.%s@." (Ddl.print g);
+  (* the same data obtained through the BibTeX wrapper *)
+  let bib =
+    {|@article{pub1,
+  title = {Specifying Representations of Machine Instructions},
+  author = {Norman Ramsey and Mary Fernandez},
+  year = 1997, month = {May},
+  journal = {Transactions on Programming Languages and Systems},
+  abstract = {abstracts/toplas97.txt},
+  postscript = {papers/toplas97.ps.gz},
+  volume = {19 (3)},
+  keywords = {Architecture Specifications, Programming Languages}
+}|}
+  in
+  let g2, _ = Wrappers.Bibtex.load bib in
+  Fmt.pr "via the BibTeX wrapper: %a@." Graph.pp_stats g2
+
+(* ----------------------------------------------------------------- *)
+(* E2 — Fig. 3: the site-definition query                             *)
+(* ----------------------------------------------------------------- *)
+
+let e2 () =
+  section "E2" "Fig. 3 — site-definition query (parse → pretty → re-parse)";
+  let q = Struql.Parser.parse Sites.Paper_example.site_query in
+  Fmt.pr "blocks: %d (nested: %d), conditions: %d, link clauses: %d@."
+    (List.length q.Struql.Ast.blocks)
+    (List.fold_left
+       (fun n b -> n + List.length b.Struql.Ast.nested)
+       0 q.Struql.Ast.blocks)
+    (Struql.Ast.query_condition_count q)
+    (Struql.Ast.query_link_count q);
+  let printed = Struql.Pretty.to_string q in
+  let stable = Struql.Pretty.query_equal q (Struql.Parser.parse printed) in
+  Fmt.pr "pretty-print/re-parse fixpoint: %b@." stable;
+  Fmt.pr "@.%s@." printed
+
+(* ----------------------------------------------------------------- *)
+(* E3 — Fig. 4: the generated site graph                              *)
+(* ----------------------------------------------------------------- *)
+
+let e3 () =
+  section "E3" "Fig. 4 — site-graph fragment (query evaluated on Fig. 2 data)";
+  let b = Sites.Paper_example.build () in
+  let sg = b.Strudel.Site.site_graph in
+  Fmt.pr "%a@." Graph.pp_stats sg;
+  List.iter
+    (fun fam ->
+      Fmt.pr "  %-20s %d node(s)@." fam
+        (List.length (Schema.Verify.family_members sg fam)))
+    [ "RootPage"; "AbstractsPage"; "PaperPresentation"; "AbstractPage";
+      "YearPage"; "CategoryPage" ];
+  let root = List.hd (Schema.Verify.family_members sg "RootPage") in
+  Fmt.pr "@.fragment around the root (cf. Fig. 4):@.";
+  List.iter
+    (fun (l, t) -> Fmt.pr "  RootPage() -%S-> %a@." l Graph.pp_target t)
+    (Graph.out_edges sg root);
+  List.iter
+    (fun y ->
+      List.iter
+        (fun (l, t) ->
+          Fmt.pr "  %s -%S-> %a@." (Oid.name y) l Graph.pp_target t)
+        (Graph.out_edges sg y))
+    (Schema.Verify.family_members sg "YearPage")
+
+(* ----------------------------------------------------------------- *)
+(* E4 — Fig. 5: the site schema                                       *)
+(* ----------------------------------------------------------------- *)
+
+let e4 () =
+  section "E4" "Fig. 5 — site schema derived from the Fig. 3 query";
+  let q = Struql.Parser.parse Sites.Paper_example.site_query in
+  let s = Schema.Site_schema.of_query q in
+  Fmt.pr "%a@." Schema.Site_schema.pp s;
+  (* schema → query → same site graph *)
+  let g = Sites.Paper_example.data () in
+  let census g' = (Graph.node_count g', Graph.edge_count g') in
+  let direct = Struql.Eval.run g q in
+  let recovered = Struql.Eval.run g (Schema.Site_schema.to_query s) in
+  Fmt.pr "query recovered from schema evaluates identically: %b@."
+    (census direct = census recovered);
+  Fmt.pr "@.static verification on the schema:@.";
+  List.iter
+    (fun c ->
+      Fmt.pr "  [%a] -> %a@." Schema.Verify.pp_constraint c
+        Schema.Verify.pp_verdict (Schema.Verify.check_schema s c))
+    Sites.Paper_example.constraints
+
+(* ----------------------------------------------------------------- *)
+(* E5 — Fig. 6/7: templates and HTML generation                       *)
+(* ----------------------------------------------------------------- *)
+
+let e5 () =
+  section "E5" "Fig. 6/7 — HTML-template language and generated pages";
+  let b = Sites.Paper_example.build () in
+  let site = b.Strudel.Site.site in
+  Fmt.pr "pages generated: %d, total bytes: %d@."
+    (Template.Generator.page_count site)
+    (Template.Generator.total_bytes site);
+  List.iter
+    (fun (p : Template.Generator.page) ->
+      Fmt.pr "  %s@." p.Template.Generator.url)
+    site.Template.Generator.pages;
+  let root =
+    List.hd (Schema.Verify.family_members b.Strudel.Site.site_graph "RootPage")
+  in
+  let page = Option.get (Template.Generator.page_of_object site root) in
+  Fmt.pr "@.RootPage HTML (from the Fig. 7 RootPage template):@.%s@."
+    page.Template.Generator.html;
+  List.iter
+    (fun (c, v) ->
+      Fmt.pr "constraint [%a]: %a@." Schema.Verify.pp_constraint c
+        Schema.Verify.pp_verdict v)
+    b.Strudel.Site.verification
+
+(* ----------------------------------------------------------------- *)
+(* E6 — Fig. 8: tool-suitability matrix                               *)
+(* ----------------------------------------------------------------- *)
+
+(* a structurally simple site over the news data: one flat index,
+   3 link clauses (the "RDBMS + Web interface" regime) *)
+let simple_query =
+  {|INPUT NEWS
+{ CREATE Index()
+  COLLECT Indexes(Index()) }
+{ WHERE Articles(a)
+  CREATE Page(a)
+  LINK Index() -> "Article" -> Page(a)
+  COLLECT Pages(Page(a)) }
+{ WHERE Articles(a), a -> "headline" -> h
+  LINK Page(a) -> "headline" -> h }
+OUTPUT Simple
+|}
+
+let simple_templates =
+  {
+    Template.Generator.empty_templates with
+    Template.Generator.by_collection =
+      [
+        ( "Indexes",
+          {|<h1>Articles</h1><SFMTLIST @Article KEY=headline ORDER=ascend>|} );
+        ("Pages", {|<h1><SFMT @headline></h1>|});
+      ];
+  }
+
+let simple_definition =
+  Strudel.Site.define ~name:"Simple" ~root_family:"Index"
+    ~templates:simple_templates
+    [ ("site", simple_query) ]
+
+let e6 () =
+  section "E6" "Fig. 8 — suitability: data size × structural complexity";
+  Fmt.pr
+    "build time (ms) and spec size, STRUDEL vs hand-coded procedural \
+     baseline@.";
+  Fmt.pr "%-10s %-12s %14s %14s %10s %12s@." "articles" "structure"
+    "strudel(ms)" "baseline(ms)" "spec(lns)" "pages";
+  let baseline_loc = 180 in
+  (* lines of Baseline.Procedural.news_site + helpers, hand-coded *)
+  List.iter
+    (fun articles ->
+      let data = Sites.Cnn.data ~articles () in
+      List.iter
+        (fun (label, def) ->
+          let built, t = time_it (fun () -> Strudel.Site.build ~data def) in
+          let _, tb =
+            time_it (fun () -> ignore (Baseline.Procedural.news_site data))
+          in
+          let spec = Strudel.Site.spec_stats def in
+          Fmt.pr "%-10d %-12s %14.1f %14.1f %10d %12d@." articles label
+            (ms t) (ms tb)
+            (spec.Strudel.Site.query_lines + spec.Strudel.Site.template_lines)
+            (Template.Generator.page_count built.Strudel.Site.site))
+        [ ("simple", simple_definition); ("complex", Sites.Cnn.definition) ])
+    [ 20; 100; 400 ];
+  Fmt.pr
+    "@.procedural baseline: ~%d hand-written lines for ONE structure; \
+     every variant (sports-only, text-only, restructure) costs another \
+     copy.  STRUDEL: the complex site costs %d declarative lines, and \
+     the sports-only variant differs by 2 predicates per clause (E8).@."
+    baseline_loc
+    (let s = Strudel.Site.spec_stats Sites.Cnn.definition in
+     s.Strudel.Site.query_lines + s.Strudel.Site.template_lines);
+  Fmt.pr
+    "Fig. 8 reading: low data x low structure -> hand tools fine \
+     (baseline faster, spec trivial); high data x complex structure -> \
+     STRUDEL wins on specification cost while build times stay \
+     comparable.@."
+
+(* ----------------------------------------------------------------- *)
+(* E7 — §5.1 site statistics                                          *)
+(* ----------------------------------------------------------------- *)
+
+let e7 () =
+  section "E7" "§5.1 — site statistics (paper numbers in brackets)";
+  Fmt.pr "%-22s %10s %8s %10s %10s %8s %10s@." "site" "qry lines" "links"
+    "templates" "tpl lines" "pages" "build ms";
+  let row name ?paper def data =
+    let spec = Strudel.Site.spec_stats def in
+    let built, t = time_it (fun () -> Strudel.Site.build ~data def) in
+    Fmt.pr "%-22s %10d %8d %10d %10d %8d %10.1f@." name
+      spec.Strudel.Site.query_lines spec.Strudel.Site.link_clauses
+      spec.Strudel.Site.template_count spec.Strudel.Site.template_lines
+      (Template.Generator.page_count built.Strudel.Site.site)
+      (ms t);
+    match paper with
+    | Some s -> Fmt.pr "%-22s %s@." "" s
+    | None -> ()
+  in
+  row "paper-example" Sites.Paper_example.definition
+    (Sites.Paper_example.data ());
+  row "homepage (mff)"
+    ~paper:"[paper: 48-line query, 13 templates (202 lines)]"
+    Sites.Homepage.definition
+    (Sites.Homepage.data ~entries:30 ());
+  row "cnn (300 articles)"
+    ~paper:"[paper: 44-line query, 9 templates, ~300 articles]"
+    Sites.Cnn.definition
+    (Sites.Cnn.data ~articles:300 ());
+  let _, w = Sites.Org.data () in
+  row "org (400 people)"
+    ~paper:"[paper: 115-line query, 17 templates (380 lines), ~400 users]"
+    Sites.Org.definition
+    (Mediator.Warehouse.graph w)
+
+(* ----------------------------------------------------------------- *)
+(* E8 — §5.1 multiple versions                                        *)
+(* ----------------------------------------------------------------- *)
+
+let e8 () =
+  section "E8" "§5.1 — multiple versions of a site";
+  (* org: external = same site graph, changed templates only *)
+  let changed =
+    List.length
+      (List.filter
+         (fun (c, t) ->
+           List.assoc c
+             Sites.Org.external_templates.Template.Generator.by_collection
+           <> t)
+         Sites.Org.internal_templates.Template.Generator.by_collection)
+    + List.length
+        (List.filter
+           (fun (n, t) ->
+             match
+               List.assoc_opt n
+                 Sites.Org.external_templates.Template.Generator.named
+             with
+             | Some t' -> t' <> t
+             | None -> true)
+           Sites.Org.internal_templates.Template.Generator.named)
+  in
+  Fmt.pr
+    "org external version: 0 new queries, %d changed template files \
+     [paper: \"no new queries were written\"; \"only five HTML template \
+     files differ\"]@."
+    changed;
+  (* cnn sports-only: count predicate difference *)
+  let conds q = Struql.Ast.query_condition_count (Struql.Parser.parse q) in
+  Fmt.pr
+    "cnn sports-only: same templates, +%d predicates over the general \
+     query's %d conditions [paper: \"only differs in two extra \
+     predicates in one where clause\"]@."
+    (conds Sites.Cnn.sports_only_query - conds Sites.Cnn.general_query)
+    (conds Sites.Cnn.general_query);
+  (* homepage: internal vs external *)
+  let internal, external_ = Sites.Homepage.build_both ~entries:20 () in
+  Fmt.pr
+    "homepage external: same site graph (%b), %d vs %d pages, patents \
+     hidden by templates@."
+    (internal.Strudel.Site.site_graph == external_.Strudel.Site.site_graph)
+    (Template.Generator.page_count internal.Strudel.Site.site)
+    (Template.Generator.page_count external_.Strudel.Site.site);
+  (* text-only via one template *)
+  let data = Sites.Cnn.data ~articles:100 () in
+  let general = Strudel.Site.build ~data Sites.Cnn.definition in
+  let text = Strudel.Site.regenerate general Sites.Cnn.text_only_templates in
+  Fmt.pr
+    "cnn text-only: 1 changed template file, %d pages regenerated [§3's \
+     TextOnly problem, solved in the presentation layer]@."
+    (Template.Generator.page_count text.Strudel.Site.site)
+
+(* ----------------------------------------------------------------- *)
+(* E9 — §2.4 optimizer comparison                                     *)
+(* ----------------------------------------------------------------- *)
+
+let optimizer_workload ?(pubs = 120) () =
+  (* a join-heavy binding query over the bibliography data *)
+  let g = fst (Wrappers.Bibtex.load (Wrappers.Synth.bibtex ~entries:pubs ())) in
+  let conds =
+    {|Publications(x), x -> "year" -> y, y = 1997,
+      Publications(x2), x2 -> "year" -> y,
+      x -> "category" -> c, x2 -> "category" -> c,
+      x != x2|}
+  in
+  (g, Struql.Parser.parse_conditions conds)
+
+let run_strategy g conds strategy =
+  let options = { Struql.Eval.default_options with strategy } in
+  let stats = Struql.Eval.new_stats () in
+  let steps =
+    Struql.Plan.plan ~strategy ~registry:Struql.Builtins.default g ~bound:[]
+      ~needed_obj:[] ~needed_label:[] conds
+  in
+  let envs =
+    Struql.Eval.exec_steps ~stats g options.Struql.Eval.registry
+      [ Struql.Eval.Env.empty ] steps
+  in
+  (List.length envs, stats)
+
+let e9 () =
+  section "E9" "§2.4 — optimizer: naive vs heuristic vs cost-based";
+  let g, conds = optimizer_workload () in
+  Fmt.pr "%-12s %10s %14s %16s %12s@." "strategy" "rows" "time (ms)"
+    "intermediate" "max interm.";
+  List.iter
+    (fun (name, strategy) ->
+      let (rows, stats), t =
+        time_it (fun () -> run_strategy g conds strategy)
+      in
+      Fmt.pr "%-12s %10d %14.2f %16d %12d@." name rows (ms t)
+        stats.Struql.Eval.intermediate stats.Struql.Eval.max_intermediate)
+    [ ("naive", Struql.Plan.Naive); ("heuristic", Struql.Plan.Heuristic);
+      ("costbased", Struql.Plan.Cost_based) ]
+
+(* ----------------------------------------------------------------- *)
+(* E10 — §2.2 full indexing ablation                                  *)
+(* ----------------------------------------------------------------- *)
+
+let e10 () =
+  section "E10" "§2.2 — repository indexes: indexed vs full-scan";
+  let build indexed =
+    let g = Graph.create ~indexed ~name:"d" () in
+    ignore (Wrappers.Bibtex.load_into g (Wrappers.Synth.bibtex ~entries:400 ()));
+    g
+  in
+  let query =
+    {|WHERE Publications(x), x -> "year" -> 1997, x -> "category" -> c
+      COLLECT Hits(x) OUTPUT o|}
+  in
+  Fmt.pr "%-12s %14s@." "mode" "time (ms)";
+  List.iter
+    (fun indexed ->
+      let g = build indexed in
+      let _, t =
+        time_it (fun () ->
+            for _ = 1 to 20 do
+              ignore (Struql.Eval.run_string g query)
+            done)
+      in
+      Fmt.pr "%-12s %14.2f@."
+        (if indexed then "indexed" else "scan-only")
+        (ms t /. 20.))
+    [ true; false ]
+
+(* ----------------------------------------------------------------- *)
+(* E11 — materialization strategies                                   *)
+(* ----------------------------------------------------------------- *)
+
+let e11 () =
+  section "E11" "§1/§6 — materialization: full vs click-time (vs cached)";
+  let data = Sites.Homepage.data ~entries:150 () in
+  let def = Sites.Homepage.definition in
+  let full, t_full = time_it (fun () -> Strudel.Site.build ~data def) in
+  let total_pages = Template.Generator.page_count full.Strudel.Site.site in
+  Fmt.pr "full materialization: %.1f ms for %d pages (TTFP = %.1f ms)@."
+    (ms t_full) total_pages (ms t_full);
+  List.iter
+    (fun cache ->
+      let ct, t_start =
+        time_it (fun () ->
+            Strudel.Materialize.Click_time.start ~cache ~data def)
+      in
+      let root = List.hd (Strudel.Materialize.Click_time.roots ct) in
+      let _, t_first =
+        time_it (fun () ->
+            ignore (Strudel.Materialize.Click_time.browse ct root))
+      in
+      let clicks = 30 in
+      let _, t_walk =
+        time_it (fun () ->
+            ignore
+              (Strudel.Materialize.Click_time.random_walk ct ~clicks ~seed:5))
+      in
+      let st = Strudel.Materialize.Click_time.stats ct in
+      Fmt.pr
+        "click-time%s: start %.1f ms, TTFP %.2f ms, %.2f ms/click over %d \
+         clicks; materialized %d/%d nodes, %d queries, %d cache hits@."
+        (if cache then " (cached)" else "")
+        (ms t_start) (ms t_first)
+        (ms t_walk /. float_of_int clicks)
+        clicks st.Strudel.Materialize.Click_time.materialized_nodes
+        (Graph.node_count full.Strudel.Site.site_graph)
+        st.Strudel.Materialize.Click_time.queries
+        st.Strudel.Materialize.Click_time.cache_hits)
+    [ false; true ];
+  (* the deep org hierarchy shows partial materialization: a short
+     browsing session touches a fraction of 500+ pages *)
+  let _, w = Sites.Org.data ~people:200 ~orgs:8 ~projects:15 ~pubs:40 () in
+  let org_data = Mediator.Warehouse.graph w in
+  let org_full, t_org_full =
+    time_it (fun () -> Strudel.Site.build ~data:org_data Sites.Org.definition)
+  in
+  let ct =
+    Strudel.Materialize.Click_time.start ~data:org_data Sites.Org.definition
+  in
+  let _, t_walk =
+    time_it (fun () ->
+        ignore (Strudel.Materialize.Click_time.random_walk ct ~clicks:10 ~seed:2))
+  in
+  let st = Strudel.Materialize.Click_time.stats ct in
+  Fmt.pr
+    "org site (200 people): full build %.1f ms for %d pages; 10 clicks \
+     cost %.1f ms and materialized %d/%d nodes (%d/%d edges)@."
+    (ms t_org_full)
+    (Template.Generator.page_count org_full.Strudel.Site.site)
+    (ms t_walk)
+    st.Strudel.Materialize.Click_time.materialized_nodes
+    (Graph.node_count org_full.Strudel.Site.site_graph)
+    st.Strudel.Materialize.Click_time.materialized_edges
+    (Graph.edge_count org_full.Strudel.Site.site_graph);
+  Fmt.pr
+    "shape check: click-time TTFP << full-build TTFP; full build wins \
+     when the whole site is browsed.@."
+
+(* ----------------------------------------------------------------- *)
+(* E12 — regular path expressions / transitive closure                *)
+(* ----------------------------------------------------------------- *)
+
+let chain_graph n =
+  let g = Graph.create ~name:"chain" () in
+  let first = Graph.new_node g "c0" in
+  let prev = ref first in
+  for i = 1 to n - 1 do
+    let o = Graph.new_node g (Printf.sprintf "c%d" i) in
+    Graph.add_edge g !prev "next" (Graph.N o);
+    prev := o
+  done;
+  (g, first)
+
+let grid_graph n =
+  (* n x n grid with right/down edges *)
+  let g = Graph.create ~name:"grid" () in
+  let nodes =
+    Array.init n (fun i ->
+        Array.init n (fun j -> Graph.new_node g (Printf.sprintf "g%d_%d" i j)))
+  in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if j + 1 < n then
+        Graph.add_edge g nodes.(i).(j) "right" (Graph.N nodes.(i).(j + 1));
+      if i + 1 < n then
+        Graph.add_edge g nodes.(i).(j) "down" (Graph.N nodes.(i + 1).(j))
+    done
+  done;
+  (g, nodes.(0).(0))
+
+let random_graph n seed =
+  let g = Graph.create ~name:"rand" () in
+  let r = Wrappers.Synth.rng ~seed () in
+  let nodes =
+    Array.init n (fun i -> Graph.new_node g (Printf.sprintf "r%d" i))
+  in
+  for _ = 1 to 3 * n do
+    let a = Wrappers.Synth.int r n and b = Wrappers.Synth.int r n in
+    let l = Wrappers.Synth.pick r [| "a"; "b"; "c" |] in
+    Graph.add_edge g nodes.(a) l (Graph.N nodes.(b))
+  done;
+  (g, nodes.(0))
+
+let e12 () =
+  section "E12" "§3 — regular path expressions: closure scaling";
+  Fmt.pr "%-10s %8s %12s %14s@." "graph" "nodes" "reached" "time (ms)";
+  let star = Path.any_path in
+  List.iter
+    (fun (label, g, src) ->
+      let reached, t =
+        time_it (fun () -> List.length (Path.eval_from g star src))
+      in
+      Fmt.pr "%-10s %8d %12d %14.2f@." label (Graph.node_count g) reached
+        (ms t))
+    [
+      (let g, s = chain_graph 1000 in
+       ("chain-1k", g, s));
+      (let g, s = chain_graph 10000 in
+       ("chain-10k", g, s));
+      (let g, s = grid_graph 30 in
+       ("grid-30", g, s));
+      (let g, s = grid_graph 60 in
+       ("grid-60", g, s));
+      (let g, s = random_graph 1000 7 in
+       ("rand-1k", g, s));
+      (let g, s = random_graph 5000 7 in
+       ("rand-5k", g, s));
+    ];
+  (* a constrained path expression on the grid *)
+  let g, s = grid_graph 40 in
+  let r =
+    Path.Seq
+      ( Path.Star (Path.Edge (Path.Label "right")),
+        Path.Star (Path.Edge (Path.Label "down")) )
+  in
+  let reached, t = time_it (fun () -> List.length (Path.eval_from g r s)) in
+  Fmt.pr "%-10s %8d %12d %14.2f  (right*.down*)@." "grid-40"
+    (Graph.node_count g) reached (ms t)
+
+(* ----------------------------------------------------------------- *)
+(* E13 — HTML generation throughput                                   *)
+(* ----------------------------------------------------------------- *)
+
+let e13 () =
+  section "E13" "§2.5 — HTML generation throughput";
+  Fmt.pr "%-10s %8s %12s %14s %14s@." "articles" "pages" "bytes" "time (ms)"
+    "pages/s";
+  List.iter
+    (fun articles ->
+      let data = Sites.Cnn.data ~articles () in
+      let b = Strudel.Site.build ~data Sites.Cnn.definition in
+      let roots =
+        Schema.Verify.family_members b.Strudel.Site.site_graph "FrontPage"
+      in
+      let site, t =
+        time_it (fun () ->
+            Template.Generator.generate ~templates:Sites.Cnn.templates
+              b.Strudel.Site.site_graph ~roots)
+      in
+      let pages = Template.Generator.page_count site in
+      Fmt.pr "%-10d %8d %12d %14.1f %14.0f@." articles pages
+        (Template.Generator.total_bytes site)
+        (ms t)
+        (float_of_int pages /. Float.max 1e-9 t))
+    [ 50; 200; 800 ]
+
+(* ----------------------------------------------------------------- *)
+(* E14 — incremental re-evaluation                                    *)
+(* ----------------------------------------------------------------- *)
+
+let e14 () =
+  section "E14" "§6 — incremental rebuild after data changes";
+  let articles = 300 in
+  let previous =
+    Strudel.Site.build ~data:(Sites.Cnn.data ~articles ()) Sites.Cnn.definition
+  in
+  let _, t_full =
+    time_it (fun () ->
+        ignore
+          (Strudel.Site.build
+             ~data:(Sites.Cnn.data ~articles ())
+             Sites.Cnn.definition))
+  in
+  Fmt.pr "full rebuild: %.1f ms (%d pages)@." (ms t_full)
+    (Template.Generator.page_count previous.Strudel.Site.site);
+  Fmt.pr "%-10s %12s %14s %12s %12s@." "changed" "rerendered" "reused"
+    "time (ms)" "speedup";
+  List.iter
+    (fun k ->
+      let data2 = Sites.Cnn.data ~articles () in
+      for i = 0 to k - 1 do
+        match Graph.find_node data2 (Printf.sprintf "art%d" (i * 7)) with
+        | Some a ->
+          Graph.add_edge data2 a "headline"
+            (Graph.V (Value.String (Printf.sprintf "UPDATE %d" i)))
+        | None -> ()
+      done;
+      let report, t =
+        time_it (fun () ->
+            Strudel.Incremental.rebuild ~previous ~data:data2 ())
+      in
+      Fmt.pr "%-10d %12d %14d %12.1f %11.1fx@." k
+        report.Strudel.Incremental.pages_rerendered
+        report.Strudel.Incremental.pages_reused (ms t)
+        (t_full /. Float.max 1e-9 t))
+    [ 0; 1; 5; 20 ]
+
+(* ----------------------------------------------------------------- *)
+(* E15 — extensions: aggregation, XML exchange, DataGuides, Rodin     *)
+(* ----------------------------------------------------------------- *)
+
+let e15 () =
+  section "E15" "extensions named by the paper (§2.2, §5.1, §5.2, §6)";
+  (* grouping/aggregation (§5.2) on the CNN site *)
+  let data = Sites.Cnn.data ~articles:200 () in
+  let b = Strudel.Site.build ~data Sites.Cnn.definition in
+  let sg = b.Strudel.Site.site_graph in
+  Fmt.pr "aggregation: per-section article counts on the CNN site:@.";
+  List.iter
+    (fun sp ->
+      match
+        ( Graph.attr_value sg sp "Name",
+          Graph.attr_value sg sp "ArticleCount" )
+      with
+      | Some n, Some c ->
+        Fmt.pr "  %-12s %s@." (Value.to_display_string n)
+          (Value.to_display_string c)
+      | _ -> ())
+    (Schema.Verify.family_members sg "SectionPage");
+  (* XML exchange (§2.2) *)
+  let g = Sites.Paper_example.data () in
+  let xml = Xml.export g in
+  let g2 = Xml.import xml in
+  Fmt.pr
+    "@.XML exchange: fig2 exports to %d bytes of XML; reimport preserves \
+     %d nodes / %d edges (round trip: %b)@."
+    (String.length xml) (Graph.node_count g2) (Graph.edge_count g2)
+    (Xml.export g2 = xml);
+  (* DataGuide over the news data: the guide vs actual cardinalities *)
+  let news = Sites.Cnn.data ~articles:300 () in
+  let dg, t_dg =
+    time_it (fun () ->
+        Schema.Dataguide.of_graph ~roots:(Graph.collection news "Articles")
+          news)
+  in
+  Fmt.pr
+    "@.DataGuide (graph schema from data): %d states, %d transitions \
+     over %d nodes, built in %.2f ms@."
+    (Schema.Dataguide.state_count dg)
+    (Schema.Dataguide.transition_count dg)
+    (Graph.node_count news) (ms t_dg);
+  List.iter
+    (fun path ->
+      Fmt.pr "  path %-22s extent=%d@."
+        (String.concat "." path)
+        (Schema.Dataguide.extent_size dg path))
+    [ [ "related" ]; [ "related"; "related" ] ];
+  Fmt.pr "  distinct label paths (depth 2): %d@."
+    (List.length (Schema.Dataguide.paths_up_to dg 2));
+  (* the bilingual Rodin site (§5.1) *)
+  let rb = Sites.Rodin.build ~extra_projects:20 () in
+  Fmt.pr
+    "@.Rodin bilingual site: one query, %d pages (EN+FR pairs), \
+     cross-linking constraints: %s@."
+    (Template.Generator.page_count rb.Strudel.Site.site)
+    (if Strudel.Site.violations rb = [] then "all hold" else "VIOLATED")
+
+(* ----------------------------------------------------------------- *)
+(* Bechamel microbenchmarks — one Test.make per measured experiment   *)
+(* ----------------------------------------------------------------- *)
+
+let bechamel_suite () =
+  section "MICRO" "Bechamel microbenchmarks";
+  let open Bechamel in
+  let open Toolkit in
+  (* prebuilt inputs so the staged closures measure only the operation *)
+  let paper_data = Sites.Paper_example.data () in
+  let paper_query = Struql.Parser.parse Sites.Paper_example.site_query in
+  let opt_g, opt_conds = optimizer_workload ~pubs:60 () in
+  let idx_g =
+    fst (Wrappers.Bibtex.load (Wrappers.Synth.bibtex ~entries:200 ()))
+  in
+  let noidx_g =
+    let g = Graph.create ~indexed:false ~name:"n" () in
+    ignore (Wrappers.Bibtex.load_into g (Wrappers.Synth.bibtex ~entries:200 ()));
+    g
+  in
+  let year_query =
+    Struql.Parser.parse
+      {|WHERE Publications(x), x -> "year" -> 1997 COLLECT Hits(x) OUTPUT o|}
+  in
+  let chain_g, chain_src = chain_graph 2000 in
+  let star_nfa = Path.compile Path.any_path in
+  let built = Sites.Paper_example.build () in
+  let homepage_data = Sites.Homepage.data ~entries:50 () in
+  let cnn_small = Sites.Cnn.data ~articles:60 () in
+  let cnn_built = Strudel.Site.build ~data:cnn_small Sites.Cnn.definition in
+  let tests =
+    [
+      Test.make ~name:"E2_parse_fig3_query"
+        (Staged.stage (fun () ->
+             ignore (Struql.Parser.parse Sites.Paper_example.site_query)));
+      Test.make ~name:"E3_eval_fig3_query"
+        (Staged.stage (fun () ->
+             ignore (Struql.Eval.run paper_data paper_query)));
+      Test.make ~name:"E4_derive_site_schema"
+        (Staged.stage (fun () ->
+             ignore (Schema.Site_schema.of_query paper_query)));
+      Test.make ~name:"E5_render_site_pages"
+        (Staged.stage (fun () ->
+             let roots =
+               Schema.Verify.family_members built.Strudel.Site.site_graph
+                 "RootPage"
+             in
+             ignore
+               (Template.Generator.generate
+                  ~templates:Sites.Paper_example.templates
+                  built.Strudel.Site.site_graph ~roots)));
+      Test.make ~name:"E6_full_build_small_site"
+        (Staged.stage (fun () ->
+             ignore
+               (Strudel.Site.build ~data:paper_data
+                  Sites.Paper_example.definition)));
+      Test.make ~name:"E9_naive_plan_eval"
+        (Staged.stage (fun () ->
+             ignore (run_strategy opt_g opt_conds Struql.Plan.Naive)));
+      Test.make ~name:"E9_heuristic_plan_eval"
+        (Staged.stage (fun () ->
+             ignore (run_strategy opt_g opt_conds Struql.Plan.Heuristic)));
+      Test.make ~name:"E9_costbased_plan_eval"
+        (Staged.stage (fun () ->
+             ignore (run_strategy opt_g opt_conds Struql.Plan.Cost_based)));
+      Test.make ~name:"E10_query_with_indexes"
+        (Staged.stage (fun () -> ignore (Struql.Eval.run idx_g year_query)));
+      Test.make ~name:"E10_query_full_scan"
+        (Staged.stage (fun () -> ignore (Struql.Eval.run noidx_g year_query)));
+      Test.make ~name:"E11_clicktime_first_page"
+        (Staged.stage (fun () ->
+             let ct =
+               Strudel.Materialize.Click_time.start ~data:homepage_data
+                 Sites.Homepage.definition
+             in
+             let root = List.hd (Strudel.Materialize.Click_time.roots ct) in
+             ignore (Strudel.Materialize.Click_time.browse ct root)));
+      Test.make ~name:"E12_closure_chain2k"
+        (Staged.stage (fun () ->
+             ignore
+               (Path.eval_from ~nfa:star_nfa chain_g Path.any_path chain_src)));
+      Test.make ~name:"E13_render_one_page"
+        (Staged.stage (fun () ->
+             let o =
+               List.hd
+                 (Schema.Verify.family_members
+                    cnn_built.Strudel.Site.site_graph "ArticlePage")
+             in
+             ignore
+               (Template.Generator.render_page ~templates:Sites.Cnn.templates
+                  cnn_built.Strudel.Site.site_graph o)));
+      Test.make ~name:"E14_incremental_rebuild_no_change"
+        (Staged.stage (fun () ->
+             ignore
+               (Strudel.Incremental.rebuild ~previous:cnn_built
+                  ~data:cnn_small ())));
+      Test.make ~name:"E15_xml_export_import"
+        (Staged.stage (fun () ->
+             ignore (Xml.import (Xml.export paper_data))));
+      Test.make ~name:"E15_binary_encode_decode"
+        (Staged.stage (fun () ->
+             ignore
+               (Repository.Binary.decode (Repository.Binary.encode cnn_small))));
+      Test.make ~name:"E15_ddl_print_parse"
+        (Staged.stage (fun () ->
+             ignore (Ddl.parse (Ddl.print cnn_small))));
+      Test.make ~name:"E15_dataguide_build"
+        (Staged.stage (fun () ->
+             ignore
+               (Schema.Dataguide.of_graph
+                  ~roots:(Graph.collection cnn_small "Articles")
+                  cnn_small)));
+    ]
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true ()
+  in
+  let raw =
+    Benchmark.all cfg instances (Test.make_grouped ~name:"strudel" tests)
+  in
+  let results = List.map (fun i -> Analyze.all ols i raw) instances in
+  let merged = Analyze.merge ols instances results in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun _label tbl ->
+      Hashtbl.iter
+        (fun name ols_r ->
+          match Analyze.OLS.estimates ols_r with
+          | Some [ e ] -> rows := (name, e) :: !rows
+          | _ -> ())
+        tbl)
+    merged;
+  List.iter
+    (fun (name, e) ->
+      if e > 1e6 then Fmt.pr "  %-45s %12.3f ms/run@." name (e /. 1e6)
+      else Fmt.pr "  %-45s %12.0f ns/run@." name e)
+    (List.sort compare !rows)
+
+let () =
+  let t0 = Sys.time () in
+  e1 ();
+  e2 ();
+  e3 ();
+  e4 ();
+  e5 ();
+  e6 ();
+  e7 ();
+  e8 ();
+  e9 ();
+  e10 ();
+  e11 ();
+  e12 ();
+  e13 ();
+  e14 ();
+  e15 ();
+  bechamel_suite ();
+  Fmt.pr "@.total bench time: %.1f s@." (Sys.time () -. t0)

@@ -1,0 +1,443 @@
+(* The strudel command-line tool.
+
+   Subcommands mirror the architecture of Fig. 1:
+     load    run a wrapper: external data -> data graph (DDL)
+     query   evaluate a StruQL query over a data graph
+     check   static checks + safety classification of a query
+     schema  derive and print the site schema of a query
+     build   data + query + templates -> browsable Web site
+     verify  check integrity constraints on a site graph
+     demo    build one of the bundled example sites *)
+
+open Cmdliner
+open Sgraph
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let write_file path s =
+  let oc = open_out path in
+  output_string oc s;
+  close_out oc
+
+let or_die f =
+  try f () with
+  | Ddl.Ddl_error (msg, line) ->
+    Fmt.epr "DDL error, line %d: %s@." line msg;
+    exit 1
+  | Struql.Parser.Parse_error (msg, line) ->
+    Fmt.epr "StruQL parse error, line %d: %s@." line msg;
+    exit 1
+  | Struql.Eval.Eval_error msg ->
+    Fmt.epr "evaluation error: %s@." msg;
+    exit 1
+  | Struql.Check.Invalid problems ->
+    Fmt.epr "invalid query:@.";
+    List.iter (fun p -> Fmt.epr "  %a@." Struql.Check.pp_problem p) problems;
+    exit 1
+  | Wrappers.Bibtex.Bibtex_error (msg, line) ->
+    Fmt.epr "BibTeX error, line %d: %s@." line msg;
+    exit 1
+  | Template.Tparse.Template_error msg ->
+    Fmt.epr "template error: %s@." msg;
+    exit 1
+  | Strudel.Site.Build_error msg ->
+    Fmt.epr "build error: %s@." msg;
+    exit 1
+
+(* --- common args --- *)
+
+let output_arg =
+  Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"PATH"
+         ~doc:"Output file or directory (default: stdout).")
+
+let data_arg =
+  Arg.(required & opt (some file) None & info [ "d"; "data" ] ~docv:"DDL"
+         ~doc:"Data graph in DDL syntax.")
+
+let emit output s =
+  match output with None -> print_string s | Some p -> write_file p s
+
+(* --- load --- *)
+
+let load_cmd =
+  let format_arg =
+    Arg.(value & opt (enum [ ("bibtex", `Bibtex); ("csv", `Csv);
+                             ("structured", `Structured); ("html", `Html);
+                             ("ddl", `Ddl); ("xml", `Xml) ]) `Ddl
+         & info [ "f"; "format" ] ~docv:"FORMAT"
+             ~doc:"Input format: bibtex, csv, structured, html, ddl or xml.")
+  in
+  let xml_out_arg =
+    Arg.(value & flag
+         & info [ "x"; "xml" ] ~doc:"Emit XML instead of the DDL.")
+  in
+  let name_arg =
+    Arg.(value & opt string "data"
+         & info [ "n"; "name" ] ~docv:"NAME"
+             ~doc:"Graph name (and CSV collection name).")
+  in
+  let file_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE")
+  in
+  let run format name file xml_out output =
+    or_die (fun () ->
+        let g =
+          match format with
+          | `Bibtex -> fst (Wrappers.Bibtex.load ~graph_name:name (read_file file))
+          | `Csv -> fst (Wrappers.Csv.load ~graph_name:name ~name (read_file file))
+          | `Structured ->
+            fst (Wrappers.Structured_file.load ~graph_name:name (read_file file))
+          | `Html ->
+            fst
+              (Wrappers.Html_wrapper.load_pages ~graph_name:name
+                 [ (Filename.basename file, read_file file) ])
+          | `Ddl -> fst (Ddl.parse ~graph_name:name (read_file file))
+          | `Xml -> Xml.import ~graph_name:name (read_file file)
+        in
+        Fmt.epr "%a@." Graph.pp_stats g;
+        emit output (if xml_out then Xml.export g else Ddl.print g))
+  in
+  Cmd.v (Cmd.info "load" ~doc:"Wrap an external source into a data graph.")
+    Term.(const run $ format_arg $ name_arg $ file_arg $ xml_out_arg
+          $ output_arg)
+
+(* --- query --- *)
+
+let strategy_arg =
+  Arg.(value & opt (enum [ ("naive", Struql.Plan.Naive);
+                           ("heuristic", Struql.Plan.Heuristic);
+                           ("costbased", Struql.Plan.Cost_based) ])
+         Struql.Plan.Heuristic
+       & info [ "s"; "strategy" ] ~docv:"STRATEGY"
+           ~doc:"Optimizer: naive, heuristic or costbased.")
+
+let query_cmd =
+  let query_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"QUERY")
+  in
+  let stats_arg =
+    Arg.(value & flag & info [ "stats" ] ~doc:"Print evaluation statistics.")
+  in
+  let data_opt_arg =
+    Arg.(value & opt (some file) None
+         & info [ "d"; "data" ] ~docv:"DDL"
+             ~doc:"Data graph in DDL syntax (single-input mode).")
+  in
+  let graphs_arg =
+    Arg.(value & opt_all (pair ~sep:'=' string file) []
+         & info [ "g"; "graph" ] ~docv:"NAME=FILE"
+             ~doc:
+               "Catalogue a named graph (repeatable); the query's INPUT \
+                names resolve against the catalogue.")
+  in
+  let run data graphs query strategy stats output =
+    or_die (fun () ->
+        let q = Struql.Parser.parse (read_file query) in
+        let options = { Struql.Eval.default_options with strategy } in
+        let out, st =
+          match data, graphs with
+          | Some d, [] ->
+            let g, _ = Ddl.parse ~graph_name:"input" (read_file d) in
+            Struql.Eval.run_with_stats ~options g q
+          | None, (_ :: _ as graphs) ->
+            let repo = Repository.Store.create () in
+            List.iter
+              (fun (name, file) ->
+                Repository.Store.put repo
+                  (fst (Ddl.parse ~graph_name:name (read_file file))))
+              graphs;
+            let merged = Sgraph.Graph.create ~name:"inputs" () in
+            List.iter
+              (fun n ->
+                Graph.merge_into ~dst:merged
+                  ~src:(Repository.Store.get repo n))
+              q.Struql.Ast.input;
+            Struql.Eval.run_with_stats ~options merged q
+          | Some _, _ :: _ ->
+            Fmt.epr "use either -d or -g, not both@.";
+            exit 1
+          | None, [] ->
+            Fmt.epr "one of -d DDL or -g NAME=FILE is required@.";
+            exit 1
+        in
+        if stats then
+          Fmt.epr "rows=%d steps=%d intermediate=%d max_intermediate=%d@."
+            st.Struql.Eval.rows st.Struql.Eval.steps
+            st.Struql.Eval.intermediate st.Struql.Eval.max_intermediate;
+        Fmt.epr "%a@." Graph.pp_stats out;
+        emit output (Ddl.print out))
+  in
+  Cmd.v (Cmd.info "query" ~doc:"Evaluate a StruQL query over data graphs.")
+    Term.(const run $ data_opt_arg $ graphs_arg $ query_arg $ strategy_arg
+          $ stats_arg $ output_arg)
+
+(* --- check --- *)
+
+let check_cmd =
+  let query_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"QUERY")
+  in
+  let run query =
+    or_die (fun () ->
+        let q = Struql.Parser.parse (read_file query) in
+        let report = Struql.Check.check q in
+        List.iter
+          (fun p -> Fmt.pr "error: %a@." Struql.Check.pp_problem p)
+          report.Struql.Check.errors;
+        List.iter
+          (fun p -> Fmt.pr "warning: %a@." Struql.Check.pp_problem p)
+          report.Struql.Check.warnings;
+        if report.Struql.Check.errors = [] then begin
+          Fmt.pr "query is valid%s@."
+            (if report.Struql.Check.warnings = [] then " and range-restricted"
+             else " (active-domain semantics apply)");
+          Fmt.pr "%d blocks, %d conditions, %d link clauses@."
+            (List.length q.Struql.Ast.blocks)
+            (Struql.Ast.query_condition_count q)
+            (Struql.Ast.query_link_count q)
+        end
+        else exit 1)
+  in
+  Cmd.v (Cmd.info "check" ~doc:"Statically check a StruQL query.")
+    Term.(const run $ query_arg)
+
+(* --- schema --- *)
+
+let schema_cmd =
+  let query_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"QUERY")
+  in
+  let dot_arg =
+    Arg.(value & flag & info [ "dot" ] ~doc:"Emit Graphviz dot format.")
+  in
+  let run query dot output =
+    or_die (fun () ->
+        let q = Struql.Parser.parse (read_file query) in
+        let s = Schema.Site_schema.of_query q in
+        if dot then emit output (Schema.Dot.of_schema s)
+        else emit output (Schema.Site_schema.to_string s))
+  in
+  Cmd.v
+    (Cmd.info "schema"
+       ~doc:"Derive the site schema of a site-definition query.")
+    Term.(const run $ query_arg $ dot_arg $ output_arg)
+
+(* --- decompose --- *)
+
+let decompose_cmd =
+  let query_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"QUERY")
+  in
+  let run query output =
+    or_die (fun () ->
+        let q = Struql.Parser.parse (read_file query) in
+        let pieces = Schema.Decompose.of_query q in
+        emit output (Fmt.str "%a" Schema.Decompose.pp pieces);
+        Fmt.epr "%d pieces@." (List.length pieces))
+  in
+  Cmd.v
+    (Cmd.info "decompose"
+       ~doc:
+         "Split a site-definition query into independently evaluable \
+          queries (one per create/link/collect).")
+    Term.(const run $ query_arg $ output_arg)
+
+(* --- build --- *)
+
+let build_cmd =
+  let query_arg =
+    Arg.(required & opt (some file) None
+         & info [ "q"; "query" ] ~docv:"QUERY" ~doc:"Site-definition query.")
+  in
+  let root_arg =
+    Arg.(value & opt string "RootPage"
+         & info [ "root" ] ~docv:"FAMILY"
+             ~doc:"Skolem family of the root page(s).")
+  in
+  let template_arg =
+    Arg.(value & opt_all (pair ~sep:'=' string file) []
+         & info [ "t"; "template" ] ~docv:"COLLECTION=FILE"
+             ~doc:"Template for a collection (repeatable).")
+  in
+  let dir_arg =
+    Arg.(value & opt string "_site/out"
+         & info [ "o"; "output" ] ~docv:"DIR" ~doc:"Output directory.")
+  in
+  let run data query root templates strategy dir =
+    or_die (fun () ->
+        let g, _ = Ddl.parse ~graph_name:"input" (read_file data) in
+        let templates =
+          {
+            Template.Generator.empty_templates with
+            Template.Generator.by_collection =
+              List.map (fun (c, f) -> (c, read_file f)) templates;
+          }
+        in
+        let def =
+          Strudel.Site.define ~name:"site" ~root_family:root ~templates
+            ~strategy
+            [ ("site", read_file query) ]
+        in
+        let built = Strudel.Site.build ~data:g def in
+        let rec mkdirs d =
+          if d <> "." && d <> "/" && not (Sys.file_exists d) then begin
+            mkdirs (Filename.dirname d);
+            Sys.mkdir d 0o755
+          end
+        in
+        mkdirs dir;
+        Template.Generator.write_site ~dir built.Strudel.Site.site;
+        Fmt.pr "%d pages written to %s@."
+          (Template.Generator.page_count built.Strudel.Site.site)
+          dir)
+  in
+  Cmd.v (Cmd.info "build" ~doc:"Build a browsable site from data + query + templates.")
+    Term.(const run $ data_arg $ query_arg $ root_arg $ template_arg
+          $ strategy_arg $ dir_arg)
+
+(* --- verify --- *)
+
+let verify_cmd =
+  let reachable_arg =
+    Arg.(value & opt (some string) None
+         & info [ "reachable-from" ] ~docv:"FAMILY"
+             ~doc:"Check all pages reachable from the family.")
+  in
+  let points_arg =
+    Arg.(value & opt_all (t3 ~sep:',' string string string) []
+         & info [ "points-to" ] ~docv:"A,LABEL,B"
+             ~doc:"Check every A page has a LABEL link to some B page.")
+  in
+  let no_label_arg =
+    Arg.(value & opt_all string []
+         & info [ "no-label" ] ~docv:"LABEL"
+             ~doc:"Check the label appears nowhere in the site.")
+  in
+  let run data reachable points no_labels =
+    or_die (fun () ->
+        let g, _ = Ddl.parse ~graph_name:"site" (read_file data) in
+        let cs =
+          (match reachable with
+           | Some f -> [ Schema.Verify.Reachable_from f ]
+           | None -> [])
+          @ List.map (fun (a, l, b) -> Schema.Verify.Points_to (a, l, b)) points
+          @ List.map (fun l -> Schema.Verify.No_attribute_anywhere l) no_labels
+        in
+        let results = Schema.Verify.check_all_site g cs in
+        List.iter
+          (fun (c, v) ->
+            Fmt.pr "%a: %a@." Schema.Verify.pp_constraint c
+              Schema.Verify.pp_verdict v)
+          results;
+        if
+          List.exists
+            (fun (_, v) ->
+              match v with Schema.Verify.Violated _ -> true | _ -> false)
+            results
+        then exit 1)
+  in
+  Cmd.v (Cmd.info "verify" ~doc:"Check integrity constraints on a site graph.")
+    Term.(const run $ data_arg $ reachable_arg $ points_arg $ no_label_arg)
+
+(* --- browse: click-time materialization simulator --- *)
+
+let browse_cmd =
+  let which_arg =
+    Arg.(value & pos 0 (enum [ ("quickstart", `Quickstart);
+                               ("homepage", `Homepage); ("cnn", `Cnn);
+                               ("org", `Org) ]) `Homepage
+         & info [] ~docv:"SITE")
+  in
+  let clicks_arg =
+    Arg.(value & opt int 20
+         & info [ "clicks" ] ~docv:"N" ~doc:"Number of simulated clicks.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED")
+  in
+  let no_cache_arg =
+    Arg.(value & flag & info [ "no-cache" ] ~doc:"Disable the page cache.")
+  in
+  let run which clicks seed no_cache =
+    or_die (fun () ->
+        let data, def =
+          match which with
+          | `Quickstart ->
+            (Sites.Paper_example.data (), Sites.Paper_example.definition)
+          | `Homepage -> (Sites.Homepage.data (), Sites.Homepage.definition)
+          | `Cnn -> (Sites.Cnn.data ~articles:100 (), Sites.Cnn.definition)
+          | `Org ->
+            let _, w = Sites.Org.data ~people:100 ~orgs:6 () in
+            (Mediator.Warehouse.graph w, Sites.Org.definition)
+        in
+        let ct =
+          Strudel.Materialize.Click_time.start ~cache:(not no_cache) ~data def
+        in
+        let visited =
+          Strudel.Materialize.Click_time.random_walk ct ~clicks ~seed
+        in
+        let st = Strudel.Materialize.Click_time.stats ct in
+        Fmt.pr
+          "visited %d pages in %d clicks@.expansions: %d, link-clause \
+           evaluations: %d, cache hits: %d@.materialized: %d nodes, %d \
+           edges@."
+          visited clicks st.Strudel.Materialize.Click_time.expansions
+          st.Strudel.Materialize.Click_time.queries
+          st.Strudel.Materialize.Click_time.cache_hits
+          st.Strudel.Materialize.Click_time.materialized_nodes
+          st.Strudel.Materialize.Click_time.materialized_edges)
+  in
+  Cmd.v
+    (Cmd.info "browse"
+       ~doc:"Simulate click-time browsing of an example site.")
+    Term.(const run $ which_arg $ clicks_arg $ seed_arg $ no_cache_arg)
+
+(* --- demo --- *)
+
+let demo_cmd =
+  let which_arg =
+    Arg.(value & pos 0 (enum [ ("quickstart", `Quickstart);
+                               ("homepage", `Homepage); ("cnn", `Cnn);
+                               ("org", `Org) ]) `Quickstart
+         & info [] ~docv:"SITE")
+  in
+  let dir_arg =
+    Arg.(value & opt string "_site/demo"
+         & info [ "o"; "output" ] ~docv:"DIR" ~doc:"Output directory.")
+  in
+  let run which dir =
+    or_die (fun () ->
+        let built =
+          match which with
+          | `Quickstart -> Sites.Paper_example.build ()
+          | `Homepage -> Sites.Homepage.build ()
+          | `Cnn -> Sites.Cnn.build ~articles:100 ()
+          | `Org -> Sites.Org.build ~people:50 ~orgs:5 ()
+        in
+        let rec mkdirs d =
+          if d <> "." && d <> "/" && not (Sys.file_exists d) then begin
+            mkdirs (Filename.dirname d);
+            Sys.mkdir d 0o755
+          end
+        in
+        mkdirs dir;
+        Template.Generator.write_site ~dir built.Strudel.Site.site;
+        Fmt.pr "%d pages written to %s@."
+          (Template.Generator.page_count built.Strudel.Site.site)
+          dir)
+  in
+  Cmd.v (Cmd.info "demo" ~doc:"Build a bundled example site.")
+    Term.(const run $ which_arg $ dir_arg)
+
+let () =
+  let doc = "STRUDEL: a declarative Web-site management system" in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "strudel" ~doc)
+          [ load_cmd; query_cmd; check_cmd; schema_cmd; decompose_cmd;
+            build_cmd; verify_cmd; browse_cmd; demo_cmd ]))

@@ -1,0 +1,1 @@
+examples/cnn_site.ml: Fmt Graph List Sgraph Sites String Strudel Sys Template

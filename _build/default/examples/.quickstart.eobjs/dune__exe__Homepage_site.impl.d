@@ -1,0 +1,1 @@
+examples/homepage_site.ml: Fmt Graph List Schema Sgraph Sites String Strudel Sys Template

@@ -1,0 +1,1 @@
+examples/homepage_site.mli:

@@ -1,0 +1,1 @@
+examples/org_site.ml: Fmt Graph List Mediator Printf Schema Sgraph Sites String Strudel Sys Template Wrappers

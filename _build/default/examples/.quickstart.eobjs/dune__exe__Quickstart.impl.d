@@ -1,0 +1,1 @@
+examples/quickstart.ml: Fmt Graph List Schema Sgraph Sites Strudel Sys Template

@@ -1,0 +1,1 @@
+examples/rodin_site.ml: Fmt Graph List Option Schema Sgraph Sites Strudel Sys Template

@@ -1,0 +1,1 @@
+examples/rodin_site.mli:

@@ -1,0 +1,1 @@
+examples/xml_pipeline.ml: Fmt Graph List Oid Schema Sgraph String Strudel Sys Template Xml

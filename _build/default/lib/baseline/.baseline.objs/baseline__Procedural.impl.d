@@ -1,0 +1,1 @@
+lib/baseline/procedural.ml: Buffer Graph Hashtbl List Oid Printf Sgraph String Value

@@ -1,0 +1,276 @@
+(** The pre-STRUDEL baseline: hand-coded procedural site generation.
+
+    Before STRUDEL, the paper's sites were produced by "a large set of
+    CGI-BIN scripts" — programs that interleave data access, structure
+    and presentation.  This module is that baseline, written the way
+    such scripts are: direct traversal of the data, string-concatenated
+    HTML, one function per page family, no declarative layer.  It is
+    the comparator for the Fig. 8 suitability study and the performance
+    benches: functionally equivalent output for the homepage and news
+    sites, but every structural change means editing code, and a second
+    site version means a second copy of the functions. *)
+
+open Sgraph
+
+let esc s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '"' -> Buffer.add_string buf "&quot;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let buf_page title body =
+  Printf.sprintf
+    "<html>\n<head><title>%s</title></head>\n<body>\n%s\n</body>\n</html>\n"
+    (esc title) body
+
+let slug name =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' -> c
+      | _ -> '_')
+    name
+
+let value_str g o attr =
+  match Graph.attr_value g o attr with
+  | Some v -> Value.to_display_string v
+  | None -> ""
+
+let values g o attr =
+  List.filter_map
+    (fun t -> match t with Graph.V v -> Some v | Graph.N _ -> None)
+    (Graph.attr g o attr)
+
+(** Generate the bibliography homepage site: root page with by-year and
+    by-category indexes, year pages, category pages, abstracts page,
+    one presentation per publication — the same site the Fig. 3 query
+    plus Fig. 7 templates produce, coded by hand. *)
+let homepage_site (g : Graph.t) : (string * string) list =
+  let pubs = Graph.collection g "Publications" in
+  (* collect years and categories by scanning the data — the piece a
+     site-definition query's WHERE clause did declaratively *)
+  let years = Hashtbl.create 16 and cats = Hashtbl.create 16 in
+  List.iter
+    (fun p ->
+      List.iter
+        (fun v ->
+          let y = Value.to_display_string v in
+          let l = try Hashtbl.find years y with Not_found -> [] in
+          Hashtbl.replace years y (p :: l))
+        (values g p "year");
+      List.iter
+        (fun v ->
+          let c = Value.to_display_string v in
+          let l = try Hashtbl.find cats c with Not_found -> [] in
+          Hashtbl.replace cats c (p :: l))
+        (values g p "category"))
+    pubs;
+  let sorted tbl =
+    List.sort compare (Hashtbl.fold (fun k v acc -> (k, List.rev v) :: acc) tbl [])
+  in
+  let pub_line p =
+    let title = value_str g p "title" in
+    let authors =
+      String.concat ", "
+        (List.map Value.to_display_string (values g p "author"))
+    in
+    let ps = value_str g p "postscript" in
+    let venue =
+      match value_str g p "journal", value_str g p "booktitle" with
+      | "", "" -> ""
+      | j, "" -> Printf.sprintf "<i>%s</i>, " (esc j)
+      | _, b -> Printf.sprintf "<i>%s</i>, " (esc b)
+    in
+    let title_html =
+      if ps = "" then Printf.sprintf "<b>%s</b>" (esc title)
+      else Printf.sprintf "<b><a href=\"%s\">%s</a></b>" (esc ps) (esc title)
+    in
+    Printf.sprintf "%s. By %s, %s%s. <a href=\"abstract_%s.html\">abstract</a>"
+      title_html (esc authors) venue
+      (esc (value_str g p "year"))
+      (slug (Oid.name p))
+  in
+  let year_pages =
+    List.map
+      (fun (y, ps) ->
+        ( Printf.sprintf "year_%s.html" (slug y),
+          buf_page
+            ("Publications from " ^ y)
+            (Printf.sprintf "<h2>Publications from %s</h2>\n<ul>\n%s</ul>"
+               (esc y)
+               (String.concat ""
+                  (List.map
+                     (fun p -> "<li>" ^ pub_line p ^ "</li>\n")
+                     ps))) ))
+      (sorted years)
+  in
+  let cat_pages =
+    List.map
+      (fun (c, ps) ->
+        ( Printf.sprintf "cat_%s.html" (slug c),
+          buf_page
+            ("Publications on " ^ c)
+            (Printf.sprintf "<h2>Publications on %s</h2>\n<ul>\n%s</ul>"
+               (esc c)
+               (String.concat ""
+                  (List.map
+                     (fun p -> "<li>" ^ pub_line p ^ "</li>\n")
+                     ps))) ))
+      (sorted cats)
+  in
+  let abstract_pages =
+    List.map
+      (fun p ->
+        ( Printf.sprintf "abstract_%s.html" (slug (Oid.name p)),
+          buf_page
+            (value_str g p "title")
+            (Printf.sprintf "<h3>%s</h3>\nBy %s.\n%s"
+               (esc (value_str g p "title"))
+               (esc
+                  (String.concat ", "
+                     (List.map Value.to_display_string (values g p "author"))))
+               (esc (value_str g p "abstract"))) ))
+      pubs
+  in
+  let abstracts_index =
+    ( "abstracts.html",
+      buf_page "Paper Abstracts"
+        (Printf.sprintf "<h1>Paper Abstracts</h1>\n%s"
+           (String.concat "<hr>\n"
+              (List.map
+                 (fun p ->
+                   Printf.sprintf "<h3>%s</h3>By %s."
+                     (esc (value_str g p "title"))
+                     (esc
+                        (String.concat ", "
+                           (List.map Value.to_display_string
+                              (values g p "author")))))
+                 pubs))) )
+  in
+  let root =
+    ( "index.html",
+      buf_page "Publications"
+        (Printf.sprintf
+           "<h1>Publications</h1>\n<h3>Publications by Year</h3>\n<ul>\n\
+            %s</ul>\n<h3>Publications by Topic</h3>\n<ul>\n%s</ul>\n\
+            <p><a href=\"abstracts.html\">All paper abstracts</a></p>"
+           (String.concat ""
+              (List.map
+                 (fun (y, _) ->
+                   Printf.sprintf
+                     "<li><a href=\"year_%s.html\">%s</a></li>\n" (slug y)
+                     (esc y))
+                 (sorted years)))
+           (String.concat ""
+              (List.map
+                 (fun (c, _) ->
+                   Printf.sprintf "<li><a href=\"cat_%s.html\">%s</a></li>\n"
+                     (slug c) (esc c))
+                 (sorted cats)))) )
+  in
+  (root :: abstracts_index :: year_pages) @ cat_pages @ abstract_pages
+
+(** Generate the news site: section indexes and one page per article
+    (the CNN-demo shape), hand-coded. *)
+let news_site ?(sections_filter = fun _ -> true) (g : Graph.t) :
+    (string * string) list =
+  let articles = Graph.collection g "Articles" in
+  let sections = Hashtbl.create 16 in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun v ->
+          let s = Value.to_display_string v in
+          if sections_filter s then begin
+            let l = try Hashtbl.find sections s with Not_found -> [] in
+            Hashtbl.replace sections s (a :: l)
+          end)
+        (values g a "section"))
+    articles;
+  let sorted_sections =
+    List.sort compare
+      (Hashtbl.fold (fun k v acc -> (k, List.rev v) :: acc) sections [])
+  in
+  let in_some_section a =
+    List.exists
+      (fun v -> sections_filter (Value.to_display_string v))
+      (values g a "section")
+  in
+  let article_page a =
+    let image_html =
+      match Graph.attr_value g a "image" with
+      | Some (Value.File (Value.Image, p)) ->
+        Printf.sprintf "<img src=\"%s\">\n" (esc p)
+      | Some _ | None -> ""
+    in
+    let related_item t =
+      match t with
+      | Graph.N r when in_some_section r ->
+        Some
+          (Printf.sprintf "<li><a href=\"%s.html\">%s</a></li>"
+             (slug (Oid.name r))
+             (esc (value_str g r "headline")))
+      | Graph.N _ | Graph.V _ -> None
+    in
+    let related_html =
+      String.concat ""
+        (List.filter_map related_item (Graph.attr g a "related"))
+    in
+    let body =
+      Printf.sprintf
+        "<h1>%s</h1>\n<p><i>%s — %s</i></p>\n<p>%s</p>\n%s<ul>%s</ul>"
+        (esc (value_str g a "headline"))
+        (esc (value_str g a "date"))
+        (esc (value_str g a "byline"))
+        (esc (value_str g a "body"))
+        image_html related_html
+    in
+    ( Printf.sprintf "%s.html" (slug (Oid.name a)),
+      buf_page (value_str g a "headline") body )
+  in
+  let article_pages =
+    List.filter_map
+      (fun a -> if in_some_section a then Some (article_page a) else None)
+      articles
+  in
+  let section_pages =
+    List.map
+      (fun (s, arts) ->
+        ( Printf.sprintf "section_%s.html" (slug s),
+          buf_page s
+            (Printf.sprintf "<h1>%s</h1>\n<ul>\n%s</ul>" (esc s)
+               (String.concat ""
+                  (List.map
+                     (fun a ->
+                       Printf.sprintf
+                         "<li><a href=\"%s.html\">%s</a> (%s)</li>\n"
+                         (slug (Oid.name a))
+                         (esc (value_str g a "headline"))
+                         (esc (value_str g a "date")))
+                     arts))) ))
+      sorted_sections
+  in
+  let root =
+    ( "index.html",
+      buf_page "News"
+        (Printf.sprintf "<h1>News</h1>\n<ul>\n%s</ul>"
+           (String.concat ""
+              (List.map
+                 (fun (s, arts) ->
+                   Printf.sprintf
+                     "<li><a href=\"section_%s.html\">%s</a> (%d \
+                      articles)</li>\n"
+                     (slug s) (esc s) (List.length arts))
+                 sorted_sections))) )
+  in
+  root :: (section_pages @ article_pages)
+
+let total_bytes pages =
+  List.fold_left (fun n (_, html) -> n + String.length html) 0 pages

@@ -1,0 +1,1 @@
+lib/core/api.ml: List Mediator Repository Schema Sgraph Site Struql Template Wrappers

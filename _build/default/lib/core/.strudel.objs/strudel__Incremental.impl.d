@@ -1,0 +1,1 @@
+lib/core/incremental.ml: Algo Graph Hashtbl List Oid Schema Sgraph Site Template Value

@@ -1,0 +1,1 @@
+lib/core/incremental.mli: Graph Hashtbl Oid Sgraph Site

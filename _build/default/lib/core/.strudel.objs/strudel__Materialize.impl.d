@@ -1,0 +1,1 @@
+lib/core/materialize.ml: Ast Eval Graph Hashtbl List Oid Option Schema Sgraph Site Skolem Struql Template Value

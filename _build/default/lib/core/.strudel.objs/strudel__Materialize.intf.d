@@ -1,0 +1,1 @@
+lib/core/materialize.mli: Graph Oid Schema Sgraph Site Skolem Struql

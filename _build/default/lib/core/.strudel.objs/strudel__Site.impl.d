@@ -1,0 +1,1 @@
+lib/core/site.ml: Fmt Graph List Logs Printf Schema Sgraph Skolem String Struql Template

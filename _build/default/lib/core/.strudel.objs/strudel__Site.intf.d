@@ -1,0 +1,1 @@
+lib/core/site.mli: Format Graph Oid Schema Sgraph Skolem Struql Template

@@ -1,0 +1,146 @@
+(** Incremental re-evaluation of a site after a data change (§6,
+    [FER 98c] "Warehousing and Incremental Evaluation for Web-site
+    Management").
+
+    Strategy: the site graph is recomputed — graph construction is the
+    cheap, structural part — but HTML pages, the expensive rendered
+    artifacts, are regenerated only where a page's {e neighbourhood}
+    changed.  Each page object is fingerprinted by hashing its
+    out-neighbourhood to a bounded depth (covering what templates can
+    reach through bounded attribute traversal and embedding); pages
+    whose fingerprint matches the previous build keep their HTML and
+    are not rendered at all.
+
+    Node identities differ between builds (fresh Skolem scopes), so
+    pages are matched by Skolem-term name.  Page discovery walks the
+    site graph from the roots and treats every reachable Skolem-created
+    object as a page — a slight over-approximation of the generator's
+    demand-driven page set (an object that is only ever embedded would
+    get a page of its own), harmless for correctness and byte-identical
+    for every template set in this repository. *)
+
+open Sgraph
+
+(* A memo table (node id, depth) -> hash makes fingerprinting the whole
+   page set linear in the graph instead of re-hashing shared
+   neighbourhoods once per referencing page. *)
+type fp_cache = (int * int, int) Hashtbl.t
+
+(* Explicit hash combining: [Hashtbl.hash] on structured data stops
+   after ~10 meaningful nodes, so hashing an edge LIST through it makes
+   every node with more than a handful of edges collide with its
+   mutations.  Strings hash in full, so leaves go through
+   [Hashtbl.hash]; combining is done by hand (FNV-style). *)
+let mix acc h = (acc * 0x01000193) lxor h land max_int
+
+let fingerprint ?(cache : fp_cache option) g ~depth (o : Oid.t) : int =
+  let rec hash_node d o =
+    match cache with
+    | Some c -> (
+        match Hashtbl.find_opt c (Oid.id o, d) with
+        | Some h -> h
+        | None ->
+          let h = compute d o in
+          Hashtbl.add c (Oid.id o, d) h;
+          h)
+    | None -> compute d o
+  and compute d o =
+    if d = 0 then Hashtbl.hash (Oid.name o)
+    else
+      let edges =
+        List.map
+          (fun (l, tgt) ->
+            match tgt with
+            | Graph.V v ->
+              mix
+                (mix (Hashtbl.hash l)
+                   (Hashtbl.hash (Value.to_display_string v)))
+                (Hashtbl.hash (Value.kind_name v))
+            | Graph.N o' -> mix (Hashtbl.hash l) (hash_node (d - 1) o'))
+          (Graph.out_edges g o)
+      in
+      List.fold_left mix
+        (Hashtbl.hash (Oid.name o))
+        (List.sort compare edges)
+  in
+  hash_node depth o
+
+type rebuild_report = {
+  built : Site.built;
+  pages_total : int;
+  pages_rerendered : int;
+  pages_reused : int;
+}
+
+(** Fingerprint depth: templates read a page object's own attributes
+    and one bounded hop into linked/embedded objects ([@a.date],
+    [KEY=year], an [EMBED] of an object rendering its own attributes);
+    2 levels cover every template in this repository (and the paper's
+    examples).  Raise it for templates with deeper traversal. *)
+let default_depth = 2
+
+let page_candidates site_graph roots =
+  let reachable = Algo.reachable site_graph roots in
+  List.filter
+    (fun o ->
+      Schema.Verify.family_of_node o <> None
+      || List.exists (Oid.equal o) roots)
+    (List.filter (fun o -> Oid.Set.mem o reachable) (Graph.nodes site_graph))
+
+(** Rebuild the site over changed data, reusing unchanged pages of
+    [previous] without re-rendering them. *)
+let rebuild ?(depth = default_depth) ~(previous : Site.built) ~data () :
+    rebuild_report =
+  let def = previous.Site.def in
+  let site_graph, scope, schemas, query_stats =
+    Site.build_site_graph def data
+  in
+  let roots = Site.roots_of site_graph def.Site.root_family in
+  (* previous pages and fingerprints, keyed by node name *)
+  let old_cache : fp_cache = Hashtbl.create 1024 in
+  let new_cache : fp_cache = Hashtbl.create 1024 in
+  let old_fp = Hashtbl.create 256 in
+  List.iter
+    (fun (p : Template.Generator.page) ->
+      Hashtbl.replace old_fp
+        (Oid.name p.Template.Generator.obj)
+        ( fingerprint ~cache:old_cache previous.Site.site_graph ~depth
+            p.Template.Generator.obj,
+          p ))
+    previous.Site.site.Template.Generator.pages;
+  let rerendered = ref 0 and reused = ref 0 in
+  let pages =
+    List.map
+      (fun o ->
+        let name = Oid.name o in
+        match Hashtbl.find_opt old_fp name with
+        | Some (fp_old, p_old)
+          when fp_old = fingerprint ~cache:new_cache site_graph ~depth o ->
+          incr reused;
+          { p_old with Template.Generator.obj = o }
+        | _ ->
+          incr rerendered;
+          Template.Generator.render_page ~templates:def.Site.templates
+            site_graph o)
+      (page_candidates site_graph roots)
+  in
+  let site = { Template.Generator.pages; graph = site_graph } in
+  let verification =
+    Schema.Verify.check_all_site site_graph def.Site.constraints
+  in
+  {
+    built =
+      {
+        Site.def;
+        data;
+        site_graph;
+        scope;
+        schemas;
+        site;
+        verification;
+        query_stats;
+      };
+    pages_total = List.length pages;
+    pages_rerendered = !rerendered;
+    pages_reused = !reused;
+  }

@@ -1,0 +1,41 @@
+(** Incremental re-evaluation of a site after a data change (§6,
+    [FER 98c]).
+
+    The site graph is recomputed — graph construction is the cheap,
+    structural part — but HTML pages are regenerated only where a
+    page's fingerprinted neighbourhood changed; unchanged pages keep
+    their bytes without being rendered.  Incremental output is
+    byte-identical to a full rebuild (property-tested under random
+    mutations). *)
+
+open Sgraph
+
+(** Memo table for {!fingerprint}: (node id, depth) → hash. *)
+type fp_cache = (int * int, int) Hashtbl.t
+
+val fingerprint : ?cache:fp_cache -> Graph.t -> depth:int -> Oid.t -> int
+(** A stable structural hash of the node's out-neighbourhood to
+    [depth], independent of oid numbering (nodes contribute names,
+    values their contents).  Uses explicit hash combining — immune to
+    [Hashtbl.hash]'s structural truncation. *)
+
+type rebuild_report = {
+  built : Site.built;
+  pages_total : int;
+  pages_rerendered : int;
+  pages_reused : int;
+}
+
+val default_depth : int
+(** 2: covers templates that read their object's attributes plus one
+    bounded hop ([@a.date], [KEY=year], EMBED of a neighbour).  Raise
+    it for templates with deeper traversal. *)
+
+val page_candidates : Graph.t -> Oid.t list -> Oid.t list
+
+val rebuild :
+  ?depth:int -> previous:Site.built -> data:Graph.t -> unit ->
+  rebuild_report
+(** Rebuild the site over changed data, reusing unchanged pages of
+    [previous] without re-rendering them.  Pages match between builds
+    by Skolem-term name. *)

@@ -1,0 +1,357 @@
+(** Materialization strategies for STRUDEL sites (§1, §6, [FER 98c]).
+
+    The "Web site as view" spectrum:
+    - {!full}: materialize the complete site before browsing (the
+      prototype's default — warehouse-style, maximal up-front cost,
+      minimal click latency);
+    - {!Click_time}: precompute only the root(s) of the site, then
+      compute at click time the queries that obtain the next page.  The
+      site-definition query is decomposed — via the site schema — into
+      one node-expansion query per Skolem family: when the user clicks
+      to page [F(a)], the engine binds [F]'s defining variables to [a]
+      and evaluates only the link clauses leaving [F].  Results are
+      optionally cached, so a revisited page costs nothing. *)
+
+open Sgraph
+open Struql
+
+(* --- Full materialization --- *)
+
+let full ?file_loader ~data (def : Site.definition) = Site.build ?file_loader ~data def
+
+(* --- Click-time evaluation --- *)
+
+module Click_time = struct
+  type t = {
+    data : Graph.t;
+    def : Site.definition;
+    scope : Skolem.t;
+    partial : Graph.t;  (** the lazily materialized site graph *)
+    schemas : Schema.Site_schema.t list;
+    options : Eval.options;
+    mutable expanded : Oid.Set.t;
+    page_cache : string Oid.Tbl.t;
+    cache_pages : bool;
+    mutable stats_expansions : int;
+    mutable stats_queries : int;  (** link-clause evaluations performed *)
+    mutable stats_cache_hits : int;
+  }
+
+  let binding_of_arg = function
+    | Skolem.A_oid o -> Eval.B_target (Graph.N o)
+    | Skolem.A_val v -> Eval.B_target (Graph.V v)
+    | Skolem.A_label l -> Eval.B_label l
+
+  (* Bind the source-term variables of a schema edge to the concrete
+     arguments of the clicked node. *)
+  let bind_args (terms : Ast.term list) (args : Skolem.arg list) =
+    let rec go env ts as_ =
+      match ts, as_ with
+      | [], [] -> Some env
+      | Ast.T_var v :: ts', a :: as' ->
+        go (Eval.Env.add v (binding_of_arg a) env) ts' as'
+      | Ast.T_const c :: ts', Skolem.A_val v :: as' ->
+        if Value.coerce_equal c v then go env ts' as' else None
+      | Ast.T_const _ :: _, _ -> None
+      | Ast.T_skolem _ :: _, _ -> None  (* nested Skolem args: not expandable *)
+      | _, _ -> None
+    in
+    go Eval.Env.empty terms args
+
+  (** Start a click-time session: evaluate only the CREATE clauses of
+      the root family (plus its collects), leaving all links pending. *)
+  let start ?(cache = true) ~(data : Graph.t) (def : Site.definition) : t =
+    let queries = Site.parse_queries def in
+    let scope = Skolem.create () in
+    let partial = Graph.create ~name:(def.Site.name ^ "-clicktime") () in
+    let options =
+      { Eval.default_options with
+        strategy = def.Site.strategy;
+        registry = def.Site.registry }
+    in
+    let schemas = List.map (fun (_, q) -> Schema.Site_schema.of_query q) queries in
+    let t =
+      {
+        data;
+        def;
+        scope;
+        partial;
+        schemas;
+        options;
+        expanded = Oid.Set.empty;
+        page_cache = Oid.Tbl.create 64;
+        cache_pages = cache;
+        stats_expansions = 0;
+        stats_queries = 0;
+        stats_cache_hits = 0;
+      }
+    in
+    (* materialize the root family's nodes *)
+    List.iter
+      (fun sch ->
+        List.iter
+          (fun (k : Schema.Site_schema.create_info) ->
+            if k.k_fn = def.Site.root_family then begin
+              t.stats_queries <- t.stats_queries + 1;
+              let rows =
+                Eval.bindings ~options data k.k_conds
+                  ~needed_obj:
+                    (Ast.dedup
+                       (List.concat_map (Ast.term_vars []) k.k_args))
+              in
+              List.iter
+                (fun env ->
+                  let args =
+                    List.map
+                      (fun term ->
+                        match term with
+                        | Ast.T_var v -> (
+                            match Eval.Env.find_opt v env with
+                            | Some (Eval.B_target (Graph.N o)) ->
+                              Skolem.A_oid o
+                            | Some (Eval.B_target (Graph.V v')) ->
+                              Skolem.A_val v'
+                            | Some (Eval.B_label l) -> Skolem.A_label l
+                            | None -> Skolem.A_val Value.Null)
+                        | Ast.T_const c -> Skolem.A_val c
+                        | Ast.T_skolem _ | Ast.T_agg _ -> Skolem.A_val Value.Null)
+                      k.k_args
+                  in
+                  let o, _ = Skolem.apply scope k.k_fn args in
+                  Graph.add_node partial o)
+                rows
+            end)
+          sch.Schema.Site_schema.creates)
+      schemas;
+    t
+
+  let family_of t o =
+    match Skolem.term_of t.scope o with
+    | Some (f, args) -> Some (f, args)
+    | None -> None
+
+  (* Materialize the collections a node of this family belongs to. *)
+  let apply_collects t o fam =
+    List.iter
+      (fun sch ->
+        List.iter
+          (fun (c : Schema.Site_schema.collect_info) ->
+            match c.c_term with
+            | Ast.T_skolem (f, _) when f = fam ->
+              Graph.add_to_collection t.partial c.c_name o
+            | _ -> ())
+          sch.Schema.Site_schema.collects)
+      t.schemas
+
+  (** Materialize the outgoing links of one site-graph node by
+      evaluating, per schema edge leaving its family, the governing
+      conjunction with the node's defining variables bound. *)
+  let expand t (o : Oid.t) =
+    if not (Oid.Set.mem o t.expanded) then begin
+      t.expanded <- Oid.Set.add o t.expanded;
+      t.stats_expansions <- t.stats_expansions + 1;
+      match family_of t o with
+      | None -> ()  (* a data object copied into the site graph *)
+      | Some (fam, args) ->
+        apply_collects t o fam;
+        List.iter
+          (fun sch ->
+            List.iter
+              (fun (e : Schema.Site_schema.edge) ->
+                match e.src with
+                | Schema.Site_schema.NF f when f = fam -> (
+                    match bind_args e.src_args args with
+                    | None -> ()
+                    | Some env ->
+                      t.stats_queries <- t.stats_queries + 1;
+                      let rows =
+                        Eval.bindings ~options:t.options ~env t.data e.conds
+                          ~needed_obj:
+                            (Ast.dedup
+                               (List.concat_map (Ast.term_vars [])
+                                  (e.dst_args
+                                  @ List.concat_map
+                                      (fun lt ->
+                                        match lt with
+                                        | Ast.L_var v -> [ Ast.T_var v ]
+                                        | Ast.L_const _ -> [])
+                                      [ e.label ])))
+                      in
+                      let label_of env =
+                        match e.label with
+                        | Ast.L_const c -> Some c
+                        | Ast.L_var v -> (
+                            match Eval.Env.find_opt v env with
+                            | Some (Eval.B_label l) -> Some l
+                            | Some (Eval.B_target (Graph.V v')) ->
+                              Some (Value.to_display_string v')
+                            | _ -> None)
+                      in
+                      let plain_target env term =
+                        match term with
+                        | Ast.T_var v -> (
+                            match Eval.Env.find_opt v env with
+                            | Some (Eval.B_target tgt) -> Some tgt
+                            | Some (Eval.B_label l) ->
+                              Some (Graph.V (Value.String l))
+                            | None -> None)
+                        | Ast.T_const c -> Some (Graph.V c)
+                        | Ast.T_skolem _ | Ast.T_agg _ -> None
+                      in
+                      (match e.dst, e.dst_args with
+                       | Schema.Site_schema.NS, [ Ast.T_agg (fn, inner) ] ->
+                         (* aggregate link: group the rows by label and
+                            emit one aggregated edge per group, exactly
+                            as full evaluation does *)
+                         let groups = Hashtbl.create 4 in
+                         List.iter
+                           (fun env ->
+                             match label_of env, plain_target env inner with
+                             | Some l, Some tgt ->
+                               let vals =
+                                 match Hashtbl.find_opt groups l with
+                                 | Some h -> h
+                                 | None ->
+                                   let h = Hashtbl.create 8 in
+                                   Hashtbl.add groups l h;
+                                   h
+                               in
+                               Hashtbl.replace vals (Eval.target_key tgt) tgt
+                             | _ -> ())
+                           rows;
+                         Hashtbl.iter
+                           (fun l vals ->
+                             let values =
+                               Hashtbl.fold (fun _ v acc -> v :: acc) vals []
+                             in
+                             Graph.add_edge t.partial o l
+                               (Graph.V (Eval.aggregate fn values)))
+                           groups
+                       | _ ->
+                      List.iter
+                        (fun env ->
+                          let label = label_of env in
+                          let target =
+                            match e.dst with
+                            | Schema.Site_schema.NF g_fn ->
+                              let sargs =
+                                List.map
+                                  (fun term ->
+                                    match term with
+                                    | Ast.T_var v -> (
+                                        match Eval.Env.find_opt v env with
+                                        | Some (Eval.B_target (Graph.N n)) ->
+                                          Some (Skolem.A_oid n)
+                                        | Some (Eval.B_target (Graph.V v')) ->
+                                          Some (Skolem.A_val v')
+                                        | Some (Eval.B_label l) ->
+                                          Some (Skolem.A_label l)
+                                        | None -> None)
+                                    | Ast.T_const c -> Some (Skolem.A_val c)
+                                    | Ast.T_skolem _ | Ast.T_agg _ -> None)
+                                  e.dst_args
+                              in
+                              if List.for_all Option.is_some sargs then begin
+                                let n, _ =
+                                  Skolem.apply t.scope g_fn
+                                    (List.map Option.get sargs)
+                                in
+                                Graph.add_node t.partial n;
+                                Some (Graph.N n)
+                              end
+                              else None
+                            | Schema.Site_schema.NS -> (
+                                match e.dst_args with
+                                | [ term ] -> plain_target env term
+                                | _ -> None)
+                          in
+                          match label, target with
+                          | Some l, Some tgt ->
+                            Graph.add_edge t.partial o l tgt
+                          | _ -> ())
+                        rows))
+                | _ -> ())
+              sch.Schema.Site_schema.edges)
+          t.schemas
+    end
+
+  (** Render one page at click time: expand the node (and, for embedded
+      content, its immediate successors), then render just that page. *)
+  let browse t (o : Oid.t) : string =
+    match
+      if t.cache_pages then Oid.Tbl.find_opt t.page_cache o else None
+    with
+    | Some html ->
+      t.stats_cache_hits <- t.stats_cache_hits + 1;
+      html
+    | None ->
+      expand t o;
+      (* templates may embed or traverse into neighbours: expand the
+         immediate successors so their attributes are available *)
+      List.iter
+        (fun (_, tgt) ->
+          match tgt with Graph.N n -> expand t n | Graph.V _ -> ())
+        (Graph.out_edges t.partial o);
+      let page =
+        Template.Generator.render_page
+          ~templates:t.def.Site.templates t.partial o
+      in
+      if t.cache_pages then Oid.Tbl.replace t.page_cache o page.Template.Generator.html;
+      page.Template.Generator.html
+
+  let roots t =
+    List.filter
+      (fun o ->
+        match family_of t o with
+        | Some (f, _) -> f = t.def.Site.root_family
+        | None -> false)
+      (Graph.nodes t.partial)
+
+  (** Deterministic random walk over the site from the root — the
+      browse simulator standing in for real user clicks.  Returns the
+      number of pages visited. *)
+  let random_walk t ~clicks ~seed =
+    let state = ref (seed lor 1) in
+    let next_int bound =
+      state := (!state * 1103515245 + 12345) land 0x3FFFFFFF;
+      if bound <= 0 then 0 else !state mod bound
+    in
+    match roots t with
+    | [] -> 0
+    | root :: _ ->
+      let current = ref root in
+      let visited = ref 0 in
+      for _ = 1 to clicks do
+        ignore (browse t !current);
+        incr visited;
+        let links =
+          List.filter_map
+            (fun (_, tgt) ->
+              match tgt with
+              | Graph.N n when Skolem.term_of t.scope n <> None -> Some n
+              | _ -> None)
+            (Graph.out_edges t.partial !current)
+        in
+        match links with
+        | [] -> current := root  (* dead end: back to the root *)
+        | _ -> current := List.nth links (next_int (List.length links))
+      done;
+      !visited
+
+  type stats = {
+    expansions : int;
+    queries : int;
+    cache_hits : int;
+    materialized_nodes : int;
+    materialized_edges : int;
+  }
+
+  let stats t =
+    {
+      expansions = t.stats_expansions;
+      queries = t.stats_queries;
+      cache_hits = t.stats_cache_hits;
+      materialized_nodes = Graph.node_count t.partial;
+      materialized_edges = Graph.edge_count t.partial;
+    }
+end

@@ -1,0 +1,65 @@
+(** Materialization strategies for STRUDEL sites (§1, §6, [FER 98c]) —
+    the "Web site as view" spectrum.
+
+    {!full} materializes the complete site before browsing (the
+    prototype's default).  {!Click_time} precomputes only the root(s):
+    the site-definition query is decomposed through the site schema
+    into one node-expansion query per Skolem family, and when the user
+    clicks to page [F(a)] the engine binds [F]'s defining variables to
+    [a] and evaluates only the link clauses leaving [F], caching
+    rendered pages optionally.  Click-time pages are byte-identical to
+    the full build's. *)
+
+open Sgraph
+
+val full :
+  ?file_loader:(string -> string option) ->
+  data:Graph.t -> Site.definition -> Site.built
+
+module Click_time : sig
+  type t = {
+    data : Graph.t;
+    def : Site.definition;
+    scope : Skolem.t;
+    partial : Graph.t;  (** the lazily materialized site graph *)
+    schemas : Schema.Site_schema.t list;
+    options : Struql.Eval.options;
+    mutable expanded : Oid.Set.t;
+    page_cache : string Oid.Tbl.t;
+    cache_pages : bool;
+    mutable stats_expansions : int;
+    mutable stats_queries : int;
+    mutable stats_cache_hits : int;
+  }
+
+  val start : ?cache:bool -> data:Graph.t -> Site.definition -> t
+  (** Evaluate only the CREATE clauses of the root family; all links
+      stay pending. *)
+
+  val roots : t -> Oid.t list
+
+  val expand : t -> Oid.t -> unit
+  (** Materialize one node's outgoing links by evaluating, per schema
+      edge leaving its family, the governing conjunction with the
+      node's Skolem arguments bound.  Aggregate link targets are
+      grouped and folded exactly as in full evaluation.  Idempotent. *)
+
+  val browse : t -> Oid.t -> string
+  (** Render one page at click time (expanding the node and its
+      immediate successors), through the page cache when enabled. *)
+
+  val random_walk : t -> clicks:int -> seed:int -> int
+  (** The browse simulator standing in for real user clicks: a
+      deterministic random walk from the root.  Returns pages
+      visited. *)
+
+  type stats = {
+    expansions : int;
+    queries : int;        (** link-clause evaluations performed *)
+    cache_hits : int;
+    materialized_nodes : int;
+    materialized_edges : int;
+  }
+
+  val stats : t -> stats
+end

@@ -1,0 +1,88 @@
+(** Site definitions and the end-to-end build pipeline (Fig. 1).
+
+    A site definition bundles the three separated concerns: the {e data}
+    (a data graph built by wrappers / the mediator), the {e structure}
+    (one or more StruQL site-definition queries, composed in order under
+    a shared Skolem scope), and the {e presentation} (a set of HTML
+    templates).  {!build} evaluates the queries over the data graph,
+    derives the site schemas, checks the declared integrity constraints
+    and runs the HTML generator from the root family's pages. *)
+
+open Sgraph
+
+type definition = {
+  name : string;
+  queries : (string * string) list;
+      (** named StruQL sources, evaluated in order *)
+  templates : Template.Generator.template_set;
+  root_family : string;  (** Skolem family of the root page(s) *)
+  constraints : Schema.Verify.constraint_ list;
+  registry : Struql.Builtins.registry;
+  strategy : Struql.Plan.strategy;
+}
+
+val define :
+  ?templates:Template.Generator.template_set ->
+  ?constraints:Schema.Verify.constraint_ list ->
+  ?registry:Struql.Builtins.registry ->
+  ?strategy:Struql.Plan.strategy ->
+  name:string ->
+  root_family:string ->
+  (string * string) list ->
+  definition
+
+type built = {
+  def : definition;
+  data : Graph.t;
+  site_graph : Graph.t;
+  scope : Skolem.t;  (** the shared Skolem scope of the build *)
+  schemas : (string * Schema.Site_schema.t) list;
+  site : Template.Generator.site;
+  verification : (Schema.Verify.constraint_ * Schema.Verify.verdict) list;
+  query_stats : Struql.Eval.stats list;
+}
+
+exception Build_error of string
+
+val parse_queries : definition -> (string * Struql.Ast.query) list
+
+val build_site_graph :
+  ?scope:Skolem.t ->
+  ?into:Graph.t ->
+  definition ->
+  Graph.t ->
+  Graph.t * Skolem.t * (string * Schema.Site_schema.t) list
+  * Struql.Eval.stats list
+(** Evaluate the definition's queries over the data into one site
+    graph, without generating HTML. *)
+
+val roots_of : Graph.t -> string -> Oid.t list
+(** Members of the root Skolem family in a site graph. *)
+
+val build :
+  ?file_loader:(string -> string option) -> data:Graph.t -> definition ->
+  built
+(** The full pipeline: site graph, schema, constraint verification,
+    HTML generation. *)
+
+val regenerate :
+  ?file_loader:(string -> string option) ->
+  built -> Template.Generator.template_set -> built
+(** Re-run only the HTML generator with different templates — another
+    visual version of the same site graph (internal vs external). *)
+
+val violations : built -> (Schema.Verify.constraint_ * string list) list
+(** The violated constraints with their witnesses (empty = clean). *)
+
+(** {1 Specification metrics} — the paper's §5.1 site statistics. *)
+
+type spec_stats = {
+  query_count : int;
+  query_lines : int;
+  link_clauses : int;
+  template_count : int;
+  template_lines : int;
+}
+
+val spec_stats : definition -> spec_stats
+val pp_spec_stats : Format.formatter -> spec_stats -> unit

@@ -1,0 +1,1 @@
+lib/mediator/gav.ml: Ast Eval Graph Lazy List Parser Printf Sgraph Skolem Source Struql

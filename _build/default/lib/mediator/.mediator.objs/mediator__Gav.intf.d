@@ -1,0 +1,1 @@
+lib/mediator/gav.mli: Graph Sgraph Source Struql

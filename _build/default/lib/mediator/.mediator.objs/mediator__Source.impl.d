@@ -1,0 +1,1 @@
+lib/mediator/source.ml: Graph Sgraph

@@ -1,0 +1,1 @@
+lib/mediator/source.mli: Graph Sgraph

@@ -1,0 +1,1 @@
+lib/mediator/warehouse.ml: Gav Graph List Sgraph Source Struql

@@ -1,0 +1,1 @@
+lib/mediator/warehouse.mli: Gav Graph Sgraph Source Struql

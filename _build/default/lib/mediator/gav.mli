@@ -1,0 +1,37 @@
+(** Global-as-view mediation (§2.3).
+
+    In GAV, each collection of the mediated schema is defined by a
+    query over the sources: a StruQL query reading a source graph and
+    constructing objects/edges in the mediated graph.  The paper chose
+    GAV because StruQL extends to it directly and the set of sources
+    was small and stable.  All mappings of one integration share a
+    Skolem scope, so mappings that build the same Skolem term converge
+    on one mediated object — the fusion mechanism for overlapping
+    sources. *)
+
+open Sgraph
+
+type mapping = {
+  source_name : string;
+      (** a source's name, or ["*"] for the union of all sources
+          (cross-source joins) *)
+  query : Struql.Ast.query;
+}
+
+val mapping : source:string -> Struql.Ast.query -> mapping
+val mapping_of_string : source:string -> string -> mapping
+
+val copy_collection :
+  source:string -> collection:string -> ?fn:string -> unit -> mapping
+(** The identity mapping: copy every member of the collection and its
+    attributes into the mediated graph under Skolem function [fn]
+    (default [<collection>Obj]); membership is copied even for members
+    without attributes. *)
+
+val integrate :
+  ?options:Struql.Eval.options ->
+  ?graph_name:string ->
+  Source.t list ->
+  mapping list ->
+  Graph.t
+(** Run the mappings over their sources into a fresh mediated graph. *)

@@ -1,0 +1,49 @@
+(** Data-source abstraction for the mediator.
+
+    A source wraps an external data set (a relational table, a BibTeX
+    file, structured files, HTML pages) behind a loader producing a
+    graph.  Sources carry a version counter so the warehouse can detect
+    staleness, and may declare {e limited access patterns} — attribute
+    names that must be bound before the source can be queried, the
+    situation §2.4 says is common for semistructured sources and that
+    the cost-based optimizer must honour. *)
+
+open Sgraph
+
+type access_pattern = {
+  requires_bound : string list;
+      (** attributes that must be bound to access the source *)
+}
+
+type t = {
+  name : string;
+  mutable version : int;
+  mutable loader : unit -> Graph.t;
+  access : access_pattern option;
+  mutable cached : (int * Graph.t) option;
+}
+
+let make ?access ~name loader =
+  { name; version = 0; loader; access; cached = None }
+
+let of_graph ?access ~name g = make ?access ~name (fun () -> g)
+
+let name s = s.name
+let version s = s.version
+
+(** Replace the source's contents (a new export arrived); bumps the
+    version so the warehouse knows to refresh. *)
+let update s loader =
+  s.loader <- loader;
+  s.version <- s.version + 1
+
+let load s =
+  match s.cached with
+  | Some (v, g) when v = s.version -> g
+  | _ ->
+    let g = s.loader () in
+    s.cached <- Some (s.version, g);
+    g
+
+let requires_bound s =
+  match s.access with Some a -> a.requires_bound | None -> []

@@ -1,0 +1,32 @@
+(** Data-source abstraction for the mediator.
+
+    A source wraps an external data set (a relational table, a BibTeX
+    file, structured files, HTML pages) behind a loader producing a
+    graph.  Sources carry a version counter so the warehouse detects
+    staleness, and may declare {e limited access patterns} — inputs
+    that must be bound before the source can be queried (§2.4), which
+    the planner honours via [Plan.plan ~limited]. *)
+
+open Sgraph
+
+type access_pattern = {
+  requires_bound : string list;
+      (** attributes that must be bound to access the source *)
+}
+
+type t
+
+val make : ?access:access_pattern -> name:string -> (unit -> Graph.t) -> t
+val of_graph : ?access:access_pattern -> name:string -> Graph.t -> t
+
+val name : t -> string
+val version : t -> int
+
+val update : t -> (unit -> Graph.t) -> unit
+(** Replace the source's contents (a new export arrived); bumps the
+    version so the warehouse knows to refresh. *)
+
+val load : t -> Graph.t
+(** Load through the per-version cache. *)
+
+val requires_bound : t -> string list

@@ -1,0 +1,53 @@
+(** The warehousing mediator (§2.3).
+
+    STRUDEL's prototype materializes the integrated view: data from all
+    sources is loaded into the repository, and queries run against the
+    warehouse.  The warehouse tracks per-source versions; [refresh]
+    re-integrates when any source changed.  Because mediation queries
+    are monotone graph constructions, a changed source forces a rebuild
+    of the mediated graph (the open problem of incremental view update
+    for semistructured data, §6) — but unchanged sources are served
+    from their wrapper caches, which is where the real cost sat. *)
+
+open Sgraph
+
+type t = {
+  sources : Source.t list;
+  mappings : Gav.mapping list;
+  options : Struql.Eval.options;
+  mutable graph : Graph.t;
+  mutable seen_versions : (string * int) list;
+  mutable refreshes : int;  (** number of integrations performed *)
+}
+
+let versions sources = List.map (fun s -> (Source.name s, Source.version s)) sources
+
+let create ?(options = Struql.Eval.default_options) ~sources ~mappings () =
+  let g = Gav.integrate ~options sources mappings in
+  {
+    sources;
+    mappings;
+    options;
+    graph = g;
+    seen_versions = versions sources;
+    refreshes = 1;
+  }
+
+let graph w = w.graph
+let refresh_count w = w.refreshes
+
+let stale w = versions w.sources <> w.seen_versions
+
+(** Re-integrate if any source changed; returns whether a rebuild
+    happened. *)
+let refresh w =
+  if stale w then begin
+    w.graph <- Gav.integrate ~options:w.options w.sources w.mappings;
+    w.seen_versions <- versions w.sources;
+    w.refreshes <- w.refreshes + 1;
+    true
+  end
+  else false
+
+let find_source w name =
+  List.find_opt (fun s -> Source.name s = name) w.sources

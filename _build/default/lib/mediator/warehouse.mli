@@ -1,0 +1,33 @@
+(** The warehousing mediator (§2.3).
+
+    STRUDEL's prototype materializes the integrated view: data from all
+    sources is loaded into the repository and queries run against the
+    warehouse.  The warehouse tracks per-source versions; {!refresh}
+    re-integrates when any source changed, serving unchanged sources
+    from their wrapper caches. *)
+
+open Sgraph
+
+type t
+
+val create :
+  ?options:Struql.Eval.options ->
+  sources:Source.t list ->
+  mappings:Gav.mapping list ->
+  unit ->
+  t
+(** Builds the initial integration. *)
+
+val graph : t -> Graph.t
+(** The current mediated graph. *)
+
+val stale : t -> bool
+(** Whether any source changed since the last integration. *)
+
+val refresh : t -> bool
+(** Re-integrate if stale; returns whether a rebuild happened. *)
+
+val refresh_count : t -> int
+(** Number of integrations performed (including the initial one). *)
+
+val find_source : t -> string -> Source.t option

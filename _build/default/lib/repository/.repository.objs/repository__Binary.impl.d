@@ -1,0 +1,1 @@
+lib/repository/binary.ml: Array Buffer Char Graph Hashtbl Int64 List Oid Printf Sgraph String Value

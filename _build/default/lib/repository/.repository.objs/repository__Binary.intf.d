@@ -1,0 +1,1 @@
+lib/repository/binary.mli: Graph Sgraph

@@ -1,0 +1,1 @@
+lib/repository/store.ml: Array Binary Ddl Filename Graph List Sgraph Sys

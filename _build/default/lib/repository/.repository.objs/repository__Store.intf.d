@@ -1,0 +1,1 @@
+lib/repository/store.mli: Graph Sgraph

@@ -1,0 +1,20 @@
+(** A compact binary storage representation for semistructured data
+    (§6's "efficient storage representations" open problem).
+
+    Stores a graph schema-free but compactly: one string table (labels,
+    names and string values interned once), varint ids, a flat edge
+    list; indexes are rebuilt on load per the repository's
+    full-indexing policy (§2.2).  Deterministic (no [Marshal]) and
+    versioned by magic. *)
+
+open Sgraph
+
+exception Corrupt of string
+
+val encode : Graph.t -> string
+val decode : ?indexed:bool -> string -> Graph.t
+(** Raises {!Corrupt} on malformed input (bad magic, truncation,
+    out-of-range indexes, trailing bytes). *)
+
+val save : path:string -> Graph.t -> unit
+val load : ?indexed:bool -> path:string -> unit -> Graph.t

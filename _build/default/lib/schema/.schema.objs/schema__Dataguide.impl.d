@@ -1,0 +1,1 @@
+lib/schema/dataguide.ml: Fmt Graph Hashtbl List Oid Printf Queue Sgraph String

@@ -1,0 +1,1 @@
+lib/schema/decompose.ml: Ast Eval Fmt List Pretty Printf Sgraph Site_schema Struql

@@ -1,0 +1,1 @@
+lib/schema/decompose.mli: Format Sgraph Site_schema Struql

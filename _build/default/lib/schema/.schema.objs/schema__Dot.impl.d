@@ -1,0 +1,1 @@
+lib/schema/dot.ml: Buffer Fmt Graph List Oid Printf Sgraph Site_schema String Value

@@ -1,0 +1,1 @@
+lib/schema/dot.mli: Sgraph Site_schema

@@ -1,0 +1,1 @@
+lib/schema/site_schema.ml: Ast Fmt List Pretty Printf Sgraph String Struql

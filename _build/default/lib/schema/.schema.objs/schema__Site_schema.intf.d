@@ -1,0 +1,1 @@
+lib/schema/site_schema.mli: Ast Format Struql

@@ -1,0 +1,1 @@
+lib/schema/verify.ml: Algo Ast Fmt Graph List Oid Sgraph Site_schema String Struql

@@ -1,0 +1,1 @@
+lib/schema/verify.mli: Format Graph Oid Sgraph Site_schema

@@ -1,0 +1,160 @@
+(** Strong DataGuides: graph schemas extracted from the data.
+
+    Site schemas (§3.2) refine the {e graph schemas} of [BUN 97b]
+    ("Adding structure to unstructured data"); this module implements
+    the complementary, data-driven summary — a strong DataGuide: a
+    deterministic graph with one state per set of objects reachable by
+    some label path from the roots, built by subset construction.
+    Every label path that exists in the data exists in the guide
+    exactly once, so the guide answers "which attribute sequences occur
+    in this (schema-less) data?" — the question a site builder faces
+    before writing a site-definition query — and each state carries its
+    extent, giving path-cardinality estimates for the optimizer. *)
+
+open Sgraph
+
+type state = {
+  id : int;
+  extent : Oid.Set.t;          (** data nodes summarized by this state *)
+  mutable value_count : int;   (** atomic values reachable in one step *)
+  mutable transitions : (string * int) list;  (** outgoing, by label *)
+}
+
+type t = {
+  states : (int, state) Hashtbl.t;
+  root : int;
+  graph_nodes : int;
+}
+
+exception Too_large of int
+
+let set_key s =
+  String.concat "," (List.map (fun o -> string_of_int (Oid.id o)) (Oid.Set.elements s))
+
+(** Build the strong DataGuide from the given roots (default: all nodes
+    without incoming node edges; if none, all nodes).  [max_states]
+    bounds the subset construction (raises {!Too_large} beyond it —
+    pathological graphs can have exponentially many states). *)
+let of_graph ?roots ?(max_states = 10_000) (g : Graph.t) : t =
+  let roots =
+    match roots with
+    | Some rs -> rs
+    | None ->
+      let no_preds =
+        List.filter (fun o -> Graph.in_edges g (Graph.N o) = []) (Graph.nodes g)
+      in
+      if no_preds = [] then Graph.nodes g else no_preds
+  in
+  let states = Hashtbl.create 64 in
+  let by_key = Hashtbl.create 64 in
+  let next_id = ref 0 in
+  let queue = Queue.create () in
+  let intern extent =
+    let key = set_key extent in
+    match Hashtbl.find_opt by_key key with
+    | Some s -> s.id
+    | None ->
+      if !next_id >= max_states then raise (Too_large !next_id);
+      let s =
+        { id = !next_id; extent; value_count = 0; transitions = [] }
+      in
+      incr next_id;
+      Hashtbl.add states s.id s;
+      Hashtbl.add by_key key s;
+      Queue.add s queue;
+      s.id
+  in
+  let root =
+    intern (List.fold_left (fun s o -> Oid.Set.add o s) Oid.Set.empty roots)
+  in
+  while not (Queue.is_empty queue) do
+    let s = Queue.pop queue in
+    (* collect per-label successor sets over the whole extent *)
+    let succ = Hashtbl.create 8 in
+    let values = ref 0 in
+    Oid.Set.iter
+      (fun o ->
+        List.iter
+          (fun (l, tgt) ->
+            match tgt with
+            | Graph.N o' ->
+              let set =
+                match Hashtbl.find_opt succ l with
+                | Some set -> set
+                | None -> Oid.Set.empty
+              in
+              Hashtbl.replace succ l (Oid.Set.add o' set)
+            | Graph.V _ ->
+              incr values;
+              (* value-only labels still appear as transitions to an
+                 empty-extent state so the path is recorded *)
+              if not (Hashtbl.mem succ l) then
+                Hashtbl.replace succ l Oid.Set.empty)
+          (Graph.out_edges g o))
+      s.extent;
+    s.value_count <- !values;
+    s.transitions <-
+      List.sort compare
+        (Hashtbl.fold (fun l set acc -> (l, intern set) :: acc) succ [])
+  done;
+  { states; root; graph_nodes = Graph.node_count g }
+
+let state t id = Hashtbl.find t.states id
+let root_state t = state t t.root
+let state_count t = Hashtbl.length t.states
+
+let transition_count t =
+  Hashtbl.fold (fun _ s n -> n + List.length s.transitions) t.states 0
+
+(** Follow a label path from the root; [None] when the path does not
+    occur in the data. *)
+let follow t (path : string list) : state option =
+  let rec go s = function
+    | [] -> Some s
+    | l :: rest -> (
+        match List.assoc_opt l s.transitions with
+        | Some id -> go (state t id) rest
+        | None -> None)
+  in
+  go (root_state t) path
+
+let accepts_path t path = follow t path <> None
+
+(** Number of data objects reachable by the label path — exact, the
+    point of a {e strong} DataGuide. *)
+let extent_size t path =
+  match follow t path with
+  | Some s -> Oid.Set.cardinal s.extent
+  | None -> 0
+
+(** All distinct label paths of length ≤ [depth] occurring in the data
+    (cycle-safe: revisiting a state stops the walk). *)
+let paths_up_to t depth : string list list =
+  let acc = ref [] in
+  let rec go s prefix visited d =
+    if d > 0 then
+      List.iter
+        (fun (l, id) ->
+          let path = prefix @ [ l ] in
+          acc := path :: !acc;
+          if not (List.mem id visited) then
+            go (state t id) path (id :: visited) (d - 1))
+        s.transitions
+  in
+  go (root_state t) [] [ t.root ] depth;
+  List.rev !acc
+
+let pp ppf t =
+  Fmt.pf ppf "dataguide: %d states, %d transitions over %d data nodes@."
+    (state_count t) (transition_count t) t.graph_nodes;
+  let sorted =
+    List.sort compare (Hashtbl.fold (fun id s acc -> (id, s) :: acc) t.states [])
+  in
+  List.iter
+    (fun (id, s) ->
+      Fmt.pf ppf "  s%d (|extent|=%d, values=%d):%s@." id
+        (Oid.Set.cardinal s.extent) s.value_count
+        (String.concat ""
+           (List.map (fun (l, j) -> Printf.sprintf " -%s->s%d" l j)
+              s.transitions)))
+    sorted

@@ -1,0 +1,46 @@
+(** Strong DataGuides: graph schemas extracted from the data
+    ([BUN 97b], the work site schemas refine).
+
+    A strong DataGuide is a deterministic summary graph with one state
+    per set of objects reachable by some label path from the roots
+    (subset construction).  Every label path occurring in the data
+    occurs in the guide exactly once, and each state carries its exact
+    extent — the answer to "which attribute sequences occur in this
+    schema-less data, and how many objects does each reach?", the
+    question a site builder faces before writing a site-definition
+    query. *)
+
+open Sgraph
+
+type state = {
+  id : int;
+  extent : Oid.Set.t;          (** data nodes summarized by this state *)
+  mutable value_count : int;   (** atomic values reachable in one step *)
+  mutable transitions : (string * int) list;
+}
+
+type t
+
+exception Too_large of int
+
+val of_graph : ?roots:Oid.t list -> ?max_states:int -> Graph.t -> t
+(** Subset construction from [roots] (default: all nodes without
+    incoming node edges; if none, all nodes).  Raises {!Too_large}
+    beyond [max_states] (default 10000). *)
+
+val state : t -> int -> state
+val root_state : t -> state
+val state_count : t -> int
+val transition_count : t -> int
+
+val follow : t -> string list -> state option
+val accepts_path : t -> string list -> bool
+(** Whether the label path occurs in the data. *)
+
+val extent_size : t -> string list -> int
+(** Exact number of data objects reachable by the label path. *)
+
+val paths_up_to : t -> int -> string list list
+(** All distinct label paths of length ≤ depth (cycle-safe). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,92 @@
+(** Graphviz (dot) export — the stand-in for the paper's visual
+    site-schema viewer ("we built a tool to view a query's site schema,
+    which provides a visual map of the site being specified"). *)
+
+open Sgraph
+
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(** Dot rendering of a data/site graph.  Values are rendered as boxes,
+    internal objects as ellipses; collections become dashed membership
+    edges from a collection node. *)
+let of_graph ?(max_nodes = 500) (g : Graph.t) =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "digraph G {\n  rankdir=LR;\n";
+  let nodes = Graph.nodes g in
+  let shown = List.filteri (fun i _ -> i < max_nodes) nodes in
+  List.iter
+    (fun o ->
+      Buffer.add_string buf
+        (Printf.sprintf "  n%d [label=\"%s\"];\n" (Oid.id o)
+           (escape (Oid.name o))))
+    shown;
+  let vcount = ref 0 in
+  List.iter
+    (fun o ->
+      List.iter
+        (fun (l, tgt) ->
+          match tgt with
+          | Graph.N o' ->
+            if List.exists (Oid.equal o') shown then
+              Buffer.add_string buf
+                (Printf.sprintf "  n%d -> n%d [label=\"%s\"];\n" (Oid.id o)
+                   (Oid.id o') (escape l))
+          | Graph.V v ->
+            incr vcount;
+            Buffer.add_string buf
+              (Printf.sprintf
+                 "  v%d [shape=box, label=\"%s\"];\n  n%d -> v%d \
+                  [label=\"%s\"];\n"
+                 !vcount
+                 (escape (Value.to_display_string v))
+                 (Oid.id o) !vcount (escape l)))
+        (Graph.out_edges g o))
+    shown;
+  List.iter
+    (fun c ->
+      Buffer.add_string buf
+        (Printf.sprintf "  c_%s [shape=folder, label=\"%s\"];\n" (escape c)
+           (escape c));
+      List.iter
+        (fun o ->
+          if List.exists (Oid.equal o) shown then
+            Buffer.add_string buf
+              (Printf.sprintf "  c_%s -> n%d [style=dashed];\n" (escape c)
+                 (Oid.id o)))
+        (Graph.collection g c))
+    (Graph.collections g);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+(** Dot rendering of a site schema (Fig. 5). *)
+let of_schema (s : Site_schema.t) =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "digraph SiteSchema {\n  rankdir=TB;\n";
+  List.iter
+    (fun n ->
+      match n with
+      | Site_schema.NS ->
+        Buffer.add_string buf "  NS [shape=box, style=dashed];\n"
+      | Site_schema.NF f ->
+        Buffer.add_string buf (Printf.sprintf "  %s [shape=ellipse];\n" f))
+    (Site_schema.nodes s);
+  List.iter
+    (fun e ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %s -> %s [label=\"%s\"];\n"
+           (Site_schema.node_name e.Site_schema.src)
+           (Site_schema.node_name e.Site_schema.dst)
+           (escape (Fmt.str "%a" Site_schema.pp_edge_label e))))
+    (Site_schema.edges s);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

@@ -1,0 +1,12 @@
+(** Graphviz (dot) export — the stand-in for the paper's visual
+    site-schema viewer ("we built a tool to view a query's site
+    schema, which provides a visual map of the site being
+    specified"). *)
+
+val of_graph : ?max_nodes:int -> Sgraph.Graph.t -> string
+(** Dot rendering of a data/site graph: internal objects as ellipses,
+    values as boxes, collections as dashed membership edges.  Truncated
+    at [max_nodes] (default 500). *)
+
+val of_schema : Site_schema.t -> string
+(** Dot rendering of a site schema (Fig. 5). *)

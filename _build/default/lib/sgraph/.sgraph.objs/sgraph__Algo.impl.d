@@ -1,0 +1,1 @@
+lib/sgraph/algo.ml: Graph List Oid Queue

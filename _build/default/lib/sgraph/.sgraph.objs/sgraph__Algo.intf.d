@@ -1,0 +1,1 @@
+lib/sgraph/algo.mli: Graph Oid

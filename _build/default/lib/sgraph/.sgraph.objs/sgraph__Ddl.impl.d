@@ -1,0 +1,1 @@
+lib/sgraph/ddl.ml: Buffer Fmt Graph Hashtbl Lex List Oid Printf String Value

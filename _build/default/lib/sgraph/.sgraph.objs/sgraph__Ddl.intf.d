@@ -1,0 +1,1 @@
+lib/sgraph/ddl.mli: Format Graph Value

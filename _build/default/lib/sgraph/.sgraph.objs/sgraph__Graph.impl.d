@@ -1,0 +1,1 @@
+lib/sgraph/graph.ml: Fmt Hashtbl List Oid Value

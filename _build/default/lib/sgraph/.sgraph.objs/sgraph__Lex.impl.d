@@ -1,0 +1,1 @@
+lib/sgraph/lex.ml: Buffer Fmt Int List Printf String

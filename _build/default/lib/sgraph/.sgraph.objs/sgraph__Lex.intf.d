@@ -1,0 +1,1 @@
+lib/sgraph/lex.mli: Format

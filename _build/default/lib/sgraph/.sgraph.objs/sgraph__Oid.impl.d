@@ -1,0 +1,1 @@
+lib/sgraph/oid.ml: Fmt Hashtbl Int Map Set

@@ -1,0 +1,1 @@
+lib/sgraph/oid.mli: Format Hashtbl Map Set

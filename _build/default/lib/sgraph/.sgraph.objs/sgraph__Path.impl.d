@@ -1,0 +1,1 @@
+lib/sgraph/path.ml: Array Either Fmt Graph Hashtbl List Oid Queue Value

@@ -1,0 +1,1 @@
+lib/sgraph/path.mli: Format Graph Oid

@@ -1,0 +1,1 @@
+lib/sgraph/skolem.ml: Hashtbl List Oid String Value

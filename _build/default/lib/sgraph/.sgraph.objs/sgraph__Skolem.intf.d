@@ -1,0 +1,1 @@
+lib/sgraph/skolem.mli: Oid Value

@@ -1,0 +1,1 @@
+lib/sgraph/value.ml: Buffer Float Fmt List Printf Stdlib String

@@ -1,0 +1,1 @@
+lib/sgraph/value.mli: Format

@@ -1,0 +1,1 @@
+lib/sgraph/xml.ml: Buffer Char Graph Hashtbl List Oid Printf String Value

@@ -1,0 +1,1 @@
+lib/sgraph/xml.mli: Graph Oid

@@ -1,0 +1,125 @@
+let successors_via g pred o =
+  List.filter_map
+    (fun (l, t) ->
+      match t with Graph.N o' when pred l -> Some o' | _ -> None)
+    (Graph.out_edges g o)
+
+let reachable_via g ~pred roots =
+  (* iterative DFS: site graphs can have very long chains *)
+  let visited = ref Oid.Set.empty in
+  let stack = ref roots in
+  let continue = ref true in
+  while !continue do
+    match !stack with
+    | [] -> continue := false
+    | o :: rest ->
+      stack := rest;
+      if not (Oid.Set.mem o !visited) then begin
+        visited := Oid.Set.add o !visited;
+        stack := successors_via g pred o @ !stack
+      end
+  done;
+  !visited
+
+let reachable g roots = reachable_via g ~pred:(fun _ -> true) roots
+
+let unreachable_nodes g roots =
+  let r = reachable g roots in
+  List.filter (fun o -> not (Oid.Set.mem o r)) (Graph.nodes g)
+
+let distances g root =
+  let dist = ref Oid.Map.empty in
+  let queue = Queue.create () in
+  dist := Oid.Map.add root 0 !dist;
+  Queue.add root queue;
+  while not (Queue.is_empty queue) do
+    let o = Queue.pop queue in
+    let d = Oid.Map.find o !dist in
+    List.iter
+      (fun o' ->
+        if not (Oid.Map.mem o' !dist) then begin
+          dist := Oid.Map.add o' (d + 1) !dist;
+          Queue.add o' queue
+        end)
+      (successors_via g (fun _ -> true) o)
+  done;
+  !dist
+
+let has_path g src dst = Oid.Set.mem dst (reachable g [ src ])
+
+let predecessors g targets =
+  let target_set = List.fold_left (fun s o -> Oid.Set.add o s) Oid.Set.empty targets in
+  let visited = ref target_set in
+  let queue = Queue.create () in
+  List.iter (fun o -> Queue.add o queue) targets;
+  while not (Queue.is_empty queue) do
+    let o = Queue.pop queue in
+    List.iter
+      (fun (src, _) ->
+        if not (Oid.Set.mem src !visited) then begin
+          visited := Oid.Set.add src !visited;
+          Queue.add src queue
+        end)
+      (Graph.in_edges g (Graph.N o))
+  done;
+  !visited
+
+(* Tarjan's SCC, iterative to avoid stack overflow on long chains. *)
+let strongly_connected_components g =
+  let index = Oid.Tbl.create 64 in
+  let lowlink = Oid.Tbl.create 64 in
+  let on_stack = Oid.Tbl.create 64 in
+  let stack = ref [] in
+  let next_index = ref 0 in
+  let sccs = ref [] in
+  let rec strongconnect v =
+    Oid.Tbl.replace index v !next_index;
+    Oid.Tbl.replace lowlink v !next_index;
+    incr next_index;
+    stack := v :: !stack;
+    Oid.Tbl.replace on_stack v true;
+    List.iter
+      (fun w ->
+        if not (Oid.Tbl.mem index w) then begin
+          strongconnect w;
+          let lv = Oid.Tbl.find lowlink v and lw = Oid.Tbl.find lowlink w in
+          if lw < lv then Oid.Tbl.replace lowlink v lw
+        end
+        else if Oid.Tbl.find_opt on_stack w = Some true then begin
+          let lv = Oid.Tbl.find lowlink v and iw = Oid.Tbl.find index w in
+          if iw < lv then Oid.Tbl.replace lowlink v iw
+        end)
+      (successors_via g (fun _ -> true) v);
+    if Oid.Tbl.find lowlink v = Oid.Tbl.find index v then begin
+      let comp = ref [] in
+      let fin = ref false in
+      while not !fin do
+        match !stack with
+        | [] -> fin := true
+        | w :: rest ->
+          stack := rest;
+          Oid.Tbl.replace on_stack w false;
+          comp := w :: !comp;
+          if Oid.equal w v then fin := true
+      done;
+      sccs := !comp :: !sccs
+    end
+  in
+  List.iter
+    (fun v -> if not (Oid.Tbl.mem index v) then strongconnect v)
+    (Graph.nodes g);
+  List.rev !sccs
+
+let is_dag g =
+  List.for_all
+    (fun comp -> match comp with [ _ ] -> true | _ -> false)
+    (strongly_connected_components g)
+  &&
+  (* single-node components may still carry self loops *)
+  List.for_all
+    (fun o ->
+      not
+        (List.exists
+           (fun (_, t) -> Graph.target_equal t (Graph.N o))
+           (Graph.out_edges g o)))
+    (Graph.nodes g)

@@ -1,0 +1,28 @@
+(** Graph algorithms over the semistructured model: reachability,
+    connectivity and strongly connected components.  Used by the
+    integrity-constraint verifier ("all pages are reachable from the
+    root") and by the incremental evaluator. *)
+
+val reachable : Graph.t -> Oid.t list -> Oid.Set.t
+(** Internal objects reachable from the given roots by any path
+    (including the roots themselves). *)
+
+val reachable_via : Graph.t -> pred:(string -> bool) -> Oid.t list -> Oid.Set.t
+(** Reachability restricted to edges whose label satisfies [pred]. *)
+
+val unreachable_nodes : Graph.t -> Oid.t list -> Oid.t list
+(** Nodes of the graph not reachable from the roots. *)
+
+val distances : Graph.t -> Oid.t -> int Oid.Map.t
+(** BFS hop distance from the root to every reachable node. *)
+
+val has_path : Graph.t -> Oid.t -> Oid.t -> bool
+
+val predecessors : Graph.t -> Oid.t list -> Oid.Set.t
+(** Objects from which some root is reachable (reverse reachability);
+    the affected-page set of the incremental evaluator. *)
+
+val strongly_connected_components : Graph.t -> Oid.t list list
+(** Tarjan's algorithm; components in reverse topological order. *)
+
+val is_dag : Graph.t -> bool

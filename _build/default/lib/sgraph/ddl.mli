@@ -1,0 +1,42 @@
+(** STRUDEL's data-definition language (Fig. 2 of the paper).
+
+    The textual format in which data is exchanged between wrappers, the
+    repository and the mediator:
+
+    {v
+    collection Publications { abstract text postscript ps }
+    object pub1 in Publications {
+      title "Specifying Representations..."
+      author "Norman Ramsey"
+      year 1997
+      postscript "papers/toplas97.ps.gz"
+      related &pub2
+      address { city "Florham Park" zip "07932" }
+    }
+    v}
+
+    A [collection] declaration gives default types for attribute values
+    that would otherwise be read as strings (e.g. [abstract] is a text
+    file, [postscript] a PostScript file).  Directives are defaults, not
+    constraints, and can be overridden by explicitly typed values
+    ([ps "..."], [url "..."], ...).  [&name] is a reference to another
+    object (forward references allowed); [{ ... }] introduces an
+    anonymous nested object. *)
+
+exception Ddl_error of string * int  (** message, line *)
+
+type directives = (string * (string * Value.file_kind) list) list
+(** Per collection, the attribute → file-kind defaults. *)
+
+val parse : ?graph_name:string -> string -> Graph.t * directives
+(** Parse a DDL text into a fresh graph. *)
+
+val parse_into : Graph.t -> string -> directives
+(** Parse, adding the objects to an existing graph. *)
+
+val print : ?directives:directives -> Graph.t -> string
+(** Print a graph in DDL syntax.  Every node becomes a top-level
+    object; node references use [&name] with names made unique.
+    [parse (print g)] reconstructs a graph isomorphic to [g]. *)
+
+val pp : Format.formatter -> Graph.t -> unit

@@ -1,0 +1,294 @@
+type target =
+  | N of Oid.t
+  | V of Value.t
+
+let target_equal a b =
+  match a, b with
+  | N x, N y -> Oid.equal x y
+  | V x, V y -> Value.equal x y
+  | N _, V _ | V _, N _ -> false
+
+let target_compare a b =
+  match a, b with
+  | N x, N y -> Oid.compare x y
+  | V x, V y -> Value.compare x y
+  | N _, V _ -> -1
+  | V _, N _ -> 1
+
+let pp_target ppf = function
+  | N o -> Oid.pp_name ppf o
+  | V v -> Value.pp ppf v
+
+(* Hashable key for a target: oids hash by id, values structurally. *)
+type tkey = Knode of int | Kval of Value.t
+
+let tkey = function N o -> Knode (Oid.id o) | V v -> Kval v
+
+type coll = { mutable set : Oid.Set.t; mutable order_rev : Oid.t list }
+
+type t = {
+  gname : string;
+  use_index : bool;
+  mutable nodes : Oid.Set.t;
+  mutable node_order_rev : Oid.t list;
+  out_tbl : (string * target) list ref Oid.Tbl.t;  (* reversed order *)
+  edge_set : (int * string * tkey, unit) Hashtbl.t;
+  colls : (string, coll) Hashtbl.t;
+  mutable coll_order_rev : string list;
+  names : (string, Oid.t) Hashtbl.t;
+  (* indexes, maintained only when [use_index] *)
+  label_idx : (string, (Oid.t * target) list ref) Hashtbl.t;
+  value_idx : (Value.t, (Oid.t * string) list ref) Hashtbl.t;
+  in_idx : (Oid.t * string) list ref Oid.Tbl.t;
+  mutable label_order_rev : string list;  (* labels in first-seen order *)
+  label_seen : (string, unit) Hashtbl.t;
+  mutable n_edges : int;
+}
+
+let create ?(indexed = true) ?(name = "g") () =
+  {
+    gname = name;
+    use_index = indexed;
+    nodes = Oid.Set.empty;
+    node_order_rev = [];
+    out_tbl = Oid.Tbl.create 64;
+    edge_set = Hashtbl.create 128;
+    colls = Hashtbl.create 8;
+    coll_order_rev = [];
+    names = Hashtbl.create 64;
+    label_idx = Hashtbl.create 32;
+    value_idx = Hashtbl.create 128;
+    in_idx = Oid.Tbl.create 64;
+    label_order_rev = [];
+    label_seen = Hashtbl.create 32;
+    n_edges = 0;
+  }
+
+let name g = g.gname
+let indexed g = g.use_index
+
+let add_node g o =
+  if not (Oid.Set.mem o g.nodes) then begin
+    g.nodes <- Oid.Set.add o g.nodes;
+    g.node_order_rev <- o :: g.node_order_rev;
+    if not (Hashtbl.mem g.names (Oid.name o)) then
+      Hashtbl.add g.names (Oid.name o) o
+  end
+
+let new_node g hint =
+  let o = Oid.fresh hint in
+  add_node g o;
+  o
+
+let mem_node g o = Oid.Set.mem o g.nodes
+let nodes g = List.rev g.node_order_rev
+let node_set g = g.nodes
+let node_count g = Oid.Set.cardinal g.nodes
+let find_node g n = Hashtbl.find_opt g.names n
+
+let note_label g l =
+  if not (Hashtbl.mem g.label_seen l) then begin
+    Hashtbl.add g.label_seen l ();
+    g.label_order_rev <- l :: g.label_order_rev
+  end
+
+let push tbl key v =
+  match Hashtbl.find_opt tbl key with
+  | Some r -> r := v :: !r
+  | None -> Hashtbl.add tbl key (ref [ v ])
+
+let has_edge g src l tgt = Hashtbl.mem g.edge_set (Oid.id src, l, tkey tgt)
+
+let add_edge g src l tgt =
+  if not (has_edge g src l tgt) then begin
+    add_node g src;
+    (match tgt with N o -> add_node g o | V _ -> ());
+    Hashtbl.replace g.edge_set (Oid.id src, l, tkey tgt) ();
+    (match Oid.Tbl.find_opt g.out_tbl src with
+     | Some r -> r := (l, tgt) :: !r
+     | None -> Oid.Tbl.add g.out_tbl src (ref [ (l, tgt) ]));
+    note_label g l;
+    g.n_edges <- g.n_edges + 1;
+    if g.use_index then begin
+      push g.label_idx l (src, tgt);
+      match tgt with
+      | V v -> push g.value_idx v (src, l)
+      | N o ->
+        (match Oid.Tbl.find_opt g.in_idx o with
+         | Some r -> r := (src, l) :: !r
+         | None -> Oid.Tbl.add g.in_idx o (ref [ (src, l) ]))
+    end
+  end
+
+let remove_assoc_edge r pred = r := List.filter (fun e -> not (pred e)) !r
+
+let remove_edge g src l tgt =
+  if has_edge g src l tgt then begin
+    Hashtbl.remove g.edge_set (Oid.id src, l, tkey tgt);
+    (match Oid.Tbl.find_opt g.out_tbl src with
+     | Some r ->
+       remove_assoc_edge r (fun (l', t') -> l' = l && target_equal t' tgt)
+     | None -> ());
+    g.n_edges <- g.n_edges - 1;
+    if g.use_index then begin
+      (match Hashtbl.find_opt g.label_idx l with
+       | Some r ->
+         remove_assoc_edge r (fun (s', t') ->
+             Oid.equal s' src && target_equal t' tgt)
+       | None -> ());
+      match tgt with
+      | V v ->
+        (match Hashtbl.find_opt g.value_idx v with
+         | Some r ->
+           remove_assoc_edge r (fun (s', l') -> Oid.equal s' src && l' = l)
+         | None -> ())
+      | N o ->
+        (match Oid.Tbl.find_opt g.in_idx o with
+         | Some r ->
+           remove_assoc_edge r (fun (s', l') -> Oid.equal s' src && l' = l)
+         | None -> ())
+    end
+  end
+
+let edge_count g = g.n_edges
+
+let out_edges g o =
+  match Oid.Tbl.find_opt g.out_tbl o with
+  | Some r -> List.rev !r
+  | None -> []
+
+let iter_edges f g =
+  List.iter
+    (fun src -> List.iter (fun (l, tgt) -> f src l tgt) (out_edges g src))
+    (nodes g)
+
+let fold_edges f g init =
+  List.fold_left
+    (fun acc src ->
+      List.fold_left (fun acc (l, tgt) -> f src l tgt acc) acc (out_edges g src))
+    init (nodes g)
+
+let in_edges g tgt =
+  if g.use_index then
+    match tgt with
+    | N o ->
+      (match Oid.Tbl.find_opt g.in_idx o with
+       | Some r -> List.rev !r
+       | None -> [])
+    | V v ->
+      (match Hashtbl.find_opt g.value_idx v with
+       | Some r -> List.rev !r
+       | None -> [])
+  else
+    fold_edges
+      (fun src l t acc -> if target_equal t tgt then (src, l) :: acc else acc)
+      g []
+    |> List.rev
+
+let attr g o l =
+  List.filter_map
+    (fun (l', tgt) -> if l' = l then Some tgt else None)
+    (out_edges g o)
+
+let attr1 g o l =
+  let rec first = function
+    | [] -> None
+    | (l', tgt) :: rest -> if l' = l then Some tgt else first rest
+  in
+  first (out_edges g o)
+
+let attr_value g o l =
+  let rec first = function
+    | [] -> None
+    | (l', V v) :: _ when l' = l -> Some v
+    | _ :: rest -> first rest
+  in
+  first (out_edges g o)
+
+let find_coll g c = Hashtbl.find_opt g.colls c
+
+let add_to_collection g c o =
+  add_node g o;
+  match find_coll g c with
+  | Some coll ->
+    if not (Oid.Set.mem o coll.set) then begin
+      coll.set <- Oid.Set.add o coll.set;
+      coll.order_rev <- o :: coll.order_rev
+    end
+  | None ->
+    Hashtbl.add g.colls c { set = Oid.Set.singleton o; order_rev = [ o ] };
+    g.coll_order_rev <- c :: g.coll_order_rev
+
+let remove_from_collection g c o =
+  match find_coll g c with
+  | Some coll when Oid.Set.mem o coll.set ->
+    coll.set <- Oid.Set.remove o coll.set;
+    coll.order_rev <- List.filter (fun x -> not (Oid.equal x o)) coll.order_rev
+  | _ -> ()
+
+let in_collection g c o =
+  match find_coll g c with Some coll -> Oid.Set.mem o coll.set | None -> false
+
+let collection g c =
+  match find_coll g c with Some coll -> List.rev coll.order_rev | None -> []
+
+let collection_size g c =
+  match find_coll g c with Some coll -> Oid.Set.cardinal coll.set | None -> 0
+
+let collections g = List.rev g.coll_order_rev
+
+let collections_of g o =
+  List.filter (fun c -> in_collection g c o) (collections g)
+
+let labels g = List.rev g.label_order_rev
+
+let label_extent g l =
+  if g.use_index then
+    match Hashtbl.find_opt g.label_idx l with
+    | Some r -> List.rev !r
+    | None -> []
+  else
+    fold_edges
+      (fun src l' tgt acc -> if l' = l then (src, tgt) :: acc else acc)
+      g []
+    |> List.rev
+
+let label_count g l =
+  if g.use_index then
+    match Hashtbl.find_opt g.label_idx l with
+    | Some r -> List.length !r
+    | None -> 0
+  else List.length (label_extent g l)
+
+let value_index g v =
+  if g.use_index then
+    match Hashtbl.find_opt g.value_idx v with
+    | Some r -> List.rev !r
+    | None -> []
+  else
+    fold_edges
+      (fun src l tgt acc ->
+        match tgt with
+        | V v' when Value.equal v v' -> (src, l) :: acc
+        | _ -> acc)
+      g []
+    |> List.rev
+
+let merge_into ~dst ~src =
+  List.iter (fun o -> add_node dst o) (nodes src);
+  iter_edges (fun s l t -> add_edge dst s l t) src;
+  List.iter
+    (fun c -> List.iter (fun o -> add_to_collection dst c o) (collection src c))
+    (collections src)
+
+let copy ?name g =
+  let name = match name with Some n -> n | None -> g.gname in
+  let g' = create ~indexed:g.use_index ~name () in
+  merge_into ~dst:g' ~src:g;
+  g'
+
+let pp_stats ppf g =
+  Fmt.pf ppf "graph %s: %d nodes, %d edges, %d collections, %d labels"
+    g.gname (node_count g) g.n_edges
+    (List.length (collections g))
+    (List.length (labels g))

@@ -1,0 +1,106 @@
+(** Labeled directed graphs — the semistructured data model.
+
+    A graph consists of objects connected by directed edges labeled with
+    string-valued attribute names.  Objects are either internal nodes,
+    identified by an {!Oid.t}, or atomic {!Value.t}s.  Objects are
+    grouped into named collections; an object may belong to several
+    collections, and objects of one collection may have different
+    attribute sets (the model is schema-less).
+
+    Graphs are mutable.  When [indexed] (the default), the graph
+    maintains the full set of indexes the paper describes for the data
+    repository: the extent of every attribute label, the extent of every
+    collection, a value index global to the graph, and an incoming-edge
+    index.  With [~indexed:false] those lookups fall back to full scans
+    (used by the indexing ablation bench). *)
+
+type target =
+  | N of Oid.t      (** an internal object *)
+  | V of Value.t    (** an atomic value *)
+
+type t
+
+val target_equal : target -> target -> bool
+val target_compare : target -> target -> int
+val pp_target : Format.formatter -> target -> unit
+
+val create : ?indexed:bool -> ?name:string -> unit -> t
+val name : t -> string
+val indexed : t -> bool
+
+(** {1 Nodes} *)
+
+val add_node : t -> Oid.t -> unit
+val new_node : t -> string -> Oid.t
+(** [new_node g hint] allocates a fresh oid named [hint] and adds it. *)
+
+val mem_node : t -> Oid.t -> bool
+val nodes : t -> Oid.t list
+val node_set : t -> Oid.Set.t
+val node_count : t -> int
+
+val find_node : t -> string -> Oid.t option
+(** Look up a node by its oid name (first added wins). *)
+
+(** {1 Edges} *)
+
+val add_edge : t -> Oid.t -> string -> target -> unit
+(** Adds the edge if not already present; both endpoints are added as
+    nodes when they are oids. *)
+
+val remove_edge : t -> Oid.t -> string -> target -> unit
+val has_edge : t -> Oid.t -> string -> target -> bool
+val edge_count : t -> int
+
+val out_edges : t -> Oid.t -> (string * target) list
+(** Outgoing edges in insertion order. *)
+
+val in_edges : t -> target -> (Oid.t * string) list
+(** Incoming edges of an object (or of an atomic value). *)
+
+val attr : t -> Oid.t -> string -> target list
+(** All targets of edges labeled [label] leaving the node, in insertion
+    order. *)
+
+val attr1 : t -> Oid.t -> string -> target option
+(** First target of the attribute, if any. *)
+
+val attr_value : t -> Oid.t -> string -> Value.t option
+(** First atomic value of the attribute, if any. *)
+
+val iter_edges : (Oid.t -> string -> target -> unit) -> t -> unit
+val fold_edges : (Oid.t -> string -> target -> 'a -> 'a) -> t -> 'a -> 'a
+
+(** {1 Collections} *)
+
+val add_to_collection : t -> string -> Oid.t -> unit
+val remove_from_collection : t -> string -> Oid.t -> unit
+val in_collection : t -> string -> Oid.t -> bool
+val collection : t -> string -> Oid.t list
+(** Members in insertion order; empty for an unknown collection. *)
+
+val collection_size : t -> string -> int
+val collections : t -> string list
+val collections_of : t -> Oid.t -> string list
+
+(** {1 Schema and value indexes} *)
+
+val labels : t -> string list
+(** All attribute names appearing in the graph (the schema index). *)
+
+val label_extent : t -> string -> (Oid.t * target) list
+(** All edges carrying the label. *)
+
+val label_count : t -> string -> int
+val value_index : t -> Value.t -> (Oid.t * string) list
+(** All (source, label) pairs of edges whose target is exactly this
+    atomic value.  Global to the graph, as in the paper. *)
+
+(** {1 Whole-graph operations} *)
+
+val copy : ?name:string -> t -> t
+val merge_into : dst:t -> src:t -> unit
+(** Adds all nodes, edges and collections of [src] to [dst] (objects are
+    shared, not copied — graphs of one database may share objects). *)
+
+val pp_stats : Format.formatter -> t -> unit

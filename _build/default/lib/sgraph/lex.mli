@@ -1,0 +1,53 @@
+(** A small shared tokenizer used by the DDL, StruQL and template
+    parsers.
+
+    Handles identifiers, quoted strings with escapes, integer and float
+    literals, configurable punctuation (longest match first), and
+    [//]-, [/* */]- and [#]-style comments. *)
+
+type token =
+  | Ident of string
+  | Str of string
+  | Int_lit of int
+  | Float_lit of float
+  | Punct of string
+  | Eof
+
+type spanned = { tok : token; line : int }
+
+exception Lex_error of string * int  (** message, line *)
+
+val tokenize :
+  ?ident_dash:bool ->
+  (* allow '-' inside identifiers (DDL attribute names like pub-type) *)
+  puncts:string list ->
+  string ->
+  spanned list
+(** Tokenize a whole input string.  [puncts] lists the punctuation
+    tokens; longer ones are matched first.  Always ends with [Eof]. *)
+
+val pp_token : Format.formatter -> token -> unit
+
+(** A simple stream over the token list, for recursive-descent
+    parsers. *)
+module Stream : sig
+  type t
+
+  exception Parse_error of string * int
+
+  val of_tokens : spanned list -> t
+  val peek : t -> token
+  val peek2 : t -> token
+  val line : t -> int
+  val advance : t -> token
+  val eat_punct : t -> string -> unit
+  val eat_ident : t -> string -> unit
+  val accept_punct : t -> string -> bool
+  (** Consume the punct if it is next; report whether it was. *)
+
+  val accept_ident : t -> string -> bool
+  val expect_ident : t -> string
+  val expect_string : t -> string
+  val error : t -> string -> 'a
+  val at_eof : t -> bool
+end

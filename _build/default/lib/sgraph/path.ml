@@ -1,0 +1,286 @@
+type edge_pred =
+  | Label of string
+  | Any
+  | Named_pred of string * (string -> bool)
+
+type t =
+  | Epsilon
+  | Edge of edge_pred
+  | Seq of t * t
+  | Alt of t * t
+  | Star of t
+  | Plus of t
+  | Opt of t
+
+let any_path = Star (Edge Any)
+
+let seq_all = function
+  | [] -> Epsilon
+  | r :: rest -> List.fold_left (fun acc r' -> Seq (acc, r')) r rest
+
+let edge_pred_matches p l =
+  match p with
+  | Label l' -> l = l'
+  | Any -> true
+  | Named_pred (_, f) -> f l
+
+let rec nullable = function
+  | Epsilon -> true
+  | Edge _ -> false
+  | Seq (a, b) -> nullable a && nullable b
+  | Alt (a, b) -> nullable a || nullable b
+  | Star _ | Opt _ -> true
+  | Plus a -> nullable a
+
+(* --- NFA (Thompson construction) --- *)
+
+type builder = {
+  mutable next : int;
+  mutable eps_edges : (int * int) list;
+  mutable trans_edges : (int * edge_pred * int) list;
+}
+
+let new_state b =
+  let s = b.next in
+  b.next <- s + 1;
+  s
+
+let add_eps b s s' = b.eps_edges <- (s, s') :: b.eps_edges
+let add_trans b s p s' = b.trans_edges <- (s, p, s') :: b.trans_edges
+
+type nfa = {
+  n : int;
+  start : int;
+  closure : int list array;       (* eps-closure of each state *)
+  accepting : bool array;         (* accept reachable via eps *)
+  trans : (edge_pred * int) list array;
+}
+
+let rec build b r =
+  (* returns (entry, exit) *)
+  match r with
+  | Epsilon ->
+    let s = new_state b in
+    (s, s)
+  | Edge p ->
+    let s = new_state b and e = new_state b in
+    add_trans b s p e;
+    (s, e)
+  | Seq (a, c) ->
+    let sa, ea = build b a in
+    let sc, ec = build b c in
+    add_eps b ea sc;
+    (sa, ec)
+  | Alt (a, c) ->
+    let s = new_state b and e = new_state b in
+    let sa, ea = build b a in
+    let sc, ec = build b c in
+    add_eps b s sa;
+    add_eps b s sc;
+    add_eps b ea e;
+    add_eps b ec e;
+    (s, e)
+  | Star a ->
+    let s = new_state b and e = new_state b in
+    let sa, ea = build b a in
+    add_eps b s sa;
+    add_eps b s e;
+    add_eps b ea sa;
+    add_eps b ea e;
+    (s, e)
+  | Plus a -> build b (Seq (a, Star a))
+  | Opt a -> build b (Alt (a, Epsilon))
+
+let compile r =
+  let b = { next = 0; eps_edges = []; trans_edges = [] } in
+  let start, accept = build b r in
+  let n = b.next in
+  let eps = Array.make n [] in
+  List.iter (fun (s, s') -> eps.(s) <- s' :: eps.(s)) b.eps_edges;
+  let closure = Array.make n [] in
+  for s = 0 to n - 1 do
+    let seen = Array.make n false in
+    let rec go x =
+      if not seen.(x) then begin
+        seen.(x) <- true;
+        List.iter go eps.(x)
+      end
+    in
+    go s;
+    let acc = ref [] in
+    for x = n - 1 downto 0 do
+      if seen.(x) then acc := x :: !acc
+    done;
+    closure.(s) <- !acc
+  done;
+  let accepting = Array.make n false in
+  for s = 0 to n - 1 do
+    accepting.(s) <- List.mem accept closure.(s)
+  done;
+  let trans = Array.make n [] in
+  List.iter (fun (s, p, s') -> trans.(s) <- (p, s') :: trans.(s)) b.trans_edges;
+  { n; start; closure; accepting; trans }
+
+let nfa_states a = a.n
+
+let eval_from ?nfa g r src =
+  let a = match nfa with Some a -> a | None -> compile r in
+  let visited = Hashtbl.create 64 in
+  let results_seen = Hashtbl.create 16 in
+  let results_rev = ref [] in
+  let record t =
+    let k = Graph.(match t with N o -> `N (Oid.id o) | V v -> `V v) in
+    if not (Hashtbl.mem results_seen k) then begin
+      Hashtbl.add results_seen k ();
+      results_rev := t :: !results_rev
+    end
+  in
+  let queue = Queue.create () in
+  let push s t =
+    let k =
+      Graph.(match t with N o -> (s, `N (Oid.id o)) | V v -> (s, `V v))
+    in
+    if not (Hashtbl.mem visited k) then begin
+      Hashtbl.add visited k ();
+      Queue.add (s, t) queue
+    end
+  in
+  List.iter (fun s -> push s (Graph.N src)) a.closure.(a.start);
+  while not (Queue.is_empty queue) do
+    let s, t = Queue.pop queue in
+    if a.accepting.(s) then record t;
+    match t with
+    | Graph.V _ -> ()
+    | Graph.N o ->
+      List.iter
+        (fun (l, tgt) ->
+          List.iter
+            (fun (p, s') ->
+              if edge_pred_matches p l then
+                List.iter (fun s'' -> push s'' tgt) a.closure.(s'))
+            a.trans.(s))
+        (Graph.out_edges g o)
+  done;
+  List.rev !results_rev
+
+let matches ?nfa g r src tgt =
+  List.exists (Graph.target_equal tgt) (eval_from ?nfa g r src)
+
+let eval_pairs ?nfa g r ~sources =
+  let a = match nfa with Some a -> a | None -> compile r in
+  List.concat_map
+    (fun src -> List.map (fun t -> (src, t)) (eval_from ~nfa:a g r src))
+    sources
+
+(* --- Reference semantics (for tests) --- *)
+
+module Pairs = struct
+  type key = (int, Value.t) Either.t
+
+  let key = function
+    | Graph.N o -> Either.Left (Oid.id o)
+    | Graph.V v -> Either.Right v
+
+  type t = {
+    tbl : (key * key, unit) Hashtbl.t;
+    mutable list_rev : (Graph.target * Graph.target) list;
+  }
+
+  let create () = { tbl = Hashtbl.create 64; list_rev = [] }
+  let mem p x y = Hashtbl.mem p.tbl (key x, key y)
+
+  let add p x y =
+    if not (mem p x y) then begin
+      Hashtbl.add p.tbl (key x, key y) ();
+      p.list_rev <- (x, y) :: p.list_rev
+    end
+
+  let to_list p = List.rev p.list_rev
+  let of_list l =
+    let p = create () in
+    List.iter (fun (x, y) -> add p x y) l;
+    p
+end
+
+let all_objects g =
+  let p = Hashtbl.create 64 in
+  let acc = ref [] in
+  let record t =
+    let k = Pairs.key t in
+    if not (Hashtbl.mem p k) then begin
+      Hashtbl.add p k ();
+      acc := t :: !acc
+    end
+  in
+  List.iter (fun o -> record (Graph.N o)) (Graph.nodes g);
+  Graph.iter_edges (fun _ _ t -> record t) g;
+  List.rev !acc
+
+let rec eval_ref g r =
+  match r with
+  | Epsilon -> List.map (fun t -> (t, t)) (all_objects g)
+  | Edge p ->
+    Graph.fold_edges
+      (fun src l tgt acc ->
+        if edge_pred_matches p l then (Graph.N src, tgt) :: acc else acc)
+      g []
+    |> List.rev
+  | Alt (a, b) ->
+    let p = Pairs.of_list (eval_ref g a) in
+    List.iter (fun (x, y) -> Pairs.add p x y) (eval_ref g b);
+    Pairs.to_list p
+  | Seq (a, b) ->
+    let ra = eval_ref g a and rb = eval_ref g b in
+    let p = Pairs.create () in
+    List.iter
+      (fun (x, y) ->
+        List.iter
+          (fun (y', z) -> if Graph.target_equal y y' then Pairs.add p x z)
+          rb)
+      ra;
+    Pairs.to_list p
+  | Opt a ->
+    let p = Pairs.of_list (eval_ref g Epsilon) in
+    List.iter (fun (x, y) -> Pairs.add p x y) (eval_ref g a);
+    Pairs.to_list p
+  | Plus a ->
+    (* least fixpoint: A ∪ A;A ∪ ... *)
+    let base = eval_ref g a in
+    let p = Pairs.of_list base in
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      let current = Pairs.to_list p in
+      List.iter
+        (fun (x, y) ->
+          List.iter
+            (fun (y', z) ->
+              if Graph.target_equal y y' && not (Pairs.mem p x z) then begin
+                Pairs.add p x z;
+                changed := true
+              end)
+            base)
+        current
+    done;
+    Pairs.to_list p
+  | Star a ->
+    let p = Pairs.of_list (eval_ref g Epsilon) in
+    List.iter (fun (x, y) -> Pairs.add p x y) (eval_ref g (Plus a));
+    Pairs.to_list p
+
+let rec pp ppf = function
+  | Epsilon -> Fmt.string ppf "()"
+  | Edge (Label l) -> Fmt.pf ppf "%S" l
+  | Edge Any -> Fmt.string ppf "true"
+  | Edge (Named_pred (n, _)) -> Fmt.string ppf n
+  | Seq (a, b) -> Fmt.pf ppf "%a.%a" pp_atom a pp_atom b
+  | Alt (a, b) -> Fmt.pf ppf "(%a | %a)" pp a pp b
+  | Star (Edge Any) -> Fmt.string ppf "*"
+  | Star a -> Fmt.pf ppf "%a*" pp_atom a
+  | Plus a -> Fmt.pf ppf "%a+" pp_atom a
+  | Opt a -> Fmt.pf ppf "%a?" pp_atom a
+
+and pp_atom ppf r =
+  match r with
+  | Seq _ | Alt _ -> Fmt.pf ppf "(%a)" pp r
+  | _ -> pp ppf r

@@ -1,0 +1,64 @@
+(** Regular path expressions.
+
+    Conditions of the form [x -> R -> y] in StruQL assert a path from
+    [x] to [y] matching the regular path expression [R].  Regular path
+    expressions are more general than regular expressions because they
+    admit predicates on edge labels; [Any] denotes any edge label
+    ([true] in the paper), and [Star (Edge Any)] is the [*] wildcard.
+
+    Expressions compile to NFAs (Thompson construction) and are
+    evaluated by searching the product of the automaton with the graph.
+    A naive fixpoint evaluator over edge-pair relations is provided as a
+    semantics reference for testing. *)
+
+type edge_pred =
+  | Label of string                        (** exact label *)
+  | Any                                    (** matches every label *)
+  | Named_pred of string * (string -> bool)
+      (** a named predicate on labels, e.g. [isName] *)
+
+type t =
+  | Epsilon
+  | Edge of edge_pred
+  | Seq of t * t
+  | Alt of t * t
+  | Star of t
+  | Plus of t
+  | Opt of t
+
+val any_path : t
+(** The [*] abbreviation: [Star (Edge Any)]. *)
+
+val seq_all : t list -> t
+(** Concatenation of a label path, [Epsilon] when empty. *)
+
+val edge_pred_matches : edge_pred -> string -> bool
+val nullable : t -> bool
+(** Whether the expression matches the empty path. *)
+
+type nfa
+
+val compile : t -> nfa
+val nfa_states : nfa -> int
+
+val eval_from : ?nfa:nfa -> Graph.t -> t -> Oid.t -> Graph.target list
+(** All objects [y] such that a path from the source matching the
+    expression ends at [y].  Includes the source itself when the
+    expression is nullable.  Deduplicated, deterministic order. *)
+
+val matches : ?nfa:nfa -> Graph.t -> t -> Oid.t -> Graph.target -> bool
+
+val eval_pairs : ?nfa:nfa -> Graph.t -> t -> sources:Oid.t list ->
+  (Oid.t * Graph.target) list
+(** [eval_from] for every source, flattened. *)
+
+val all_objects : Graph.t -> Graph.target list
+(** Every object of the graph — internal nodes and the atomic values
+    appearing as edge targets (the active domain). *)
+
+val eval_ref : Graph.t -> t -> (Graph.target * Graph.target) list
+(** Reference semantics: the relation of all (x, y) pairs connected by a
+    matching path, computed by fixpoint over edge relations (no
+    automaton).  Intended for tests; quadratic. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,58 @@
+type arg =
+  | A_oid of Oid.t
+  | A_val of Value.t
+  | A_label of string
+
+(* Arguments are keyed structurally; oids by their numeric id. *)
+type key_arg = K_oid of int | K_val of Value.t | K_label of string
+
+let key_of_arg = function
+  | A_oid o -> K_oid (Oid.id o)
+  | A_val v -> K_val v
+  | A_label l -> K_label l
+
+type t = {
+  table : (string * key_arg list, Oid.t) Hashtbl.t;
+  by_fn : (string, Oid.t list ref) Hashtbl.t;
+  inverse : (string * arg list) Oid.Tbl.t;
+  mutable fns_rev : string list;
+}
+
+let create () =
+  {
+    table = Hashtbl.create 256;
+    by_fn = Hashtbl.create 16;
+    inverse = Oid.Tbl.create 256;
+    fns_rev = [];
+  }
+
+let arg_name = function
+  | A_oid o -> Oid.name o
+  | A_val v -> Value.to_display_string v
+  | A_label l -> l
+
+let term_name f args = f ^ "(" ^ String.concat "," (List.map arg_name args) ^ ")"
+
+let apply t f args =
+  let key = (f, List.map key_of_arg args) in
+  match Hashtbl.find_opt t.table key with
+  | Some o -> (o, false)
+  | None ->
+    let o = Oid.fresh (term_name f args) in
+    Hashtbl.add t.table key o;
+    Oid.Tbl.add t.inverse o (f, args);
+    (match Hashtbl.find_opt t.by_fn f with
+     | Some r -> r := o :: !r
+     | None ->
+       Hashtbl.add t.by_fn f (ref [ o ]);
+       t.fns_rev <- f :: t.fns_rev);
+    (o, true)
+
+let find t f args = Hashtbl.find_opt t.table (f, List.map key_of_arg args)
+let functions t = List.rev t.fns_rev
+
+let created t f =
+  match Hashtbl.find_opt t.by_fn f with Some r -> List.rev !r | None -> []
+
+let size t = Hashtbl.length t.table
+let term_of t o = Oid.Tbl.find_opt t.inverse o

@@ -1,0 +1,421 @@
+exception Xml_error of string * int
+
+type element = {
+  tag : string;
+  attrs : (string * string) list;
+  children : node list;
+}
+
+and node = Element of element | Text of string
+
+(* --- A small XML parser: elements, attributes, text, self-closing
+   tags, comments, declarations, the five predefined entities and
+   numeric character references. --- *)
+
+type pstate = { src : string; mutable pos : int; mutable line : int }
+
+let peek p = if p.pos < String.length p.src then Some p.src.[p.pos] else None
+
+let advance p =
+  (match peek p with Some '\n' -> p.line <- p.line + 1 | _ -> ());
+  p.pos <- p.pos + 1
+
+let error p msg = raise (Xml_error (msg, p.line))
+
+let skip_ws p =
+  while
+    match peek p with
+    | Some (' ' | '\t' | '\n' | '\r') -> true
+    | _ -> false
+  do
+    advance p
+  done
+
+let starts_with p s =
+  let n = String.length s in
+  p.pos + n <= String.length p.src && String.sub p.src p.pos n = s
+
+let skip_string p s =
+  if starts_with p s then
+    for _ = 1 to String.length s do
+      advance p
+    done
+  else error p (Printf.sprintf "expected %S" s)
+
+let is_name_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || c = ':'
+
+let is_name_char c =
+  is_name_start c || (c >= '0' && c <= '9') || c = '-' || c = '.'
+
+let read_name p =
+  let start = p.pos in
+  (match peek p with
+   | Some c when is_name_start c -> advance p
+   | _ -> error p "expected a name");
+  while (match peek p with Some c -> is_name_char c | None -> false) do
+    advance p
+  done;
+  String.sub p.src start (p.pos - start)
+
+let decode_entities p s =
+  let buf = Buffer.create (String.length s) in
+  let n = String.length s in
+  let i = ref 0 in
+  while !i < n do
+    if s.[!i] = '&' then begin
+      match String.index_from_opt s !i ';' with
+      | None -> error p "unterminated entity"
+      | Some j ->
+        let ent = String.sub s (!i + 1) (j - !i - 1) in
+        (match ent with
+         | "lt" -> Buffer.add_char buf '<'
+         | "gt" -> Buffer.add_char buf '>'
+         | "amp" -> Buffer.add_char buf '&'
+         | "quot" -> Buffer.add_char buf '"'
+         | "apos" -> Buffer.add_char buf '\''
+         | _ when String.length ent > 1 && ent.[0] = '#' ->
+           let code =
+             if ent.[1] = 'x' || ent.[1] = 'X' then
+               int_of_string_opt ("0x" ^ String.sub ent 2 (String.length ent - 2))
+             else int_of_string_opt (String.sub ent 1 (String.length ent - 1))
+           in
+           (match code with
+            | Some c when c < 128 -> Buffer.add_char buf (Char.chr c)
+            | Some _ -> Buffer.add_string buf "?"  (* non-ASCII: placeholder *)
+            | None -> error p ("bad character reference &" ^ ent ^ ";"))
+         | _ -> error p ("unknown entity &" ^ ent ^ ";"));
+        i := j + 1
+    end
+    else begin
+      Buffer.add_char buf s.[!i];
+      incr i
+    end
+  done;
+  Buffer.contents buf
+
+let read_attr_value p =
+  let q =
+    match peek p with
+    | Some (('"' | '\'') as q) ->
+      advance p;
+      q
+    | _ -> error p "expected a quoted attribute value"
+  in
+  let start = p.pos in
+  while (match peek p with Some c -> c <> q | None -> false) do
+    advance p
+  done;
+  (match peek p with Some _ -> () | None -> error p "unterminated attribute");
+  let raw = String.sub p.src start (p.pos - start) in
+  advance p;
+  decode_entities p raw
+
+let rec skip_misc p =
+  skip_ws p;
+  if starts_with p "<!--" then begin
+    skip_string p "<!--";
+    while not (starts_with p "-->") do
+      if peek p = None then error p "unterminated comment";
+      advance p
+    done;
+    skip_string p "-->";
+    skip_misc p
+  end
+  else if starts_with p "<?" then begin
+    skip_string p "<?";
+    while not (starts_with p "?>") do
+      if peek p = None then error p "unterminated declaration";
+      advance p
+    done;
+    skip_string p "?>";
+    skip_misc p
+  end
+  else if starts_with p "<!" then begin
+    (* DOCTYPE and friends: skip to '>' *)
+    while peek p <> Some '>' do
+      if peek p = None then error p "unterminated <! section";
+      advance p
+    done;
+    advance p;
+    skip_misc p
+  end
+
+let rec parse_elem p : element =
+  skip_string p "<";
+  let tag = read_name p in
+  let attrs = ref [] in
+  let rec attrs_loop () =
+    skip_ws p;
+    match peek p with
+    | Some '/' | Some '>' -> ()
+    | Some c when is_name_start c ->
+      let name = read_name p in
+      skip_ws p;
+      skip_string p "=";
+      skip_ws p;
+      let v = read_attr_value p in
+      attrs := (name, v) :: !attrs;
+      attrs_loop ()
+    | _ -> error p "expected an attribute or tag close"
+  in
+  attrs_loop ();
+  if starts_with p "/>" then begin
+    skip_string p "/>";
+    { tag; attrs = List.rev !attrs; children = [] }
+  end
+  else begin
+    skip_string p ">";
+    let children = ref [] in
+    let fin = ref false in
+    while not !fin do
+      if starts_with p "</" then begin
+        skip_string p "</";
+        let close = read_name p in
+        if close <> tag then
+          error p (Printf.sprintf "mismatched </%s> for <%s>" close tag);
+        skip_ws p;
+        skip_string p ">";
+        fin := true
+      end
+      else if starts_with p "<!--" || starts_with p "<?" then skip_misc p
+      else if peek p = Some '<' then
+        children := Element (parse_elem p) :: !children
+      else begin
+        let start = p.pos in
+        while peek p <> Some '<' && peek p <> None do
+          advance p
+        done;
+        if peek p = None then error p ("unterminated <" ^ tag ^ ">");
+        let text = decode_entities p (String.sub p.src start (p.pos - start)) in
+        if String.trim text <> "" then children := Text text :: !children
+      end
+    done;
+    { tag; attrs = List.rev !attrs; children = List.rev !children }
+  end
+
+let parse_element src =
+  let p = { src; pos = 0; line = 1 } in
+  skip_misc p;
+  let e = parse_elem p in
+  skip_misc p;
+  if peek p <> None then error p "trailing content after root element";
+  e
+
+(* --- Escaping --- *)
+
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '"' -> Buffer.add_string buf "&quot;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let valid_xml_name s =
+  String.length s > 0
+  && is_name_start s.[0]
+  && s.[0] <> ':'
+  && String.for_all (fun c -> is_name_char c) s
+  (* avoid colliding with our own reserved tags *)
+  && s <> "object" && s <> "graph" && s <> "attr"
+
+(* --- Export --- *)
+
+let text_of_element e =
+  String.concat ""
+    (List.filter_map (function Text t -> Some t | Element _ -> None) e.children)
+
+let export (g : Graph.t) : string =
+  let buf = Buffer.create 4096 in
+  let names = Hashtbl.create 64 in
+  (* unique printable ids, like the DDL printer *)
+  let used = Hashtbl.create 64 in
+  List.iter
+    (fun o ->
+      let base =
+        let n = Oid.name o in
+        if n <> "" then n else Printf.sprintf "obj_%d" (Oid.id o)
+      in
+      let id =
+        if Hashtbl.mem used base then Printf.sprintf "%s_%d" base (Oid.id o)
+        else base
+      in
+      Hashtbl.replace used id ();
+      Hashtbl.replace names (Oid.id o) id)
+    (Graph.nodes g);
+  Buffer.add_string buf
+    (Printf.sprintf "<?xml version=\"1.0\"?>\n<graph name=\"%s\">\n"
+       (escape (Graph.name g)));
+  List.iter
+    (fun o ->
+      let colls = Graph.collections_of g o in
+      Buffer.add_string buf
+        (Printf.sprintf "  <object id=\"%s\"%s>\n"
+           (escape (Hashtbl.find names (Oid.id o)))
+           (if colls = [] then ""
+            else
+              Printf.sprintf " in=\"%s\"" (escape (String.concat " " colls))));
+      List.iter
+        (fun (l, tgt) ->
+          let open_tag, close_tag =
+            if valid_xml_name l then (l, l)
+            else ("attr name=\"" ^ escape l ^ "\"", "attr")
+          in
+          (match tgt with
+           | Graph.N o' ->
+             Buffer.add_string buf
+               (Printf.sprintf "    <%s ref=\"%s\"/>\n" open_tag
+                  (escape (Hashtbl.find names (Oid.id o'))))
+           | Graph.V v ->
+             Buffer.add_string buf
+               (Printf.sprintf "    <%s type=\"%s\">%s</%s>\n" open_tag
+                  (Value.kind_name v)
+                  (escape (Value.to_display_string v))
+                  close_tag)))
+        (Graph.out_edges g o);
+      Buffer.add_string buf "  </object>\n")
+    (Graph.nodes g);
+  Buffer.add_string buf "</graph>\n";
+  Buffer.contents buf
+
+(* --- Import --- *)
+
+let value_of ~ty ~text =
+  match ty with
+  | "string" -> Value.String text
+  | "int" -> (
+      match int_of_string_opt (String.trim text) with
+      | Some i -> Value.Int i
+      | None -> Value.String text)
+  | "float" -> (
+      match float_of_string_opt (String.trim text) with
+      | Some f -> Value.Float f
+      | None -> Value.String text)
+  | "bool" -> Value.Bool (String.trim text = "true")
+  | "null" -> Value.Null
+  | "url" -> Value.Url text
+  | ty -> (
+      match Value.file_kind_of_name ty with
+      | Some k -> Value.File (k, text)
+      | None -> Value.File (Value.Other_file ty, text))
+
+let import_into (g : Graph.t) (src : string) : unit =
+  let root = parse_element src in
+  if root.tag <> "graph" then
+    raise (Xml_error ("root element must be <graph>", 1));
+  let objects =
+    List.filter_map
+      (function
+        | Element e when e.tag = "object" -> Some e
+        | Element _ | Text _ -> None)
+      root.children
+  in
+  (* first pass: create oids so refs resolve across objects *)
+  let ids = Hashtbl.create 64 in
+  List.iteri
+    (fun i e ->
+      let id =
+        match List.assoc_opt "id" e.attrs with
+        | Some id -> id
+        | None -> Printf.sprintf "xmlobj%d" i
+      in
+      let o =
+        match Graph.find_node g id with
+        | Some o -> o
+        | None -> Oid.fresh id
+      in
+      Hashtbl.replace ids id o)
+    objects;
+  List.iteri
+    (fun i e ->
+      let id =
+        match List.assoc_opt "id" e.attrs with
+        | Some id -> id
+        | None -> Printf.sprintf "xmlobj%d" i
+      in
+      let o = Hashtbl.find ids id in
+      Graph.add_node g o;
+      (match List.assoc_opt "in" e.attrs with
+       | Some colls ->
+         List.iter
+           (fun c -> if c <> "" then Graph.add_to_collection g c o)
+           (String.split_on_char ' ' colls)
+       | None -> ());
+      List.iter
+        (function
+          | Text _ -> ()
+          | Element a ->
+            let label =
+              if a.tag = "attr" then
+                match List.assoc_opt "name" a.attrs with
+                | Some n -> n
+                | None -> raise (Xml_error ("<attr> without name", 1))
+              else a.tag
+            in
+            (match List.assoc_opt "ref" a.attrs with
+             | Some refid -> (
+                 match Hashtbl.find_opt ids refid with
+                 | Some o' -> Graph.add_edge g o label (Graph.N o')
+                 | None -> (
+                     match Graph.find_node g refid with
+                     | Some o' -> Graph.add_edge g o label (Graph.N o')
+                     | None ->
+                       raise
+                         (Xml_error ("unknown object reference " ^ refid, 1))))
+             | None ->
+               let ty =
+                 match List.assoc_opt "type" a.attrs with
+                 | Some t -> t
+                 | None -> "string"
+               in
+               Graph.add_edge g o label
+                 (Graph.V (value_of ~ty ~text:(text_of_element a)))))
+        e.children)
+    objects
+
+let import ?graph_name src =
+  let name =
+    match graph_name with
+    | Some n -> n
+    | None -> (
+        (* default to the document's own name attribute *)
+        match List.assoc_opt "name" (parse_element src).attrs with
+        | Some n -> n
+        | None -> "g")
+  in
+  let g = Graph.create ~name () in
+  import_into g src;
+  g
+
+(* --- Generic XML wrapper --- *)
+
+let wrap_document ?(collection = "Documents") (g : Graph.t) ~name
+    (root : element) : Oid.t =
+  let counter = ref 0 in
+  let rec load parent_name (e : element) : Oid.t =
+    incr counter;
+    let o = Graph.new_node g (Printf.sprintf "%s#%d" parent_name !counter) in
+    Graph.add_edge g o "tag" (Graph.V (Value.String e.tag));
+    List.iter
+      (fun (k, v) ->
+        Graph.add_edge g o ("@" ^ k) (Graph.V (Value.of_literal v)))
+      e.attrs;
+    let text = String.trim (text_of_element e) in
+    if text <> "" then Graph.add_edge g o "text" (Graph.V (Value.String text));
+    List.iter
+      (function
+        | Element child ->
+          Graph.add_edge g o "child" (Graph.N (load parent_name child))
+        | Text _ -> ())
+      e.children;
+    o
+  in
+  let root_obj = load name root in
+  Graph.add_to_collection g collection root_obj;
+  root_obj

@@ -1,0 +1,59 @@
+(** XML as a data-exchange format.
+
+    The paper (§2.2) names XML as "another possible data exchange
+    language between the wrappers and the mediator layer of Strudel";
+    this module provides it, alongside the OEM-style DDL of {!Ddl}.
+
+    The encoding maps one object per [<object>] element:
+
+    {v
+    <graph name="BIBTEX">
+      <object id="pub1" in="Publications">
+        <title type="string">Specifying Representations</title>
+        <year type="int">1997</year>
+        <postscript type="ps">papers/toplas97.ps.gz</postscript>
+        <related ref="pub2"/>
+      </object>
+    </graph>
+    v}
+
+    Attribute labels that are valid XML names become element names;
+    any other label is carried as [<attr name="...">].  [ref]
+    attributes denote edges to other objects (forward references
+    allowed); a [type] attribute selects the value reading
+    ([string], [int], [float], [bool], [null], [url], [text], [ps],
+    [image], [html], or any other file kind). *)
+
+exception Xml_error of string * int  (** message, line *)
+
+val export : Graph.t -> string
+(** Serialize a graph to the XML exchange format. *)
+
+val import : ?graph_name:string -> string -> Graph.t
+(** Parse the XML exchange format into a fresh graph. *)
+
+val import_into : Graph.t -> string -> unit
+(** Parse, adding the objects to an existing graph. *)
+
+(** {1 Generic XML access}
+
+    The underlying parser, usable as a wrapper for arbitrary XML
+    sources (an element tree with attributes and text). *)
+
+type element = {
+  tag : string;
+  attrs : (string * string) list;
+  children : node list;
+}
+
+and node = Element of element | Text of string
+
+val parse_element : string -> element
+(** Parse a whole XML document to its root element. *)
+
+val wrap_document :
+  ?collection:string -> Graph.t -> name:string -> element -> Oid.t
+(** Generic XML wrapper: load an arbitrary XML element tree into the
+    graph — one object per element, [tag] attribute for the element
+    name, XML attributes and text content as value edges, children as
+    [child] edges.  Returns the root object. *)

@@ -1,0 +1,1 @@
+lib/sites/cnn.ml: List Schema Strudel Template Wrappers

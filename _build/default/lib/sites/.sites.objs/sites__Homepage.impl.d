@@ -1,0 +1,1 @@
+lib/sites/homepage.ml: Ddl List Schema Sgraph Strudel Template Wrappers

@@ -1,0 +1,1 @@
+lib/sites/org.ml: Graph List Mediator Schema Sgraph Strudel Template Wrappers

@@ -1,0 +1,1 @@
+lib/sites/paper_example.ml: Schema Sgraph Strudel Template Wrappers

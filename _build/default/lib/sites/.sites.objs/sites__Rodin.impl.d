@@ -1,0 +1,1 @@
+lib/sites/rodin.ml: Graph List Printf Schema Sgraph Strudel Template Value

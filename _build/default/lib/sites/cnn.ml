@@ -1,0 +1,207 @@
+(** The CNN demonstration site (§5.1).
+
+    The paper mapped ~300 crawled CNN pages into a data graph and
+    defined the site with a 44-line query and nine templates; a
+    "sports only" variant differed only by two extra predicates in one
+    WHERE clause, and a text-only variant was produced with a second
+    site-definition query (the Section-3 example).  We reproduce all
+    three over a synthetic article base of the same shape. *)
+
+
+let data ?(articles = 300) ?(seed = 4) () =
+  Wrappers.Synth.news_graph ~seed ~articles ()
+
+(* --- The general site: 44 lines, front page / section pages /
+   article pages / bylines index --- *)
+
+let general_query =
+  {|INPUT NEWS
+// The front page and the static indexes
+{ CREATE FrontPage(), BylineIndex()
+  LINK FrontPage() -> "Bylines" -> BylineIndex()
+  COLLECT FrontPages(FrontPage()), BylineIndexes(BylineIndex()) }
+// One page per section, one presentation per article in the section;
+// everything article-related nests under this join
+{ WHERE Articles(a), a -> "section" -> s
+  CREATE SectionPage(s), ArticlePage(a)
+  LINK SectionPage(s) -> "Name" -> s,
+       SectionPage(s) -> "ArticleCount" -> count(a),
+       SectionPage(s) -> "Article" -> ArticlePage(a),
+       ArticlePage(a) -> "Section" -> SectionPage(s),
+       FrontPage() -> "Section" -> SectionPage(s),
+       FrontPage() -> "Headline" -> ArticlePage(a)
+  COLLECT SectionPages(SectionPage(s)), ArticlePages(ArticlePage(a))
+  // Copy every article attribute onto its page
+  { WHERE a -> l -> v
+    LINK ArticlePage(a) -> l -> v }
+  // Cross links between related articles
+  { WHERE a -> "related" -> r, r -> "section" -> s2
+    LINK ArticlePage(a) -> "Related" -> ArticlePage(r) }
+  // Byline index groups articles by reporter
+  { WHERE a -> "byline" -> w
+    CREATE ReporterPage(w)
+    LINK ReporterPage(w) -> "Name" -> w,
+         ReporterPage(w) -> "Article" -> ArticlePage(a),
+         BylineIndex() -> "Reporter" -> ReporterPage(w)
+    COLLECT ReporterPages(ReporterPage(w)) }
+}
+OUTPUT CNNSite
+|}
+
+(* --- Sports only: the same query with two extra predicates — exactly
+   the paper's description of how the variant was derived --- *)
+
+let sports_only_query =
+  {|INPUT NEWS
+{ CREATE FrontPage(), BylineIndex()
+  LINK FrontPage() -> "Bylines" -> BylineIndex()
+  COLLECT FrontPages(FrontPage()), BylineIndexes(BylineIndex()) }
+{ WHERE Articles(a), a -> "section" -> s, s = "Sports"
+  CREATE SectionPage(s), ArticlePage(a)
+  LINK SectionPage(s) -> "Name" -> s,
+       SectionPage(s) -> "ArticleCount" -> count(a),
+       SectionPage(s) -> "Article" -> ArticlePage(a),
+       ArticlePage(a) -> "Section" -> SectionPage(s),
+       FrontPage() -> "Section" -> SectionPage(s),
+       FrontPage() -> "Headline" -> ArticlePage(a)
+  COLLECT SectionPages(SectionPage(s)), ArticlePages(ArticlePage(a))
+  { WHERE a -> l -> v
+    LINK ArticlePage(a) -> l -> v }
+  { WHERE a -> "related" -> r, r -> "section" -> s2, s2 = "Sports"
+    LINK ArticlePage(a) -> "Related" -> ArticlePage(r) }
+  { WHERE a -> "byline" -> w
+    CREATE ReporterPage(w)
+    LINK ReporterPage(w) -> "Name" -> w,
+         ReporterPage(w) -> "Article" -> ArticlePage(a),
+         BylineIndex() -> "Reporter" -> ReporterPage(w)
+    COLLECT ReporterPages(ReporterPage(w)) }
+}
+OUTPUT CNNSports
+|}
+
+(* --- The nine templates --- *)
+
+let front_template =
+  {|<h1>News</h1>
+<h3>Sections</h3>
+<SFMTLIST @Section ORDER=ascend KEY=Name>
+<h3>Top stories</h3>
+<SFMTLIST @Headline ORDER=descend KEY=date>
+<p><SFMT @Bylines LINK="Our reporters"></p>
+|}
+
+let section_template =
+  {|<h1><SFMT @Name></h1>
+<p><i><SFMT @ArticleCount> stories</i></p>
+<SFOR a IN @Article ORDER=descend KEY=date DELIM="\n">
+<p><SFMT @a> <i>(<SFMT @a.date>)</i></p>
+</SFOR>
+|}
+
+let article_template =
+  {|<h1><SFMT @headline></h1>
+<p><i><SFMT @date><SIF @byline != NULL> — <SFMT @byline></SIF></i></p>
+<SIF @image != NULL><p><SFMT @image></p></SIF>
+<p><SFMT @body></p>
+<SIF @Related><h3>Related stories</h3><SFMTLIST @Related KEY=headline ORDER=ascend></SIF>
+<p>Sections: <SFMT @Section DELIM=", "></p>
+|}
+
+let text_only_article_template =
+  {|<h1><SFMT @headline></h1>
+<p><i><SFMT @date><SIF @byline != NULL> — <SFMT @byline></SIF></i></p>
+<p><SFMT @body></p>
+<SIF @Related><h3>Related stories</h3><SFMTLIST @Related KEY=headline ORDER=ascend></SIF>
+<p>Sections: <SFMT @Section DELIM=", "></p>
+|}
+
+let byline_index_template =
+  {|<h1>Reporters</h1>
+<SFMTLIST @Reporter ORDER=ascend KEY=Name>
+|}
+
+let reporter_template =
+  {|<h1><SFMT @Name></h1>
+<SFMTLIST @Article ORDER=descend KEY=date KEY=headline>
+|}
+
+(* a header/footer pair shows that visual chrome lives in templates,
+   not in the site structure *)
+let banner_template = {|<hr><p align="center">News — a STRUDEL site</p>|}
+let plain_banner_template = {|<hr><p>News</p>|}
+
+let nav_template = {|<p><a href="FrontPage.html">Front page</a></p>|}
+
+let templates : Template.Generator.template_set =
+  {
+    Template.Generator.by_object = [];
+    by_collection =
+      [
+        ("FrontPages", front_template);
+        ("SectionPages", section_template);
+        ("ArticlePages", article_template);
+        ("BylineIndexes", byline_index_template);
+        ("ReporterPages", reporter_template);
+      ];
+    named =
+      [
+        ("banner", banner_template);
+        ("plain-banner", plain_banner_template);
+        ("nav", nav_template);
+        ("article", article_template);
+      ];
+  }
+
+(** The text-only presentation: same site graph, image-free article
+    template (the paper's CNN text-only inconsistency, fixed the
+    STRUDEL way — change one template, every page follows). *)
+let text_only_templates : Template.Generator.template_set =
+  {
+    templates with
+    Template.Generator.by_collection =
+      List.map
+        (fun (c, t) ->
+          if c = "ArticlePages" then (c, text_only_article_template)
+          else (c, t))
+        templates.Template.Generator.by_collection;
+  }
+
+let constraints =
+  [
+    Schema.Verify.Reachable_from "FrontPage";
+    Schema.Verify.Points_to ("SectionPage", "Article", "ArticlePage");
+    Schema.Verify.Points_to ("ArticlePage", "Section", "SectionPage");
+    Schema.Verify.Points_to ("ReporterPage", "Article", "ArticlePage");
+  ]
+
+let definition =
+  Strudel.Site.define ~name:"CNNSite" ~root_family:"FrontPage" ~templates
+    ~constraints
+    [ ("site", general_query) ]
+
+let sports_definition =
+  Strudel.Site.define ~name:"CNNSports" ~root_family:"FrontPage" ~templates
+    ~constraints:[ Schema.Verify.Reachable_from "FrontPage" ]
+    [ ("site", sports_only_query) ]
+
+let text_only_definition =
+  { definition with Strudel.Site.templates = text_only_templates }
+
+(* --- The TextOnly derived site of §3: a second query over the
+   generated site graph, copying everything reachable from the root
+   while dropping image edges --- *)
+
+let text_only_copy_query =
+  {|INPUT CNNSITE
+{ WHERE FrontPages(p), p -> * -> q, q -> l -> q2, not(isImageFile(q2))
+  CREATE New(p), New(q), New(q2)
+  LINK New(q) -> l -> New(q2)
+  COLLECT TextOnlyRoot(New(p)) }
+OUTPUT TextOnly
+|}
+
+let build ?articles ?seed () =
+  Strudel.Site.build ~data:(data ?articles ?seed ()) definition
+
+let build_sports ?articles ?seed () =
+  Strudel.Site.build ~data:(data ?articles ?seed ()) sports_definition

@@ -1,0 +1,268 @@
+(** A researcher's homepage — the paper's "mff" example (§5.1): data
+    from two sources (a BibTeX file and a STRUDEL data file with
+    personal information: address, phone, projects, professional
+    activities, patents), a 48-line site-definition query, thirteen
+    templates, and an external version whose templates exclude patents
+    and proprietary publications and projects. *)
+
+open Sgraph
+
+let personal_ddl =
+  {|collection Owner {}
+collection PersonalProjects {}
+collection Activities {}
+collection Patents {}
+object me in Owner {
+  name "Mary Fernandez"
+  title "Researcher"
+  address "180 Park Avenue, Florham Park, NJ 07932"
+  phone "+1 973 360 0000"
+  email "mff@research.example.com"
+  homepage url "http://www.research.example.com/~mff"
+  photo image "img/mff.jpg"
+}
+object proj_strudel in PersonalProjects {
+  name "STRUDEL"
+  synopsis "A Web-site management system"
+  role "co-lead"
+}
+object proj_mlrisc in PersonalProjects {
+  name "MLRISC"
+  synopsis "Customizable optimizing back-end"
+  role "contributor"
+  proprietary true
+}
+object act_pc in Activities {
+  what "Program committee, SIGMOD"
+  year 1998
+}
+object act_editor in Activities {
+  what "Associate editor, TODS"
+  year 1997
+}
+object pat_1 in Patents {
+  title "Method for declarative Web-site specification"
+  number "US0000001"
+  year 1998
+}
+object pat_2 in Patents {
+  title "Apparatus for semistructured query evaluation"
+  number "US0000002"
+  year 1997
+}
+|}
+
+let bibtex_text ?(entries = 30) ?(seed = 21) () =
+  Wrappers.Synth.bibtex ~seed ~entries ()
+
+(* 48 lines between INPUT and OUTPUT, as in the paper's account. *)
+let site_query =
+  {|INPUT HOME
+{ CREATE Root(), VitaPage(), PubsPage(), ActivitiesPage(), PatentsPage()
+  LINK Root() -> "Vita" -> VitaPage(),
+       Root() -> "Pubs" -> PubsPage(),
+       Root() -> "Activities" -> ActivitiesPage(),
+       Root() -> "Patents" -> PatentsPage()
+  COLLECT Roots(Root()), VitaPages(VitaPage()), PubsPages(PubsPage()),
+          ActivitiesPages(ActivitiesPage()), PatentsPages(PatentsPage()) }
+{ WHERE Owner(me), me -> l -> v
+  LINK VitaPage() -> l -> v, Root() -> l -> v }
+{ WHERE PersonalProjects(j)
+  CREATE ProjectCard(j)
+  LINK VitaPage() -> "Project" -> ProjectCard(j)
+  COLLECT ProjectCards(ProjectCard(j))
+  { WHERE j -> l -> v
+    LINK ProjectCard(j) -> l -> v } }
+{ WHERE Activities(a), a -> l -> v
+  CREATE ActivityCard(a)
+  LINK ActivityCard(a) -> l -> v,
+       ActivitiesPage() -> "Activity" -> ActivityCard(a)
+  COLLECT ActivityCards(ActivityCard(a)) }
+{ WHERE Patents(t), t -> l -> v
+  CREATE PatentCard(t)
+  LINK PatentCard(t) -> l -> v,
+       PatentsPage() -> "Patent" -> PatentCard(t)
+  COLLECT PatentCards(PatentCard(t)) }
+{ WHERE Publications(x), x -> l -> v
+  CREATE Paper(x)
+  LINK Paper(x) -> l -> v,
+       PubsPage() -> "Paper" -> Paper(x)
+  COLLECT Papers(Paper(x))
+  { WHERE l = "year"
+    CREATE YearIndex(v)
+    LINK YearIndex(v) -> "Year" -> v,
+         YearIndex(v) -> "Paper" -> Paper(x),
+         PubsPage() -> "ByYear" -> YearIndex(v)
+    COLLECT YearIndexes(YearIndex(v)) }
+  { WHERE l = "category"
+    CREATE TopicIndex(v)
+    LINK TopicIndex(v) -> "Topic" -> v,
+         TopicIndex(v) -> "Paper" -> Paper(x),
+         PubsPage() -> "ByTopic" -> TopicIndex(v)
+    COLLECT TopicIndexes(TopicIndex(v)) }
+}
+OUTPUT MFF
+|}
+
+(* --- Thirteen templates --- *)
+
+let root_tpl =
+  {|<h1><SFMT @name></h1>
+<p><i><SFMT @title></i></p>
+<SIF @photo != NULL><p><SFMT @photo></p></SIF>
+<ul>
+<li><SFMT @Vita LINK="About me"></li>
+<li><SFMT @Pubs LINK="Publications"></li>
+<li><SFMT @Activities LINK="Professional activities"></li>
+<li><SFMT @Patents LINK="Patents"></li>
+</ul>
+|}
+
+let root_ext_tpl =
+  {|<h1><SFMT @name></h1>
+<p><i><SFMT @title></i></p>
+<ul>
+<li><SFMT @Vita LINK="About me"></li>
+<li><SFMT @Pubs LINK="Publications"></li>
+<li><SFMT @Activities LINK="Professional activities"></li>
+</ul>
+|}
+
+let vita_tpl =
+  {|<h1><SFMT @name></h1>
+<p><SFMT @address></p>
+<p><b>Phone:</b> <SFMT @phone> · <b>Email:</b> <SFMT @email></p>
+<p><SFMT @homepage></p>
+<h3>Projects</h3>
+<SFOR j IN @Project DELIM="\n"><SFMT @j EMBED></SFOR>
+|}
+
+let vita_ext_tpl =
+  {|<h1><SFMT @name></h1>
+<p><b>Email:</b> <SFMT @email></p>
+<p><SFMT @homepage></p>
+<h3>Projects</h3>
+<SFOR j IN @Project DELIM="\n"><SFMT @j EMBED></SFOR>
+|}
+
+let project_card_tpl =
+  {|<p><b><SFMT @name></b> (<SFMT @role>): <SFMT @synopsis></p>
+|}
+
+let project_card_ext_tpl =
+  {|<SIF NOT @proprietary = true><p><b><SFMT @name></b>: <SFMT @synopsis></p></SIF>
+|}
+
+let pubs_tpl =
+  {|<h1>Publications</h1>
+<h3>By year</h3>
+<SFMTLIST @ByYear ORDER=descend KEY=Year>
+<h3>By topic</h3>
+<SFMTLIST @ByTopic ORDER=ascend KEY=Topic>
+<h3>All papers</h3>
+<SFOR p IN @Paper ORDER=descend KEY=year DELIM="\n"><p><SFMT @p EMBED></p></SFOR>
+|}
+
+let paper_tpl =
+  {|<SIF @postscript != NULL><b><SFMT @postscript LINK=@title></b><SELSE><b><SFMT @title></b></SIF>.
+<SFMT @author DELIM=", ">.
+<SIF @journal != NULL><i><SFMT @journal></i>, </SIF><SIF @booktitle != NULL><i><SFMT @booktitle></i>, </SIF><SFMT @year>.
+|}
+
+let year_index_tpl =
+  {|<h2><SFMT @Year></h2>
+<SFOR p IN @Paper ORDER=ascend KEY=title DELIM="\n"><p><SFMT @p EMBED></p></SFOR>
+|}
+
+let topic_index_tpl =
+  {|<h2><SFMT @Topic></h2>
+<SFOR p IN @Paper ORDER=ascend KEY=title DELIM="\n"><p><SFMT @p EMBED></p></SFOR>
+|}
+
+let activities_tpl =
+  {|<h1>Professional activities</h1>
+<SFOR a IN @Activity ORDER=descend KEY=year DELIM="\n"><SFMT @a EMBED></SFOR>
+|}
+
+let activity_card_tpl = {|<p><SFMT @year>: <SFMT @what></p>
+|}
+
+let patents_tpl =
+  {|<h1>Patents</h1>
+<SFOR t IN @Patent ORDER=descend KEY=year DELIM="\n"><SFMT @t EMBED></SFOR>
+|}
+
+let patents_ext_tpl =
+  {|<h1>Patents</h1>
+<p>This information is not available externally.</p>
+|}
+
+let patent_card_tpl =
+  {|<p><b><SFMT @title></b>, <SFMT @number> (<SFMT @year>)</p>
+|}
+
+let internal_templates : Template.Generator.template_set =
+  {
+    Template.Generator.by_object = [];
+    by_collection =
+      [
+        ("Roots", root_tpl);
+        ("VitaPages", vita_tpl);
+        ("ProjectCards", project_card_tpl);
+        ("PubsPages", pubs_tpl);
+        ("Papers", paper_tpl);
+        ("YearIndexes", year_index_tpl);
+        ("TopicIndexes", topic_index_tpl);
+        ("ActivitiesPages", activities_tpl);
+        ("ActivityCards", activity_card_tpl);
+        ("PatentsPages", patents_tpl);
+        ("PatentCards", patent_card_tpl);
+      ];
+    named = [];
+  }
+
+(** External version: same site graph, four changed templates (root
+    without the patents link and photo, vita without phone/address,
+    project cards hiding proprietary projects, patents page emptied). *)
+let external_templates : Template.Generator.template_set =
+  {
+    internal_templates with
+    Template.Generator.by_collection =
+      List.map
+        (fun (c, t) ->
+          match c with
+          | "Roots" -> (c, root_ext_tpl)
+          | "VitaPages" -> (c, vita_ext_tpl)
+          | "ProjectCards" -> (c, project_card_ext_tpl)
+          | "PatentsPages" -> (c, patents_ext_tpl)
+          | _ -> (c, t))
+        internal_templates.Template.Generator.by_collection;
+  }
+
+let constraints =
+  [
+    Schema.Verify.Reachable_from "Root";
+    Schema.Verify.Points_to ("YearIndex", "Paper", "Paper");
+    Schema.Verify.Points_to ("TopicIndex", "Paper", "Paper");
+  ]
+
+let definition =
+  Strudel.Site.define ~name:"MFF" ~root_family:"Root"
+    ~templates:internal_templates ~constraints
+    [ ("site", site_query) ]
+
+(** The data graph integrates the two sources by simple union — both
+    wrappers write into one graph (the paper: "other information is
+    stored in files in STRUDEL's data definition language"). *)
+let data ?entries ?seed () =
+  let g, _ = Ddl.parse ~graph_name:"HOME" personal_ddl in
+  ignore (Wrappers.Bibtex.load_into g (bibtex_text ?entries ?seed ()));
+  g
+
+let build ?entries ?seed () =
+  Strudel.Site.build ~data:(data ?entries ?seed ()) definition
+
+let build_both ?entries ?seed () =
+  let internal = build ?entries ?seed () in
+  let external_ = Strudel.Site.regenerate internal external_templates in
+  (internal, external_)

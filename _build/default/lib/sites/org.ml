@@ -1,0 +1,468 @@
+(** The organization site — the reproduction of the paper's largest
+    example, the internal and external Web sites of AT&T Labs–Research
+    (§5.1).
+
+    Five data sources are integrated by the GAV warehousing mediator:
+    a relational database with two tables ([People], [Orgs]), a
+    structured file of projects, a BibTeX bibliography, and existing
+    HTML pages.  The internal site (home pages of ~400 people, pages
+    for organizations, projects, research areas and publications, plus
+    an intranet page of proprietary rosters) is defined by one
+    site-definition query; the external site shares the same site graph
+    and differs only in five templates that exclude or reformat
+    information that cannot be viewed externally — exactly the
+    paper's account of how the external site cost nothing new. *)
+
+open Sgraph
+
+(* --- Sources --- *)
+
+type sources = {
+  rdb : Mediator.Source.t;       (* personnel + organization tables *)
+  projects : Mediator.Source.t;  (* structured project files *)
+  bib : Mediator.Source.t;       (* publications *)
+  html : Mediator.Source.t;      (* legacy HTML pages *)
+}
+
+let legacy_pages =
+  [
+    ( "visitors.html",
+      "<html><head><title>Visiting the lab</title></head><body>\n\
+       <h1>Visiting the lab</h1><p>Directions to Florham Park and \
+       Murray Hill.</p>\n\
+       <a href=\"http://www.example.com/map\">Campus map</a></body></html>"
+    );
+    ( "history.html",
+      "<html><head><title>Lab history</title></head><body>\n\
+       <h1>Lab history</h1><p>Seventy years of research.</p>\n\
+       <img src=\"img/building.jpg\"></body></html>" );
+    ( "awards.html",
+      "<html><head><title>Awards</title></head><body><h1>Awards</h1>\n\
+       <h2>Best paper awards</h2><p>A list of awards.</p></body></html>" );
+  ]
+
+let make_sources ?(seed = 11) ~people ~orgs ~projects ~pubs () : sources =
+  let people_csv, orgs_csv = Wrappers.Synth.org_csv ~seed ~people ~orgs () in
+  let rdb_loader () =
+    let g = Graph.create ~name:"RDB" () in
+    (* both tables load together so the people→org and org→director
+       foreign keys resolve in either direction *)
+    ignore
+      (Wrappers.Csv.load_tables g
+         [
+           Wrappers.Csv.table_of_string ~name:"People" people_csv;
+           Wrappers.Csv.table_of_string ~name:"Orgs" orgs_csv;
+         ]);
+    g
+  in
+  let projects_text =
+    Wrappers.Synth.projects_file ~seed:(seed + 1) ~projects ~people ()
+  in
+  let bib_text = Wrappers.Synth.bibtex ~seed:(seed + 2) ~entries:pubs () in
+  {
+    rdb = Mediator.Source.make ~name:"rdb" rdb_loader;
+    projects =
+      Mediator.Source.make ~name:"projects" (fun () ->
+          fst (Wrappers.Structured_file.load ~graph_name:"FILES" projects_text));
+    bib =
+      Mediator.Source.make ~name:"bib" (fun () ->
+          fst (Wrappers.Bibtex.load ~graph_name:"BIB" bib_text));
+    html =
+      Mediator.Source.make ~name:"html" (fun () ->
+          fst (Wrappers.Html_wrapper.load_pages ~graph_name:"HTML" legacy_pages));
+  }
+
+(* --- GAV mediation: the mediated schema has collections People,
+   Orgs, Projects, Publications and Pages --- *)
+
+let mediation_mappings : Mediator.Gav.mapping list =
+  let m source q = Mediator.Gav.mapping_of_string ~source (q ^ " OUTPUT mediated") in
+  [
+    m "rdb"
+      {|WHERE People(x), x -> l -> v, isAtomic(v)
+        CREATE Person(x) LINK Person(x) -> l -> v
+        COLLECT People(Person(x))|};
+    m "rdb"
+      {|WHERE Orgs(x), x -> l -> v, isAtomic(v)
+        CREATE Org(x) LINK Org(x) -> l -> v
+        COLLECT Orgs(Org(x))|};
+    m "rdb"
+      {|WHERE People(x), x -> "org" -> o, Orgs(o)
+        CREATE Person(x), Org(o)
+        LINK Person(x) -> "Org" -> Org(o), Org(o) -> "Member" -> Person(x)|};
+    m "rdb"
+      {|WHERE Orgs(x), x -> "director" -> d, People(d)
+        CREATE Org(x), Person(d)
+        LINK Org(x) -> "Director" -> Person(d)|};
+    m "rdb"
+      {|WHERE Orgs(x), x -> "parent" -> q, Orgs(q)
+        CREATE Org(x), Org(q)
+        LINK Org(x) -> "Parent" -> Org(q), Org(q) -> "SubOrg" -> Org(x)|};
+    m "projects"
+      {|WHERE Projects(x), x -> l -> v, isAtomic(v)
+        CREATE Proj(x) LINK Proj(x) -> l -> v
+        COLLECT Projects(Proj(x))|};
+    (* cross-source join: project members reference people by login *)
+    m "*"
+      {|WHERE Projects(j), j -> "member" -> mlogin,
+              People(p), p -> "login" -> mlogin
+        CREATE Proj(j), Person(p)
+        LINK Proj(j) -> "Member" -> Person(p),
+             Person(p) -> "Project" -> Proj(j)|};
+    m "bib"
+      {|WHERE Publications(x), x -> l -> v, isAtomic(v)
+        CREATE Pub(x) LINK Pub(x) -> l -> v
+        COLLECT Publications(Pub(x))|};
+    (* cross-source join: publication authors matched to people by name *)
+    m "*"
+      {|WHERE Publications(x), x -> "author" -> a,
+              People(p), p -> "name" -> a
+        CREATE Pub(x), Person(p)
+        LINK Pub(x) -> "AuthorPerson" -> Person(p),
+             Person(p) -> "Publication" -> Pub(x)|};
+    m "html"
+      {|WHERE Pages(x), x -> l -> v, isAtomic(v)
+        CREATE LegacyDoc(x) LINK LegacyDoc(x) -> l -> v
+        COLLECT Pages(LegacyDoc(x))|};
+  ]
+
+let warehouse sources =
+  Mediator.Warehouse.create
+    ~sources:[ sources.rdb; sources.projects; sources.bib; sources.html ]
+    ~mappings:mediation_mappings ()
+
+(* --- The internal site-definition query --- *)
+
+let site_query =
+  {|INPUT MEDIATED
+// Top-level pages: home plus one index per facet, and the intranet.
+{ CREATE Home(), PeopleIndex(), ProjectIndex(), AreaIndex(),
+         PubsIndex(), LegacyIndex(), Intranet(), Banner()
+  LINK Home() -> "PeopleIndex" -> PeopleIndex(),
+       Home() -> "ProjectIndex" -> ProjectIndex(),
+       Home() -> "AreaIndex" -> AreaIndex(),
+       Home() -> "PubsIndex" -> PubsIndex(),
+       Home() -> "LegacyIndex" -> LegacyIndex(),
+       Home() -> "Intranet" -> Intranet(),
+       Home() -> "Banner" -> Banner(),
+       PeopleIndex() -> "Banner" -> Banner(),
+       ProjectIndex() -> "Banner" -> Banner(),
+       AreaIndex() -> "Banner" -> Banner(),
+       PubsIndex() -> "Banner" -> Banner(),
+       Banner() -> "HTML-template" -> "banner"
+  COLLECT Homes(Home()), PeopleIndexes(PeopleIndex()),
+          ProjectIndexes(ProjectIndex()), AreaIndexes(AreaIndex()),
+          PubsIndexes(PubsIndex()), LegacyIndexes(LegacyIndex()),
+          Intranets(Intranet()) }
+// A home page for every person, carrying all their public attributes.
+{ WHERE People(p)
+  CREATE PersonPage(p)
+  LINK PeopleIndex() -> "Person" -> PersonPage(p)
+  COLLECT PersonPages(PersonPage(p))
+  { WHERE p -> l -> v, isAtomic(v)
+    LINK PersonPage(p) -> l -> v }
+  { WHERE p -> "Org" -> o
+    LINK PersonPage(p) -> "Organization" -> OrgPage(o) }
+  { WHERE p -> "Project" -> j
+    LINK PersonPage(p) -> "ProjectPage" -> ProjectPage(j) }
+  { WHERE p -> "Publication" -> x
+    LINK PersonPage(p) -> "Paper" -> PubPresentation(x) }
+}
+// A page per organization: members, director, sub-organizations.
+{ WHERE Orgs(o)
+  CREATE OrgPage(o)
+  LINK Home() -> "Organization" -> OrgPage(o)
+  COLLECT OrgPages(OrgPage(o))
+  { WHERE o -> l -> v, isAtomic(v)
+    LINK OrgPage(o) -> l -> v }
+  { WHERE o -> "Director" -> d
+    LINK OrgPage(o) -> "DirectorPage" -> PersonPage(d) }
+  { WHERE o -> "SubOrg" -> q
+    LINK OrgPage(o) -> "SubOrgPage" -> OrgPage(q) }
+  { WHERE o -> "Member" -> p2
+    LINK OrgPage(o) -> "MemberPage" -> PersonPage(p2) }
+}
+// Project pages; proprietary ones select the intranet template.
+{ WHERE Projects(j)
+  CREATE ProjectPage(j)
+  LINK ProjectIndex() -> "Project" -> ProjectPage(j)
+  COLLECT ProjectPages(ProjectPage(j))
+  { WHERE j -> l -> v, isAtomic(v)
+    LINK ProjectPage(j) -> l -> v }
+  { WHERE j -> "Member" -> p3
+    LINK ProjectPage(j) -> "MemberPage" -> PersonPage(p3) }
+  { WHERE j -> "proprietary" -> f, f = true
+    LINK ProjectPage(j) -> "HTML-template" -> "proprietary-project" }
+}
+// One page per research area, listing its people.
+{ WHERE People(p), p -> "area" -> ar
+  CREATE AreaPage(ar)
+  LINK AreaIndex() -> "Area" -> AreaPage(ar),
+       AreaPage(ar) -> "Name" -> ar,
+       AreaPage(ar) -> "PersonPage" -> PersonPage(p)
+  COLLECT AreaPages(AreaPage(ar)) }
+// The technical-publications index.
+{ WHERE Publications(x)
+  CREATE PubPresentation(x)
+  LINK PubsIndex() -> "Paper" -> PubPresentation(x)
+  COLLECT PubPresentations(PubPresentation(x))
+  { WHERE x -> l -> v, isAtomic(v)
+    LINK PubPresentation(x) -> l -> v }
+  { WHERE x -> "AuthorPerson" -> p4
+    LINK PubPresentation(x) -> "AuthorPage" -> PersonPage(p4) }
+}
+// Wrapped legacy HTML pages, rendered through a named template.
+{ WHERE Pages(h)
+  CREATE LegacyPage(h)
+  LINK LegacyIndex() -> "Doc" -> LegacyPage(h),
+       LegacyPage(h) -> "HTML-template" -> "legacy-doc"
+  COLLECT LegacyPages(LegacyPage(h))
+  { WHERE h -> l -> v, isAtomic(v)
+    LINK LegacyPage(h) -> l -> v }
+}
+// Intranet rosters: proprietary projects and people (internal only).
+{ WHERE Projects(j2), j2 -> "proprietary" -> f2, f2 = true
+  LINK Intranet() -> "ProprietaryProject" -> ProjectPage(j2) }
+{ WHERE People(p5), p5 -> "proprietary" -> f3, f3 = true
+  LINK Intranet() -> "ProprietaryPerson" -> PersonPage(p5) }
+OUTPUT ORGSITE
+|}
+
+(* --- Internal templates --- *)
+
+let home_tpl =
+  {|<SFMT @Banner EMBED>
+<h1>The Research Lab</h1>
+<p>Welcome to the laboratory's internal site.</p>
+<ul>
+<li><SFMT @PeopleIndex LINK="People"></li>
+<li><SFMT @ProjectIndex LINK="Projects"></li>
+<li><SFMT @AreaIndex LINK="Research areas"></li>
+<li><SFMT @PubsIndex LINK="Technical publications"></li>
+<li><SFMT @LegacyIndex LINK="About the lab"></li>
+<li><SFMT @Intranet LINK="Intranet (internal)"></li>
+</ul>
+<h3>Organizations</h3>
+<SFMTLIST @Organization ORDER=ascend KEY=name>
+|}
+
+let people_index_tpl =
+  {|<SFMT @Banner EMBED>
+<h1>People</h1>
+<SFMTLIST @Person ORDER=ascend KEY=name>
+|}
+
+let person_tpl =
+  {|<h1><SFMT @name></h1>
+<p><b>Login:</b> <SFMT @login> · <b>Email:</b> <SFMT @email></p>
+<SIF @phone != NULL><p><b>Phone:</b> <SFMT @phone></p></SIF>
+<SIF @office != NULL><p><b>Office:</b> <SFMT @office></p></SIF>
+<SIF @area != NULL><p><b>Research area:</b> <SFMT @area></p></SIF>
+<p><b>Organization:</b> <SFMT @Organization></p>
+<SIF @ProjectPage><h3>Projects</h3><SFMTLIST @ProjectPage ORDER=ascend KEY=name></SIF>
+<SIF @Paper><h3>Publications</h3><SFMTLIST @Paper ORDER=descend KEY=year></SIF>
+<SIF @proprietary = true><p><i>[works on proprietary matters]</i></p></SIF>
+|}
+
+let org_tpl =
+  {|<h1><SFMT @name></h1>
+<SIF @DirectorPage><p><b>Director:</b> <SFMT @DirectorPage></p></SIF>
+<SIF @SubOrgPage><h3>Sub-organizations</h3><SFMTLIST @SubOrgPage ORDER=ascend KEY=name></SIF>
+<h3>Members</h3>
+<SFMTLIST @MemberPage ORDER=ascend KEY=name>
+|}
+
+let project_index_tpl =
+  {|<SFMT @Banner EMBED>
+<h1>Projects</h1>
+<SFMTLIST @Project ORDER=ascend KEY=name>
+|}
+
+let project_tpl =
+  {|<h1><SFMT @name></h1>
+<SIF @synopsis != NULL><p><SFMT @synopsis></p><SELSE><p><i>(no synopsis)</i></p></SIF>
+<SIF @sponsor != NULL><p><b>Sponsor:</b> <SFMT @sponsor></p></SIF>
+<h3>Members</h3>
+<SFMTLIST @MemberPage ORDER=ascend KEY=name>
+|}
+
+let proprietary_project_tpl =
+  {|<p><b>[INTERNAL — proprietary project]</b></p>
+<h1><SFMT @name></h1>
+<SIF @synopsis != NULL><p><SFMT @synopsis></p></SIF>
+<SIF @sponsor != NULL><p><b>Sponsor:</b> <SFMT @sponsor></p></SIF>
+<h3>Members</h3>
+<SFMTLIST @MemberPage ORDER=ascend KEY=name>
+|}
+
+let area_index_tpl =
+  {|<SFMT @Banner EMBED>
+<h1>Research areas</h1>
+<SFMTLIST @Area ORDER=ascend KEY=Name>
+|}
+
+let area_tpl =
+  {|<h1><SFMT @Name></h1>
+<h3>People working in this area</h3>
+<SFMTLIST @PersonPage ORDER=ascend KEY=name>
+|}
+
+let pubs_index_tpl =
+  {|<SFMT @Banner EMBED>
+<h1>Technical publications</h1>
+<SFMTLIST @Paper ORDER=descend KEY=year>
+|}
+
+let pub_tpl =
+  {|<b><SIF @postscript != NULL><SFMT @postscript LINK=@title><SELSE><SFMT @title></SIF></b>.
+<SFMT @author DELIM=", ">.
+<SIF @journal != NULL><i><SFMT @journal></i>, </SIF><SIF @booktitle != NULL><i><SFMT @booktitle></i>, </SIF><SFMT @year>.
+<SIF @AuthorPage>(local: <SFMT @AuthorPage DELIM=", ">)</SIF>
+|}
+
+let legacy_index_tpl =
+  {|<h1>About the lab</h1>
+<SFMTLIST @Doc ORDER=ascend KEY=title>
+|}
+
+let legacy_doc_tpl =
+  {|<h1><SFMT @title></h1>
+<SIF @heading><h3><SFMT @heading DELIM=" · "></h3></SIF>
+<p><SFMT @text></p>
+<SIF @image><p><SFMT @image></p></SIF>
+|}
+
+let intranet_tpl =
+  {|<h1>Intranet</h1>
+<p><b>[INTERNAL ONLY]</b></p>
+<SIF @ProprietaryProject><h3>Proprietary projects</h3><SFMTLIST @ProprietaryProject ORDER=ascend KEY=name></SIF>
+<SIF @ProprietaryPerson><h3>People on proprietary work</h3><SFMTLIST @ProprietaryPerson ORDER=ascend KEY=name></SIF>
+|}
+
+let banner_tpl = {|<p align="center">— The Research Lab —</p><hr>|}
+
+let internal_templates : Template.Generator.template_set =
+  {
+    Template.Generator.by_object = [];
+    by_collection =
+      [
+        ("Homes", home_tpl);
+        ("PeopleIndexes", people_index_tpl);
+        ("PersonPages", person_tpl);
+        ("OrgPages", org_tpl);
+        ("ProjectIndexes", project_index_tpl);
+        ("ProjectPages", project_tpl);
+        ("AreaIndexes", area_index_tpl);
+        ("AreaPages", area_tpl);
+        ("PubsIndexes", pubs_index_tpl);
+        ("PubPresentations", pub_tpl);
+        ("LegacyIndexes", legacy_index_tpl);
+        ("Intranets", intranet_tpl);
+      ];
+    named =
+      [
+        ("banner", banner_tpl);
+        ("legacy-doc", legacy_doc_tpl);
+        ("proprietary-project", proprietary_project_tpl);
+      ];
+  }
+
+(* --- External templates: five files differ (home, person, project,
+   banner, intranet); everything else is shared --- *)
+
+let home_ext_tpl =
+  {|<SFMT @Banner EMBED>
+<h1>The Research Lab</h1>
+<p>Welcome to the laboratory.</p>
+<ul>
+<li><SFMT @PeopleIndex LINK="People"></li>
+<li><SFMT @ProjectIndex LINK="Projects"></li>
+<li><SFMT @AreaIndex LINK="Research areas"></li>
+<li><SFMT @PubsIndex LINK="Technical publications"></li>
+<li><SFMT @LegacyIndex LINK="About the lab"></li>
+</ul>
+<h3>Organizations</h3>
+<SFMTLIST @Organization ORDER=ascend KEY=name>
+|}
+
+let person_ext_tpl =
+  {|<h1><SFMT @name></h1>
+<p><b>Email:</b> <SFMT @email></p>
+<SIF @area != NULL><p><b>Research area:</b> <SFMT @area></p></SIF>
+<p><b>Organization:</b> <SFMT @Organization></p>
+<SIF @ProjectPage><h3>Projects</h3><SFMTLIST @ProjectPage ORDER=ascend KEY=name></SIF>
+<SIF @Paper><h3>Publications</h3><SFMTLIST @Paper ORDER=descend KEY=year></SIF>
+|}
+
+let project_ext_tpl =
+  {|<h1><SFMT @name></h1>
+<SIF @proprietary = true><p><i>Details of this project are not public.</i></p>
+<SELSE><SIF @synopsis != NULL><p><SFMT @synopsis></p></SIF>
+<h3>Members</h3>
+<SFMTLIST @MemberPage ORDER=ascend KEY=name></SIF>
+|}
+
+let intranet_ext_tpl =
+  {|<h1>Not available</h1>
+<p>This page is available on the internal server only.</p>
+|}
+
+let external_templates : Template.Generator.template_set =
+  {
+    Template.Generator.by_object = [];
+    by_collection =
+      List.map
+        (fun (c, t) ->
+          match c with
+          | "Homes" -> (c, home_ext_tpl)
+          | "PersonPages" -> (c, person_ext_tpl)
+          | "ProjectPages" -> (c, project_ext_tpl)
+          | "Intranets" -> (c, intranet_ext_tpl)
+          | _ -> (c, t))
+        internal_templates.Template.Generator.by_collection;
+    named =
+      [
+        ("banner", banner_tpl);
+        ("legacy-doc", legacy_doc_tpl);
+        ("proprietary-project", project_ext_tpl);
+      ];
+  }
+
+let constraints =
+  [
+    Schema.Verify.Reachable_from "Home";
+    Schema.Verify.Points_to ("OrgPage", "MemberPage", "PersonPage");
+    Schema.Verify.Points_to ("ProjectPage", "MemberPage", "PersonPage");
+    Schema.Verify.Acyclic_links "SubOrgPage";
+  ]
+
+let definition =
+  Strudel.Site.define ~name:"ORGSITE" ~root_family:"Home"
+    ~templates:internal_templates ~constraints
+    [ ("site", site_query) ]
+
+(* --- Builders --- *)
+
+let default_people = 400
+let default_orgs = 12
+let default_projects = 30
+let default_pubs = 80
+
+let data ?(seed = 11) ?(people = default_people) ?(orgs = default_orgs)
+    ?(projects = default_projects) ?(pubs = default_pubs) () =
+  let sources = make_sources ~seed ~people ~orgs ~projects ~pubs () in
+  let w = warehouse sources in
+  (sources, w)
+
+(** Build the internal site and derive the external one from the same
+    site graph. *)
+let build_both ?seed ?people ?orgs ?projects ?pubs () =
+  let _sources, w = data ?seed ?people ?orgs ?projects ?pubs () in
+  let internal =
+    Strudel.Site.build ~data:(Mediator.Warehouse.graph w) definition
+  in
+  let external_ = Strudel.Site.regenerate internal external_templates in
+  (internal, external_)
+
+let build ?seed ?people ?orgs ?projects ?pubs () =
+  fst (build_both ?seed ?people ?orgs ?projects ?pubs ())

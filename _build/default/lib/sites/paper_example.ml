@@ -1,0 +1,152 @@
+(** The paper's running example, verbatim: the Fig. 2 data graph, the
+    Fig. 3 site-definition query and the Fig. 7 HTML templates.  Used
+    by the quickstart example and by the E1–E5 figure reproductions. *)
+
+(* --- Fig. 2: fragment of the data graph, in the DDL --- *)
+
+let data_ddl =
+  {|collection Publications { abstract text postscript ps }
+object pub1 in Publications {
+  title "Specifying Representations of Machine Instructions"
+  author "Norman Ramsey"
+  author "Mary Fernandez"
+  year 1997
+  month "May"
+  journal "Transactions on Programming Languages and Systems"
+  pub-type "article"
+  abstract "abstracts/toplas97.txt"
+  postscript "papers/toplas97.ps.gz"
+  volume "19 (3)"
+  category "Architecture Specifications"
+  category "Programming Languages"
+}
+object pub2 in Publications {
+  title "Optimizing Regular Path Expressions Using Graph Schemas"
+  author "Mary Fernandez"
+  author "Dan Suciu"
+  year 1998
+  booktitle "Proc. of ICDE"
+  pub-type "inproceedings"
+  abstract "abstracts/icde98.txt"
+  postscript "papers/icde98.ps.gz"
+  category "Semistructured Data"
+  category "Programming Languages"
+}
+|}
+
+(* --- Fig. 3: the site-definition query --- *)
+
+let site_query =
+  {|INPUT BIBTEX
+// Create Root & Abstracts page and link them
+{ CREATE RootPage(), AbstractsPage()
+  LINK RootPage() -> "AbstractsPage" -> AbstractsPage()
+  COLLECT RootPages(RootPage()), AbstractsPages(AbstractsPage()) }
+// Create a presentation for every publication x
+{ WHERE Publications(x), x -> l -> v                         // Q1
+  CREATE PaperPresentation(x), AbstractPage(x)
+  LINK AbstractPage(x) -> l -> v,
+       PaperPresentation(x) -> l -> v,
+       PaperPresentation(x) -> "Abstract" -> AbstractPage(x),
+       AbstractsPage() -> "Abstract" -> AbstractPage(x)
+  COLLECT PaperPresentations(PaperPresentation(x)),
+          AbstractPages(AbstractPage(x))
+  { // Create a page for every year
+    WHERE l = "year"                                         // Q2
+    CREATE YearPage(v)
+    LINK YearPage(v) -> "Year" -> v,
+         YearPage(v) -> "Paper" -> PaperPresentation(x),
+         RootPage() -> "YearPage" -> YearPage(v)
+    COLLECT YearPages(YearPage(v)) }
+  { // Create a page for every category
+    WHERE l = "category"                                     // Q3
+    CREATE CategoryPage(v)
+    LINK CategoryPage(v) -> "Name" -> v,
+         CategoryPage(v) -> "Paper" -> PaperPresentation(x),
+         RootPage() -> "CategoryPage" -> CategoryPage(v)
+    COLLECT CategoryPages(CategoryPage(v)) }
+}
+OUTPUT HomePage
+|}
+
+(* --- Fig. 7: the HTML templates --- *)
+
+let root_template =
+  {|<h1>Publications</h1>
+<h3>Publications by Year</h3>
+<SFMTLIST @YearPage ORDER=ascend KEY=Year>
+<h3>Publications by Topic</h3>
+<SFMTLIST @CategoryPage ORDER=ascend KEY=Name>
+<p><SFMT @AbstractsPage LINK="All paper abstracts"></p>
+|}
+
+let abstracts_template =
+  {|<h1>Paper Abstracts</h1>
+<SFOR a IN @Abstract DELIM="<hr>"><SFMT @a EMBED></SFOR>
+|}
+
+let year_template =
+  {|<h2>Publications from <SFMT @Year></h2>
+<SFMTLIST @Paper ORDER=ascend KEY=title>
+|}
+
+let category_template =
+  {|<h2>Publications on <SFMT @Name></h2>
+<SFMTLIST @Paper ORDER=ascend KEY=title>
+|}
+
+let paper_presentation_template =
+  {|<b><SFMT @postscript LINK=@title></b>.
+By <SFMT @author DELIM=", ">,
+<SIF @journal != NULL><i><SFMT @journal></i>, </SIF><SIF @booktitle != NULL><i><SFMT @booktitle></i>, </SIF><SFMT @year>.
+<SFMT @Abstract LINK="abstract">
+|}
+
+let abstract_page_template =
+  {|<h3><SFMT @title></h3>
+By <SFMT @author DELIM=", ">.
+<SIF @journal != NULL><i><SFMT @journal></i>, </SIF><SIF @booktitle != NULL><i><SFMT @booktitle></i>, </SIF><SFMT @year>.
+<p><SFMT @abstract></p>
+<p><SFMT @postscript LINK="PostScript"></p>
+|}
+
+let templates : Template.Generator.template_set =
+  {
+    Template.Generator.by_object = [];
+    by_collection =
+      [
+        ("RootPages", root_template);
+        ("AbstractsPages", abstracts_template);
+        ("YearPages", year_template);
+        ("CategoryPages", category_template);
+        ("PaperPresentations", paper_presentation_template);
+        ("AbstractPages", abstract_page_template);
+      ];
+    named = [];
+  }
+
+let constraints =
+  [
+    Schema.Verify.Reachable_from "RootPage";
+    Schema.Verify.Points_to ("YearPage", "Paper", "PaperPresentation");
+    Schema.Verify.Points_to ("CategoryPage", "Paper", "PaperPresentation");
+    Schema.Verify.Points_to ("PaperPresentation", "Abstract", "AbstractPage");
+  ]
+
+let definition =
+  Strudel.Site.define ~name:"HomePage" ~root_family:"RootPage" ~templates
+    ~constraints
+    [ ("site", site_query) ]
+
+let data () : Sgraph.Graph.t =
+  fst (Sgraph.Ddl.parse ~graph_name:"BIBTEX" data_ddl)
+
+(** A scaled version of the same site over a generated bibliography —
+    the workload of several benches. *)
+let data_scaled ?(seed = 3) ~entries () : Sgraph.Graph.t =
+  let bib = Wrappers.Synth.bibtex ~seed ~entries () in
+  fst (Wrappers.Bibtex.load bib)
+
+let build () = Strudel.Site.build ~data:(data ()) definition
+let build_scaled ~entries () =
+  Strudel.Site.build ~data:(data_scaled ~entries ()) definition

@@ -1,0 +1,182 @@
+(** The INRIA-Rodin site (§5.1): a bilingual organization site.
+
+    "Its main feature is that the site has two views: one English and
+    one French.  The two sites are cross-linked so that each English
+    page is linked to the equivalent page in the French site and vice
+    versa.  One StruQL query defines both views and creates the links
+    between them."
+
+    The data graph carries bilingual attributes ([title_en]/[title_fr],
+    [synopsis_en]/[synopsis_fr]); the single site-definition query
+    creates an [En...] and a [Fr...] page family for every entity and
+    cross-links the pairs with ["Translation"] edges — both endpoints
+    are new nodes, so the mutual links respect StruQL's immutability
+    rule. *)
+
+open Sgraph
+
+let project_data =
+  [
+    ("verso", "The Verso project", "Le projet Verso",
+     "Database research", "Recherche en bases de donnees");
+    ("rodin", "The Rodin project", "Le projet Rodin",
+     "Object databases and views", "Bases de donnees objets et vues");
+    ("coq", "The Coq project", "Le projet Coq",
+     "Proof assistants", "Assistants de preuve");
+    ("para", "The Para project", "Le projet Para",
+     "Parallel languages", "Langages paralleles");
+  ]
+
+let people_data =
+  [
+    ("df", "Daniela Florescu", "rodin");
+    ("sa", "Serge Abiteboul", "verso");
+    ("sc", "Sophie Cluet", "verso");
+    ("js", "Jerome Simeon", "rodin");
+  ]
+
+let data ?(extra_projects = 0) () =
+  let g = Graph.create ~name:"RODIN" () in
+  List.iter
+    (fun (id, ten, tfr, sen, sfr) ->
+      let o = Graph.new_node g id in
+      Graph.add_to_collection g "Projects" o;
+      Graph.add_edge g o "title_en" (Graph.V (Value.String ten));
+      Graph.add_edge g o "title_fr" (Graph.V (Value.String tfr));
+      Graph.add_edge g o "synopsis_en" (Graph.V (Value.String sen));
+      Graph.add_edge g o "synopsis_fr" (Graph.V (Value.String sfr)))
+    project_data;
+  for i = 0 to extra_projects - 1 do
+    let o = Graph.new_node g (Printf.sprintf "xp%d" i) in
+    Graph.add_to_collection g "Projects" o;
+    Graph.add_edge g o "title_en"
+      (Graph.V (Value.String (Printf.sprintf "Project %d" i)));
+    Graph.add_edge g o "title_fr"
+      (Graph.V (Value.String (Printf.sprintf "Projet %d" i)));
+    Graph.add_edge g o "synopsis_en" (Graph.V (Value.String "A project"));
+    Graph.add_edge g o "synopsis_fr" (Graph.V (Value.String "Un projet"))
+  done;
+  List.iter
+    (fun (id, name, proj) ->
+      let o = Graph.new_node g id in
+      Graph.add_to_collection g "People" o;
+      Graph.add_edge g o "name" (Graph.V (Value.String name));
+      match Graph.find_node g proj with
+      | Some p -> Graph.add_edge g o "project" (Graph.N p)
+      | None -> ())
+    people_data;
+  g
+
+(* One query, two views, cross-linked. *)
+let site_query =
+  {|INPUT RODIN
+// Both roots, mutually translated
+{ CREATE EnHome(), FrHome()
+  LINK EnHome() -> "Translation" -> FrHome(),
+       FrHome() -> "Translation" -> EnHome()
+  COLLECT EnHomes(EnHome()), FrHomes(FrHome()) }
+// A project page in each language, cross-linked
+{ WHERE Projects(j)
+  CREATE EnProject(j), FrProject(j)
+  LINK EnHome() -> "Project" -> EnProject(j),
+       FrHome() -> "Projet" -> FrProject(j),
+       EnProject(j) -> "Translation" -> FrProject(j),
+       FrProject(j) -> "Translation" -> EnProject(j)
+  COLLECT EnProjects(EnProject(j)), FrProjects(FrProject(j))
+  { WHERE j -> "title_en" -> t
+    LINK EnProject(j) -> "Title" -> t }
+  { WHERE j -> "title_fr" -> t
+    LINK FrProject(j) -> "Title" -> t }
+  { WHERE j -> "synopsis_en" -> s
+    LINK EnProject(j) -> "Synopsis" -> s }
+  { WHERE j -> "synopsis_fr" -> s
+    LINK FrProject(j) -> "Synopsis" -> s }
+  { WHERE People(p), p -> "project" -> j
+    CREATE EnPerson(p), FrPerson(p)
+    LINK EnProject(j) -> "Member" -> EnPerson(p),
+         FrProject(j) -> "Membre" -> FrPerson(p),
+         EnPerson(p) -> "Translation" -> FrPerson(p),
+         FrPerson(p) -> "Translation" -> EnPerson(p),
+         EnPerson(p) -> "Project" -> EnProject(j),
+         FrPerson(p) -> "Projet" -> FrProject(j)
+    COLLECT EnPeople(EnPerson(p)), FrPeople(FrPerson(p))
+    { WHERE p -> "name" -> n
+      LINK EnPerson(p) -> "Name" -> n, FrPerson(p) -> "Name" -> n } }
+}
+OUTPUT RODINSITE
+|}
+
+let en_home_tpl =
+  {|<h1>The Rodin Project</h1>
+<p><SFMT @Translation LINK="Version francaise"></p>
+<h3>Projects</h3>
+<SFMTLIST @Project ORDER=ascend KEY=Title>
+|}
+
+let fr_home_tpl =
+  {|<h1>Le projet Rodin</h1>
+<p><SFMT @Translation LINK="English version"></p>
+<h3>Projets</h3>
+<SFMTLIST @Projet ORDER=ascend KEY=Title>
+|}
+
+let en_project_tpl =
+  {|<h1><SFMT @Title></h1>
+<p><SFMT @Synopsis></p>
+<p><SFMT @Translation LINK="en francais"></p>
+<h3>Members</h3>
+<SFMTLIST @Member ORDER=ascend KEY=Name>
+|}
+
+let fr_project_tpl =
+  {|<h1><SFMT @Title></h1>
+<p><SFMT @Synopsis></p>
+<p><SFMT @Translation LINK="in English"></p>
+<h3>Membres</h3>
+<SFMTLIST @Membre ORDER=ascend KEY=Name>
+|}
+
+let en_person_tpl =
+  {|<h1><SFMT @Name></h1>
+<p>Project: <SFMT @Project></p>
+<p><SFMT @Translation LINK="en francais"></p>
+|}
+
+let fr_person_tpl =
+  {|<h1><SFMT @Name></h1>
+<p>Projet : <SFMT @Projet></p>
+<p><SFMT @Translation LINK="in English"></p>
+|}
+
+let templates : Template.Generator.template_set =
+  {
+    Template.Generator.by_object = [];
+    by_collection =
+      [
+        ("EnHomes", en_home_tpl);
+        ("FrHomes", fr_home_tpl);
+        ("EnProjects", en_project_tpl);
+        ("FrProjects", fr_project_tpl);
+        ("EnPeople", en_person_tpl);
+        ("FrPeople", fr_person_tpl);
+      ];
+    named = [];
+  }
+
+(* Every English page must point at its French twin and vice versa. *)
+let constraints =
+  [
+    Schema.Verify.Reachable_from "EnHome";
+    Schema.Verify.Points_to ("EnProject", "Translation", "FrProject");
+    Schema.Verify.Points_to ("FrProject", "Translation", "EnProject");
+    Schema.Verify.Points_to ("EnPerson", "Translation", "FrPerson");
+    Schema.Verify.Points_to ("FrPerson", "Translation", "EnPerson");
+  ]
+
+let definition =
+  Strudel.Site.define ~name:"RODINSITE" ~root_family:"EnHome" ~templates
+    ~constraints
+    [ ("site", site_query) ]
+
+let build ?extra_projects () =
+  Strudel.Site.build ~data:(data ?extra_projects ()) definition

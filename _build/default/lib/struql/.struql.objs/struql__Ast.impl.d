@@ -1,0 +1,1 @@
+lib/struql/ast.ml: List Sgraph String

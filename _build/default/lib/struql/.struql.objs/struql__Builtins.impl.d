@@ -1,0 +1,1 @@
+lib/struql/builtins.ml: Graph List Sgraph String Value

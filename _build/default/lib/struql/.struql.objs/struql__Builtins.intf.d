@@ -1,0 +1,1 @@
+lib/struql/builtins.mli: Graph Sgraph Value

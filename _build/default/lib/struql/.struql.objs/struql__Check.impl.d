@@ -1,0 +1,1 @@
+lib/struql/check.ml: Ast Fmt Hashtbl List Pretty Stdlib

@@ -1,0 +1,1 @@
+lib/struql/check.mli: Ast Format

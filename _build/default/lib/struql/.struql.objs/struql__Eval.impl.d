@@ -1,0 +1,1 @@
+lib/struql/eval.ml: Ast Builtins Check Fmt Graph Hashtbl List Map Oid Parser Path Plan Pretty Printf Sgraph Skolem String Value

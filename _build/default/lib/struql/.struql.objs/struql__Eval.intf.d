@@ -1,0 +1,1 @@
+lib/struql/eval.mli: Ast Builtins Format Graph Map Plan Sgraph Skolem Value

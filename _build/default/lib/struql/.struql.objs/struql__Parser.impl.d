@@ -1,0 +1,1 @@
+lib/struql/parser.ml: Ast Builtins Fmt Lex List Path Sgraph String Value

@@ -1,0 +1,1 @@
+lib/struql/parser.mli: Ast Builtins

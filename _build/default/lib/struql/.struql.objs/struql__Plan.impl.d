@@ -1,0 +1,1 @@
+lib/struql/plan.ml: Array Ast Builtins Float Fmt Graph List Path Pretty Set Sgraph String Value

@@ -1,0 +1,1 @@
+lib/struql/plan.mli: Ast Builtins Format Set Sgraph

@@ -1,0 +1,1 @@
+lib/struql/pretty.ml: Ast Fmt List Path Sgraph String Value

@@ -1,0 +1,1 @@
+lib/struql/pretty.mli: Ast Format Sgraph

@@ -1,0 +1,189 @@
+(** Abstract syntax of StruQL (Site TRansformation Und Query Language).
+
+    A query has the form
+
+    {v
+    INPUT G
+      WHERE C1, ..., Ck
+      CREATE N1, ..., Nn
+      LINK L1, ..., Lp
+      COLLECT G1, ..., Gq
+      { nested blocks ... }
+    OUTPUT R
+    v}
+
+    where the [WHERE] part produces all bindings of node and arc
+    variables satisfying the conditions, and the construction part
+    builds a new graph from that binding relation.  Blocks nest; a
+    nested block's [WHERE] is conjoined with its ancestors'. *)
+
+type var = string
+
+(** Aggregation functions — the grouping/aggregation extension the
+    paper names in §5.2 ("the query stage is independently extensible;
+    for example, we could extend it to include grouping and
+    aggregation").  An aggregate term may appear as a LINK target; the
+    group is the set of binding rows that construct the same source
+    node, and the aggregate ranges over the distinct values the inner
+    term takes in that group. *)
+type agg_fn = Count | Sum | Min | Max | Avg
+
+let agg_name = function
+  | Count -> "count"
+  | Sum -> "sum"
+  | Min -> "min"
+  | Max -> "max"
+  | Avg -> "avg"
+
+let agg_of_name = function
+  | "count" -> Some Count
+  | "sum" -> Some Sum
+  | "min" -> Some Min
+  | "max" -> Some Max
+  | "avg" -> Some Avg
+  | _ -> None
+
+(** Terms denote objects: variables, constants, Skolem terms, or
+    aggregates (the latter two only in construction clauses). *)
+type term =
+  | T_var of var
+  | T_const of Sgraph.Value.t
+  | T_skolem of string * term list
+  | T_agg of agg_fn * term
+
+(** Edge labels in single-edge conditions and link clauses. *)
+type label_term =
+  | L_var of var       (** an arc variable, binds the label *)
+  | L_const of string  (** a literal label, ["Paper"] *)
+
+type cmp_op = Eq | Ne | Lt | Le | Gt | Ge
+
+type condition =
+  | C_atom of string * term list
+      (** [Name(t1, ..., tn)] — collection membership or an external
+          predicate; the distinction is semantic, resolved against the
+          registry and the graph at planning time. *)
+  | C_edge of term * label_term * term  (** [x -> l -> y], single edge *)
+  | C_path of term * Sgraph.Path.t * term
+      (** [x -> R -> y], regular path expression *)
+  | C_cmp of cmp_op * term * term
+  | C_in of term * Sgraph.Value.t list  (** [l in {"a", "b"}] *)
+  | C_not of condition
+
+(* construction clauses: Skolem application, edge addition, collection *)
+type create_clause = string * term list
+type link_clause = term * label_term * term
+type collect_clause = string * term
+
+type block = {
+  where : condition list;
+  create : create_clause list;
+  link : link_clause list;
+  collect : collect_clause list;
+  nested : block list;
+}
+
+type query = {
+  input : string list;
+  blocks : block list;
+  output : string;
+}
+
+let empty_block =
+  { where = []; create = []; link = []; collect = []; nested = [] }
+
+let query ?(input = [ "input" ]) ?(output = "output") blocks =
+  { input; blocks; output }
+
+(* --- Variable accounting --- *)
+
+let rec term_vars acc = function
+  | T_var v -> v :: acc
+  | T_const _ -> acc
+  | T_skolem (_, args) -> List.fold_left term_vars acc args
+  | T_agg (_, t) -> term_vars acc t
+
+let label_vars acc = function L_var v -> v :: acc | L_const _ -> acc
+
+let rec condition_vars acc = function
+  | C_atom (_, ts) -> List.fold_left term_vars acc ts
+  | C_edge (x, l, y) -> label_vars (term_vars (term_vars acc x) y) l
+  | C_path (x, _, y) -> term_vars (term_vars acc x) y
+  | C_cmp (_, a, b) -> term_vars (term_vars acc a) b
+  | C_in (t, _) -> term_vars acc t
+  | C_not c -> condition_vars acc c
+
+(** Variables bound positively by a condition (generators): atoms,
+    edges and paths bind their variables; [=] against a constant binds;
+    negation binds nothing. *)
+let positive_vars acc = function
+  | C_atom (_, ts) -> List.fold_left term_vars acc ts
+  | C_edge (x, l, y) -> label_vars (term_vars (term_vars acc x) y) l
+  | C_path (x, _, y) -> term_vars (term_vars acc x) y
+  | C_cmp (Eq, T_var v, T_const _) | C_cmp (Eq, T_const _, T_var v) ->
+    v :: acc
+  | C_in (T_var v, _) -> v :: acc
+  | C_cmp _ | C_in _ | C_not _ -> acc
+
+let dedup vars = List.sort_uniq String.compare vars
+
+let block_where_vars b = dedup (List.fold_left condition_vars [] b.where)
+
+let rec block_all_vars b =
+  let acc = List.fold_left condition_vars [] b.where in
+  let acc =
+    List.fold_left (fun acc (_, ts) -> List.fold_left term_vars acc ts) acc
+      b.create
+  in
+  let acc =
+    List.fold_left
+      (fun acc (x, l, y) -> label_vars (term_vars (term_vars acc x) y) l)
+      acc b.link
+  in
+  let acc = List.fold_left (fun acc (_, t) -> term_vars acc t) acc b.collect in
+  let nested_vars = List.concat_map (fun b -> block_all_vars b) b.nested in
+  dedup (nested_vars @ acc)
+
+(** All Skolem function names used in [create] clauses, including nested
+    blocks. *)
+let rec created_skolems b =
+  let own = List.map fst b.create in
+  dedup (own @ List.concat_map created_skolems b.nested)
+
+let query_created_skolems q = dedup (List.concat_map created_skolems q.blocks)
+
+let rec term_skolems acc = function
+  | T_var _ | T_const _ -> acc
+  | T_skolem (f, args) -> List.fold_left term_skolems (f :: acc) args
+  | T_agg (_, t) -> term_skolems acc t
+
+(** Skolem functions referenced anywhere in construction clauses. *)
+let rec used_skolems b =
+  let acc = List.fold_left (fun acc (f, ts) ->
+      List.fold_left term_skolems (f :: acc) ts)
+      [] b.create
+  in
+  let acc =
+    List.fold_left
+      (fun acc (x, _, y) -> term_skolems (term_skolems acc x) y)
+      acc b.link
+  in
+  let acc = List.fold_left (fun acc (_, t) -> term_skolems acc t) acc b.collect in
+  dedup (acc @ List.concat_map used_skolems b.nested)
+
+let query_used_skolems q = dedup (List.concat_map used_skolems q.blocks)
+
+(** Number of link clauses — the paper's measure of a site's structural
+    complexity. *)
+let rec block_link_count b =
+  List.length b.link + List.fold_left (fun n b -> n + block_link_count b) 0 b.nested
+
+let query_link_count q =
+  List.fold_left (fun n b -> n + block_link_count b) 0 q.blocks
+
+let rec block_condition_count b =
+  List.length b.where
+  + List.fold_left (fun n b -> n + block_condition_count b) 0 b.nested
+
+let query_condition_count q =
+  List.fold_left (fun n b -> n + block_condition_count b) 0 q.blocks

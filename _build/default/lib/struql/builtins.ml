@@ -1,0 +1,59 @@
+(** Built-in and external predicates.
+
+    StruQL conditions may apply predicates to objects
+    ([isPostScript(q)]) and regular path expressions may apply
+    predicates to edge labels ([isName*]).  The distinction between a
+    collection name and an external predicate is semantic, not
+    syntactic: a [Name(x)] atom is an external predicate when [Name] is
+    registered here, and a collection-membership test otherwise. *)
+
+open Sgraph
+
+type extern = Graph.t -> Graph.target list -> bool
+
+type registry = {
+  externs : (string * extern) list;
+  label_preds : (string * (string -> bool)) list;
+}
+
+let value_pred p : extern =
+ fun _g args -> match args with [ Graph.V v ] -> p v | _ -> false
+
+let default_externs =
+  [
+    ("isPostScript", value_pred Value.is_postscript);
+    ("isImageFile", value_pred Value.is_image);
+    ("isTextFile", value_pred Value.is_text);
+    ("isHtmlFile", value_pred Value.is_html_file);
+    ("isFile", value_pred Value.is_file);
+    ("isURL", value_pred Value.is_url);
+    ("isNull", value_pred Value.is_null);
+    ("isInt", value_pred (function Value.Int _ -> true | _ -> false));
+    ("isString", value_pred (function Value.String _ -> true | _ -> false));
+    ("isNode", fun _g args ->
+       match args with [ Graph.N _ ] -> true | _ -> false);
+    ("isAtomic", fun _g args ->
+       match args with [ Graph.V _ ] -> true | _ -> false);
+  ]
+
+let is_name_label l =
+  String.length l > 0
+  && (let c = l.[0] in
+      (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_')
+
+let default_label_preds =
+  [
+    ("isName", is_name_label);
+    ("isCapitalized", fun l -> String.length l > 0 && l.[0] >= 'A' && l.[0] <= 'Z');
+  ]
+
+let default = { externs = default_externs; label_preds = default_label_preds }
+
+let with_extern name f reg = { reg with externs = (name, f) :: reg.externs }
+
+let with_label_pred name f reg =
+  { reg with label_preds = (name, f) :: reg.label_preds }
+
+let find_extern reg name = List.assoc_opt name reg.externs
+let find_label_pred reg name = List.assoc_opt name reg.label_preds
+let is_extern reg name = List.mem_assoc name reg.externs

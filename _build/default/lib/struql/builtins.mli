@@ -1,0 +1,32 @@
+(** Built-in and external predicates.
+
+    StruQL conditions may apply predicates to objects
+    ([isPostScript(q)]) and regular path expressions may apply
+    predicates to edge labels ([isName*]).  The distinction between a
+    collection name and an external predicate is {e semantic, not
+    syntactic}: a [Name(x)] atom is an external predicate exactly when
+    [Name] is registered here, a collection-membership test
+    otherwise. *)
+
+open Sgraph
+
+type extern = Graph.t -> Graph.target list -> bool
+
+type registry = {
+  externs : (string * extern) list;
+  label_preds : (string * (string -> bool)) list;
+}
+
+val default : registry
+(** [isPostScript], [isImageFile], [isTextFile], [isHtmlFile],
+    [isFile], [isURL], [isNull], [isInt], [isString], [isNode],
+    [isAtomic]; label predicates [isName], [isCapitalized]. *)
+
+val value_pred : (Value.t -> bool) -> extern
+(** Lift a predicate on atomic values (false on internal objects). *)
+
+val with_extern : string -> extern -> registry -> registry
+val with_label_pred : string -> (string -> bool) -> registry -> registry
+val find_extern : registry -> string -> extern option
+val find_label_pred : registry -> string -> (string -> bool) option
+val is_extern : registry -> string -> bool

@@ -1,0 +1,183 @@
+(** Static checks on StruQL queries.
+
+    Enforces the paper's two semantic conditions — every node mentioned
+    in [link] or [collect] is either created or comes from the data
+    graph, and edges may only be added from newly created nodes — plus
+    Skolem arity consistency, and classifies queries as range-restricted
+    (safe) or merely active-domain-definable. *)
+
+type problem =
+  | Skolem_not_created of string
+      (** a Skolem function used in link/collect has no create clause *)
+  | Link_source_not_new of Ast.link_clause
+      (** link source is an existing object — old nodes are immutable *)
+  | Skolem_arity of string * int * int  (** function, arity1, arity2 *)
+  | Skolem_in_where of string
+  | Unsafe_variable of string
+      (** variable used in construction or negation but not positively
+          bound: the query is only active-domain definable *)
+  | Agg_misplaced of string
+      (** an aggregate term somewhere other than a LINK target *)
+
+let pp_problem ppf = function
+  | Skolem_not_created f ->
+    Fmt.pf ppf "Skolem function %s is used in LINK/COLLECT but never CREATEd"
+      f
+  | Link_source_not_new (x, l, y) ->
+    Fmt.pf ppf
+      "LINK %a adds an edge from an existing object; existing nodes are \
+       immutable"
+      Pretty.pp_link (x, l, y)
+  | Skolem_arity (f, a, b) ->
+    Fmt.pf ppf "Skolem function %s is used with %d and with %d arguments" f a
+      b
+  | Skolem_in_where f ->
+    Fmt.pf ppf "Skolem term %s(...) may not appear in a WHERE clause" f
+  | Unsafe_variable v ->
+    Fmt.pf ppf
+      "variable %s is not bound by a positive condition; its bindings range \
+       over the active domain"
+      v
+  | Agg_misplaced fn ->
+    Fmt.pf ppf
+      "aggregate %s(...) may only appear as a LINK target" fn
+
+let rec term_skolem_arities acc = function
+  | Ast.T_var _ | Ast.T_const _ -> acc
+  | Ast.T_skolem (f, args) ->
+    List.fold_left term_skolem_arities ((f, List.length args) :: acc) args
+  | Ast.T_agg (_, t) -> term_skolem_arities acc t
+
+(* Errors (hard violations) and warnings (safety classification). *)
+type report = { errors : problem list; warnings : problem list }
+
+let check (q : Ast.query) : report =
+  let errors = ref [] in
+  let warnings = ref [] in
+  let created = Ast.query_created_skolems q in
+  (* Skolem functions in where clauses *)
+  let scan_where_term = function
+    | Ast.T_var _ | Ast.T_const _ -> ()
+    | Ast.T_skolem (f, _) -> errors := Skolem_in_where f :: !errors
+    | Ast.T_agg (fn, _) -> errors := Agg_misplaced (Ast.agg_name fn) :: !errors
+  in
+  (* aggregates may only be the immediate target of a link clause *)
+  let rec scan_no_agg = function
+    | Ast.T_var _ | Ast.T_const _ -> ()
+    | Ast.T_skolem (_, args) -> List.iter scan_no_agg args
+    | Ast.T_agg (fn, _) -> errors := Agg_misplaced (Ast.agg_name fn) :: !errors
+  in
+  let rec scan_cond = function
+    | Ast.C_atom (_, ts) -> List.iter scan_where_term ts
+    | Ast.C_edge (x, _, y) | Ast.C_path (x, _, y) ->
+      scan_where_term x;
+      scan_where_term y
+    | Ast.C_cmp (_, a, b) ->
+      scan_where_term a;
+      scan_where_term b
+    | Ast.C_in (t, _) -> scan_where_term t
+    | Ast.C_not c -> scan_cond c
+  in
+  (* arity consistency *)
+  let arities = Hashtbl.create 16 in
+  let note_arity (f, n) =
+    match Hashtbl.find_opt arities f with
+    | Some n' when n' <> n -> errors := Skolem_arity (f, n', n) :: !errors
+    | Some _ -> ()
+    | None -> Hashtbl.add arities f n
+  in
+  let rec scan_block bound (b : Ast.block) =
+    List.iter scan_cond b.where;
+    (* collect arities from all construction terms *)
+    List.iter
+      (fun (f, args) ->
+        note_arity (f, List.length args);
+        List.iter
+          (fun t -> List.iter note_arity (term_skolem_arities [] t))
+          args)
+      b.create;
+    List.iter
+      (fun (x, _, y) ->
+        List.iter note_arity (term_skolem_arities [] x);
+        List.iter note_arity (term_skolem_arities [] y))
+      b.link;
+    List.iter
+      (fun (_, t) -> List.iter note_arity (term_skolem_arities [] t))
+      b.collect;
+    (* aggregate placement: only the immediate target of a link *)
+    List.iter (fun (_, args) -> List.iter scan_no_agg args) b.create;
+    List.iter (fun (_, t) -> scan_no_agg t) b.collect;
+    List.iter
+      (fun (x, _, y) ->
+        scan_no_agg x;
+        match y with
+        | Ast.T_agg (_, inner) -> scan_no_agg inner
+        | y -> scan_no_agg y)
+      b.link;
+    (* link sources must be Skolem terms over created functions;
+       referenced Skolem functions must be created somewhere *)
+    List.iter
+      (fun (x, l, y) ->
+        (match x with
+         | Ast.T_skolem (f, _) ->
+           if not (List.mem f created) then
+             errors := Skolem_not_created f :: !errors
+         | Ast.T_var _ | Ast.T_const _ | Ast.T_agg _ ->
+           errors := Link_source_not_new (x, l, y) :: !errors);
+        List.iter
+          (fun (f, _) ->
+            if not (List.mem f created) then
+              errors := Skolem_not_created f :: !errors)
+          (match y with
+           | Ast.T_skolem (f, args) -> [ (f, List.length args) ]
+           | _ -> []))
+      b.link;
+    List.iter
+      (fun (_, t) ->
+        match t with
+        | Ast.T_skolem (f, _) when not (List.mem f created) ->
+          errors := Skolem_not_created f :: !errors
+        | _ -> ())
+      b.collect;
+    (* safety: construction variables and negated variables must be
+       positively bound here or by an ancestor *)
+    let bound_here =
+      Ast.dedup (List.fold_left Ast.positive_vars bound b.where)
+    in
+    let used = ref [] in
+    List.iter
+      (fun (_, args) -> used := List.fold_left Ast.term_vars !used args)
+      b.create;
+    List.iter
+      (fun (x, l, y) ->
+        used := Ast.term_vars (Ast.term_vars !used x) y;
+        used := Ast.label_vars !used l)
+      b.link;
+    List.iter (fun (_, t) -> used := Ast.term_vars !used t) b.collect;
+    List.iter
+      (function
+        | Ast.C_not c -> used := Ast.condition_vars !used c
+        | _ -> ())
+      b.where;
+    List.iter
+      (fun v ->
+        if not (List.mem v bound_here) then
+          warnings := Unsafe_variable v :: !warnings)
+      (Ast.dedup !used);
+    List.iter (scan_block bound_here) b.nested
+  in
+  List.iter (scan_block []) q.blocks;
+  {
+    errors = List.rev !errors;
+    warnings =
+      List.sort_uniq Stdlib.compare (List.rev !warnings);
+  }
+
+let is_safe q = (check q).warnings = []
+let is_valid q = (check q).errors = []
+
+exception Invalid of problem list
+
+let validate_exn q =
+  let r = check q in
+  if r.errors <> [] then raise (Invalid r.errors)

@@ -1,0 +1,40 @@
+(** Static checks on StruQL queries.
+
+    Enforces the paper's two semantic conditions — every node mentioned
+    in [link]/[collect] is either created or comes from the data graph,
+    and edges may only be added from newly created nodes — plus Skolem
+    arity consistency and aggregate placement, and classifies queries
+    as range-restricted (safe) or merely active-domain-definable. *)
+
+type problem =
+  | Skolem_not_created of string
+      (** a Skolem function used in link/collect has no create clause *)
+  | Link_source_not_new of Ast.link_clause
+      (** link source is an existing object — old nodes are immutable *)
+  | Skolem_arity of string * int * int
+      (** function used with two different arities *)
+  | Skolem_in_where of string
+      (** Skolem terms may not appear in WHERE clauses *)
+  | Unsafe_variable of string
+      (** used in construction or negation but not positively bound:
+          active-domain semantics apply *)
+  | Agg_misplaced of string
+      (** an aggregate term somewhere other than a LINK target *)
+
+val pp_problem : Format.formatter -> problem -> unit
+
+(** Hard violations vs the safety classification. *)
+type report = { errors : problem list; warnings : problem list }
+
+val check : Ast.query -> report
+
+val is_safe : Ast.query -> bool
+(** No warnings: the query is range-restricted (domain-independent). *)
+
+val is_valid : Ast.query -> bool
+(** No errors: the query has a well-defined evaluation. *)
+
+exception Invalid of problem list
+
+val validate_exn : Ast.query -> unit
+(** Raise {!Invalid} when {!check} reports errors. *)

@@ -1,0 +1,617 @@
+(** Two-stage evaluation of StruQL.
+
+    The {e query stage} evaluates a block's WHERE clause to the relation
+    of all satisfying assignments of node and arc variables (one column
+    per variable), under active-domain semantics.  The {e construction
+    stage} interprets CREATE / LINK / COLLECT over each row, creating
+    nodes with Skolem functions (same inputs — same oid), adding edges
+    (only from newly created nodes; existing nodes are immutable) and
+    populating output collections.  Nested blocks inherit their
+    ancestors' bindings, so their WHERE clauses are conjoined with the
+    ancestors'. *)
+
+open Sgraph
+
+exception Eval_error of string
+
+type binding = B_target of Graph.target | B_label of string
+
+module Env = Map.Make (String)
+
+type env = binding Env.t
+
+let pp_binding ppf = function
+  | B_target t -> Graph.pp_target ppf t
+  | B_label l -> Fmt.pf ppf "label %S" l
+
+let pp_env ppf env =
+  Fmt.pf ppf "{%a}"
+    Fmt.(
+      list ~sep:(any ", ") (fun ppf (v, b) ->
+          Fmt.pf ppf "%s=%a" v pp_binding b))
+    (Env.bindings env)
+
+(* --- Stage 1: the query stage --- *)
+
+let term_binding env = function
+  | Ast.T_var v -> Env.find_opt v env
+  | Ast.T_const c -> Some (B_target (Graph.V c))
+  | Ast.T_skolem _ -> raise (Eval_error "Skolem term in WHERE clause")
+  | Ast.T_agg _ -> raise (Eval_error "aggregate term in WHERE clause")
+
+(* Unify a term with a target, given the environment. *)
+let match_term env t tgt =
+  match t with
+  | Ast.T_const c ->
+    (match tgt with
+     | Graph.V v -> if Value.coerce_equal c v then Some env else None
+     | Graph.N _ -> None)
+  | Ast.T_var v ->
+    (match Env.find_opt v env with
+     | None -> Some (Env.add v (B_target tgt) env)
+     | Some (B_target t') ->
+       if Graph.target_equal t' tgt then Some env
+       else
+         (match t', tgt with
+          | Graph.V a, Graph.V b when Value.coerce_equal a b -> Some env
+          | _ -> None)
+     | Some (B_label l) ->
+       (match tgt with
+        | Graph.V v when Value.coerce_equal (Value.String l) v -> Some env
+        | _ -> None))
+  | Ast.T_skolem _ -> raise (Eval_error "Skolem term in WHERE clause")
+  | Ast.T_agg _ -> raise (Eval_error "aggregate term in WHERE clause")
+
+let match_label env lt l =
+  match lt with
+  | Ast.L_const c -> if c = l then Some env else None
+  | Ast.L_var v ->
+    (match Env.find_opt v env with
+     | None -> Some (Env.add v (B_label l) env)
+     | Some (B_label l') -> if l' = l then Some env else None
+     | Some (B_target (Graph.V (Value.String s))) ->
+       if s = l then Some env else None
+     | Some (B_target _) -> None)
+
+(* The source endpoint of an edge/path condition as a node, if bound. *)
+let source_node env t =
+  match term_binding env t with
+  | Some (B_target (Graph.N o)) -> `Node o
+  | Some (B_target (Graph.V v)) -> `Value v
+  | Some (B_label _) -> `Other
+  | None -> `Unbound
+
+let rec exec_cond g reg env (c : Plan.ccond) : env list =
+  match c with
+  | Plan.CC_coll (name, t) ->
+    (match term_binding env t with
+     | Some (B_target (Graph.N o)) ->
+       if Graph.in_collection g name o then [ env ] else []
+     | Some _ -> []
+     | None ->
+       (match t with
+        | Ast.T_var v ->
+          List.map
+            (fun o -> Env.add v (B_target (Graph.N o)) env)
+            (Graph.collection g name)
+        | _ -> []))
+  | Plan.CC_extern (name, ts) ->
+    let args =
+      List.map
+        (fun t ->
+          match term_binding env t with
+          | Some (B_target tgt) -> tgt
+          | Some (B_label l) -> Graph.V (Value.String l)
+          | None ->
+            raise
+              (Eval_error
+                 (Fmt.str "external predicate %s applied to unbound variable"
+                    name)))
+        ts
+    in
+    (match Builtins.find_extern reg name with
+     | Some f -> if f g args then [ env ] else []
+     | None -> raise (Eval_error ("unknown external predicate " ^ name)))
+  | Plan.CC_edge (x, lt, y) -> exec_edge g env x lt y
+  | Plan.CC_path (x, r, nfa, y) -> exec_path g env x r nfa y
+  | Plan.CC_cmp (op, a, b) -> exec_cmp env op a b
+  | Plan.CC_in (t, vs) ->
+    (match term_binding env t with
+     | Some b ->
+       let v =
+         match b with
+         | B_target (Graph.V v) -> v
+         | B_label l -> Value.String l
+         | B_target (Graph.N _) -> Value.Null
+       in
+       if List.exists (Value.coerce_equal v) vs then [ env ] else []
+     | None ->
+       (match t with
+        | Ast.T_var var ->
+          List.map (fun v -> Env.add var (B_target (Graph.V v)) env) vs
+        | _ -> []))
+  | Plan.CC_not c ->
+    let bound =
+      Env.fold (fun k _ s -> Plan.VSet.add k s) env Plan.VSet.empty
+    in
+    if Plan.executable bound c then
+      (* negation as failure: inner generators existentially extend *)
+      if exec_cond g reg env c = [] then [ env ] else []
+    else begin
+      (* the inner condition is a filter over variables nothing binds
+         (e.g. [not("s" < x)] with [x] free): the existential ranges
+         over the active domain *)
+      let unbound =
+        List.sort_uniq String.compare (Plan.ccond_vars [] c)
+        |> List.filter (fun v -> not (Env.mem v env))
+      in
+      let rec label_positions acc = function
+        | Plan.CC_edge (_, Ast.L_var v, _) -> v :: acc
+        | Plan.CC_not c' -> label_positions acc c'
+        | _ -> acc
+      in
+      let label_vars = label_positions [] c in
+      let domain v =
+        if List.mem v label_vars then
+          List.map (fun l -> B_label l) (Graph.labels g)
+        else List.map (fun t -> B_target t) (Path.all_objects g)
+      in
+      let rec exists env' = function
+        | [] -> exec_cond g reg env' c <> []
+        | v :: rest ->
+          List.exists (fun b -> exists (Env.add v b env') rest) (domain v)
+      in
+      if exists env unbound then [] else [ env ]
+    end
+
+and exec_edge g env x lt y =
+  match source_node env x with
+  | `Node o ->
+    List.filter_map
+      (fun (l, tgt) ->
+        match match_label env lt l with
+        | None -> None
+        | Some env' -> match_term env' y tgt)
+      (Graph.out_edges g o)
+  | `Value _ | `Other -> []
+  | `Unbound ->
+    let bind_src env src =
+      match_term env x (Graph.N src)
+    in
+    let label_known =
+      match lt with
+      | Ast.L_const c -> Some c
+      | Ast.L_var v ->
+        (match Env.find_opt v env with
+         | Some (B_label l) -> Some l
+         | Some (B_target (Graph.V (Value.String s))) -> Some s
+         | _ -> None)
+    in
+    (match label_known with
+     | Some l ->
+       List.filter_map
+         (fun (src, tgt) ->
+           match bind_src env src with
+           | None -> None
+           | Some env' ->
+             (match match_label env' lt l with
+              | None -> None
+              | Some env'' -> match_term env'' y tgt))
+         (Graph.label_extent g l)
+     | None ->
+       (match term_binding env y with
+        | Some (B_target tgt) ->
+          List.filter_map
+            (fun (src, l) ->
+              match bind_src env src with
+              | None -> None
+              | Some env' ->
+                (match match_label env' lt l with
+                 | None -> None
+                 | Some env'' -> match_term env'' y tgt))
+            (Graph.in_edges g tgt)
+        | Some (B_label lab) ->
+          let tgt = Graph.V (Value.String lab) in
+          List.filter_map
+            (fun (src, l) ->
+              match bind_src env src with
+              | None -> None
+              | Some env' ->
+                (match match_label env' lt l with
+                 | None -> None
+                 | Some env'' -> match_term env'' y tgt))
+            (Graph.in_edges g tgt)
+        | None ->
+          (* full scan *)
+          Graph.fold_edges
+            (fun src l tgt acc ->
+              match bind_src env src with
+              | None -> acc
+              | Some env' ->
+                (match match_label env' lt l with
+                 | None -> acc
+                 | Some env'' ->
+                   (match match_term env'' y tgt with
+                    | None -> acc
+                    | Some env3 -> env3 :: acc)))
+            g []
+          |> List.rev))
+
+and exec_path g env x r nfa y =
+  match source_node env x with
+  | `Node o ->
+    List.filter_map (fun tgt -> match_term env y tgt) (Path.eval_from ~nfa g r o)
+  | `Value v ->
+    if Path.nullable r then
+      match match_term env y (Graph.V v) with Some e -> [ e ] | None -> []
+    else []
+  | `Other -> []
+  | `Unbound ->
+    (* enumerate sources over the graph's nodes (and, for nullable
+       expressions, value objects pair with themselves) *)
+    let from_nodes =
+      List.concat_map
+        (fun src ->
+          match match_term env x (Graph.N src) with
+          | None -> []
+          | Some env' ->
+            List.filter_map
+              (fun tgt -> match_term env' y tgt)
+              (Path.eval_from ~nfa g r src))
+        (Graph.nodes g)
+    in
+    if Path.nullable r then
+      let value_pairs =
+        Graph.fold_edges
+          (fun _ _ tgt acc ->
+            match tgt with
+            | Graph.V _ ->
+              (match match_term env x tgt with
+               | None -> acc
+               | Some env' ->
+                 (match match_term env' y tgt with
+                  | None -> acc
+                  | Some env'' -> env'' :: acc))
+            | Graph.N _ -> acc)
+          g []
+      in
+      from_nodes @ List.rev value_pairs
+    else from_nodes
+
+and exec_cmp env op a b =
+  let value_of = function
+    | B_target (Graph.V v) -> `Val v
+    | B_target (Graph.N o) -> `Node o
+    | B_label l -> `Val (Value.String l)
+  in
+  match term_binding env a, term_binding env b with
+  | Some ba, Some bb ->
+    let sat =
+      match value_of ba, value_of bb with
+      | `Node o1, `Node o2 ->
+        (match op with
+         | Ast.Eq -> Oid.equal o1 o2
+         | Ast.Ne -> not (Oid.equal o1 o2)
+         | _ -> false)
+      | `Val v1, `Val v2 ->
+        (match op, Value.coerce_compare v1 v2 with
+         | Ast.Eq, Some 0 -> true
+         | Ast.Eq, _ -> false
+         | Ast.Ne, Some 0 -> false
+         | Ast.Ne, _ -> true
+         | Ast.Lt, Some c -> c < 0
+         | Ast.Le, Some c -> c <= 0
+         | Ast.Gt, Some c -> c > 0
+         | Ast.Ge, Some c -> c >= 0
+         | _, None -> false)
+      | `Node _, `Val _ | `Val _, `Node _ -> op = Ast.Ne
+    in
+    if sat then [ env ] else []
+  | None, Some bb ->
+    (match op, a with
+     | Ast.Eq, Ast.T_var v -> [ Env.add v bb env ]
+     | _ -> raise (Eval_error "comparison over unbound variable"))
+  | Some ba, None ->
+    (match op, b with
+     | Ast.Eq, Ast.T_var v -> [ Env.add v ba env ]
+     | _ -> raise (Eval_error "comparison over unbound variable"))
+  | None, None -> raise (Eval_error "comparison over unbound variables")
+
+let exec_step g reg env (s : Plan.step) : env list =
+  match s with
+  | Plan.Exec c -> exec_cond g reg env c
+  | Plan.Domain_obj v ->
+    if Env.mem v env then [ env ]
+    else
+      List.map (fun t -> Env.add v (B_target t) env) (Path.all_objects g)
+  | Plan.Domain_label v ->
+    if Env.mem v env then [ env ]
+    else List.map (fun l -> Env.add v (B_label l) env) (Graph.labels g)
+
+(** Statistics of a run, for the optimizer experiments. *)
+type stats = {
+  mutable rows : int;             (* total binding rows produced *)
+  mutable intermediate : int;     (* sum of intermediate relation sizes *)
+  mutable max_intermediate : int;
+  mutable steps : int;
+}
+
+let new_stats () = { rows = 0; intermediate = 0; max_intermediate = 0; steps = 0 }
+
+let exec_steps ?stats g reg envs steps =
+  List.fold_left
+    (fun envs step ->
+      let envs' = List.concat_map (fun env -> exec_step g reg env step) envs in
+      (match stats with
+       | Some s ->
+         s.steps <- s.steps + 1;
+         s.intermediate <- s.intermediate + List.length envs';
+         s.max_intermediate <- max s.max_intermediate (List.length envs')
+       | None -> ());
+      envs')
+    envs steps
+
+(* --- Stage 2: the construction stage --- *)
+
+type context = {
+  out : Graph.t;
+  scope : Skolem.t;
+  registry : Builtins.registry;
+  strategy : Plan.strategy;
+  run_stats : stats;
+}
+
+let rec cons_target ctx env (t : Ast.term) : Graph.target =
+  match t with
+  | Ast.T_const c -> Graph.V c
+  | Ast.T_var v ->
+    (match Env.find_opt v env with
+     | Some (B_target tgt) -> tgt
+     | Some (B_label l) -> Graph.V (Value.String l)
+     | None ->
+       raise (Eval_error (Fmt.str "unbound variable %s in construction" v)))
+  | Ast.T_skolem (f, args) ->
+    let sargs =
+      List.map
+        (fun a ->
+          match cons_target ctx env a with
+          | Graph.N o -> Skolem.A_oid o
+          | Graph.V v -> Skolem.A_val v)
+        args
+    in
+    let o, _fresh = Skolem.apply ctx.scope f sargs in
+    Graph.add_node ctx.out o;
+    Graph.N o
+  | Ast.T_agg (fn, _) ->
+    raise
+      (Eval_error
+         (Ast.agg_name fn ^ "(...) may only appear as a LINK target"))
+
+let cons_label env = function
+  | Ast.L_const c -> c
+  | Ast.L_var v ->
+    (match Env.find_opt v env with
+     | Some (B_label l) -> l
+     | Some (B_target (Graph.V v')) -> Value.to_display_string v'
+     | Some (B_target (Graph.N _)) ->
+       raise (Eval_error ("arc variable " ^ v ^ " bound to a node"))
+     | None -> raise (Eval_error ("unbound arc variable " ^ v)))
+
+(* --- Aggregation (the §5.2 grouping/aggregation extension) ---
+
+   An aggregate LINK target groups the block's binding rows by the
+   constructed source node (and label), and aggregates over the
+   distinct values the inner term takes in that group. *)
+
+let aggregate (fn : Ast.agg_fn) (values : Graph.target list) : Value.t =
+  let numeric v =
+    match v with
+    | Value.Int i -> Some (float_of_int i)
+    | Value.Float f -> Some f
+    | Value.String s -> float_of_string_opt (String.trim s)
+    | _ -> None
+  in
+  let atomics =
+    List.filter_map (function Graph.V v -> Some v | Graph.N _ -> None) values
+  in
+  match fn with
+  | Ast.Count -> Value.Int (List.length values)
+  | Ast.Sum ->
+    let nums = List.filter_map numeric atomics in
+    let s = List.fold_left ( +. ) 0. nums in
+    if
+      List.for_all
+        (function Value.Int _ -> true | _ -> false)
+        (List.filter (fun v -> numeric v <> None) atomics)
+    then Value.Int (int_of_float s)
+    else Value.Float s
+  | Ast.Avg ->
+    let nums = List.filter_map numeric atomics in
+    if nums = [] then Value.Null
+    else
+      Value.Float (List.fold_left ( +. ) 0. nums /. float_of_int (List.length nums))
+  | Ast.Min | Ast.Max ->
+    let cmp a b =
+      match Value.coerce_compare a b with
+      | Some c -> c
+      | None ->
+        String.compare (Value.to_display_string a) (Value.to_display_string b)
+    in
+    let pick =
+      match fn with
+      | Ast.Min -> fun a b -> if cmp b a < 0 then b else a
+      | _ -> fun a b -> if cmp b a > 0 then b else a
+    in
+    (match atomics with
+     | [] -> Value.Null
+     | v :: rest -> List.fold_left pick v rest)
+
+let target_key = function
+  | Graph.N o -> "N" ^ string_of_int (Oid.id o)
+  | Graph.V v -> "V" ^ Value.to_string v
+
+let link_source ctx env x lt =
+  let src =
+    match x with
+    | Ast.T_skolem _ -> (
+        match cons_target ctx env x with
+        | Graph.N o -> o
+        | Graph.V _ -> assert false)
+    | Ast.T_var _ | Ast.T_const _ | Ast.T_agg _ ->
+      raise
+        (Eval_error
+           "LINK may only add edges from newly created (Skolem) nodes; \
+            existing nodes are immutable")
+  in
+  (src, cons_label env lt)
+
+(** Run the construction clauses of one block over its whole binding
+    relation.  Aggregate link targets are grouped by (source node,
+    label, aggregate expression) across the rows. *)
+let construct_block ctx envs (b : Ast.block) =
+  (* group key -> (src, label, fn, distinct inner values) *)
+  let groups : (string, Oid.t * string * Ast.agg_fn * (string, Graph.target) Hashtbl.t) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  List.iter
+    (fun env ->
+      List.iter
+        (fun (f, args) ->
+          ignore (cons_target ctx env (Ast.T_skolem (f, args))))
+        b.create;
+      List.iter
+        (fun (x, lt, y) ->
+          match y with
+          | Ast.T_agg (fn, inner) ->
+            let src, label = link_source ctx env x lt in
+            let v = cons_target ctx env inner in
+            let key =
+              Printf.sprintf "%d|%s|%s|%s" (Oid.id src) label
+                (Ast.agg_name fn)
+                (Fmt.str "%a" Pretty.pp_term inner)
+            in
+            let _, _, _, vals =
+              match Hashtbl.find_opt groups key with
+              | Some g -> g
+              | None ->
+                let g = (src, label, fn, Hashtbl.create 8) in
+                Hashtbl.add groups key g;
+                g
+            in
+            Hashtbl.replace vals (target_key v) v
+          | y ->
+            let src, label = link_source ctx env x lt in
+            Graph.add_edge ctx.out src label (cons_target ctx env y))
+        b.link;
+      List.iter
+        (fun (c, t) ->
+          match cons_target ctx env t with
+          | Graph.N o -> Graph.add_to_collection ctx.out c o
+          | Graph.V _ ->
+            raise (Eval_error ("COLLECT " ^ c ^ " applied to an atomic value")))
+        b.collect)
+    envs;
+  Hashtbl.iter
+    (fun _ (src, label, fn, vals) ->
+      let values = Hashtbl.fold (fun _ v acc -> v :: acc) vals [] in
+      Graph.add_edge ctx.out src label (Graph.V (aggregate fn values)))
+    groups
+
+(* Construction variables of a block, split into object and arc
+   positions, for the planner's active-domain pre-pass. *)
+let construction_needs (b : Ast.block) =
+  let obj = ref [] and lab = ref [] in
+  List.iter
+    (fun (_, args) -> obj := List.fold_left Ast.term_vars !obj args)
+    b.create;
+  List.iter
+    (fun (x, l, y) ->
+      obj := Ast.term_vars (Ast.term_vars !obj x) y;
+      lab := Ast.label_vars !lab l)
+    b.link;
+  List.iter (fun (_, t) -> obj := Ast.term_vars !obj t) b.collect;
+  (Ast.dedup !obj, Ast.dedup !lab)
+
+let rec run_block g ctx bound envs (b : Ast.block) =
+  let needed_obj, needed_label = construction_needs b in
+  let steps =
+    Plan.plan ~strategy:ctx.strategy ~registry:ctx.registry g ~bound
+      ~needed_obj ~needed_label b.where
+  in
+  let envs' = exec_steps ~stats:ctx.run_stats g ctx.registry envs steps in
+  ctx.run_stats.rows <- ctx.run_stats.rows + List.length envs';
+  construct_block ctx envs' b;
+  let bound' =
+    Ast.dedup
+      (bound
+      @ List.concat_map (fun s -> Plan.step_binds s) steps)
+  in
+  List.iter (fun nested -> run_block g ctx bound' envs' nested) b.nested
+
+type options = {
+  strategy : Plan.strategy;
+  registry : Builtins.registry;
+  validate : bool;
+}
+
+let default_options =
+  { strategy = Plan.Heuristic; registry = Builtins.default; validate = true }
+
+let run ?(options = default_options) ?scope ?into g (q : Ast.query) =
+  if options.validate then Check.validate_exn q;
+  let out =
+    match into with
+    | Some g' -> g'
+    | None -> Graph.create ~name:q.output ()
+  in
+  let scope = match scope with Some s -> s | None -> Skolem.create () in
+  let ctx =
+    {
+      out;
+      scope;
+      registry = options.registry;
+      strategy = options.strategy;
+      run_stats = new_stats ();
+    }
+  in
+  List.iter (fun b -> run_block g ctx [] [ Env.empty ] b) q.blocks;
+  out
+
+let run_with_stats ?(options = default_options) ?scope ?into g q =
+  if options.validate then Check.validate_exn q;
+  let out =
+    match into with
+    | Some g' -> g'
+    | None -> Graph.create ~name:q.Ast.output ()
+  in
+  let scope = match scope with Some s -> s | None -> Skolem.create () in
+  let ctx =
+    {
+      out;
+      scope;
+      registry = options.registry;
+      strategy = options.strategy;
+      run_stats = new_stats ();
+    }
+  in
+  List.iter (fun b -> run_block g ctx [] [ Env.empty ] b) q.Ast.blocks;
+  (out, ctx.run_stats)
+
+(** Evaluate a bare condition list (stage 1 only); for tests and for
+    the click-time engine. *)
+let bindings ?(options = default_options) ?(env = Env.empty) ?(bound = [])
+    ?(needed_obj = []) ?(needed_label = []) g conds =
+  let bound = Ast.dedup (bound @ List.map fst (Env.bindings env)) in
+  let steps =
+    Plan.plan ~strategy:options.strategy ~registry:options.registry g ~bound
+      ~needed_obj ~needed_label conds
+  in
+  exec_steps g options.registry [ env ] steps
+
+(** Parse and run a query in one call. *)
+let run_string ?options ?scope ?into g src =
+  let registry =
+    match options with Some o -> o.registry | None -> Builtins.default
+  in
+  let q = Parser.parse ~registry src in
+  run ?options ?scope ?into g q

@@ -1,0 +1,104 @@
+(** Two-stage evaluation of StruQL (§3).
+
+    The {e query stage} evaluates a block's WHERE clause to the
+    relation of all satisfying assignments of node and arc variables
+    (one column per variable), under active-domain semantics.  The
+    {e construction stage} interprets CREATE / LINK / COLLECT over the
+    rows: nodes are created with Skolem functions (same inputs — same
+    oid), edges added (only from newly created nodes; existing nodes
+    are immutable), collections populated, and aggregate link targets
+    grouped by source node.  Nested blocks inherit their ancestors'
+    bindings, so their WHERE clauses are conjoined with the
+    ancestors'. *)
+
+open Sgraph
+
+exception Eval_error of string
+
+(** A variable binding: an object of the graph, or an arc label. *)
+type binding = B_target of Graph.target | B_label of string
+
+module Env : Map.S with type key = string
+
+type env = binding Env.t
+
+val pp_binding : Format.formatter -> binding -> unit
+val pp_env : Format.formatter -> env -> unit
+
+(** {1 Stage 1: the query stage} *)
+
+val exec_cond : Graph.t -> Builtins.registry -> env -> Plan.ccond -> env list
+(** All extensions of the environment satisfying one condition. *)
+
+val exec_step : Graph.t -> Builtins.registry -> env -> Plan.step -> env list
+
+(** Evaluation statistics, for the optimizer experiments. *)
+type stats = {
+  mutable rows : int;             (** binding rows produced *)
+  mutable intermediate : int;     (** sum of intermediate relation sizes *)
+  mutable max_intermediate : int;
+  mutable steps : int;
+}
+
+val new_stats : unit -> stats
+
+val exec_steps :
+  ?stats:stats ->
+  Graph.t -> Builtins.registry -> env list -> Plan.step list -> env list
+(** Run a plan over a starting relation. *)
+
+(** {1 Stage 2: the construction stage} *)
+
+val aggregate : Ast.agg_fn -> Graph.target list -> Value.t
+(** Fold an aggregate over the distinct values of its group.  [Count]
+    counts all objects; the numeric aggregates range over the atomic
+    values (non-numeric values are ignored by [sum]/[avg]); [min]/[max]
+    fall back to display-string order for incomparable values. *)
+
+val target_key : Graph.target -> string
+(** A hashable identity key for a target (distinctness in groups). *)
+
+(** {1 Whole-query evaluation} *)
+
+type options = {
+  strategy : Plan.strategy;
+  registry : Builtins.registry;
+  validate : bool;  (** run {!Check.validate_exn} first *)
+}
+
+val default_options : options
+(** Heuristic planning, default registry, validation on. *)
+
+val run :
+  ?options:options ->
+  ?scope:Skolem.t ->
+  ?into:Graph.t ->
+  Graph.t -> Ast.query -> Graph.t
+(** Evaluate a query over a data graph.  [scope] shares Skolem terms
+    across composed queries; [into] adds to an existing output graph
+    (§5.2: "we allowed queries to add nodes and arcs to a graph").
+    Without them, a fresh scope and a fresh graph named after the
+    query's OUTPUT are used. *)
+
+val run_with_stats :
+  ?options:options ->
+  ?scope:Skolem.t ->
+  ?into:Graph.t ->
+  Graph.t -> Ast.query -> Graph.t * stats
+
+val bindings :
+  ?options:options ->
+  ?env:env ->
+  ?bound:Ast.var list ->
+  ?needed_obj:Ast.var list ->
+  ?needed_label:Ast.var list ->
+  Graph.t -> Ast.condition list -> env list
+(** Stage 1 alone: the binding relation of a condition list.  Used by
+    tests and by the click-time evaluator. *)
+
+val run_string :
+  ?options:options ->
+  ?scope:Skolem.t ->
+  ?into:Graph.t ->
+  Graph.t -> string -> Graph.t
+(** Parse and evaluate in one call. *)

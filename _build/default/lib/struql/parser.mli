@@ -1,0 +1,40 @@
+(** Parser for StruQL's concrete syntax.
+
+    The syntax follows the paper (keywords are case-insensitive):
+
+    {v
+    INPUT BIBTEX
+    { CREATE RootPage(), AbstractsPage()
+      LINK RootPage() -> "AbstractsPage" -> AbstractsPage() }
+    { WHERE Publications(x), x -> l -> v
+      CREATE PaperPresentation(x), AbstractPage(x)
+      LINK AbstractPage(x) -> l -> v
+      { WHERE l = "year"
+        CREATE YearPage(v)
+        LINK YearPage(v) -> "Paper" -> PaperPresentation(x) }
+    }
+    OUTPUT HomePage
+    v}
+
+    Braces delimit blocks; a nested block's WHERE conjoins with its
+    ancestors'.  Top-level clauses outside any brace form one implicit
+    block.  Conditions are separated by [,] or [;].  Single-edge
+    conditions write [x -> l -> y] (an identifier hop is an arc
+    variable, a string hop a literal label); anything richer — [*],
+    concatenation [.], alternation [|], postfix [* + ?], registered
+    label predicates, [true] — is a regular path expression.
+    [x in {"a", "b"}] abbreviates a disjunction of equalities;
+    [not(...)] negates a single condition.  In construction clauses,
+    [F(args)] is a Skolem term and [count/sum/min/max/avg(t)] an
+    aggregate (LINK targets only). *)
+
+exception Parse_error of string * int  (** message, line *)
+
+val parse : ?registry:Builtins.registry -> string -> Ast.query
+(** Parse a complete query.  The [registry] resolves label-predicate
+    names inside regular path expressions (defaults to
+    {!Builtins.default}). *)
+
+val parse_conditions :
+  ?registry:Builtins.registry -> string -> Ast.condition list
+(** Parse a bare condition list (the contents of one WHERE clause). *)

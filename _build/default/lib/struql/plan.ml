@@ -1,0 +1,418 @@
+(** Query planning for the WHERE stage.
+
+    A plan is an ordering of the block's conditions, each compiled to an
+    access path, possibly interleaved with active-domain enumerators for
+    variables that no positive condition binds (the paper's
+    active-domain semantics: such queries are legal but range over all
+    objects/labels of the input graph).
+
+    Three strategies reproduce the system's evolution (§2.4): [Naive]
+    keeps textual order, [Heuristic] greedily picks the executable
+    condition with the smallest estimated output (the "simple
+    heuristic-based optimizer" of the first implementation), and
+    [Cost_based] enumerates orderings by dynamic programming over
+    condition subsets with an index-aware cost model (the later
+    optimizer of [FLO 97]). *)
+
+open Sgraph
+
+exception Plan_error of string
+
+type strategy = Naive | Heuristic | Cost_based
+
+(** Conditions compiled to resolved, NFA-carrying form. *)
+type ccond =
+  | CC_coll of string * Ast.term
+  | CC_extern of string * Ast.term list
+  | CC_edge of Ast.term * Ast.label_term * Ast.term
+  | CC_path of Ast.term * Path.t * Path.nfa * Ast.term
+  | CC_cmp of Ast.cmp_op * Ast.term * Ast.term
+  | CC_in of Ast.term * Value.t list
+  | CC_not of ccond
+
+type step =
+  | Exec of ccond
+  | Domain_obj of Ast.var   (** bind the variable to every object *)
+  | Domain_label of Ast.var (** bind the variable to every label *)
+
+let rec compile registry cond =
+  match cond with
+  | Ast.C_atom (name, args) ->
+    if Builtins.is_extern registry name then CC_extern (name, args)
+    else (
+      match args with
+      | [ t ] -> CC_coll (name, t)
+      | _ ->
+        raise
+          (Plan_error
+             (Fmt.str
+                "%s is neither a registered external predicate nor a \
+                 unary collection atom"
+                name)))
+  | Ast.C_edge (x, l, y) -> CC_edge (x, l, y)
+  | Ast.C_path (x, r, y) -> CC_path (x, r, Path.compile r, y)
+  | Ast.C_cmp (op, a, b) -> CC_cmp (op, a, b)
+  | Ast.C_in (t, vs) -> CC_in (t, vs)
+  | Ast.C_not c -> CC_not (compile registry c)
+
+let rec ccond_vars acc = function
+  | CC_coll (_, t) -> Ast.term_vars acc t
+  | CC_extern (_, ts) -> List.fold_left Ast.term_vars acc ts
+  | CC_edge (x, l, y) ->
+    Ast.label_vars (Ast.term_vars (Ast.term_vars acc x) y) l
+  | CC_path (x, _, _, y) -> Ast.term_vars (Ast.term_vars acc x) y
+  | CC_cmp (_, a, b) -> Ast.term_vars (Ast.term_vars acc a) b
+  | CC_in (t, _) -> Ast.term_vars acc t
+  | CC_not c -> ccond_vars acc c
+
+(** Variables a condition binds when executed (positive bindings). *)
+let ccond_binds = function
+  | CC_coll (_, t) -> Ast.term_vars [] t
+  | CC_edge (x, l, y) ->
+    Ast.label_vars (Ast.term_vars (Ast.term_vars [] x) y) l
+  | CC_path (x, _, _, y) -> Ast.term_vars (Ast.term_vars [] x) y
+  | CC_cmp (Ast.Eq, a, b) -> Ast.term_vars (Ast.term_vars [] a) b
+  | CC_in (t, _) -> Ast.term_vars [] t
+  | CC_extern _ | CC_cmp _ | CC_not _ -> []
+
+module VSet = Set.Make (String)
+
+let term_bound bound = function
+  | Ast.T_var v -> VSet.mem v bound
+  | Ast.T_const _ -> true
+  | Ast.T_skolem _ -> raise (Plan_error "Skolem term in WHERE clause")
+  | Ast.T_agg _ -> raise (Plan_error "aggregate term in WHERE clause")
+
+let label_bound bound = function
+  | Ast.L_var v -> VSet.mem v bound
+  | Ast.L_const _ -> true
+
+(** Whether a condition can run given the bound set.  Generators can
+    always run (worst case, a scan); pure filters need all their
+    variables bound; an equality with one bound side can bind the
+    other.  A negation runs once every inner variable that {e will ever}
+    be bound in this plan ([universe]) is bound — inner variables
+    outside the universe are existential within the [not] (negation as
+    failure: [not(x -> "journal" -> j)] with [j] appearing nowhere else
+    means "x has no journal attribute"). *)
+let executable ?(limited = []) ?universe bound = function
+  | CC_coll (name, t) ->
+    (* a limited-access source can test membership of a bound object
+       but cannot be enumerated (§2.4's limited access patterns) *)
+    if List.mem name limited then term_bound bound t else true
+  | CC_edge _ | CC_path _ | CC_in _ -> true
+  | CC_extern (_, ts) -> List.for_all (term_bound bound) ts
+  | CC_cmp (Ast.Eq, a, b) -> term_bound bound a || term_bound bound b
+  | CC_cmp (_, a, b) -> term_bound bound a && term_bound bound b
+  | CC_not c ->
+    let relevant =
+      match universe with
+      | None -> ccond_vars [] c
+      | Some u -> List.filter (fun v -> VSet.mem v u) (ccond_vars [] c)
+    in
+    List.for_all (fun v -> VSet.mem v bound) relevant
+
+(* --- Cardinality and work estimation --- *)
+
+type stats = {
+  n_nodes : float;
+  n_edges : float;
+  n_labels : float;
+  n_objects : float;
+  coll_size : string -> float;
+  label_cnt : string -> float;
+}
+
+let stats_of_graph g =
+  {
+    n_nodes = float_of_int (max 1 (Graph.node_count g));
+    n_edges = float_of_int (max 1 (Graph.edge_count g));
+    n_labels = float_of_int (max 1 (List.length (Graph.labels g)));
+    n_objects = float_of_int (max 1 (Graph.node_count g + Graph.edge_count g));
+    coll_size = (fun c -> float_of_int (max 1 (Graph.collection_size g c)));
+    label_cnt = (fun l -> float_of_int (max 0 (Graph.label_count g l)));
+  }
+
+(** [estimate st bound c] returns [(fanout, work)]: the expected number
+    of output rows per input row, and the work per input row. *)
+let rec estimate st bound c =
+  match c with
+  | CC_coll (_, t) when term_bound bound t -> (0.3, 1.)
+  | CC_coll (name, _) -> (st.coll_size name, st.coll_size name)
+  | CC_extern _ -> (0.5, 1.)
+  | CC_edge (x, l, y) ->
+    let bx = term_bound bound x
+    and bl = label_bound bound l
+    and by = term_bound bound y in
+    let avg_out = st.n_edges /. st.n_nodes in
+    let label_fanout lc = lc /. st.n_nodes in
+    (match bx, bl, by with
+     | true, true, true -> (0.2, avg_out)
+     | true, true, false ->
+       let lc = match l with
+         | Ast.L_const s -> st.label_cnt s
+         | Ast.L_var _ -> st.n_edges /. st.n_labels
+       in
+       (Float.max 0.2 (label_fanout lc), avg_out)
+     | true, false, _ -> ((if by then 0.3 else avg_out), avg_out)
+     | false, true, true ->
+       let lc = match l with
+         | Ast.L_const s -> st.label_cnt s
+         | Ast.L_var _ -> st.n_edges /. st.n_labels
+       in
+       (Float.max 0.2 (label_fanout lc), Float.max 1. (label_fanout lc))
+     | false, true, false ->
+       let lc = match l with
+         | Ast.L_const s -> st.label_cnt s
+         | Ast.L_var _ -> st.n_edges /. st.n_labels
+       in
+       (Float.max 1. lc, Float.max 1. lc)
+     | false, false, true -> (avg_out, avg_out)
+     | false, false, false -> (st.n_edges, st.n_edges))
+  | CC_path (x, _, _, y) ->
+    let bx = term_bound bound x and by = term_bound bound y in
+    (match bx, by with
+     | true, true -> (0.5, st.n_nodes)
+     | true, false -> (st.n_nodes /. 2., st.n_nodes)
+     | false, true -> (st.n_nodes /. 2., st.n_nodes *. st.n_nodes)
+     | false, false -> (st.n_nodes *. st.n_nodes /. 4., st.n_nodes *. st.n_nodes))
+  | CC_cmp (Ast.Eq, a, b) when term_bound bound a && term_bound bound b ->
+    (0.3, 1.)
+  | CC_cmp (Ast.Eq, _, _) -> (1., 1.)  (* binder *)
+  | CC_cmp (_, _, _) -> (0.4, 1.)
+  | CC_in (t, _) when term_bound bound t -> (0.5, 1.)
+  | CC_in (_, vs) -> (float_of_int (List.length vs), 1.)
+  | CC_not c -> let _, w = estimate st bound c in (0.5, w)
+
+(* --- Active-domain pre-pass --- *)
+
+(** Fixpoint of variables bindable by positive conditions. *)
+let bindable_vars ?limited conds bound0 =
+  let rec fix bound =
+    let bound' =
+      List.fold_left
+        (fun acc c ->
+          if executable ?limited acc c then
+            List.fold_left (fun s v -> VSet.add v s) acc (ccond_binds c)
+          else acc)
+        bound conds
+    in
+    if VSet.equal bound' bound then bound else fix bound'
+  in
+  fix bound0
+
+(** Domain enumerators for variables needed but never positively bound.
+    "Needed" means: used in construction clauses, or occurring in a
+    positive (non-negated) condition.  A variable that occurs {e only}
+    under a negation is existential inside the [not] and gets no domain
+    enumerator. *)
+let domain_steps ?limited conds ~bound0 ~needed_obj ~needed_label =
+  let bindable = bindable_vars ?limited conds bound0 in
+  let lim = match limited with Some l -> l | None -> [] in
+  let cond_vars =
+    Ast.dedup
+      (List.concat_map
+         (fun c ->
+           match c with
+           | CC_not _ -> []
+           (* a variable whose only role is probing a limited source
+              gets no active-domain enumerator: the source requires a
+              genuinely bound input, not a fabricated one *)
+           | CC_coll (name, _) when List.mem name lim -> []
+           | c -> ccond_vars [] c)
+         conds)
+  in
+  let label_positions =
+    List.concat_map
+      (fun c ->
+        let rec lv acc = function
+          | CC_edge (_, Ast.L_var v, _) -> v :: acc
+          | CC_not c -> lv acc c
+          | _ -> acc
+        in
+        lv [] c)
+      conds
+  in
+  let needed = Ast.dedup (needed_obj @ needed_label @ cond_vars) in
+  List.filter_map
+    (fun v ->
+      if VSet.mem v bindable then None
+      else if List.mem v needed_label || List.mem v label_positions then
+        Some (Domain_label v)
+      else Some (Domain_obj v))
+    needed
+
+let step_binds = function
+  | Exec c -> ccond_binds c
+  | Domain_obj v | Domain_label v -> [ v ]
+
+let add_binds bound step =
+  List.fold_left (fun s v -> VSet.add v s) bound (step_binds step)
+
+(* --- Ordering strategies --- *)
+
+let order_naive ?limited ~universe _st steps0 bound0 =
+  (* textual order, postponing filters until their variables are bound *)
+  let rec go bound pending acc =
+    match pending with
+    | [] -> List.rev acc
+    | _ ->
+      (match
+         List.find_opt
+           (fun s ->
+             match s with
+             | Exec c -> executable ?limited ~universe bound c
+             | Domain_obj _ | Domain_label _ -> true)
+           pending
+       with
+       | Some s ->
+         let pending = List.filter (fun s' -> s' != s) pending in
+         go (add_binds bound s) pending (s :: acc)
+       | None ->
+         (* cannot happen after the domain pre-pass, but stay total *)
+         let s = List.hd pending in
+         go (add_binds bound s) (List.tl pending) (s :: acc))
+  in
+  go bound0 steps0 []
+
+let order_heuristic ?limited ~universe st steps0 bound0 =
+  let rec go bound pending acc =
+    match pending with
+    | [] -> List.rev acc
+    | _ ->
+      let best = ref None in
+      List.iter
+        (fun s ->
+          let cost =
+            match s with
+            | Exec c when executable ?limited ~universe bound c ->
+              fst (estimate st bound c)
+            | Exec _ -> Float.infinity
+            | Domain_obj _ -> st.n_objects *. 4.  (* last resort *)
+            | Domain_label _ -> st.n_labels *. 4.
+          in
+          match !best with
+          | Some (_, bc) when bc <= cost -> ()
+          | _ -> if cost < Float.infinity then best := Some (s, cost))
+        pending;
+      (match !best with
+       | Some (s, _) ->
+         let pending = List.filter (fun s' -> s' != s) pending in
+         go (add_binds bound s) pending (s :: acc)
+       | None ->
+         let s = List.hd pending in
+         go (add_binds bound s) (List.tl pending) (s :: acc))
+  in
+  go bound0 steps0 []
+
+let order_cost_based ?limited ~universe st steps0 bound0 =
+  let steps = Array.of_list steps0 in
+  let n = Array.length steps in
+  if n > 14 then order_heuristic ?limited ~universe st steps0 bound0
+  else begin
+    let full = (1 lsl n) - 1 in
+    (* best.(mask) = (cost, cardinality, order as reversed index list) *)
+    let best = Array.make (full + 1) None in
+    best.(0) <- Some (0., 1., []);
+    let bound_of_mask = Array.make (full + 1) bound0 in
+    for mask = 1 to full do
+      (* bound set = bound0 + binds of all steps in mask *)
+      let b = ref bound0 in
+      for i = 0 to n - 1 do
+        if mask land (1 lsl i) <> 0 then b := add_binds !b steps.(i)
+      done;
+      bound_of_mask.(mask) <- !b
+    done;
+    for mask = 0 to full - 1 do
+      match best.(mask) with
+      | None -> ()
+      | Some (cost, card, order) ->
+        let bound = bound_of_mask.(mask) in
+        for i = 0 to n - 1 do
+          if mask land (1 lsl i) = 0 then begin
+            let fanout, work =
+              match steps.(i) with
+              | Exec c ->
+                if executable ?limited ~universe bound c then
+                  estimate st bound c
+                else (Float.infinity, Float.infinity)
+              | Domain_obj _ -> (st.n_objects, st.n_objects)
+              | Domain_label _ -> (st.n_labels, st.n_labels)
+            in
+            if fanout < Float.infinity then begin
+              let card' = Float.max 0.01 (card *. fanout) in
+              let cost' = cost +. (card *. work) +. card' in
+              let mask' = mask lor (1 lsl i) in
+              match best.(mask') with
+              | Some (c0, _, _) when c0 <= cost' -> ()
+              | _ -> best.(mask') <- Some (cost', card', i :: order)
+            end
+          end
+        done
+    done;
+    match best.(full) with
+    | Some (_, _, order_rev) ->
+      List.rev_map (fun i -> steps.(i)) order_rev
+    | None -> order_heuristic ?limited ~universe st steps0 bound0
+  end
+
+let pp_step ppf = function
+  | Exec c ->
+    let rec to_cond = function
+      | CC_coll (n, t) -> Ast.C_atom (n, [ t ])
+      | CC_extern (n, ts) -> Ast.C_atom (n, ts)
+      | CC_edge (x, l, y) -> Ast.C_edge (x, l, y)
+      | CC_path (x, r, _, y) -> Ast.C_path (x, r, y)
+      | CC_cmp (o, a, b) -> Ast.C_cmp (o, a, b)
+      | CC_in (t, vs) -> Ast.C_in (t, vs)
+      | CC_not c -> Ast.C_not (to_cond c)
+    in
+    Pretty.pp_condition ppf (to_cond c)
+  | Domain_obj v -> Fmt.pf ppf "domain(%s)" v
+  | Domain_label v -> Fmt.pf ppf "label-domain(%s)" v
+
+(** An unexecutable plan: some limited-access source can never be
+    probed with bound arguments. *)
+exception No_plan of string
+
+let plan ?(strategy = Heuristic) ?(limited = []) ~registry g ~bound
+    ~needed_obj ~needed_label conds =
+  let ccs = List.map (compile registry) conds in
+  let bound0 = List.fold_left (fun s v -> VSet.add v s) VSet.empty bound in
+  let domains = domain_steps ~limited ccs ~bound0 ~needed_obj ~needed_label in
+  let steps0 = List.map (fun c -> Exec c) ccs @ domains in
+  (* the universe of variables this plan will ever bind: negated
+     variables outside it stay existential within their [not] *)
+  let universe =
+    List.fold_left
+      (fun u s -> List.fold_left (fun u v -> VSet.add v u) u (step_binds s))
+      (bindable_vars ccs bound0)
+      domains
+  in
+  let st = stats_of_graph g in
+  let ordered =
+    match strategy with
+    | Naive -> order_naive ~limited ~universe st steps0 bound0
+    | Heuristic -> order_heuristic ~limited ~universe st steps0 bound0
+    | Cost_based -> order_cost_based ~limited ~universe st steps0 bound0
+  in
+  (* verify the ordering actually satisfies the access patterns: with a
+     limited source whose probe variable nothing binds, the greedy
+     fallbacks above may emit an unexecutable step *)
+  let rec verify bound = function
+    | [] -> ()
+    | s :: rest ->
+      (match s with
+       | Exec c ->
+         if not (executable ~limited ~universe bound c) then
+           raise
+             (No_plan
+                (Fmt.str
+                   "no executable plan: %a requires bound access" pp_step s))
+       | Domain_obj _ | Domain_label _ -> ());
+      verify
+        (List.fold_left (fun b v -> VSet.add v b) bound (step_binds s))
+        rest
+  in
+  verify bound0 ordered;
+  ordered

@@ -1,0 +1,93 @@
+(** Query planning for the WHERE stage (§2.4).
+
+    A plan is an ordering of a block's conditions, each compiled to an
+    access path, possibly interleaved with active-domain enumerators
+    for variables that no positive condition binds.  Three strategies
+    reproduce the system's evolution: {!Naive} keeps textual order
+    (with the minimal reordering needed to run filters after their
+    variables bind), {!Heuristic} greedily picks the executable
+    condition with the smallest estimated output — the paper's "simple
+    heuristic-based optimizer" — and {!Cost_based} enumerates orderings
+    by dynamic programming over condition subsets with an index-aware
+    cost model, the later optimizer of [FLO 97]. *)
+
+exception Plan_error of string
+
+type strategy = Naive | Heuristic | Cost_based
+
+(** Conditions compiled to resolved, NFA-carrying access paths.  The
+    collection-vs-external-predicate resolution of [C_atom] happens
+    here, against the registry — the distinction is semantic, not
+    syntactic. *)
+type ccond =
+  | CC_coll of string * Ast.term
+  | CC_extern of string * Ast.term list
+  | CC_edge of Ast.term * Ast.label_term * Ast.term
+  | CC_path of Ast.term * Sgraph.Path.t * Sgraph.Path.nfa * Ast.term
+  | CC_cmp of Ast.cmp_op * Ast.term * Ast.term
+  | CC_in of Ast.term * Sgraph.Value.t list
+  | CC_not of ccond
+
+type step =
+  | Exec of ccond
+  | Domain_obj of Ast.var    (** bind the variable to every object *)
+  | Domain_label of Ast.var  (** bind the variable to every label *)
+
+module VSet : Set.S with type elt = string
+
+val compile : Builtins.registry -> Ast.condition -> ccond
+
+val ccond_vars : Ast.var list -> ccond -> Ast.var list
+val ccond_binds : ccond -> Ast.var list
+(** Variables the condition binds when executed. *)
+
+val executable :
+  ?limited:string list -> ?universe:VSet.t -> VSet.t -> ccond -> bool
+(** Whether the condition can run given the bound set.  A negation
+    waits for every inner variable inside [universe] (the set this
+    plan will ever bind); inner variables outside it are existential
+    within the [not].  [limited] names collections backed by sources
+    with limited access patterns (§2.4): they can test membership of a
+    bound object but cannot be enumerated. *)
+
+val step_binds : step -> Ast.var list
+
+(** {1 Cost model} *)
+
+type stats = {
+  n_nodes : float;
+  n_edges : float;
+  n_labels : float;
+  n_objects : float;
+  coll_size : string -> float;
+  label_cnt : string -> float;
+}
+
+val stats_of_graph : Sgraph.Graph.t -> stats
+
+val estimate : stats -> VSet.t -> ccond -> float * float
+(** [(fanout, work)]: expected output rows per input row, and work per
+    input row, given the bound set. *)
+
+(** {1 Planning} *)
+
+exception No_plan of string
+(** No ordering satisfies the access patterns: some limited source can
+    never be probed with bound arguments. *)
+
+val plan :
+  ?strategy:strategy ->
+  ?limited:string list ->
+  registry:Builtins.registry ->
+  Sgraph.Graph.t ->
+  bound:Ast.var list ->
+  needed_obj:Ast.var list ->
+  needed_label:Ast.var list ->
+  Ast.condition list ->
+  step list
+(** Plan a block's conditions.  [bound] are variables already bound by
+    ancestor blocks; [needed_obj]/[needed_label] the construction
+    variables of the block (object vs arc positions), which receive
+    active-domain enumerators when no condition binds them. *)
+
+val pp_step : Format.formatter -> step -> unit

@@ -1,0 +1,1 @@
+lib/template/generator.ml: Buffer Filename Graph Hashtbl List Oid Printf Queue Sgraph String Sys Tast Teval Tparse Value

@@ -1,0 +1,1 @@
+lib/template/generator.mli: Graph Oid Sgraph

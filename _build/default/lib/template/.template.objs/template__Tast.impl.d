@@ -1,0 +1,1 @@
+lib/template/tast.ml: Fmt Sgraph String

@@ -1,0 +1,1 @@
+lib/template/teval.ml: Buffer Graph List Oid Printf Sgraph String Tast Value

@@ -1,0 +1,1 @@
+lib/template/teval.mli: Graph Oid Sgraph Tast Value

@@ -1,0 +1,1 @@
+lib/template/tparse.ml: Fmt Lex List Sgraph String Tast Value

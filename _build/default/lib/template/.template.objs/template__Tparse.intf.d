@@ -1,0 +1,1 @@
+lib/template/tparse.mli: Tast

@@ -1,0 +1,283 @@
+(** The HTML generator (§2.5, §4).
+
+    Produces the browsable Web site from a site graph and a set of HTML
+    templates.  For every internal object the generator selects a
+    template: (1) an object-specific template, (2) the value of the
+    object's [HTML-template] attribute, or (3) the template associated
+    with a collection the object belongs to; objects with none get a
+    generic property-sheet rendering.
+
+    The choice to realize internal objects as pages or as page
+    components is delayed until generation: an object referenced with
+    the default format becomes a separate page (and a link to it is
+    emitted); the [EMBED] directive embeds the object's HTML value in
+    the referencing page instead. *)
+
+open Sgraph
+
+exception Generator_error of string
+
+type template_set = {
+  by_object : (string * string) list;
+      (** object name → template text (object-specific templates) *)
+  by_collection : (string * string) list;
+      (** collection name → template text *)
+  named : (string * string) list;
+      (** template name → text, for the [HTML-template] attribute *)
+}
+
+let empty_templates = { by_object = []; by_collection = []; named = [] }
+
+type page = {
+  obj : Oid.t;
+  url : string;
+  title : string;
+  html : string;  (** full page, wrapped *)
+  body : string;  (** the template's output alone *)
+}
+
+type site = {
+  pages : page list;
+  graph : Graph.t;
+}
+
+(* --- URL assignment --- *)
+
+let slug name =
+  let buf = Buffer.create (String.length name) in
+  String.iter
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' ->
+        Buffer.add_char buf c
+      | ' ' | '.' | '/' -> Buffer.add_char buf '_'
+      | _ -> ())
+    name;
+  let s = Buffer.contents buf in
+  if s = "" then "page" else s
+
+(* --- Anchor text for links to internal objects --- *)
+
+let anchor_attrs = [ "title"; "name"; "Name"; "label"; "Year"; "year" ]
+
+let default_anchor g o =
+  let rec first = function
+    | [] -> Teval.escape_html (Oid.name o)
+    | a :: rest -> (
+        match Graph.attr_value g o a with
+        | Some v -> Teval.escape_html (Value.to_display_string v)
+        | None -> first rest)
+  in
+  first anchor_attrs
+
+(* --- Template selection --- *)
+
+type compiled = { cache : (string, Tast.t) Hashtbl.t }
+
+let compile_cached c key text =
+  match Hashtbl.find_opt c.cache key with
+  | Some t -> t
+  | None ->
+    let t = Tparse.parse text in
+    Hashtbl.add c.cache key t;
+    t
+
+let select_template c (ts : template_set) g o : Tast.t option =
+  match List.assoc_opt (Oid.name o) ts.by_object with
+  | Some text -> Some (compile_cached c ("obj:" ^ Oid.name o) text)
+  | None -> (
+      let from_attr =
+        match Graph.attr_value g o "HTML-template" with
+        | Some (Value.String n) | Some (Value.File (Value.Html_file, n)) ->
+          (match List.assoc_opt n ts.named with
+           | Some text -> Some (compile_cached c ("named:" ^ n) text)
+           | None ->
+             raise (Generator_error ("unknown template name " ^ n)))
+        | Some _ | None -> None
+      in
+      match from_attr with
+      | Some t -> Some t
+      | None ->
+        List.find_map
+          (fun coll ->
+            match List.assoc_opt coll ts.by_collection with
+            | Some text -> Some (compile_cached c ("coll:" ^ coll) text)
+            | None -> None)
+          (Graph.collections_of g o))
+
+(* Generic property-sheet rendering for objects without a template. *)
+let default_render render_target g o =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "<h2>%s</h2>\n<dl>\n" (Teval.escape_html (Oid.name o)));
+  List.iter
+    (fun (l, tgt) ->
+      Buffer.add_string buf
+        (Printf.sprintf "<dt>%s</dt><dd>%s</dd>\n" (Teval.escape_html l)
+           (render_target tgt)))
+    (Graph.out_edges g o);
+  Buffer.add_string buf "</dl>\n";
+  Buffer.contents buf
+
+let wrap_page ~title body =
+  if
+    String.length body >= 5
+    && String.lowercase_ascii (String.sub body 0 5) = "<html"
+  then body
+  else
+    Printf.sprintf
+      "<html>\n<head><title>%s</title></head>\n<body>\n%s\n</body>\n</html>\n"
+      (Teval.escape_html title) body
+
+let max_embed_depth = 32
+
+(** Generate the browsable site.  [roots] are the objects realized as
+    pages up front; any object referenced with the default (link)
+    format from an emitted page also becomes a page. *)
+let generate ?(file_loader = fun _ -> None) ?(templates = empty_templates)
+    (g : Graph.t) ~(roots : Oid.t list) : site =
+  let compiled = { cache = Hashtbl.create 16 } in
+  let urls : string Oid.Tbl.t = Oid.Tbl.create 64 in
+  let used_urls = Hashtbl.create 64 in
+  let queue = Queue.create () in
+  let queued = Oid.Tbl.create 64 in
+  let ensure_page o =
+    match Oid.Tbl.find_opt urls o with
+    | Some u -> u
+    | None ->
+      let base = slug (Oid.name o) in
+      let rec uniq n =
+        let candidate =
+          if n = 0 then base ^ ".html"
+          else Printf.sprintf "%s_%d.html" base n
+        in
+        if Hashtbl.mem used_urls candidate then uniq (n + 1) else candidate
+      in
+      let u = uniq 0 in
+      Hashtbl.add used_urls u ();
+      Oid.Tbl.add urls o u;
+      if not (Oid.Tbl.mem queued o) then begin
+        Oid.Tbl.add queued o ();
+        Queue.add o queue
+      end;
+      u
+  in
+  let depth = ref 0 in
+  let embedding = Oid.Tbl.create 8 in
+  let rec render_object ctx mode o =
+    match mode with
+    | Teval.Link_to anchor ->
+      let url = ensure_page o in
+      let anchor =
+        match anchor with Some a -> a | None -> default_anchor g o
+      in
+      Teval.render_link ~href:url ~anchor
+    | Teval.Embed ->
+      if Oid.Tbl.mem embedding o || !depth > max_embed_depth then
+        (* embedding cycle: fall back to a link *)
+        render_object ctx (Teval.Link_to None) o
+      else begin
+        Oid.Tbl.add embedding o ();
+        incr depth;
+        let body = render_body ctx o in
+        decr depth;
+        Oid.Tbl.remove embedding o;
+        body
+      end
+  and render_body ctx o =
+    match select_template compiled templates g o with
+    | Some t -> Teval.render { ctx with Teval.vars = [] } t o
+    | None ->
+      default_render
+        (fun tgt ->
+          Teval.render_target ctx o Tast.default_directives tgt)
+        g o
+  in
+  let ctx =
+    { Teval.graph = g; vars = []; render_object; file_loader }
+  in
+  List.iter (fun o -> ignore (ensure_page o)) roots;
+  let pages = ref [] in
+  while not (Queue.is_empty queue) do
+    let o = Queue.pop queue in
+    let url = Oid.Tbl.find urls o in
+    let body = render_body ctx o in
+    let title =
+      match Graph.attr_value g o "title" with
+      | Some v -> Value.to_display_string v
+      | None -> Oid.name o
+    in
+    pages :=
+      { obj = o; url; title; html = wrap_page ~title body; body } :: !pages
+  done;
+  { pages = List.rev !pages; graph = g }
+
+(** Render a single object's page without materializing the rest of the
+    site: links to internal objects get their deterministic URLs (slug
+    of the object name) but the linked pages are not generated.  This
+    is the rendering primitive of the click-time evaluator. *)
+let render_page ?(file_loader = fun _ -> None) ?(templates = empty_templates)
+    (g : Graph.t) (o : Oid.t) : page =
+  let compiled = { cache = Hashtbl.create 16 } in
+  let depth = ref 0 in
+  let embedding = Oid.Tbl.create 8 in
+  let rec render_object ctx mode o' =
+    match mode with
+    | Teval.Link_to anchor ->
+      let anchor =
+        match anchor with Some a -> a | None -> default_anchor g o'
+      in
+      Teval.render_link ~href:(slug (Oid.name o') ^ ".html") ~anchor
+    | Teval.Embed ->
+      if Oid.Tbl.mem embedding o' || !depth > max_embed_depth then
+        render_object ctx (Teval.Link_to None) o'
+      else begin
+        Oid.Tbl.add embedding o' ();
+        incr depth;
+        let body = render_body ctx o' in
+        decr depth;
+        Oid.Tbl.remove embedding o';
+        body
+      end
+  and render_body ctx o' =
+    match select_template compiled templates g o' with
+    | Some t -> Teval.render { ctx with Teval.vars = [] } t o'
+    | None ->
+      default_render
+        (fun tgt -> Teval.render_target ctx o' Tast.default_directives tgt)
+        g o'
+  in
+  let ctx = { Teval.graph = g; vars = []; render_object; file_loader } in
+  let body = render_body ctx o in
+  let title =
+    match Graph.attr_value g o "title" with
+    | Some v -> Value.to_display_string v
+    | None -> Oid.name o
+  in
+  {
+    obj = o;
+    url = slug (Oid.name o) ^ ".html";
+    title;
+    html = wrap_page ~title body;
+    body;
+  }
+
+let page_count site = List.length site.pages
+
+let find_page site url = List.find_opt (fun p -> p.url = url) site.pages
+
+let page_of_object site o =
+  List.find_opt (fun p -> Oid.equal p.obj o) site.pages
+
+(** Write all pages below [dir] (created if missing). *)
+let write_site ~dir site =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  List.iter
+    (fun p ->
+      let oc = open_out (Filename.concat dir p.url) in
+      output_string oc p.html;
+      close_out oc)
+    site.pages
+
+let total_bytes site =
+  List.fold_left (fun n p -> n + String.length p.html) 0 site.pages

@@ -1,0 +1,78 @@
+(** The HTML generator (§2.5, §4).
+
+    Produces the browsable Web site from a site graph and a set of HTML
+    templates.  For every internal object the generator selects a
+    template: (1) an object-specific template, (2) the value of the
+    object's [HTML-template] attribute — so the {e data} can choose the
+    presentation — or (3) the template of a collection the object
+    belongs to; objects with none get a generic property-sheet
+    rendering.
+
+    The choice to realize internal objects as pages or as page
+    components is delayed until generation: an object referenced with
+    the default format becomes a separate page (a link to it is
+    emitted); the [EMBED] directive embeds the object's HTML value in
+    the referencing page instead. *)
+
+open Sgraph
+
+exception Generator_error of string
+
+type template_set = {
+  by_object : (string * string) list;
+      (** object name → template text (object-specific templates) *)
+  by_collection : (string * string) list;
+      (** collection name → template text *)
+  named : (string * string) list;
+      (** template name → text, for the [HTML-template] attribute *)
+}
+
+val empty_templates : template_set
+
+type page = {
+  obj : Oid.t;
+  url : string;
+  title : string;
+  html : string;  (** the full page, wrapped in scaffold if needed *)
+  body : string;  (** the template's output alone *)
+}
+
+type site = {
+  pages : page list;
+  graph : Graph.t;
+}
+
+val slug : string -> string
+(** URL-safe name fragment used for page file names. *)
+
+val default_anchor : Graph.t -> Oid.t -> string
+(** Anchor text for a link to an object: its [title]/[name]/... if
+    present, else the object name (HTML-escaped). *)
+
+val generate :
+  ?file_loader:(string -> string option) ->
+  ?templates:template_set ->
+  Graph.t ->
+  roots:Oid.t list ->
+  site
+(** Generate the browsable site.  [roots] are realized as pages up
+    front; any object referenced with the default (link) format from an
+    emitted page also becomes a page, transitively.  [file_loader]
+    supplies the contents of text/HTML file values for inlining. *)
+
+val render_page :
+  ?file_loader:(string -> string option) ->
+  ?templates:template_set ->
+  Graph.t -> Oid.t -> page
+(** Render a single object's page without materializing the rest of the
+    site — the rendering primitive of the click-time evaluator.  Links
+    get their deterministic URLs but linked pages are not generated. *)
+
+val page_count : site -> int
+val find_page : site -> string -> page option
+val page_of_object : site -> Oid.t -> page option
+
+val write_site : dir:string -> site -> unit
+(** Write all pages below [dir] (created if missing). *)
+
+val total_bytes : site -> int

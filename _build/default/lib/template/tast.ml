@@ -1,0 +1,84 @@
+(** Abstract syntax of STRUDEL's HTML-template language (Fig. 6).
+
+    A template is plain HTML extended with three expressions, each of
+    which produces plain HTML text:
+
+    - the format expression [<SFMT @attr ...>] maps an attribute
+      expression to an HTML value using type-specific rules;
+    - the conditional [<SIF cond> ... <SELSE> ... </SIF>];
+    - the enumeration [<SFOR v IN @attr ...> ... </SFOR>], which binds
+      [v] to each value of the attribute;
+    - plus the [<SFMTLIST @attr ...>] shorthand for an [<UL>] of all
+      values.
+
+    An attribute expression [@a.b.c] performs bounded traversal of the
+    site graph starting from the current object (or from an [SFOR]
+    variable when the first segment names one).  Directives: [EMBED]
+    forces an internal object to be embedded rather than linked;
+    [LINK=tag] emits a link whose anchor text is the given string or
+    attribute expression; [ORDER=ascend|descend] with optional
+    [KEY=attr] sorts values; [DELIM="s"] separates multiple values. *)
+
+type attr_expr = string list
+(** [@a.b.c] = [["a"; "b"; "c"]] *)
+
+type link_tag = Tag_string of string | Tag_attr of attr_expr
+
+type format_mode =
+  | F_default  (** type-specific rules; internal objects become links *)
+  | F_embed    (** embed the HTML value of an internal object *)
+  | F_link of link_tag option
+      (** render as a link; the tag is the anchor text *)
+
+type order = Ascend | Descend
+
+type directives = {
+  format : format_mode;
+  order : order option;
+  key : attr_expr option;
+  delim : string option;
+}
+
+let default_directives =
+  { format = F_default; order = None; key = None; delim = None }
+
+type operand =
+  | A_attr of attr_expr
+  | A_const of Sgraph.Value.t
+
+type cmp_op = Eq | Ne | Lt | Le | Gt | Ge
+
+type cond =
+  | C_cmp of cmp_op * operand * operand
+  | C_nonnull of attr_expr  (** [<SIF @attr>]: the attribute exists *)
+  | C_and of cond * cond
+  | C_or of cond * cond
+  | C_not of cond
+
+type t = node list
+
+and node =
+  | Text of string                                  (** plain HTML *)
+  | Fmt of attr_expr * directives                   (** [<SFMT>] *)
+  | Fmt_list of attr_expr * directives              (** [<SFMTLIST>] *)
+  | If of cond * t * t                              (** [<SIF>] *)
+  | For of string * attr_expr * directives * t      (** [<SFOR>] *)
+
+let rec pp_cond ppf = function
+  | C_cmp (op, a, b) ->
+    let ops =
+      match op with
+      | Eq -> "=" | Ne -> "!=" | Lt -> "<" | Le -> "<=" | Gt -> ">"
+      | Ge -> ">="
+    in
+    Fmt.pf ppf "%a %s %a" pp_operand a ops pp_operand b
+  | C_nonnull ae -> pp_attr_expr ppf ae
+  | C_and (a, b) -> Fmt.pf ppf "(%a AND %a)" pp_cond a pp_cond b
+  | C_or (a, b) -> Fmt.pf ppf "(%a OR %a)" pp_cond a pp_cond b
+  | C_not c -> Fmt.pf ppf "NOT (%a)" pp_cond c
+
+and pp_operand ppf = function
+  | A_attr ae -> pp_attr_expr ppf ae
+  | A_const v -> Sgraph.Value.pp ppf v
+
+and pp_attr_expr ppf ae = Fmt.pf ppf "@%s" (String.concat "." ae)

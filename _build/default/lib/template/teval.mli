@@ -1,0 +1,35 @@
+(** Evaluation of template expressions over a site graph.
+
+    Type-specific rules map atomic values to HTML (strings and numbers
+    are escaped and embedded, URLs become anchors, images [<img>],
+    text/HTML files are inlined when a file loader is available,
+    PostScript always links).  References to internal objects are
+    delegated to the caller through [render_object]: by default they
+    become links to the object's page; [EMBED] embeds the object's HTML
+    value instead. *)
+
+open Sgraph
+
+(** How an internal-object reference is to be realized. *)
+type obj_mode =
+  | Embed
+  | Link_to of string option  (** anchor-text override *)
+
+type ctx = {
+  graph : Graph.t;
+  vars : (string * Graph.target) list;  (** SFOR bindings, innermost first *)
+  render_object : ctx -> obj_mode -> Oid.t -> string;
+  file_loader : string -> string option;
+}
+
+val escape_html : string -> string
+
+val eval_attr_expr : ctx -> Oid.t -> Tast.attr_expr -> Graph.target list
+(** Bounded traversal of [@a.b.c] from the current object (or from an
+    SFOR variable when the first segment names one). *)
+
+val eval_cond : ctx -> Oid.t -> Tast.cond -> bool
+val render_link : href:string -> anchor:string -> string
+val render_value : ctx -> ?anchor:string -> Value.t -> string
+val render_target : ctx -> Oid.t -> Tast.directives -> Graph.target -> string
+val render : ctx -> Tast.t -> Oid.t -> string

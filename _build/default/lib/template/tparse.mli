@@ -1,0 +1,12 @@
+(** Parser for the HTML-template language (Fig. 6).
+
+    Plain HTML passes through verbatim; the parser recognizes
+    [<SFMT ...>], [<SFMTLIST ...>], [<SIF ...> ... <SELSE> ... </SIF>]
+    and [<SFOR v IN ...> ... </SFOR>] (tag names case-insensitive).
+    Quoted strings inside a tag may contain [>]; write [>]/[>=]
+    comparisons with surrounding spaces so they are not read as the tag
+    close. *)
+
+exception Template_error of string
+
+val parse : string -> Tast.t

@@ -1,0 +1,1 @@
+lib/wrappers/bibtex.ml: Buffer Filename Graph List Printf Sgraph String Value

@@ -1,0 +1,1 @@
+lib/wrappers/bibtex.mli: Graph Oid Sgraph

@@ -1,0 +1,1 @@
+lib/wrappers/csv.ml: Buffer Graph List Oid Sgraph String Value

@@ -1,0 +1,1 @@
+lib/wrappers/csv.mli: Graph Oid Sgraph

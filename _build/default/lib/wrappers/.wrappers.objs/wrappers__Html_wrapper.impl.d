@@ -1,0 +1,1 @@
+lib/wrappers/html_wrapper.ml: Buffer Graph List Oid Sgraph String Value

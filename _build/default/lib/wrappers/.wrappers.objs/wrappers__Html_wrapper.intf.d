@@ -1,0 +1,1 @@
+lib/wrappers/html_wrapper.mli: Graph Oid Sgraph

@@ -1,0 +1,1 @@
+lib/wrappers/structured_file.ml: Graph List Sgraph String Value

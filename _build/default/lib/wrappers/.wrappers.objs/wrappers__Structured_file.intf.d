@@ -1,0 +1,1 @@
+lib/wrappers/structured_file.mli: Graph Oid Sgraph

@@ -1,0 +1,1 @@
+lib/wrappers/synth.ml: Array Buffer Char Graph Int64 List Printf Sgraph String Value

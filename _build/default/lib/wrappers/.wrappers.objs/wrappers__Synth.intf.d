@@ -1,0 +1,1 @@
+lib/wrappers/synth.mli: Graph Sgraph

@@ -1,0 +1,328 @@
+(** BibTeX wrapper: converts BibTeX bibliography files into a STRUDEL
+    data graph (the main data source of the paper's homepage sites).
+
+    Each entry becomes an object of the [Publications] collection named
+    by its citation key, with one attribute per field.  [author] and
+    [editor] fields are split on [" and "], producing one attribute
+    edge per author (the semistructured model allows multiple instances
+    of an attribute); an [authorkey] integer attribute preserves author
+    order, the paper's solution for ordered lists.  [abstract] and
+    [postscript]/[ps]/[pdf] fields whose values look like file paths
+    become typed file values; [url] fields become URLs.  [@string]
+    macros and [#] concatenation are supported. *)
+
+open Sgraph
+
+exception Bibtex_error of string * int  (** message, line *)
+
+type entry = {
+  entry_type : string;          (* article, inproceedings, ... *)
+  key : string;
+  fields : (string * string) list;
+}
+
+(* --- Lexing/parsing: BibTeX has its own token rules, so a dedicated
+   scanner rather than the shared Lex --- *)
+
+type pstate = { src : string; mutable pos : int; mutable line : int }
+
+let peek_char p =
+  if p.pos < String.length p.src then Some p.src.[p.pos] else None
+
+let advance p =
+  (match peek_char p with Some '\n' -> p.line <- p.line + 1 | _ -> ());
+  p.pos <- p.pos + 1
+
+let skip_ws p =
+  let continue = ref true in
+  while !continue do
+    match peek_char p with
+    | Some (' ' | '\t' | '\n' | '\r') -> advance p
+    | Some '%' ->
+      (* comment to end of line *)
+      while peek_char p <> None && peek_char p <> Some '\n' do
+        advance p
+      done
+    | _ -> continue := false
+  done
+
+let error p msg = raise (Bibtex_error (msg, p.line))
+
+let is_name_char = function
+  | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '-' | ':' | '.' | '+'
+  | '/' ->
+    true
+  | _ -> false
+
+let read_name p =
+  let start = p.pos in
+  while (match peek_char p with
+         | Some c -> is_name_char c
+         | None -> false)
+  do
+    advance p
+  done;
+  if p.pos = start then error p "expected a name";
+  String.sub p.src start (p.pos - start)
+
+(* A { ... } group with balanced braces. *)
+let read_braced p =
+  (match peek_char p with
+   | Some '{' -> advance p
+   | _ -> error p "expected '{'");
+  let buf = Buffer.create 32 in
+  let depth = ref 1 in
+  while !depth > 0 do
+    match peek_char p with
+    | None -> error p "unterminated '{'"
+    | Some '{' ->
+      incr depth;
+      if !depth > 1 then Buffer.add_char buf '{';
+      advance p
+    | Some '}' ->
+      decr depth;
+      if !depth > 0 then Buffer.add_char buf '}';
+      advance p
+    | Some c ->
+      Buffer.add_char buf c;
+      advance p
+  done;
+  Buffer.contents buf
+
+let read_quoted p =
+  (match peek_char p with
+   | Some '"' -> advance p
+   | _ -> error p "expected '\"'");
+  let buf = Buffer.create 32 in
+  let fin = ref false in
+  while not !fin do
+    match peek_char p with
+    | None -> error p "unterminated string"
+    | Some '"' ->
+      advance p;
+      fin := true
+    | Some c ->
+      Buffer.add_char buf c;
+      advance p
+  done;
+  Buffer.contents buf
+
+(* A field value: braced group, quoted string, number, or macro name —
+   possibly concatenated with '#'. *)
+let rec read_value p macros =
+  skip_ws p;
+  let piece =
+    match peek_char p with
+    | Some '{' -> read_braced p
+    | Some '"' -> read_quoted p
+    | Some ('0' .. '9') ->
+      let start = p.pos in
+      while (match peek_char p with Some '0' .. '9' -> true | _ -> false) do
+        advance p
+      done;
+      String.sub p.src start (p.pos - start)
+    | Some _ ->
+      let n = read_name p in
+      (match List.assoc_opt (String.lowercase_ascii n) macros with
+       | Some v -> v
+       | None -> n)
+    | None -> error p "expected a field value"
+  in
+  skip_ws p;
+  match peek_char p with
+  | Some '#' ->
+    advance p;
+    piece ^ read_value p macros
+  | _ -> piece
+
+(* Collapse whitespace runs and strip TeX braces from a field value. *)
+let clean s =
+  let buf = Buffer.create (String.length s) in
+  let last_space = ref false in
+  String.iter
+    (fun c ->
+      match c with
+      | ' ' | '\t' | '\n' | '\r' ->
+        if not !last_space then Buffer.add_char buf ' ';
+        last_space := true
+      | '{' | '}' -> ()
+      | c ->
+        Buffer.add_char buf c;
+        last_space := false)
+    s;
+  String.trim (Buffer.contents buf)
+
+let parse_entries src : entry list =
+  let p = { src; pos = 0; line = 1 } in
+  let entries = ref [] in
+  let macros = ref [] in
+  let continue = ref true in
+  while !continue do
+    (* skip until '@' *)
+    while peek_char p <> None && peek_char p <> Some '@' do
+      advance p
+    done;
+    match peek_char p with
+    | None -> continue := false
+    | Some '@' ->
+      advance p;
+      let ty = String.lowercase_ascii (read_name p) in
+      skip_ws p;
+      let closing =
+        match peek_char p with
+        | Some '{' ->
+          advance p;
+          '}'
+        | Some '(' ->
+          advance p;
+          ')'
+        | _ -> error p "expected '{' after entry type"
+      in
+      if ty = "comment" || ty = "preamble" then begin
+        (* skip to matching close *)
+        let depth = ref 1 in
+        while !depth > 0 do
+          match peek_char p with
+          | None -> error p "unterminated entry"
+          | Some c ->
+            if c = '{' then incr depth
+            else if c = closing then decr depth;
+            advance p
+        done
+      end
+      else if ty = "string" then begin
+        skip_ws p;
+        let name = String.lowercase_ascii (read_name p) in
+        skip_ws p;
+        (match peek_char p with
+         | Some '=' -> advance p
+         | _ -> error p "expected '=' in @string");
+        let v = read_value p !macros in
+        macros := (name, v) :: !macros;
+        skip_ws p;
+        (match peek_char p with
+         | Some c when c = closing -> advance p
+         | _ -> error p "expected close of @string")
+      end
+      else begin
+        skip_ws p;
+        let key = read_name p in
+        skip_ws p;
+        (match peek_char p with
+         | Some ',' -> advance p
+         | _ -> error p "expected ',' after citation key");
+        let fields = ref [] in
+        let in_entry = ref true in
+        while !in_entry do
+          skip_ws p;
+          match peek_char p with
+          | Some c when c = closing ->
+            advance p;
+            in_entry := false
+          | None -> error p "unterminated entry"
+          | Some _ ->
+            let fname = String.lowercase_ascii (read_name p) in
+            skip_ws p;
+            (match peek_char p with
+             | Some '=' -> advance p
+             | _ -> error p ("expected '=' after field " ^ fname));
+            let v = read_value p !macros in
+            fields := (fname, clean v) :: !fields;
+            skip_ws p;
+            (match peek_char p with
+             | Some ',' -> advance p
+             | _ -> ())
+        done;
+        entries :=
+          { entry_type = ty; key; fields = List.rev !fields } :: !entries
+      end
+    | Some _ -> assert false
+  done;
+  List.rev !entries
+
+(* --- Mapping entries into the graph --- *)
+
+let split_authors s =
+  let rec go acc s =
+    match
+      (* case-sensitive " and " per BibTeX convention *)
+      let re = " and " in
+      let n = String.length s and k = String.length re in
+      let rec find i =
+        if i + k > n then None
+        else if String.sub s i k = re then Some i
+        else find (i + 1)
+      in
+      find 0
+    with
+    | Some i ->
+      go (String.sub s 0 i :: acc) (String.sub s (i + 5) (String.length s - i - 5))
+    | None -> List.rev (s :: acc)
+  in
+  List.map String.trim (go [] s)
+
+let looks_like_path s =
+  String.contains s '/' || Filename.check_suffix s ".ps"
+  || Filename.check_suffix s ".ps.gz" || Filename.check_suffix s ".pdf"
+  || Filename.check_suffix s ".txt"
+
+let field_value fname v =
+  match fname with
+  | "year" | "volume" | "number" -> Value.of_literal v
+  | "abstract" when looks_like_path v -> Value.File (Value.Text, v)
+  | "postscript" | "ps" when looks_like_path v ->
+    Value.File (Value.Postscript, v)
+  | "pdf" when looks_like_path v -> Value.File (Value.Other_file "pdf", v)
+  | "url" | "howpublished" when String.length v > 7
+                                && String.sub v 0 7 = "http://" ->
+    Value.Url v
+  | "url" -> Value.Url v
+  | _ -> Value.String v
+
+(** Load BibTeX text into [g].  Returns the oids of the created
+    publication objects, in file order.
+
+    With [~keyed_authors:true], each author becomes a nested object
+    carrying [name] and an integer [key] attribute — the paper's
+    workaround for ordered lists in an unordered data model.  By
+    default authors are plain string attributes (the repository
+    preserves insertion order). *)
+let load_into ?(collection = "Publications") ?(keyed_authors = false) g src =
+  let entries = parse_entries src in
+  List.map
+    (fun e ->
+      let o = Graph.new_node g e.key in
+      Graph.add_to_collection g collection o;
+      Graph.add_edge g o "pub-type" (Graph.V (Value.String e.entry_type));
+      List.iter
+        (fun (fname, v) ->
+          match fname with
+          | "author" | "editor" ->
+            List.iteri
+              (fun i a ->
+                if keyed_authors then begin
+                  let ao =
+                    Graph.new_node g (Printf.sprintf "%s.%s%d" e.key fname i)
+                  in
+                  Graph.add_edge g ao "name" (Graph.V (Value.String a));
+                  Graph.add_edge g ao "key" (Graph.V (Value.Int i));
+                  Graph.add_edge g o fname (Graph.N ao)
+                end
+                else Graph.add_edge g o fname (Graph.V (Value.String a)))
+              (split_authors v)
+          | "keywords" | "category" ->
+            List.iter
+              (fun kw ->
+                let kw = String.trim kw in
+                if kw <> "" then
+                  Graph.add_edge g o "category" (Graph.V (Value.String kw)))
+              (String.split_on_char ',' v)
+          | _ -> Graph.add_edge g o fname (Graph.V (field_value fname v)))
+        e.fields;
+      o)
+    entries
+
+let load ?(graph_name = "BIBTEX") ?collection ?keyed_authors src =
+  let g = Graph.create ~name:graph_name () in
+  let os = load_into ?collection ?keyed_authors g src in
+  (g, os)

@@ -1,0 +1,36 @@
+(** BibTeX wrapper: converts bibliography files into a STRUDEL data
+    graph (the main data source of the paper's homepage sites).
+
+    Each entry becomes an object of the [Publications] collection named
+    by its citation key, with one attribute per field.  [author] and
+    [editor] split on [" and "] into multiple attribute edges (or, with
+    [~keyed_authors:true], nested objects carrying [name] and an
+    integer [key] — the paper's workaround for ordered lists in an
+    unordered model).  [abstract]/[postscript] paths become typed file
+    values, [url] a URL; [@string] macros and [#] concatenation are
+    supported; [keywords] become [category] edges. *)
+
+open Sgraph
+
+exception Bibtex_error of string * int  (** message, line *)
+
+type entry = {
+  entry_type : string;
+  key : string;
+  fields : (string * string) list;
+}
+
+val parse_entries : string -> entry list
+(** The raw entries, before graph mapping. *)
+
+val split_authors : string -> string list
+
+val load_into :
+  ?collection:string -> ?keyed_authors:bool -> Graph.t -> string ->
+  Oid.t list
+(** Load BibTeX text into an existing graph; returns the created
+    publication objects in file order. *)
+
+val load :
+  ?graph_name:string -> ?collection:string -> ?keyed_authors:bool ->
+  string -> Graph.t * Oid.t list

@@ -1,0 +1,171 @@
+(** Relational wrapper: loads CSV exports of relational tables into the
+    graph model (the paper's "small relational databases that contain
+    personnel and organizational data").
+
+    Each row becomes an object in a collection named after the table;
+    each non-empty cell becomes an attribute edge whose value is read
+    with {!Sgraph.Value.of_literal}.  Empty cells produce {e no} edge —
+    the natural encoding of missing attributes in the semistructured
+    model.  Cells referencing other rows ([&key]) become object
+    references (foreign keys). *)
+
+open Sgraph
+
+exception Csv_error of string * int  (** message, line *)
+
+(* RFC-4180-ish parsing: quoted fields may contain commas, newlines and
+   doubled quotes. *)
+let parse_rows (src : string) : string list list =
+  let n = String.length src in
+  let rows = ref [] in
+  let fields = ref [] in
+  let buf = Buffer.create 32 in
+  let line = ref 1 in
+  let push_field () =
+    fields := Buffer.contents buf :: !fields;
+    Buffer.clear buf
+  in
+  let push_row () =
+    push_field ();
+    rows := List.rev !fields :: !rows;
+    fields := []
+  in
+  let i = ref 0 in
+  let in_quotes = ref false in
+  while !i < n do
+    let c = src.[!i] in
+    if !in_quotes then begin
+      if c = '"' then
+        if !i + 1 < n && src.[!i + 1] = '"' then begin
+          Buffer.add_char buf '"';
+          i := !i + 2
+        end
+        else begin
+          in_quotes := false;
+          incr i
+        end
+      else begin
+        if c = '\n' then incr line;
+        Buffer.add_char buf c;
+        incr i
+      end
+    end
+    else
+      match c with
+      | '"' ->
+        if Buffer.length buf = 0 then begin
+          in_quotes := true;
+          incr i
+        end
+        else raise (Csv_error ("quote inside unquoted field", !line))
+      | ',' ->
+        push_field ();
+        incr i
+      | '\r' -> incr i
+      | '\n' ->
+        push_row ();
+        incr line;
+        incr i
+      | c ->
+        Buffer.add_char buf c;
+        incr i
+  done;
+  if !in_quotes then raise (Csv_error ("unterminated quoted field", !line));
+  if Buffer.length buf > 0 || !fields <> [] then push_row ();
+  (* drop fully empty trailing rows *)
+  List.rev !rows |> List.filter (fun r -> r <> [ "" ] && r <> [])
+
+type table = {
+  name : string;
+  headers : string list;
+  rows : string list list;
+}
+
+let table_of_string ~name src =
+  match parse_rows src with
+  | [] -> { name; headers = []; rows = [] }
+  | headers :: rows -> { name; headers; rows }
+
+(** Load several tables into [g] at once: all rows of all tables are
+    created first, then cells are added, so [&name] references may
+    point forwards and across tables (a people table referencing an
+    orgs table that references the people back).  Returns the created
+    oids per table, in row order. *)
+let rec load_tables ?key g (tables : table list) : Oid.t list list =
+  (* first pass: create every object of every table *)
+  let created =
+    List.map
+      (fun t ->
+        let key_idx =
+          match key with
+          | None -> 0
+          | Some k -> (
+              match List.find_index (fun h -> h = k) t.headers with
+              | Some i -> i
+              | None -> 0)
+        in
+        List.map
+          (fun row ->
+            let name =
+              match List.nth_opt row key_idx with
+              | Some v when v <> "" -> v
+              | _ -> t.name ^ "_row"
+            in
+            let o = Graph.new_node g name in
+            Graph.add_to_collection g t.name o;
+            (o, row))
+          t.rows)
+      tables
+  in
+  let deferred = ref [] in
+  List.iter2
+    (fun t objs ->
+      List.iter
+        (fun (o, row) ->
+          List.iteri
+            (fun i cell ->
+              if cell <> "" then
+                match List.nth_opt t.headers i with
+                | None | Some "" -> ()
+                | Some h ->
+                  if String.length cell > 1 && cell.[0] = '&' then
+                    deferred :=
+                      (o, h, String.sub cell 1 (String.length cell - 1))
+                      :: !deferred
+                  else
+                    List.iter
+                      (fun part ->
+                        let part = String.trim part in
+                        if part <> "" then
+                          Graph.add_edge g o h
+                            (Graph.V (Value.of_literal part)))
+                      (String.split_on_char ';' cell))
+            row)
+        objs)
+    tables created;
+  List.iter
+    (fun (o, h, refname) ->
+      match Graph.find_node g refname with
+      | Some o' -> Graph.add_edge g o h (Graph.N o')
+      | None ->
+        (* dangling foreign key: keep it as a string, as a real
+           integration would surface it for cleaning *)
+        Graph.add_edge g o h (Graph.V (Value.String ("&" ^ refname))))
+    (List.rev !deferred);
+  List.map (fun objs -> List.map fst objs) created
+
+(** Load a single table; see {!load_tables}.  [key] names the column
+    whose value becomes the object's name (default: first column). *)
+and load_table ?key g (t : table) : Oid.t list =
+  (match key with
+   | Some k when not (List.mem k t.headers) ->
+     raise (Csv_error ("no column named " ^ k, 1))
+   | _ -> ());
+  match load_tables ?key g [ t ] with
+  | [ os ] -> os
+  | _ -> assert false
+
+let load ?(graph_name = "RDB") ?key ~name src =
+  let g = Graph.create ~name:graph_name () in
+  let os = load_table ?key g (table_of_string ~name src) in
+  (g, os)

@@ -1,0 +1,169 @@
+(** HTML wrapper: maps existing HTML pages into the data graph (the
+    paper's hand-written wrappers for plain HTML pages, and the route
+    used to build the CNN demonstration site from crawled pages).
+
+    The extraction is structural, not a full HTML parse: it recovers
+    the [<title>], headings, anchors ([href] + anchor text) and the
+    visible text, producing an object with [title], [heading], [link]
+    (nested objects with [href]/[anchor]) and [text] attributes. *)
+
+open Sgraph
+
+let lowercase = String.lowercase_ascii
+
+(* Find the next tag from [i]; returns (tag_name, attrs_raw, content_start,
+   after_tag_pos) *)
+let rec find_tag src i =
+  let n = String.length src in
+  if i >= n then None
+  else
+    match String.index_from_opt src i '<' with
+    | None -> None
+    | Some j ->
+      if j + 1 >= n then None
+      else if src.[j + 1] = '!' || src.[j + 1] = '?' then
+        (* comment/doctype: skip to '>' *)
+        (match String.index_from_opt src j '>' with
+         | None -> None
+         | Some k -> find_tag src (k + 1))
+      else (
+        match String.index_from_opt src j '>' with
+        | None -> None
+        | Some k ->
+          let inner = String.sub src (j + 1) (k - j - 1) in
+          let name, attrs =
+            match String.index_opt inner ' ' with
+            | None -> (inner, "")
+            | Some s ->
+              (String.sub inner 0 s,
+               String.sub inner (s + 1) (String.length inner - s - 1))
+          in
+          Some (lowercase name, attrs, j, k + 1))
+
+let text_until_close src start tag =
+  let close = "</" ^ tag in
+  let n = String.length src in
+  let rec find i =
+    if i >= n then n
+    else if
+      i + String.length close <= n
+      && lowercase (String.sub src i (String.length close)) = close
+    then i
+    else find (i + 1)
+  in
+  let e = find start in
+  String.sub src start (e - start)
+
+let strip_tags s =
+  let buf = Buffer.create (String.length s) in
+  let in_tag = ref false in
+  String.iter
+    (fun c ->
+      match c with
+      | '<' -> in_tag := true
+      | '>' -> in_tag := false
+      | c -> if not !in_tag then Buffer.add_char buf c)
+    s;
+  (* collapse whitespace *)
+  let out = Buffer.create (Buffer.length buf) in
+  let last_ws = ref true in
+  String.iter
+    (fun c ->
+      if c = ' ' || c = '\n' || c = '\t' || c = '\r' then begin
+        if not !last_ws then Buffer.add_char out ' ';
+        last_ws := true
+      end
+      else begin
+        Buffer.add_char out c;
+        last_ws := false
+      end)
+    (Buffer.contents buf);
+  String.trim (Buffer.contents out)
+
+let attr_value attrs name =
+  (* name="value" | name='value' | name=value *)
+  let attrs_l = lowercase attrs in
+  let rec search from =
+    match
+      let n = String.length attrs_l and k = String.length name in
+      let rec find i =
+        if i + k + 1 > n then None
+        else if String.sub attrs_l i k = name then Some i
+        else find (i + 1)
+      in
+      find from
+    with
+    | None -> None
+    | Some i ->
+      let rest = String.sub attrs (i + String.length name)
+          (String.length attrs - i - String.length name) in
+      let rest = String.trim rest in
+      if String.length rest > 0 && rest.[0] = '=' then begin
+        let v = String.trim (String.sub rest 1 (String.length rest - 1)) in
+        if String.length v > 0 && (v.[0] = '"' || v.[0] = '\'') then
+          let q = v.[0] in
+          match String.index_from_opt v 1 q with
+          | Some e -> Some (String.sub v 1 (e - 1))
+          | None -> None
+        else
+          let e =
+            match String.index_opt v ' ' with
+            | Some e -> e
+            | None -> String.length v
+          in
+          Some (String.sub v 0 e)
+      end
+      else search (i + 1)
+  in
+  search 0
+
+(** Wrap one HTML page into an object of [g].  [name] names the object
+    (e.g. the page's path); the object joins [collection] (default
+    "Pages"). *)
+let load_page ?(collection = "Pages") g ~name (html : string) : Oid.t =
+  let o = Graph.new_node g name in
+  Graph.add_to_collection g collection o;
+  let rec walk i =
+    match find_tag html i with
+    | None -> ()
+    | Some (tag, attrs, tag_start, after) ->
+      (match tag with
+       | "title" ->
+         let t = strip_tags (text_until_close html after "title") in
+         if t <> "" then Graph.add_edge g o "title" (Graph.V (Value.String t))
+       | "h1" | "h2" | "h3" ->
+         let t = strip_tags (text_until_close html after tag) in
+         if t <> "" then
+           Graph.add_edge g o "heading" (Graph.V (Value.String t))
+       | "a" -> (
+           match attr_value attrs "href" with
+           | Some href ->
+             let anchor = strip_tags (text_until_close html after "a") in
+             let lo = Graph.new_node g (name ^ "#link") in
+             Graph.add_edge g lo "href" (Graph.V (Value.of_literal href));
+             if anchor <> "" then
+               Graph.add_edge g lo "anchor" (Graph.V (Value.String anchor));
+             Graph.add_edge g o "link" (Graph.N lo)
+           | None -> ())
+       | "img" -> (
+           match attr_value attrs "src" with
+           | Some src ->
+             Graph.add_edge g o "image"
+               (Graph.V (Value.File (Value.Image, src)))
+           | None -> ())
+       | _ -> ());
+      ignore tag_start;
+      walk after
+  in
+  walk 0;
+  let body_text = strip_tags html in
+  if body_text <> "" then
+    Graph.add_edge g o "text" (Graph.V (Value.String body_text));
+  o
+
+let load_pages ?(graph_name = "HTML") ?collection pages =
+  let g = Graph.create ~name:graph_name () in
+  let os =
+    List.map (fun (name, html) -> load_page ?collection g ~name html) pages
+  in
+  (g, os)

@@ -1,0 +1,21 @@
+(** HTML wrapper: maps existing HTML pages into the data graph (the
+    paper's hand-written wrappers for plain HTML pages — the route used
+    to build the CNN demonstration site from crawled pages).
+
+    Structural extraction, not a full parse: recovers [<title>],
+    headings, anchors ([href] + anchor text) and the visible text,
+    producing an object with [title], [heading], [link] (nested
+    objects with [href]/[anchor]), [image] and [text] attributes. *)
+
+open Sgraph
+
+val strip_tags : string -> string
+(** Remove markup and collapse whitespace. *)
+
+val load_page : ?collection:string -> Graph.t -> name:string -> string -> Oid.t
+(** Wrap one HTML page as an object of [collection] (default
+    ["Pages"]). *)
+
+val load_pages :
+  ?graph_name:string -> ?collection:string -> (string * string) list ->
+  Graph.t * Oid.t list

@@ -1,0 +1,124 @@
+(** Structured-file wrapper: the stand-in for the paper's "simple AWK
+    programs that map structured files ... into objects in a data
+    graph".
+
+    The format is blocks of [key: value] lines separated by blank
+    lines; repeated keys yield multiple attribute edges.  A block's
+    [id:] line names the object, [in:] adds collection memberships:
+
+    {v
+    id: strudel
+    in: Projects
+    name: STRUDEL
+    member: mff
+    member: suciu
+    synopsis: A Web-site management system
+    v} *)
+
+open Sgraph
+
+exception Structured_error of string * int
+
+let split_blocks src =
+  let lines = String.split_on_char '\n' src in
+  let blocks = ref [] and current = ref [] in
+  let lineno = ref 0 in
+  let flush () =
+    if !current <> [] then begin
+      blocks := List.rev !current :: !blocks;
+      current := []
+    end
+  in
+  List.iter
+    (fun line ->
+      incr lineno;
+      let line' = String.trim line in
+      if line' = "" then flush ()
+      else if line'.[0] = '#' then ()
+      else
+        match String.index_opt line' ':' with
+        | Some i ->
+          let k = String.trim (String.sub line' 0 i) in
+          let v =
+            String.trim (String.sub line' (i + 1) (String.length line' - i - 1))
+          in
+          current := (k, v, !lineno) :: !current
+        | None ->
+          raise (Structured_error ("line without ':' separator", !lineno)))
+    lines;
+  flush ();
+  List.rev !blocks
+
+(* Typed values: `kind "..."`-style prefixes as in the DDL. *)
+let value_of_string v =
+  let prefixed p =
+    String.length v > String.length p + 1
+    && String.sub v 0 (String.length p) = p
+    && v.[String.length p] = ' '
+  in
+  let rest p =
+    let s =
+      String.trim
+        (String.sub v (String.length p) (String.length v - String.length p))
+    in
+    if
+      String.length s >= 2
+      && s.[0] = '"'
+      && s.[String.length s - 1] = '"'
+    then String.sub s 1 (String.length s - 2)
+    else s
+  in
+  if prefixed "text" then Value.File (Value.Text, rest "text")
+  else if prefixed "ps" then Value.File (Value.Postscript, rest "ps")
+  else if prefixed "image" then Value.File (Value.Image, rest "image")
+  else if prefixed "html" then Value.File (Value.Html_file, rest "html")
+  else Value.of_literal v
+
+(** Load blocks into [g]; returns created oids in file order.
+    References ([&name]) resolve after all blocks load. *)
+let load_into g src =
+  let blocks = split_blocks src in
+  (* first pass: create the objects *)
+  let objs =
+    List.map
+      (fun block ->
+        let id =
+          match
+            List.find_map (fun (k, v, _) -> if k = "id" then Some v else None)
+              block
+          with
+          | Some v -> v
+          | None -> "obj"
+        in
+        let o =
+          match Graph.find_node g id with
+          | Some o -> o
+          | None -> Graph.new_node g id
+        in
+        Graph.add_node g o;
+        (o, block))
+      blocks
+  in
+  List.iter
+    (fun (o, block) ->
+      List.iter
+        (fun (k, v, _line) ->
+          match k with
+          | "id" -> ()
+          | "in" -> Graph.add_to_collection g v o
+          | _ ->
+            if String.length v > 1 && v.[0] = '&' then begin
+              let refname = String.sub v 1 (String.length v - 1) in
+              match Graph.find_node g refname with
+              | Some o' -> Graph.add_edge g o k (Graph.N o')
+              | None -> Graph.add_edge g o k (Graph.V (Value.String v))
+            end
+            else Graph.add_edge g o k (Graph.V (value_of_string v)))
+        block)
+    objs;
+  List.map fst objs
+
+let load ?(graph_name = "FILES") src =
+  let g = Graph.create ~name:graph_name () in
+  let os = load_into g src in
+  (g, os)

@@ -1,0 +1,18 @@
+(** Structured-file wrapper — the stand-in for the paper's "simple AWK
+    programs that map structured files ... into objects in a data
+    graph".
+
+    Blocks of [key: value] lines separated by blank lines; repeated
+    keys yield multiple attribute edges; [id:] names the object, [in:]
+    adds collection memberships, [&name] references other blocks,
+    [kind "path"] prefixes give typed file values. *)
+
+open Sgraph
+
+exception Structured_error of string * int  (** message, line *)
+
+val load_into : Graph.t -> string -> Oid.t list
+(** Load blocks into an existing graph; returns created oids in file
+    order.  References resolve after all blocks load. *)
+
+val load : ?graph_name:string -> string -> Graph.t * Oid.t list

@@ -1,0 +1,237 @@
+(** Deterministic synthetic data generators.
+
+    The paper's data sources — AT&T's personnel and organizational
+    databases, project files, and CNN's article base — are proprietary.
+    These generators produce data of the same {e shape} (irregular
+    attributes, missing fields, multi-valued authors and categories,
+    cross-references between tables) at configurable size, so every
+    code path the real sources exercised — wrappers, GAV mediation,
+    irregularity handling in queries and templates — runs unchanged.
+    Generation is seeded and fully deterministic. *)
+
+open Sgraph
+
+(* A small xorshift PRNG, independent of Stdlib.Random so results are
+   stable across OCaml versions. *)
+type rng = { mutable s : int64 }
+
+let rng ?(seed = 0x5DEECE66D) () = { s = Int64.of_int (seed lor 1) }
+
+let next r =
+  (* xorshift64* *)
+  let x = r.s in
+  let x = Int64.logxor x (Int64.shift_left x 13) in
+  let x = Int64.logxor x (Int64.shift_right_logical x 7) in
+  let x = Int64.logxor x (Int64.shift_left x 17) in
+  r.s <- x;
+  Int64.to_int (Int64.shift_right_logical x 2)
+
+let int r bound = if bound <= 0 then 0 else next r mod bound
+let pick r arr = arr.(int r (Array.length arr))
+let chance r pct = int r 100 < pct
+
+let first_names =
+  [| "Mary"; "Daniela"; "Alon"; "Dan"; "Jaewoo"; "Norman"; "Susan"; "Peter";
+     "Serge"; "Victor"; "Janet"; "Hector"; "Jennifer"; "Jeffrey"; "David";
+     "Laura"; "Rick"; "Anthony"; "Louiqa"; "Patrick"; "Divesh"; "Nick";
+     "Sophie"; "Jerome"; "Claude"; "Catriel"; "Moshe"; "Raghu"; "Jim";
+     "Gerhard" |]
+
+let last_names =
+  [| "Fernandez"; "Florescu"; "Levy"; "Suciu"; "Kang"; "Ramsey"; "Davidson";
+     "Buneman"; "Abiteboul"; "Vianu"; "Wiener"; "Garcia-Molina"; "Widom";
+     "Ullman"; "Maier"; "Haas"; "Hull"; "Bonner"; "Raschid"; "Valduriez";
+     "Srivastava"; "Koudas"; "Cluet"; "Simeon"; "Delobel"; "Beeri"; "Vardi";
+     "Ramakrishnan"; "Gray"; "Weikum" |]
+
+let research_areas =
+  [| "Databases"; "Networking"; "Algorithms"; "Security"; "Speech";
+     "Programming Languages"; "Information Retrieval"; "Statistics";
+     "Machine Learning"; "Systems" |]
+
+let project_words =
+  [| "Strudel"; "Tukwila"; "Garlic"; "Tsimmis"; "Lore"; "Disco"; "Hermes";
+     "Clio"; "Ozone"; "Tioga"; "Sphinx"; "Argos"; "Kepler"; "Mimas";
+     "Pandora"; "Quartz"; "Rodin"; "Sirius"; "Tethys"; "Vesta" |]
+
+let topic_words =
+  [| "query optimization"; "semistructured data"; "view maintenance";
+     "data integration"; "Web sites"; "mediators"; "wrappers";
+     "path expressions"; "schema evolution"; "caching"; "replication";
+     "transactions"; "indexing"; "storage"; "languages" |]
+
+let news_sections =
+  [| "World"; "US"; "Politics"; "Technology"; "Health"; "Showbiz";
+     "Travel"; "Sports"; "Weather"; "Business" |]
+
+let cities =
+  [| "Florham Park"; "Murray Hill"; "Seattle"; "Paris"; "New York";
+     "Summit"; "Philadelphia"; "Stanford"; "Madison"; "Toronto" |]
+
+let full_name r = pick r first_names ^ " " ^ pick r last_names
+
+let sentence r =
+  Printf.sprintf "We study %s for %s, with applications to %s."
+    (pick r topic_words) (pick r topic_words) (pick r topic_words)
+
+(* --- Personnel / organization data (CSV, for the relational wrapper) --- *)
+
+(** Generate the two tables of the organizational database: [People]
+    (login, name, phone?, office?, email, org, proprietary?) and [Orgs]
+    (id, name, parent?, director).  Shapes match §5: some people lack
+    phones or offices; some orgs lack a parent (roots). *)
+let org_csv ?(seed = 1) ~people ~orgs () =
+  let r = rng ~seed () in
+  let orgs_rows = Buffer.create 1024 in
+  Buffer.add_string orgs_rows "id,name,parent,director\n";
+  for i = 0 to orgs - 1 do
+    let parent =
+      if i = 0 || chance r 20 then ""
+      else Printf.sprintf "&org%d" (int r i)
+    in
+    Buffer.add_string orgs_rows
+      (Printf.sprintf "org%d,%s Research,%s,&p%d\n" i
+         (pick r project_words) parent (int r (max 1 people)))
+  done;
+  let people_rows = Buffer.create 4096 in
+  Buffer.add_string people_rows
+    "login,name,phone,office,email,org,area,proprietary\n";
+  for i = 0 to people - 1 do
+    let phone =
+      if chance r 85 then Printf.sprintf "+1 973 360 %04d" (int r 10000)
+      else ""
+    in
+    let office =
+      if chance r 80 then Printf.sprintf "%c%03d" (Char.chr (65 + int r 4)) (int r 400)
+      else ""
+    in
+    let area =
+      if chance r 90 then pick r research_areas else ""
+    in
+    let proprietary = if chance r 15 then "true" else "" in
+    Buffer.add_string people_rows
+      (Printf.sprintf "p%d,%s,%s,%s,p%d@research.example.com,&org%d,%s,%s\n" i
+         (full_name r) phone office i (int r (max 1 orgs)) area proprietary)
+  done;
+  (Buffer.contents people_rows, Buffer.contents orgs_rows)
+
+(* --- Project data (structured files) --- *)
+
+let projects_file ?(seed = 2) ~projects ~people () =
+  let r = rng ~seed () in
+  let buf = Buffer.create 4096 in
+  for i = 0 to projects - 1 do
+    Buffer.add_string buf (Printf.sprintf "id: proj%d\nin: Projects\n" i);
+    Buffer.add_string buf
+      (Printf.sprintf "name: %s\n" (pick r project_words));
+    (* some projects omit the synopsis (§5.2's missing attributes) *)
+    if chance r 80 then
+      Buffer.add_string buf (Printf.sprintf "synopsis: %s\n" (sentence r));
+    if chance r 40 then
+      Buffer.add_string buf (Printf.sprintf "sponsor: %s\n" (pick r project_words));
+    (* members reference people by login; the cross-source join happens
+       in the mediator, not in the wrapper *)
+    let members = 1 + int r 5 in
+    for _ = 1 to members do
+      Buffer.add_string buf
+        (Printf.sprintf "member: p%d\n" (int r (max 1 people)))
+    done;
+    if chance r 25 then
+      Buffer.add_string buf "proprietary: true\n";
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf
+
+(* --- Bibliographies (BibTeX) --- *)
+
+let bibtex ?(seed = 3) ~entries () =
+  let r = rng ~seed () in
+  let buf = Buffer.create 8192 in
+  for i = 0 to entries - 1 do
+    let inproc = chance r 60 in
+    Buffer.add_string buf
+      (Printf.sprintf "@%s{pub%d,\n"
+         (if inproc then "inproceedings" else "article")
+         i);
+    Buffer.add_string buf
+      (Printf.sprintf "  title = {On %s and %s},\n" (pick r topic_words)
+         (pick r topic_words));
+    let n_auth = 1 + int r 3 in
+    let authors =
+      String.concat " and " (List.init n_auth (fun _ -> full_name r))
+    in
+    Buffer.add_string buf (Printf.sprintf "  author = {%s},\n" authors);
+    Buffer.add_string buf (Printf.sprintf "  year = %d,\n" (1990 + int r 9));
+    if inproc then
+      Buffer.add_string buf
+        (Printf.sprintf "  booktitle = {Proc. of %s},\n"
+           (pick r [| "SIGMOD"; "VLDB"; "ICDE"; "PODS"; "ICDT" |]))
+    else begin
+      Buffer.add_string buf
+        (Printf.sprintf "  journal = {%s},\n"
+           (pick r [| "TODS"; "TOPLAS"; "JACM"; "VLDB Journal" |]));
+      if chance r 60 then
+        Buffer.add_string buf
+          (Printf.sprintf "  volume = {%d (%d)},\n" (10 + int r 20) (1 + int r 4))
+    end;
+    if chance r 70 then
+      Buffer.add_string buf
+        (Printf.sprintf "  abstract = {abstracts/pub%d.txt},\n" i);
+    if chance r 80 then
+      Buffer.add_string buf
+        (Printf.sprintf "  postscript = {papers/pub%d.ps.gz},\n" i);
+    let n_cat = 1 + int r 2 in
+    let cats =
+      String.concat ", " (List.init n_cat (fun _ -> pick r research_areas))
+    in
+    Buffer.add_string buf (Printf.sprintf "  keywords = {%s}\n}\n\n" cats)
+  done;
+  Buffer.contents buf
+
+(* --- News articles (the CNN-shaped source) --- *)
+
+(** Generate a news-article data graph directly (the crawled CNN pages
+    after wrapping): objects in [Articles] with [headline], [section]
+    (1-2 of them), [date], [body] text, [image]s, and [related] links
+    between articles. *)
+let news_graph ?(seed = 4) ?(graph_name = "NEWS") ~articles () =
+  let r = rng ~seed () in
+  let g = Graph.create ~name:graph_name () in
+  let objs =
+    List.init articles (fun i ->
+        let o = Graph.new_node g (Printf.sprintf "art%d" i) in
+        Graph.add_to_collection g "Articles" o;
+        Graph.add_edge g o "headline"
+          (Graph.V
+             (Value.String
+                (Printf.sprintf "%s in %s: %s" (pick r topic_words)
+                   (pick r cities) (pick r topic_words))));
+        Graph.add_edge g o "section"
+          (Graph.V (Value.String (pick r news_sections)));
+        if chance r 25 then
+          Graph.add_edge g o "section"
+            (Graph.V (Value.String (pick r news_sections)));
+        Graph.add_edge g o "date"
+          (Graph.V
+             (Value.String
+                (Printf.sprintf "1997-%02d-%02d" (1 + int r 12) (1 + int r 28))));
+        Graph.add_edge g o "body" (Graph.V (Value.String (sentence r)));
+        if chance r 40 then
+          Graph.add_edge g o "image"
+            (Graph.V (Value.File (Value.Image, Printf.sprintf "img/art%d.jpg" i)));
+        if chance r 30 then
+          Graph.add_edge g o "byline" (Graph.V (Value.String (full_name r)));
+        o)
+  in
+  (* related-article links *)
+  let arr = Array.of_list objs in
+  Array.iteri
+    (fun i o ->
+      if Array.length arr > 1 then
+        let n_rel = int r 3 in
+        for _ = 1 to n_rel do
+          let j = int r (Array.length arr) in
+          if j <> i then Graph.add_edge g o "related" (Graph.N arr.(j))
+        done)
+    arr;
+  g

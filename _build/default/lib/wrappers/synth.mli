@@ -1,0 +1,39 @@
+(** Deterministic synthetic data generators.
+
+    The paper's data sources — AT&T's personnel and organizational
+    databases, project files, CNN's article base — are proprietary.
+    These generators produce data of the same {e shape} (irregular
+    attributes, missing fields, multi-valued authors and categories,
+    cross-references between tables) at configurable size, so every
+    code path the real sources exercised runs unchanged.  Generation is
+    seeded and fully deterministic (own PRNG, stable across OCaml
+    versions). *)
+
+open Sgraph
+
+(** A small xorshift PRNG. *)
+type rng
+
+val rng : ?seed:int -> unit -> rng
+val next : rng -> int
+val int : rng -> int -> int
+val pick : rng -> 'a array -> 'a
+val chance : rng -> int -> bool
+
+val org_csv : ?seed:int -> people:int -> orgs:int -> unit -> string * string
+(** The two tables of the organizational database as CSV text:
+    [People] (some lack phones/offices/areas, some marked proprietary,
+    [&org] foreign keys) and [Orgs] ([&parent]/[&director] keys). *)
+
+val projects_file : ?seed:int -> projects:int -> people:int -> unit -> string
+(** Structured project files; some omit the synopsis (§5.2's missing
+    attributes), members reference people by login. *)
+
+val bibtex : ?seed:int -> entries:int -> unit -> string
+(** A BibTeX bibliography with irregular fields (articles vs
+    inproceedings, optional abstracts/volumes). *)
+
+val news_graph : ?seed:int -> ?graph_name:string -> articles:int -> unit -> Graph.t
+(** The CNN-shaped article base: [Articles] with [headline],
+    1–2 [section]s, [date], [body], optional [image]/[byline], and
+    [related] cross-links. *)

@@ -1,0 +1,1 @@
+test/test_agg.ml: Alcotest Ast Check Eval Graph List Oid Option Parser Plan Pretty Schema Sgraph Strudel Struql Value

@@ -1,0 +1,1 @@
+test/test_algo.ml: Alcotest Algo Graph List Oid Printf Sgraph

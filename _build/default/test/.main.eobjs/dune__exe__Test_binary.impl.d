@@ -1,0 +1,1 @@
+test/test_binary.ml: Alcotest Array Binary Ddl Filename Graph List Oid Printf QCheck QCheck_alcotest Repository Sgraph Sites String Strudel Sys Value Wrappers

@@ -1,0 +1,1 @@
+test/test_check.ml: Alcotest Check List Parser Sites Struql

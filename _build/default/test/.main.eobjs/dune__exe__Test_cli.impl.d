@@ -1,0 +1,1 @@
+test/test_cli.ml: Alcotest Array Filename List Sites String Sys

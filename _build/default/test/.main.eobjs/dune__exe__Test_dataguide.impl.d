@@ -1,0 +1,1 @@
+test/test_dataguide.ml: Alcotest Dataguide Ddl Graph List Oid Path Schema Sgraph Sites String Value Wrappers

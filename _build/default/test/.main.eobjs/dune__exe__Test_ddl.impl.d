@@ -1,0 +1,1 @@
+test/test_ddl.ml: Alcotest Array Ddl Graph List Oid Option Printf QCheck QCheck_alcotest Sgraph Sites Strudel Value

@@ -1,0 +1,1 @@
+test/test_decompose.ml: Alcotest Check Ddl Eval Graph List Parser Pretty Schema Sgraph Sites String Struql Wrappers

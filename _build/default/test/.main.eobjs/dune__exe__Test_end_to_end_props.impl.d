@@ -1,0 +1,1 @@
+test/test_end_to_end_props.ml: Graph List Oid Printf QCheck QCheck_alcotest Schema Sgraph Sites Strudel Struql Template Value

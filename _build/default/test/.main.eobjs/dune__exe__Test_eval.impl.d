@@ -1,0 +1,1 @@
+test/test_eval.ml: Alcotest Array Check Ddl Eval Graph List Oid Parser Plan Printf QCheck QCheck_alcotest Sgraph Sites Skolem Struql Value

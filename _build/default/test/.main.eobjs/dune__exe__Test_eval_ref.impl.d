@@ -1,0 +1,1 @@
+test/test_eval_ref.ml: Alcotest Array Ast Builtins Eval Graph List Oid Parser Path Printf QCheck QCheck_alcotest Sgraph Struql Value

@@ -1,0 +1,1 @@
+test/test_generator.ml: Alcotest Array Filename Generator Graph List Option Sgraph String Sys Template Value

@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Fmt Graph List Oid QCheck QCheck_alcotest Sgraph Value

@@ -1,0 +1,1 @@
+test/test_incremental.ml: Alcotest Graph Incremental List Oid Option Sgraph Site Sites Strudel Template Value

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Baseline Graph List Mediator Oid Schema Sgraph Sites String Strudel Template Value

@@ -1,0 +1,1 @@
+test/test_lex.ml: Alcotest Lex List Sgraph

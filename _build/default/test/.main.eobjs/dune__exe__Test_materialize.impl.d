@@ -1,0 +1,1 @@
+test/test_materialize.ml: Alcotest Graph List Materialize Oid Sgraph Site Sites Skolem Strudel Template

@@ -1,0 +1,1 @@
+test/test_mediator.ml: Alcotest Graph List Mediator Sgraph Value

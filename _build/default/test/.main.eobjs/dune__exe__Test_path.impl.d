@@ -1,0 +1,1 @@
+test/test_path.ml: Alcotest Array Fmt Graph List Oid Option Path QCheck QCheck_alcotest Sgraph Value

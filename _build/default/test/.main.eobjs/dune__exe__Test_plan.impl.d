@@ -1,0 +1,1 @@
+test/test_plan.ml: Alcotest Ast Builtins Eval Float Graph List Parser Plan Printf Sgraph String Struql Value

@@ -1,0 +1,1 @@
+test/test_pretty_fuzz.ml: Ast Builtins Check Eval Graph List Option Parser Path Plan Pretty QCheck QCheck_alcotest Sgraph Struql Value Wrappers

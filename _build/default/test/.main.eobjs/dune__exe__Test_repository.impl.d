@@ -1,0 +1,1 @@
+test/test_repository.ml: Alcotest Array Ddl Filename Graph List Repository Sgraph Sites Strudel Sys Value

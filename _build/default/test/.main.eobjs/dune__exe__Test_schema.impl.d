@@ -1,0 +1,1 @@
+test/test_schema.ml: Alcotest Ast Check Eval List Parser Schema Sgraph Sites String Struql Wrappers

@@ -1,0 +1,1 @@
+test/test_site.ml: Alcotest Graph List Oid Option Schema Sgraph Sites String Strudel Template

@@ -1,0 +1,1 @@
+test/test_skolem.ml: Alcotest List Oid Sgraph Skolem Value

@@ -1,0 +1,1 @@
+test/test_struql_parser.ml: Alcotest Ast List Parser Pretty Printf Sgraph Sites Struql

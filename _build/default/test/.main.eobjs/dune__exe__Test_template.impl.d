@@ -1,0 +1,1 @@
+test/test_template.ml: Alcotest Buffer Char Graph Oid QCheck QCheck_alcotest Sgraph String Template Teval Tparse Value

@@ -1,0 +1,1 @@
+test/test_theory.ml: Alcotest Eval Graph List Parser Printf QCheck QCheck_alcotest Set Sgraph String Struql Value

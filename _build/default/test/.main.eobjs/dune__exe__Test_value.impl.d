@@ -1,0 +1,1 @@
+test/test_value.ml: Alcotest Ddl Float Graph List Option Printf QCheck QCheck_alcotest Sgraph Value

@@ -1,0 +1,1 @@
+test/test_verify.ml: Alcotest Graph List Oid Option Schema Sgraph Site_schema Sites Struql Value Verify

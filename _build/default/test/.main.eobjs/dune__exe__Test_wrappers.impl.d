@@ -1,0 +1,1 @@
+test/test_wrappers.ml: Alcotest Graph List Option Sgraph String Value Wrappers

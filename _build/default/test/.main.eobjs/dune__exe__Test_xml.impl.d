@@ -1,0 +1,1 @@
+test/test_xml.ml: Alcotest Ddl Graph List Oid Option Sgraph Sites String Strudel Value Xml

@@ -1,0 +1,36 @@
+let () =
+  Alcotest.run "strudel"
+    [
+      ("value", Test_value.suite);
+      ("graph", Test_graph.suite);
+      ("path", Test_path.suite);
+      ("skolem", Test_skolem.suite);
+      ("algo", Test_algo.suite);
+      ("lex", Test_lex.suite);
+      ("ddl", Test_ddl.suite);
+      ("struql-parser", Test_struql_parser.suite);
+      ("struql-pretty-fuzz", Test_pretty_fuzz.suite);
+      ("struql-check", Test_check.suite);
+      ("struql-plan", Test_plan.suite);
+      ("struql-eval", Test_eval.suite);
+      ("struql-eval-reference", Test_eval_ref.suite);
+      ("struql-aggregates", Test_agg.suite);
+      ("struql-theory", Test_theory.suite);
+      ("xml", Test_xml.suite);
+      ("site-schema", Test_schema.suite);
+      ("dataguide", Test_dataguide.suite);
+      ("decompose", Test_decompose.suite);
+      ("verify", Test_verify.suite);
+      ("template", Test_template.suite);
+      ("generator", Test_generator.suite);
+      ("wrappers", Test_wrappers.suite);
+      ("mediator", Test_mediator.suite);
+      ("repository", Test_repository.suite);
+      ("binary-storage", Test_binary.suite);
+      ("site", Test_site.suite);
+      ("materialize", Test_materialize.suite);
+      ("incremental", Test_incremental.suite);
+      ("integration", Test_integration.suite);
+      ("end-to-end-properties", Test_end_to_end_props.suite);
+      ("cli", Test_cli.suite);
+    ]

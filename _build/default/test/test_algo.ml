@@ -1,0 +1,86 @@
+open Sgraph
+
+let t name f = Alcotest.test_case name `Quick f
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* r -> a -> b -> c, r -> d, isolated e, cycle f <-> g *)
+let mk () =
+  let g = Graph.create ~name:"al" () in
+  let n s = Graph.new_node g s in
+  let r = n "r" and a = n "a" and b = n "b" and c = n "c" and d = n "d" in
+  let e = n "e" and f = n "f" and h = n "h" in
+  Graph.add_edge g r "l" (Graph.N a);
+  Graph.add_edge g a "l" (Graph.N b);
+  Graph.add_edge g b "l" (Graph.N c);
+  Graph.add_edge g r "m" (Graph.N d);
+  Graph.add_edge g f "l" (Graph.N h);
+  Graph.add_edge g h "l" (Graph.N f);
+  (g, r, a, b, c, d, e, f, h)
+
+let suite =
+  [
+    t "reachable" (fun () ->
+        let g, r, _, _, _, _, _, _, _ = mk () in
+        check_int "5 reachable" 5 (Oid.Set.cardinal (Algo.reachable g [ r ])));
+    t "reachable includes root itself" (fun () ->
+        let g, r, _, _, _, _, _, _, _ = mk () in
+        check_bool "r" true (Oid.Set.mem r (Algo.reachable g [ r ])));
+    t "reachable_via restricts labels" (fun () ->
+        let g, r, _, _, _, _, _, _, _ = mk () in
+        check_int "only l" 4
+          (Oid.Set.cardinal (Algo.reachable_via g ~pred:(fun l -> l = "l") [ r ])));
+    t "unreachable_nodes" (fun () ->
+        let g, r, _, _, _, _, _, _, _ = mk () in
+        check_int "3 unreachable" 3 (List.length (Algo.unreachable_nodes g [ r ])));
+    t "distances" (fun () ->
+        let g, r, _, b, c, d, _, _, _ = mk () in
+        let dist = Algo.distances g r in
+        check_int "b" 2 (Oid.Map.find b dist);
+        check_int "c" 3 (Oid.Map.find c dist);
+        check_int "d" 1 (Oid.Map.find d dist);
+        check_int "r" 0 (Oid.Map.find r dist));
+    t "has_path" (fun () ->
+        let g, r, _, _, c, _, e, _, _ = mk () in
+        check_bool "r->c" true (Algo.has_path g r c);
+        check_bool "r->e" false (Algo.has_path g r e);
+        check_bool "c->r" false (Algo.has_path g c r));
+    t "predecessors" (fun () ->
+        let g, r, a, b, c, _, _, _, _ = mk () in
+        let preds = Algo.predecessors g [ c ] in
+        check_bool "includes chain" true
+          (Oid.Set.mem r preds && Oid.Set.mem a preds && Oid.Set.mem b preds);
+        check_int "4 total" 4 (Oid.Set.cardinal preds));
+    t "scc finds the cycle" (fun () ->
+        let g, _, _, _, _, _, _, f, h = mk () in
+        let sccs = Algo.strongly_connected_components g in
+        let cyc =
+          List.find_opt (fun comp -> List.length comp = 2) sccs
+        in
+        check_bool "cycle comp" true
+          (match cyc with
+           | Some comp ->
+             List.exists (Oid.equal f) comp && List.exists (Oid.equal h) comp
+           | None -> false);
+        check_int "total comps" 7 (List.length sccs));
+    t "is_dag" (fun () ->
+        let g, _, _, _, _, _, _, _, _ = mk () in
+        check_bool "cyclic" false (Algo.is_dag g);
+        let g2 = Graph.create () in
+        let x = Graph.new_node g2 "x" and y = Graph.new_node g2 "y" in
+        Graph.add_edge g2 x "l" (Graph.N y);
+        check_bool "dag" true (Algo.is_dag g2);
+        Graph.add_edge g2 y "l" (Graph.N y);
+        check_bool "self loop" false (Algo.is_dag g2));
+    t "deep chain does not overflow" (fun () ->
+        let g = Graph.create () in
+        let first = Graph.new_node g "n0" in
+        let prev = ref first in
+        for i = 1 to 50_000 do
+          let o = Graph.new_node g (Printf.sprintf "n%d" i) in
+          Graph.add_edge g !prev "l" (Graph.N o);
+          prev := o
+        done;
+        check_int "all reachable" 50_001
+          (Oid.Set.cardinal (Algo.reachable g [ first ])));
+  ]

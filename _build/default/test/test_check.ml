@@ -1,0 +1,90 @@
+open Struql
+
+let t name f = Alcotest.test_case name `Quick f
+let check_bool = Alcotest.(check bool)
+
+let parse = Parser.parse
+
+let has_error pred q =
+  List.exists pred (Check.check q).Check.errors
+
+let has_warning pred q =
+  List.exists pred (Check.check q).Check.warnings
+
+let suite =
+  [
+    t "valid safe query" (fun () ->
+        let q =
+          parse {|WHERE C(x), x -> "a" -> y CREATE F(x) LINK F(x) -> "b" -> y|}
+        in
+        check_bool "valid" true (Check.is_valid q);
+        check_bool "safe" true (Check.is_safe q));
+    t "link from variable rejected" (fun () ->
+        let q = parse {|WHERE C(x), x -> "a" -> y CREATE F(x) LINK x -> "b" -> y|} in
+        check_bool "error" true
+          (has_error
+             (function Check.Link_source_not_new _ -> true | _ -> false)
+             q));
+    t "skolem used but never created" (fun () ->
+        let q = parse {|WHERE C(x) CREATE F(x) LINK F(x) -> "a" -> G(x)|} in
+        check_bool "error" true
+          (has_error
+             (function Check.Skolem_not_created "G" -> true | _ -> false)
+             q));
+    t "created in another block is fine" (fun () ->
+        let q =
+          parse
+            {|{ WHERE C(x) CREATE G(x) }
+              { WHERE C(x) CREATE F(x) LINK F(x) -> "a" -> G(x) }|}
+        in
+        check_bool "valid" true (Check.is_valid q));
+    t "arity mismatch" (fun () ->
+        let q =
+          parse {|WHERE C(x), D(y) CREATE F(x), F(x, y) LINK F(x) -> "a" -> y|}
+        in
+        check_bool "error" true
+          (has_error
+             (function Check.Skolem_arity ("F", _, _) -> true | _ -> false)
+             q));
+    t "unsafe variable warning (complement query)" (fun () ->
+        let q =
+          parse {|WHERE not(p -> l -> q) CREATE F(p), F(q) LINK F(p) -> l -> F(q)|}
+        in
+        check_bool "valid but unsafe" true (Check.is_valid q);
+        check_bool "warn p" true
+          (has_warning (function Check.Unsafe_variable "p" -> true | _ -> false) q);
+        check_bool "warn l" true
+          (has_warning (function Check.Unsafe_variable "l" -> true | _ -> false) q));
+    t "variable bound by ancestor is safe in nested block" (fun () ->
+        let q =
+          parse
+            {|WHERE C(x), x -> l -> v
+              CREATE F(x)
+              { WHERE l = "year" CREATE G(v) LINK G(v) -> "p" -> F(x) }|}
+        in
+        check_bool "safe" true (Check.is_safe q));
+    t "collect of uncreated skolem" (fun () ->
+        let q = parse {|WHERE C(x) COLLECT Out(F(x))|} in
+        check_bool "error" true
+          (has_error
+             (function Check.Skolem_not_created "F" -> true | _ -> false)
+             q));
+    t "collect of plain variable is fine" (fun () ->
+        let q = parse {|WHERE C(x) COLLECT Out(x)|} in
+        check_bool "valid" true (Check.is_valid q));
+    t "eq against constant binds (safe)" (fun () ->
+        let q =
+          parse {|WHERE C(x), x -> l -> v, l = "year" CREATE F(v) LINK F(v) -> "x" -> x|}
+        in
+        check_bool "safe" true (Check.is_safe q));
+    t "validate_exn raises on invalid" (fun () ->
+        let q = parse {|WHERE C(x) CREATE F(x) LINK x -> "a" -> F(x)|} in
+        check_bool "raises" true
+          (try Check.validate_exn q; false with Check.Invalid _ -> true));
+    t "paper corpus all valid" (fun () ->
+        List.iter
+          (fun src -> check_bool "valid" true (Check.is_valid (parse src)))
+          [ Sites.Paper_example.site_query; Sites.Cnn.general_query;
+            Sites.Cnn.sports_only_query; Sites.Homepage.site_query;
+            Sites.Org.site_query ]);
+  ]

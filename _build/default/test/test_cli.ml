@@ -1,0 +1,130 @@
+(* Integration tests driving the actual strudel CLI binary. *)
+
+let t name f = Alcotest.test_case name `Quick f
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let cli = "../bin/strudel_cli.exe"
+
+let contains hay needle =
+  let n = String.length needle and h = String.length hay in
+  let rec find i = i + n <= h && (String.sub hay i n = needle || find (i + 1)) in
+  find 0
+
+let write_tmp suffix content =
+  let path = Filename.temp_file "strudelcli" suffix in
+  let oc = open_out path in
+  output_string oc content;
+  close_out oc;
+  path
+
+(* run a command, capture stdout, return (exit code, output) *)
+let run_cmd cmd =
+  let out_file = Filename.temp_file "strudelout" ".txt" in
+  let code = Sys.command (cmd ^ " > " ^ Filename.quote out_file ^ " 2>/dev/null") in
+  let ic = open_in_bin out_file in
+  let n = in_channel_length ic in
+  let out = really_input_string ic n in
+  close_in ic;
+  Sys.remove out_file;
+  (code, out)
+
+let available = Sys.file_exists cli
+
+let guard f () = if available then f () else ()
+
+let suite =
+  [
+    t "cli binary is built" (fun () -> check_bool "exists" true available);
+    t "check: valid query" (guard (fun () ->
+        let q = write_tmp ".struql"
+            {|WHERE C(x), x -> "a" -> y CREATE F(x) LINK F(x) -> "b" -> y|}
+        in
+        let code, out = run_cmd (Filename.quote cli ^ " check " ^ Filename.quote q) in
+        Sys.remove q;
+        check_int "exit 0" 0 code;
+        check_bool "range-restricted" true (contains out "range-restricted")));
+    t "check: invalid query exits nonzero" (guard (fun () ->
+        let q = write_tmp ".struql"
+            {|WHERE C(x) CREATE F(x) LINK x -> "b" -> F(x)|}
+        in
+        let code, out = run_cmd (Filename.quote cli ^ " check " ^ Filename.quote q) in
+        Sys.remove q;
+        check_bool "nonzero" true (code <> 0);
+        check_bool "immutable message" true (contains out "immutable")));
+    t "query: evaluates and prints DDL" (guard (fun () ->
+        let d = write_tmp ".ddl" "object a in C { k 1 }\nobject b in C { k 2 }\n" in
+        let q = write_tmp ".struql"
+            {|WHERE C(x), x -> "k" -> v CREATE F(x) LINK F(x) -> "key" -> v COLLECT Out(F(x)) OUTPUT R|}
+        in
+        let code, out =
+          run_cmd
+            (Filename.quote cli ^ " query -d " ^ Filename.quote d ^ " "
+             ^ Filename.quote q)
+        in
+        Sys.remove d;
+        Sys.remove q;
+        check_int "exit 0" 0 code;
+        check_bool "collects" true (contains out "in Out");
+        check_bool "keys" true (contains out "key 1" && contains out "key 2")));
+    t "schema: prints fig5-style edges" (guard (fun () ->
+        let q = write_tmp ".struql" Sites.Paper_example.site_query in
+        let code, out = run_cmd (Filename.quote cli ^ " schema " ^ Filename.quote q) in
+        Sys.remove q;
+        check_int "exit 0" 0 code;
+        check_bool "conjunction label" true (contains out "Q1^Q2")));
+    t "decompose: one piece per unit" (guard (fun () ->
+        let q = write_tmp ".struql" Sites.Paper_example.site_query in
+        let code, out =
+          run_cmd (Filename.quote cli ^ " decompose " ^ Filename.quote q)
+        in
+        Sys.remove q;
+        check_int "exit 0" 0 code;
+        check_bool "create piece" true (contains out "-- create:YearPage");
+        check_bool "link piece" true (contains out "-- link:")));
+    t "load: bibtex to ddl and to xml" (guard (fun () ->
+        let bib = write_tmp ".bib"
+            "@article{k1, title = {T}, author = {A B}, year = 1997}\n"
+        in
+        let code, out =
+          run_cmd (Filename.quote cli ^ " load -f bibtex " ^ Filename.quote bib)
+        in
+        check_int "exit 0" 0 code;
+        check_bool "ddl object" true (contains out "object k1 in Publications");
+        let code2, out2 =
+          run_cmd
+            (Filename.quote cli ^ " load -f bibtex --xml " ^ Filename.quote bib)
+        in
+        Sys.remove bib;
+        check_int "exit 0" 0 code2;
+        check_bool "xml graph" true (contains out2 "<graph name=")));
+    t "verify: violation exits nonzero" (guard (fun () ->
+        let d = write_tmp ".ddl" "object secret_page { proprietary true }\n" in
+        let code, out =
+          run_cmd
+            (Filename.quote cli ^ " verify -d " ^ Filename.quote d
+             ^ " --no-label proprietary")
+        in
+        Sys.remove d;
+        check_bool "nonzero" true (code <> 0);
+        check_bool "violated" true (contains out "VIOLATED")));
+    t "build: writes pages" (guard (fun () ->
+        let d = write_tmp ".ddl" Sites.Paper_example.data_ddl in
+        let q = write_tmp ".struql" Sites.Paper_example.site_query in
+        let tpl = write_tmp ".tpl" "<h1>Pubs</h1><SFMTLIST @YearPage KEY=Year ORDER=ascend>" in
+        let dir = Filename.temp_file "strudelsite" "" in
+        Sys.remove dir;
+        let code, out =
+          run_cmd
+            (Filename.quote cli ^ " build -d " ^ Filename.quote d ^ " -q "
+             ^ Filename.quote q ^ " -t RootPages=" ^ Filename.quote tpl
+             ^ " --root RootPage -o " ^ Filename.quote dir)
+        in
+        check_int "exit 0" 0 code;
+        check_bool "report" true (contains out "pages written");
+        check_bool "root page file" true
+          (Sys.file_exists (Filename.concat dir "RootPage.html"));
+        Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+        Sys.rmdir dir;
+        List.iter Sys.remove [ d; q; tpl ]));
+  ]

@@ -1,0 +1,100 @@
+open Sgraph
+open Schema
+
+let t name f = Alcotest.test_case name `Quick f
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* r -a-> x1, r -a-> x2, x1 -b-> y, x2 -b-> y, x2 -c-> z *)
+let diamond () =
+  let g = Graph.create ~name:"dg" () in
+  let r = Graph.new_node g "r" in
+  let x1 = Graph.new_node g "x1" in
+  let x2 = Graph.new_node g "x2" in
+  let y = Graph.new_node g "y" in
+  let z = Graph.new_node g "z" in
+  Graph.add_edge g r "a" (Graph.N x1);
+  Graph.add_edge g r "a" (Graph.N x2);
+  Graph.add_edge g x1 "b" (Graph.N y);
+  Graph.add_edge g x2 "b" (Graph.N y);
+  Graph.add_edge g x2 "c" (Graph.N z);
+  (g, r)
+
+let suite =
+  [
+    t "diamond: subsets merge" (fun () ->
+        let g, r = diamond () in
+        let dg = Dataguide.of_graph ~roots:[ r ] g in
+        (* states: {r}, {x1,x2}, {y}, {z} *)
+        check_int "4 states" 4 (Dataguide.state_count dg);
+        check_int "a reaches both" 2 (Dataguide.extent_size dg [ "a" ]);
+        check_int "a.b reaches y" 1 (Dataguide.extent_size dg [ "a"; "b" ]);
+        check_int "a.c reaches z" 1 (Dataguide.extent_size dg [ "a"; "c" ]));
+    t "accepts exactly the data's label paths" (fun () ->
+        let g, r = diamond () in
+        let dg = Dataguide.of_graph ~roots:[ r ] g in
+        check_bool "a.b" true (Dataguide.accepts_path dg [ "a"; "b" ]);
+        check_bool "a.c" true (Dataguide.accepts_path dg [ "a"; "c" ]);
+        check_bool "no b at root" false (Dataguide.accepts_path dg [ "b" ]);
+        check_bool "no a.b.a" false (Dataguide.accepts_path dg [ "a"; "b"; "a" ]));
+    t "value-only attributes appear as paths" (fun () ->
+        let g = Graph.create () in
+        let r = Graph.new_node g "r" in
+        Graph.add_edge g r "title" (Graph.V (Value.String "x"));
+        let dg = Dataguide.of_graph ~roots:[ r ] g in
+        check_bool "title path" true (Dataguide.accepts_path dg [ "title" ]);
+        check_int "no objects behind it" 0 (Dataguide.extent_size dg [ "title" ]));
+    t "cycles terminate" (fun () ->
+        let g = Graph.create () in
+        let a = Graph.new_node g "a" and b = Graph.new_node g "b" in
+        Graph.add_edge g a "n" (Graph.N b);
+        Graph.add_edge g b "n" (Graph.N a);
+        let dg = Dataguide.of_graph ~roots:[ a ] g in
+        check_bool "finite" true (Dataguide.state_count dg <= 3);
+        check_bool "long path accepted" true
+          (Dataguide.accepts_path dg [ "n"; "n"; "n"; "n"; "n" ]));
+    t "paths_up_to enumerates distinct label paths" (fun () ->
+        let g, r = diamond () in
+        let dg = Dataguide.of_graph ~roots:[ r ] g in
+        let paths = Dataguide.paths_up_to dg 2 in
+        check_bool "a" true (List.mem [ "a" ] paths);
+        check_bool "a.b" true (List.mem [ "a"; "b" ] paths);
+        check_bool "a.c" true (List.mem [ "a"; "c" ] paths);
+        check_int "exactly 3" 3 (List.length paths));
+    t "default roots are sources" (fun () ->
+        let g, _ = diamond () in
+        let dg = Dataguide.of_graph g in
+        (* r is the only node without incoming edges *)
+        check_int "root extent" 1
+          (Oid.Set.cardinal (Dataguide.root_state dg).Dataguide.extent));
+    t "agrees with NFA path evaluation on the paper data" (fun () ->
+        let g, _ = Ddl.parse Sites.Paper_example.data_ddl in
+        let roots = Graph.collection g "Publications" in
+        let dg = Dataguide.of_graph ~roots g in
+        (* every guide path of length <= 2 is realizable via Path.eval *)
+        List.iter
+          (fun path ->
+            let r = Path.seq_all (List.map (fun l -> Path.Edge (Path.Label l)) path) in
+            let reachable =
+              List.exists
+                (fun src -> Path.eval_from g r src <> [])
+                roots
+            in
+            check_bool (String.concat "." path) true reachable)
+          (Dataguide.paths_up_to dg 2));
+    t "extent sizes estimate join cardinalities" (fun () ->
+        let g = Wrappers.Synth.news_graph ~articles:50 () in
+        let dg = Dataguide.of_graph ~roots:(Graph.collection g "Articles") g in
+        (* "related" leads back to articles *)
+        check_bool "related extent <= 50" true
+          (Dataguide.extent_size dg [ "related" ] <= 50);
+        check_bool "related extent > 0" true
+          (Dataguide.extent_size dg [ "related" ] > 0));
+    t "max_states bound raises" (fun () ->
+        let g, r = diamond () in
+        check_bool "raises" true
+          (try
+             ignore (Dataguide.of_graph ~roots:[ r ] ~max_states:2 g);
+             false
+           with Dataguide.Too_large _ -> true));
+  ]

@@ -1,0 +1,86 @@
+open Sgraph
+open Strudel
+
+let t name f = Alcotest.test_case name `Quick f
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let page_map (site : Template.Generator.site) =
+  List.map
+    (fun (p : Template.Generator.page) ->
+      (Oid.name p.Template.Generator.obj, p.Template.Generator.html))
+    site.Template.Generator.pages
+  |> List.sort compare
+
+let suite =
+  [
+    t "rebuild with identical data reuses every page" (fun () ->
+        let data = Sites.Cnn.data ~articles:40 () in
+        let previous = Site.build ~data Sites.Cnn.definition in
+        let report =
+          Incremental.rebuild ~previous ~data:(Sites.Cnn.data ~articles:40 ()) ()
+        in
+        check_int "0 rerendered" 0 report.Incremental.pages_rerendered;
+        check_int "all reused" report.Incremental.pages_total
+          report.Incremental.pages_reused);
+    t "incremental result equals full rebuild" (fun () ->
+        let previous =
+          Site.build ~data:(Sites.Cnn.data ~articles:40 ()) Sites.Cnn.definition
+        in
+        let data2 = Sites.Cnn.data ~articles:40 () in
+        (match Graph.find_node data2 "art3" with
+         | Some a ->
+           Graph.add_edge data2 a "headline"
+             (Graph.V (Value.String "CHANGED headline"))
+         | None -> Alcotest.fail "missing art3");
+        let inc = Incremental.rebuild ~previous ~data:data2 () in
+        let full = Site.build ~data:data2 Sites.Cnn.definition in
+        check_bool "page html identical" true
+          (page_map inc.Incremental.built.Site.site = page_map full.Site.site));
+    t "change touches few pages" (fun () ->
+        let previous =
+          Site.build ~data:(Sites.Cnn.data ~articles:60 ()) Sites.Cnn.definition
+        in
+        let data2 = Sites.Cnn.data ~articles:60 () in
+        (match Graph.find_node data2 "art5" with
+         | Some a ->
+           Graph.add_edge data2 a "body" (Graph.V (Value.String "new body"))
+         | None -> ());
+        let report = Incremental.rebuild ~previous ~data:data2 () in
+        check_bool "few rerendered" true
+          (report.Incremental.pages_rerendered * 4 < report.Incremental.pages_total);
+        check_bool "some rerendered" true (report.Incremental.pages_rerendered > 0));
+    t "added object creates new pages" (fun () ->
+        let previous =
+          Site.build ~data:(Sites.Cnn.data ~articles:20 ()) Sites.Cnn.definition
+        in
+        let data2 = Sites.Cnn.data ~articles:21 () in
+        let report = Incremental.rebuild ~previous ~data:data2 () in
+        check_bool "new pages rendered" true
+          (report.Incremental.pages_rerendered > 0);
+        check_bool "more pages than before" true
+          (report.Incremental.pages_total
+           > Template.Generator.page_count previous.Site.site - 1));
+    t "removed attribute invalidates its page" (fun () ->
+        let data = Sites.Paper_example.data () in
+        let previous = Site.build ~data Sites.Paper_example.definition in
+        let data2 = Sites.Paper_example.data () in
+        let p1 = Option.get (Graph.find_node data2 "pub1") in
+        Graph.remove_edge data2 p1 "journal"
+          (Graph.V (Value.String "Transactions on Programming Languages and Systems"));
+        let report = Incremental.rebuild ~previous ~data:data2 () in
+        check_bool "rerendered something" true
+          (report.Incremental.pages_rerendered > 0));
+    t "fingerprint stable across identical graphs" (fun () ->
+        let g1 = Sites.Paper_example.data () in
+        let g2 = Sites.Paper_example.data () in
+        let f g = Incremental.fingerprint g ~depth:3 (Option.get (Graph.find_node g "pub1")) in
+        check_int "equal" (f g1) (f g2));
+    t "fingerprint sensitive to depth-limited changes" (fun () ->
+        let g1 = Sites.Paper_example.data () in
+        let g2 = Sites.Paper_example.data () in
+        let p = Option.get (Graph.find_node g2 "pub1") in
+        Graph.add_edge g2 p "note" (Graph.V (Value.String "x"));
+        let f g = Incremental.fingerprint g ~depth:3 (Option.get (Graph.find_node g "pub1")) in
+        check_bool "differs" true (f g1 <> f g2));
+  ]

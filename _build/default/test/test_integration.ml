@@ -1,0 +1,270 @@
+(* End-to-end invariants on the three example sites and the baseline. *)
+
+open Sgraph
+
+let t name f = Alcotest.test_case name `Quick f
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let contains hay needle =
+  let n = String.length needle and h = String.length hay in
+  let rec find i = i + n <= h && (String.sub hay i n = needle || find (i + 1)) in
+  find 0
+
+let site_contains site needle =
+  List.exists
+    (fun (p : Template.Generator.page) -> contains p.Template.Generator.html needle)
+    site.Template.Generator.pages
+
+let homepage =
+  [
+    t "homepage: constraints hold" (fun () ->
+        let b = Sites.Homepage.build ~entries:12 () in
+        check_bool "clean" true (Strudel.Site.violations b = []));
+    t "homepage: internal and external share the site graph" (fun () ->
+        let internal, external_ = Sites.Homepage.build_both ~entries:12 () in
+        check_bool "same graph" true
+          (internal.Strudel.Site.site_graph == external_.Strudel.Site.site_graph));
+    t "homepage: external hides patents and proprietary projects" (fun () ->
+        let internal, external_ = Sites.Homepage.build_both ~entries:12 () in
+        check_bool "internal shows patent number" true
+          (site_contains internal.Strudel.Site.site "US0000001");
+        check_bool "external hides patent number" false
+          (site_contains external_.Strudel.Site.site "US0000001");
+        check_bool "external hides proprietary project" false
+          (site_contains external_.Strudel.Site.site "MLRISC");
+        check_bool "internal shows phone" true
+          (site_contains internal.Strudel.Site.site "+1 973 360 0000");
+        check_bool "external hides phone" false
+          (site_contains external_.Strudel.Site.site "+1 973 360 0000"));
+    t "homepage: year and topic indexes exist" (fun () ->
+        let b = Sites.Homepage.build ~entries:12 () in
+        let sg = b.Strudel.Site.site_graph in
+        check_bool "year indexes" true
+          (Schema.Verify.family_members sg "YearIndex" <> []);
+        check_bool "topic indexes" true
+          (Schema.Verify.family_members sg "TopicIndex" <> []));
+  ]
+
+let cnn =
+  [
+    t "cnn: every section page links only its articles" (fun () ->
+        let data = Sites.Cnn.data ~articles:60 () in
+        let b = Strudel.Site.build ~data Sites.Cnn.definition in
+        let sg = b.Strudel.Site.site_graph in
+        List.iter
+          (fun sp ->
+            let name =
+              match Graph.attr_value sg sp "Name" with
+              | Some v -> Value.to_display_string v
+              | None -> Alcotest.fail "section without name"
+            in
+            List.iter
+              (fun tgt ->
+                match tgt with
+                | Graph.N ap ->
+                  check_bool "article in section" true
+                    (List.exists
+                       (fun s ->
+                         match s with
+                         | Graph.V v -> Value.to_display_string v = name
+                         | Graph.N _ -> false)
+                       (Graph.attr sg ap "section"))
+                | Graph.V _ -> ())
+              (Graph.attr sg sp "Article"))
+          (Schema.Verify.family_members sg "SectionPage"));
+    t "cnn: sports-only is a strict subset" (fun () ->
+        let data = Sites.Cnn.data ~articles:60 () in
+        let general = Strudel.Site.build ~data Sites.Cnn.definition in
+        let sports = Strudel.Site.build ~data Sites.Cnn.sports_definition in
+        let count fam b =
+          List.length
+            (Schema.Verify.family_members b.Strudel.Site.site_graph fam)
+        in
+        check_int "1 section" 1 (count "SectionPage" sports);
+        check_bool "fewer articles" true
+          (count "ArticlePage" sports < count "ArticlePage" general);
+        check_bool "sports articles positive" true
+          (count "ArticlePage" sports > 0));
+    t "cnn: sports pages only mention the sports section" (fun () ->
+        let data = Sites.Cnn.data ~articles:60 () in
+        let sports = Strudel.Site.build ~data Sites.Cnn.sports_definition in
+        let sg = sports.Strudel.Site.site_graph in
+        List.iter
+          (fun sp ->
+            check_bool "sports" true
+              (Graph.attr_value sg sp "Name" = Some (Value.String "Sports")))
+          (Schema.Verify.family_members sg "SectionPage"));
+    t "cnn: text-only presentation drops every image" (fun () ->
+        let data = Sites.Cnn.data ~articles:40 () in
+        let general = Strudel.Site.build ~data Sites.Cnn.definition in
+        let text = Strudel.Site.regenerate general Sites.Cnn.text_only_templates in
+        check_bool "general has images" true
+          (site_contains general.Strudel.Site.site "<img");
+        check_bool "text-only has none" false
+          (site_contains text.Strudel.Site.site "<img"));
+    t "cnn: TextOnly derived query excludes image values" (fun () ->
+        let data = Sites.Cnn.data ~articles:30 () in
+        let b = Strudel.Site.build ~data Sites.Cnn.definition in
+        let derived =
+          Strudel.Api.query b.Strudel.Site.site_graph Sites.Cnn.text_only_copy_query
+        in
+        check_int "root collected" 1 (Graph.collection_size derived "TextOnlyRoot");
+        check_bool "no image values" true
+          (Graph.fold_edges
+             (fun _ _ tgt acc ->
+               acc
+               && match tgt with
+                  | Graph.V v -> not (Value.is_image v)
+                  | Graph.N _ -> true)
+             derived true));
+    t "cnn vs baseline: same page universe" (fun () ->
+        let data = Sites.Cnn.data ~articles:50 () in
+        let b = Strudel.Site.build ~data Sites.Cnn.definition in
+        let baseline = Baseline.Procedural.news_site data in
+        (* strudel: front + bylineindex + sections + articles + reporters;
+           baseline: index + sections + articles (no reporters/bylines) *)
+        let sg = b.Strudel.Site.site_graph in
+        let sections =
+          List.length (Schema.Verify.family_members sg "SectionPage")
+        in
+        let articles =
+          List.length (Schema.Verify.family_members sg "ArticlePage")
+        in
+        check_int "baseline count" (1 + sections + articles)
+          (List.length baseline));
+  ]
+
+let org =
+  [
+    t "org: mediation integrates five collections" (fun () ->
+        let _, w = Sites.Org.data ~people:40 ~orgs:4 ~projects:8 ~pubs:12 () in
+        let m = Mediator.Warehouse.graph w in
+        check_int "people" 40 (Graph.collection_size m "People");
+        check_int "orgs" 4 (Graph.collection_size m "Orgs");
+        check_int "projects" 8 (Graph.collection_size m "Projects");
+        check_int "pubs" 12 (Graph.collection_size m "Publications");
+        check_int "pages" 3 (Graph.collection_size m "Pages"));
+    t "org: cross-source joins resolve" (fun () ->
+        let _, w = Sites.Org.data ~people:40 ~orgs:4 ~projects:8 ~pubs:12 () in
+        let m = Mediator.Warehouse.graph w in
+        check_bool "project members" true (Graph.label_count m "Member" > 0);
+        check_bool "org links" true (Graph.label_count m "Org" > 0);
+        check_bool "directors" true (Graph.label_count m "Director" > 0));
+    t "org: site constraints hold" (fun () ->
+        let internal =
+          Sites.Org.build ~people:40 ~orgs:4 ~projects:8 ~pubs:12 ()
+        in
+        check_bool "clean" true (Strudel.Site.violations internal = []));
+    t "org: one person page per person" (fun () ->
+        let internal =
+          Sites.Org.build ~people:40 ~orgs:4 ~projects:8 ~pubs:12 ()
+        in
+        check_int "40 person pages" 40
+          (List.length
+             (Schema.Verify.family_members internal.Strudel.Site.site_graph
+                "PersonPage")));
+    t "org: external hides phones and intranet rosters" (fun () ->
+        let internal, external_ =
+          Sites.Org.build_both ~people:40 ~orgs:4 ~projects:8 ~pubs:12 ()
+        in
+        check_bool "internal has phones" true
+          (site_contains internal.Strudel.Site.site "+1 973 360");
+        check_bool "external hides phones" false
+          (site_contains external_.Strudel.Site.site "+1 973 360");
+        check_bool "internal intranet marker" true
+          (site_contains internal.Strudel.Site.site "[INTERNAL ONLY]");
+        check_bool "external intranet emptied" false
+          (site_contains external_.Strudel.Site.site "[INTERNAL ONLY]"));
+    t "org: proprietary projects select the named template" (fun () ->
+        let internal =
+          Sites.Org.build ~people:40 ~orgs:4 ~projects:20 ~pubs:5 ()
+        in
+        check_bool "internal warns" true
+          (site_contains internal.Strudel.Site.site
+             "[INTERNAL — proprietary project]"));
+    t "org: legacy HTML pages flow through the wrapper" (fun () ->
+        let internal =
+          Sites.Org.build ~people:10 ~orgs:2 ~projects:3 ~pubs:3 ()
+        in
+        check_bool "visitors page content" true
+          (site_contains internal.Strudel.Site.site "Directions to Florham Park"));
+  ]
+
+let rodin =
+  [
+    t "rodin: all cross-linking constraints hold" (fun () ->
+        let b = Sites.Rodin.build () in
+        check_bool "clean" true (Strudel.Site.violations b = []));
+    t "rodin: English and French page families pair up" (fun () ->
+        let b = Sites.Rodin.build ~extra_projects:6 () in
+        let sg = b.Strudel.Site.site_graph in
+        let n fam = List.length (Schema.Verify.family_members sg fam) in
+        check_int "projects paired" (n "EnProject") (n "FrProject");
+        check_int "people paired" (n "EnPerson") (n "FrPerson");
+        check_bool "10 projects" true (n "EnProject" = 10));
+    t "rodin: translation edges are mutual" (fun () ->
+        let b = Sites.Rodin.build () in
+        let sg = b.Strudel.Site.site_graph in
+        List.iter
+          (fun en ->
+            match Graph.attr1 sg en "Translation" with
+            | Some (Graph.N fr) ->
+              check_bool "inverse" true
+                (Graph.has_edge sg fr "Translation" (Graph.N en))
+            | _ -> Alcotest.fail "missing translation")
+          (Schema.Verify.family_members sg "EnProject"));
+    t "rodin: each view renders its own language" (fun () ->
+        let b = Sites.Rodin.build () in
+        check_bool "english text" true
+          (site_contains b.Strudel.Site.site "The Verso project");
+        check_bool "french text" true
+          (site_contains b.Strudel.Site.site "Le projet Verso"));
+  ]
+
+let aggregates_in_sites =
+  [
+    t "cnn: section pages carry article counts" (fun () ->
+        let data = Sites.Cnn.data ~articles:60 () in
+        let b = Strudel.Site.build ~data Sites.Cnn.definition in
+        let sg = b.Strudel.Site.site_graph in
+        let total =
+          List.fold_left
+            (fun acc sp ->
+              match Graph.attr_value sg sp "ArticleCount" with
+              | Some (Value.Int n) ->
+                (* the count must equal the number of Article links *)
+                check_int
+                  ("count on " ^ Oid.name sp)
+                  (List.length (Graph.attr sg sp "Article"))
+                  n;
+                acc + n
+              | _ -> Alcotest.fail "missing ArticleCount")
+            0
+            (Schema.Verify.family_members sg "SectionPage")
+        in
+        (* multi-section articles are counted once per section *)
+        check_bool "covers all articles" true (total >= 60);
+        check_bool "rendered in pages" true
+          (site_contains b.Strudel.Site.site "stories</i>"));
+  ]
+
+let baseline =
+  [
+    t "baseline homepage renders same publication count" (fun () ->
+        let data = Sites.Paper_example.data () in
+        let pages = Baseline.Procedural.homepage_site data in
+        (* index + abstracts + 2 years + 3 cats + 2 abstract pages *)
+        check_int "9 pages" 9 (List.length pages);
+        check_bool "bytes" true (Baseline.Procedural.total_bytes pages > 0));
+    t "baseline news site respects section filter" (fun () ->
+        let data = Sites.Cnn.data ~articles:50 () in
+        let all = Baseline.Procedural.news_site data in
+        let sports =
+          Baseline.Procedural.news_site ~sections_filter:(fun s -> s = "Sports")
+            data
+        in
+        check_bool "fewer pages" true (List.length sports < List.length all));
+  ]
+
+let suite = homepage @ cnn @ org @ rodin @ aggregates_in_sites @ baseline

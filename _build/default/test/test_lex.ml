@@ -1,0 +1,70 @@
+open Sgraph
+
+let t name f = Alcotest.test_case name `Quick f
+let check_bool = Alcotest.(check bool)
+
+let toks ?ident_dash src =
+  List.map (fun s -> s.Lex.tok)
+    (Lex.tokenize ?ident_dash ~puncts:[ "->"; "("; ")"; ","; "="; "!=" ] src)
+
+let suite =
+  [
+    t "idents and puncts" (fun () ->
+        check_bool "seq" true
+          (toks "foo -> bar"
+           = [ Lex.Ident "foo"; Lex.Punct "->"; Lex.Ident "bar"; Lex.Eof ]));
+    t "longest punct match" (fun () ->
+        check_bool "!= not ! =" true
+          (toks "a != b"
+           = [ Lex.Ident "a"; Lex.Punct "!="; Lex.Ident "b"; Lex.Eof ]));
+    t "string with escapes" (fun () ->
+        check_bool "escapes" true
+          (toks {|"a\"b\n"|} = [ Lex.Str "a\"b\n"; Lex.Eof ]));
+    t "numbers" (fun () ->
+        check_bool "int" true (toks "42" = [ Lex.Int_lit 42; Lex.Eof ]);
+        check_bool "neg" true (toks "-7" = [ Lex.Int_lit (-7); Lex.Eof ]);
+        check_bool "float" true (toks "2.5" = [ Lex.Float_lit 2.5; Lex.Eof ]);
+        check_bool "exp" true (toks "1.5e2" = [ Lex.Float_lit 150.; Lex.Eof ]));
+    t "comments all three styles" (fun () ->
+        check_bool "comments" true
+          (toks "a // x\nb /* y\nz */ c # w\nd"
+           = [ Lex.Ident "a"; Lex.Ident "b"; Lex.Ident "c"; Lex.Ident "d";
+               Lex.Eof ]));
+    t "ident_dash mode" (fun () ->
+        check_bool "dash in ident" true
+          (toks ~ident_dash:true "pub-type" = [ Lex.Ident "pub-type"; Lex.Eof ]));
+    t "line numbers tracked" (fun () ->
+        let spanned =
+          Lex.tokenize ~puncts:[ "(" ] "a\nb\n\nc"
+        in
+        check_bool "lines" true
+          (List.map (fun s -> s.Lex.line) spanned = [ 1; 2; 4; 4 ]));
+    t "lex errors" (fun () ->
+        check_bool "unterminated string" true
+          (try ignore (toks "\"abc"); false with Lex.Lex_error _ -> true);
+        check_bool "unknown char" true
+          (try ignore (toks "a $ b"); false with Lex.Lex_error _ -> true);
+        check_bool "unterminated comment" true
+          (try ignore (toks "/* x"); false with Lex.Lex_error _ -> true));
+    t "stream operations" (fun () ->
+        let st =
+          Lex.Stream.of_tokens
+            (Lex.tokenize ~puncts:[ "("; ")" ] "foo ( bar )")
+        in
+        check_bool "peek" true (Lex.Stream.peek st = Lex.Ident "foo");
+        check_bool "peek2" true (Lex.Stream.peek2 st = Lex.Punct "(");
+        ignore (Lex.Stream.advance st);
+        check_bool "accept" true (Lex.Stream.accept_punct st "(");
+        check_bool "expect ident" true (Lex.Stream.expect_ident st = "bar");
+        Lex.Stream.eat_punct st ")";
+        check_bool "eof" true (Lex.Stream.at_eof st);
+        check_bool "advance at eof stays" true
+          (Lex.Stream.advance st = Lex.Eof && Lex.Stream.advance st = Lex.Eof));
+    t "case-insensitive keyword accept" (fun () ->
+        let st =
+          Lex.Stream.of_tokens (Lex.tokenize ~puncts:[] "WHERE Where where")
+        in
+        check_bool "1" true (Lex.Stream.accept_ident st "where");
+        check_bool "2" true (Lex.Stream.accept_ident st "WHERE");
+        check_bool "3" true (Lex.Stream.accept_ident st "Where"));
+  ]

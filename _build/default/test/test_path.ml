@@ -1,0 +1,207 @@
+open Sgraph
+
+let t name f = Alcotest.test_case name `Quick f
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* a -x-> b -y-> c -x-> d ; a -z-> "v" ; cycle d -x-> b *)
+let mk () =
+  let g = Graph.create ~name:"p" () in
+  let a = Graph.new_node g "a" in
+  let b = Graph.new_node g "b" in
+  let c = Graph.new_node g "c" in
+  let d = Graph.new_node g "d" in
+  Graph.add_edge g a "x" (Graph.N b);
+  Graph.add_edge g b "y" (Graph.N c);
+  Graph.add_edge g c "x" (Graph.N d);
+  Graph.add_edge g d "x" (Graph.N b);
+  Graph.add_edge g a "z" (Graph.V (Value.String "v"));
+  (g, a, b, c, d)
+
+let single =
+  [
+    t "single label edge" (fun () ->
+        let g, a, b, _, _ = mk () in
+        check_bool "a-x->b" true
+          (Path.matches g (Path.Edge (Path.Label "x")) a (Graph.N b));
+        check_bool "no a-y->b" false
+          (Path.matches g (Path.Edge (Path.Label "y")) a (Graph.N b)));
+    t "any edge" (fun () ->
+        let g, a, _, _, _ = mk () in
+        check_int "two succs" 2
+          (List.length (Path.eval_from g (Path.Edge Path.Any) a)));
+    t "edge to value" (fun () ->
+        let g, a, _, _, _ = mk () in
+        check_bool "a-z->v" true
+          (Path.matches g
+             (Path.Edge (Path.Label "z"))
+             a
+             (Graph.V (Value.String "v"))));
+    t "named predicate" (fun () ->
+        let g, a, b, _, _ = mk () in
+        let p = Path.Named_pred ("isX", fun l -> l = "x") in
+        check_bool "pred" true (Path.matches g (Path.Edge p) a (Graph.N b)));
+  ]
+
+let composite =
+  [
+    t "seq" (fun () ->
+        let g, a, _, c, _ = mk () in
+        let r = Path.Seq (Path.Edge (Path.Label "x"), Path.Edge (Path.Label "y")) in
+        check_bool "a-x.y->c" true (Path.matches g r a (Graph.N c)));
+    t "alt" (fun () ->
+        let g, a, b, _, _ = mk () in
+        let r = Path.Alt (Path.Edge (Path.Label "q"), Path.Edge (Path.Label "x")) in
+        check_bool "alt" true (Path.matches g r a (Graph.N b)));
+    t "star includes source" (fun () ->
+        let g, a, _, _, _ = mk () in
+        check_bool "a in a.*" true
+          (Path.matches g Path.any_path a (Graph.N a)));
+    t "star reaches through cycle" (fun () ->
+        let g, a, _, _, d = mk () in
+        check_bool "a-*->d" true (Path.matches g Path.any_path a (Graph.N d));
+        (* everything reachable: a,b,c,d + value v *)
+        check_int "all" 5 (List.length (Path.eval_from g Path.any_path a));
+        check_bool "terminates on cycle from d" true
+          (List.length (Path.eval_from g Path.any_path d) > 0));
+    t "plus excludes source without cycle" (fun () ->
+        let g, a, _, _, _ = mk () in
+        check_bool "a not in a.+" false
+          (Path.matches g (Path.Plus (Path.Edge Path.Any)) a (Graph.N a)));
+    t "plus includes source on cycle" (fun () ->
+        let g, _, b, _, _ = mk () in
+        check_bool "b in b.+ (cycle)" true
+          (Path.matches g (Path.Plus (Path.Edge Path.Any)) b (Graph.N b)));
+    t "opt" (fun () ->
+        let g, a, b, _, _ = mk () in
+        let r = Path.Opt (Path.Edge (Path.Label "x")) in
+        check_bool "self" true (Path.matches g r a (Graph.N a));
+        check_bool "one" true (Path.matches g r a (Graph.N b)));
+    t "label star: x* chains" (fun () ->
+        let g, _, _, c, b = mk () in
+        (* c -x-> d -x-> b *)
+        let r = Path.Star (Path.Edge (Path.Label "x")) in
+        ignore b;
+        check_bool "c-x*->b" true
+          (Path.matches g r c (Graph.N (Option.get (Graph.find_node g "b")))));
+    t "nullable" (fun () ->
+        check_bool "star" true (Path.nullable Path.any_path);
+        check_bool "opt" true (Path.nullable (Path.Opt (Path.Edge Path.Any)));
+        check_bool "edge" false (Path.nullable (Path.Edge Path.Any));
+        check_bool "seq" false
+          (Path.nullable (Path.Seq (Path.Epsilon, Path.Edge Path.Any)));
+        check_bool "seq eps" true
+          (Path.nullable (Path.Seq (Path.Epsilon, Path.Epsilon))));
+    t "seq_all builds concatenation" (fun () ->
+        let g, a, _, c, _ = mk () in
+        let r =
+          Path.seq_all [ Path.Edge (Path.Label "x"); Path.Edge (Path.Label "y") ]
+        in
+        check_bool "seq_all" true (Path.matches g r a (Graph.N c));
+        check_bool "empty = epsilon" true (Path.nullable (Path.seq_all [])));
+    t "value has no outgoing path" (fun () ->
+        let g, a, _, _, _ = mk () in
+        let r =
+          Path.Seq (Path.Edge (Path.Label "z"), Path.Edge Path.Any)
+        in
+        check_int "dead end" 0 (List.length (Path.eval_from g r a)));
+  ]
+
+(* --- NFA evaluation vs reference fixpoint semantics --- *)
+
+let rpe_gen =
+  let open QCheck.Gen in
+  let pred = oneofl [ Path.Label "x"; Path.Label "y"; Path.Label "z"; Path.Any ] in
+  let rec gen depth =
+    if depth = 0 then map (fun p -> Path.Edge p) pred
+    else
+      frequency
+        [
+          (3, map (fun p -> Path.Edge p) pred);
+          (1, return Path.Epsilon);
+          (2, map2 (fun a b -> Path.Seq (a, b)) (gen (depth - 1)) (gen (depth - 1)));
+          (2, map2 (fun a b -> Path.Alt (a, b)) (gen (depth - 1)) (gen (depth - 1)));
+          (1, map (fun a -> Path.Star a) (gen (depth - 1)));
+          (1, map (fun a -> Path.Plus a) (gen (depth - 1)));
+          (1, map (fun a -> Path.Opt a) (gen (depth - 1)));
+        ]
+  in
+  gen 3
+
+let graph_gen =
+  let open QCheck.Gen in
+  let* n = int_range 1 6 in
+  let* edges =
+    list_size (int_range 0 12)
+      (triple (int_bound (n - 1)) (oneofl [ "x"; "y"; "z" ]) (int_bound (n - 1)))
+  in
+  let* vals =
+    list_size (int_range 0 3) (pair (int_bound (n - 1)) (int_bound 2))
+  in
+  return (n, edges, vals)
+
+let build_graph (n, edges, vals) =
+  let g = Graph.create ~name:"q" () in
+  let nodes = Array.init n (fun i -> Oid.fresh (string_of_int i)) in
+  Array.iter (Graph.add_node g) nodes;
+  List.iter (fun (a, l, b) -> Graph.add_edge g nodes.(a) l (Graph.N nodes.(b))) edges;
+  List.iter
+    (fun (a, v) -> Graph.add_edge g nodes.(a) "z" (Graph.V (Value.Int v)))
+    vals;
+  (g, nodes)
+
+let target_key = function
+  | Graph.N o -> "N" ^ Oid.name o
+  | Graph.V v -> "V" ^ Value.to_string v
+
+let nfa_matches_reference (spec, rpe) =
+  let g, nodes = build_graph spec in
+  (* reference pairs restricted to node sources *)
+  let ref_pairs =
+    Path.eval_ref g rpe
+    |> List.filter_map (fun (x, y) ->
+        match x with
+        | Graph.N o -> Some (Oid.name o, target_key y)
+        | Graph.V _ -> None)
+    |> List.sort_uniq compare
+  in
+  let nfa_pairs =
+    Array.to_list nodes
+    |> List.concat_map (fun o ->
+        List.map (fun t -> (Oid.name o, target_key t)) (Path.eval_from g rpe o))
+    |> List.sort_uniq compare
+  in
+  ref_pairs = nfa_pairs
+
+let props =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"NFA evaluation matches reference semantics"
+         ~count:300
+         (QCheck.make
+            ~print:(fun (_, r) -> Fmt.str "%a" Path.pp r)
+            QCheck.Gen.(pair graph_gen rpe_gen))
+         nfa_matches_reference);
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"eval_from deduplicates" ~count:200
+         (QCheck.make QCheck.Gen.(pair graph_gen rpe_gen))
+         (fun (spec, rpe) ->
+           let g, nodes = build_graph spec in
+           Array.for_all
+             (fun o ->
+               let r = List.map target_key (Path.eval_from g rpe o) in
+               List.length r = List.length (List.sort_uniq compare r))
+             nodes));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"nullable iff source self-match" ~count:200
+         (QCheck.make QCheck.Gen.(pair graph_gen rpe_gen))
+         (fun (spec, rpe) ->
+           let g, nodes = build_graph spec in
+           (* nullable implies every source matches itself *)
+           (not (Path.nullable rpe))
+           || Array.for_all
+                (fun o -> Path.matches g rpe o (Graph.N o))
+                nodes));
+  ]
+
+let suite = single @ composite @ props

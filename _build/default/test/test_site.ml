@@ -1,0 +1,165 @@
+open Sgraph
+
+let t name f = Alcotest.test_case name `Quick f
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let contains hay needle =
+  let n = String.length needle and h = String.length hay in
+  let rec find i = i + n <= h && (String.sub hay i n = needle || find (i + 1)) in
+  find 0
+
+let paper =
+  [
+    t "paper example builds 11 pages" (fun () ->
+        let b = Sites.Paper_example.build () in
+        check_int "pages" 11
+          (Template.Generator.page_count b.Strudel.Site.site));
+    t "site graph census matches the paper's fig 4 shape" (fun () ->
+        let b = Sites.Paper_example.build () in
+        let sg = b.Strudel.Site.site_graph in
+        check_int "2 year pages" 2
+          (List.length (Schema.Verify.family_members sg "YearPage"));
+        check_int "3 category pages" 3
+          (List.length (Schema.Verify.family_members sg "CategoryPage"));
+        check_int "2 presentations" 2
+          (List.length (Schema.Verify.family_members sg "PaperPresentation"));
+        check_int "2 abstract pages" 2
+          (List.length (Schema.Verify.family_members sg "AbstractPage"));
+        check_int "1 root" 1 (List.length (Schema.Verify.family_members sg "RootPage")));
+    t "all declared constraints hold" (fun () ->
+        let b = Sites.Paper_example.build () in
+        check_bool "no violations" true (Strudel.Site.violations b = []));
+    t "root page lists years ascending" (fun () ->
+        let b = Sites.Paper_example.build () in
+        let root =
+          List.hd (Schema.Verify.family_members b.Strudel.Site.site_graph "RootPage")
+        in
+        let page =
+          Option.get (Template.Generator.page_of_object b.Strudel.Site.site root)
+        in
+        let html = page.Template.Generator.html in
+        let i97 = ref 0 and i98 = ref 0 in
+        String.iteri
+          (fun i c ->
+            if c = '1' && i + 4 <= String.length html then begin
+              if String.sub html i 4 = "1997" && !i97 = 0 then i97 := i;
+              if String.sub html i 4 = "1998" && !i98 = 0 then i98 := i
+            end)
+          html;
+        check_bool "1997 before 1998" true (!i97 > 0 && !i98 > !i97));
+    t "paper presentation renders venue conditionally" (fun () ->
+        let b = Sites.Paper_example.build () in
+        let sg = b.Strudel.Site.site_graph in
+        let pages = Schema.Verify.family_members sg "PaperPresentation" in
+        let htmls =
+          List.map
+            (fun o ->
+              (Option.get (Template.Generator.page_of_object b.Strudel.Site.site o))
+                .Template.Generator.html)
+            pages
+        in
+        check_bool "journal appears once" true
+          (List.exists (fun h -> contains h "Transactions on") htmls);
+        check_bool "booktitle appears once" true
+          (List.exists (fun h -> contains h "Proc. of ICDE") htmls));
+    t "spec stats computed" (fun () ->
+        let s = Strudel.Site.spec_stats Sites.Paper_example.definition in
+        check_int "1 query" 1 s.Strudel.Site.query_count;
+        check_int "11 links" 11 s.Strudel.Site.link_clauses;
+        check_int "6 templates" 6 s.Strudel.Site.template_count;
+        check_bool "lines counted" true (s.Strudel.Site.query_lines > 20));
+    t "build fails with unknown root family" (fun () ->
+        let def =
+          { Sites.Paper_example.definition with Strudel.Site.root_family = "Nope" }
+        in
+        check_bool "raises" true
+          (try
+             ignore (Strudel.Site.build ~data:(Sites.Paper_example.data ()) def);
+             false
+           with Strudel.Site.Build_error _ -> true));
+    t "regenerate swaps presentation only" (fun () ->
+        let b = Sites.Paper_example.build () in
+        let plain =
+          {
+            Template.Generator.empty_templates with
+            Template.Generator.by_collection = [ ("RootPages", "MINIMAL") ];
+          }
+        in
+        let b2 = Strudel.Site.regenerate b plain in
+        check_bool "same site graph" true
+          (b2.Strudel.Site.site_graph == b.Strudel.Site.site_graph);
+        let root =
+          List.hd (Schema.Verify.family_members b2.Strudel.Site.site_graph "RootPage")
+        in
+        let page =
+          Option.get (Template.Generator.page_of_object b2.Strudel.Site.site root)
+        in
+        check_bool "new template used" true
+          (contains page.Template.Generator.html "MINIMAL"));
+    t "multiple queries compose into one site" (fun () ->
+        let def =
+          Strudel.Site.define ~name:"two" ~root_family:"R"
+            [
+              ("q1", {|WHERE Publications(x) CREATE R(), P(x) LINK R() -> "p" -> P(x) COLLECT Roots(R()) OUTPUT o|});
+              ("q2", {|WHERE Publications(x), x -> "title" -> v CREATE P(x) LINK P(x) -> "t" -> v OUTPUT o|});
+            ]
+        in
+        let b = Strudel.Site.build ~data:(Sites.Paper_example.data ()) def in
+        let sg = b.Strudel.Site.site_graph in
+        check_int "2 schemas" 2 (List.length b.Strudel.Site.schemas);
+        let p = List.hd (Schema.Verify.family_members sg "P") in
+        check_int "titled by q2" 1 (List.length (Graph.attr sg p "t")));
+    t "api build_site convenience" (fun () ->
+        let b =
+          Strudel.Api.build_site ~name:"x" ~root_family:"RootPage"
+            ~query:Sites.Paper_example.site_query
+            ~templates:Sites.Paper_example.templates
+            (Sites.Paper_example.data ())
+        in
+        check_int "pages" 11 (Template.Generator.page_count b.Strudel.Site.site));
+    t "file_loader inlines text files end to end" (fun () ->
+        let loader p =
+          if p = "abstracts/toplas97.txt" then
+            Some "We describe machine instructions."
+          else None
+        in
+        let b =
+          Strudel.Site.build ~file_loader:loader
+            ~data:(Sites.Paper_example.data ())
+            Sites.Paper_example.definition
+        in
+        let ap =
+          List.find
+            (fun o -> Oid.name o = "AbstractPage(pub1)")
+            (Graph.nodes b.Strudel.Site.site_graph)
+        in
+        let page =
+          Option.get (Template.Generator.page_of_object b.Strudel.Site.site ap)
+        in
+        check_bool "inlined" true
+          (contains page.Template.Generator.html
+             "<pre>We describe machine instructions.</pre>");
+        (* without the loader, the same attribute is a link *)
+        let b2 = Sites.Paper_example.build () in
+        let ap2 =
+          List.find
+            (fun o -> Oid.name o = "AbstractPage(pub1)")
+            (Graph.nodes b2.Strudel.Site.site_graph)
+        in
+        let page2 =
+          Option.get
+            (Template.Generator.page_of_object b2.Strudel.Site.site ap2)
+        in
+        check_bool "linked" true
+          (contains page2.Template.Generator.html
+             {|<a href="abstracts/toplas97.txt">|}));
+    t "api query helper" (fun () ->
+        let g =
+          Strudel.Api.query (Sites.Paper_example.data ())
+            {|WHERE Publications(x) COLLECT All(x) OUTPUT o|}
+        in
+        check_int "2" 2 (Graph.collection_size g "All"));
+  ]
+
+let suite = paper

@@ -1,0 +1,181 @@
+open Sgraph
+
+let check = Alcotest.(check bool)
+let check_str = Alcotest.(check string)
+
+let t name f = Alcotest.test_case name `Quick f
+
+let coercion =
+  [
+    t "int = int" (fun () ->
+        check "3=3" true (Value.coerce_equal (Value.Int 3) (Value.Int 3)));
+    t "int <> int" (fun () ->
+        check "3<>4" false (Value.coerce_equal (Value.Int 3) (Value.Int 4)));
+    t "int = string-int" (fun () ->
+        check "3=\"3\"" true
+          (Value.coerce_equal (Value.Int 3) (Value.String "3")));
+    t "string-int = int" (fun () ->
+        check "\"1997\"=1997" true
+          (Value.coerce_equal (Value.String "1997") (Value.Int 1997)));
+    t "float = int" (fun () ->
+        check "2.0=2" true (Value.coerce_equal (Value.Float 2.0) (Value.Int 2)));
+    t "int = float order" (fun () ->
+        Alcotest.(check (option int)) "1<2.5"
+          (Some (-1))
+          (Value.coerce_compare (Value.Int 1) (Value.Float 2.5)));
+    t "float vs int reversed sign" (fun () ->
+        Alcotest.(check (option int)) "2.5>1"
+          (Some 1)
+          (Value.coerce_compare (Value.Float 2.5) (Value.Int 1)));
+    t "string = url" (fun () ->
+        check "url=string" true
+          (Value.coerce_equal (Value.Url "http://x") (Value.String "http://x")));
+    t "bool = string-bool" (fun () ->
+        check "true=\"true\"" true
+          (Value.coerce_equal (Value.Bool true) (Value.String "true")));
+    t "null = null" (fun () ->
+        check "null=null" true (Value.coerce_equal Value.Null Value.Null));
+    t "null incomparable with int" (fun () ->
+        Alcotest.(check (option int)) "null?3" None
+          (Value.coerce_compare Value.Null (Value.Int 3)));
+    t "file compares by path" (fun () ->
+        check "files" true
+          (Value.coerce_equal
+             (Value.File (Value.Text, "a.txt"))
+             (Value.File (Value.Text, "a.txt"))));
+    t "file incomparable with int" (fun () ->
+        Alcotest.(check (option int)) "file?int" None
+          (Value.coerce_compare (Value.File (Value.Text, "a")) (Value.Int 1)));
+    t "non-numeric string vs int not equal" (fun () ->
+        check "abc<>3" false
+          (Value.coerce_equal (Value.String "abc") (Value.Int 3)));
+    t "string ordering" (fun () ->
+        Alcotest.(check (option int)) "a<b"
+          (Some (-1))
+          (match Value.coerce_compare (Value.String "a") (Value.String "b") with
+           | Some c when c < 0 -> Some (-1)
+           | x -> x));
+  ]
+
+let literals =
+  [
+    t "int literal" (fun () ->
+        check "42" true (Value.of_literal "42" = Value.Int 42));
+    t "negative int" (fun () ->
+        check "-7" true (Value.of_literal "-7" = Value.Int (-7)));
+    t "float literal" (fun () ->
+        check "2.5" true (Value.of_literal "2.5" = Value.Float 2.5));
+    t "bool literal" (fun () ->
+        check "true" true (Value.of_literal "true" = Value.Bool true));
+    t "null literal" (fun () ->
+        check "null" true (Value.of_literal "null" = Value.Null));
+    t "url literal" (fun () ->
+        check "http" true
+          (Value.of_literal "http://example.com" = Value.Url "http://example.com"));
+    t "mailto url" (fun () ->
+        check "mailto" true
+          (Value.of_literal "mailto:x@y" = Value.Url "mailto:x@y"));
+    t "plain string" (fun () ->
+        check "hello" true (Value.of_literal "hello" = Value.String "hello"));
+  ]
+
+let display =
+  [
+    t "display null empty" (fun () ->
+        check_str "null" "" (Value.to_display_string Value.Null));
+    t "display int" (fun () ->
+        check_str "int" "42" (Value.to_display_string (Value.Int 42)));
+    t "display file path" (fun () ->
+        check_str "file" "a/b.ps"
+          (Value.to_display_string (Value.File (Value.Postscript, "a/b.ps"))));
+    t "kind names" (fun () ->
+        check_str "kind" "ps"
+          (Value.kind_name (Value.File (Value.Postscript, "x")));
+        check_str "kind2" "url" (Value.kind_name (Value.Url "u")));
+    t "file kind roundtrip" (fun () ->
+        List.iter
+          (fun k ->
+            check ("kind " ^ Value.file_kind_name k) true
+              (Value.file_kind_of_name (Value.file_kind_name k) = Some k))
+          [ Value.Text; Value.Postscript; Value.Image; Value.Html_file ]);
+    t "predicates" (fun () ->
+        check "is_postscript" true
+          (Value.is_postscript (Value.File (Value.Postscript, "p")));
+        check "is_image" true (Value.is_image (Value.File (Value.Image, "i")));
+        check "is_url" true (Value.is_url (Value.Url "u"));
+        check "not file" false (Value.is_file (Value.Int 3)));
+  ]
+
+(* printing then re-reading a value through the DDL value syntax *)
+let pp_roundtrip_case v () =
+  let printed = Value.to_string v in
+  let src = Printf.sprintf "object o { a %s }" printed in
+  let g, _ = Ddl.parse src in
+  let o = Option.get (Graph.find_node g "o") in
+  match Graph.attr_value g o "a" with
+  | Some v' -> check ("roundtrip " ^ printed) true (Value.equal v v')
+  | None -> Alcotest.fail "no value parsed"
+
+let pp_roundtrip =
+  [
+    t "pp roundtrip int" (pp_roundtrip_case (Value.Int 42));
+    t "pp roundtrip neg int" (pp_roundtrip_case (Value.Int (-3)));
+    t "pp roundtrip float" (pp_roundtrip_case (Value.Float 2.5));
+    t "pp roundtrip integral float stays float"
+      (pp_roundtrip_case (Value.Float 2.0));
+    t "pp roundtrip string" (pp_roundtrip_case (Value.String "hello world"));
+    t "pp roundtrip string with quotes"
+      (pp_roundtrip_case (Value.String "say \"hi\"\n\ttab"));
+    t "pp roundtrip bool" (pp_roundtrip_case (Value.Bool false));
+    t "pp roundtrip null" (pp_roundtrip_case Value.Null);
+    t "pp roundtrip url" (pp_roundtrip_case (Value.Url "http://x/y?z=1"));
+    t "pp roundtrip ps file"
+      (pp_roundtrip_case (Value.File (Value.Postscript, "papers/a.ps.gz")));
+    t "pp roundtrip other file"
+      (pp_roundtrip_case (Value.File (Value.Other_file "pdf", "a.pdf")));
+  ]
+
+(* qcheck: coercion equality is symmetric; comparison antisymmetric *)
+let value_gen =
+  let open QCheck.Gen in
+  oneof
+    [
+      return Value.Null;
+      map (fun b -> Value.Bool b) bool;
+      map (fun i -> Value.Int i) small_signed_int;
+      map (fun f -> Value.Float (Float.of_int f)) small_signed_int;
+      map (fun s -> Value.String s) (string_size ~gen:printable (int_range 0 8));
+      map (fun s -> Value.Url ("http://" ^ s)) (string_size ~gen:(char_range 'a' 'z') (int_range 1 6));
+      map (fun s -> Value.File (Value.Text, s)) (string_size ~gen:(char_range 'a' 'z') (int_range 1 6));
+    ]
+
+let value_arb = QCheck.make ~print:Value.to_string value_gen
+
+let props =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"coerce_equal symmetric" ~count:500
+         (QCheck.pair value_arb value_arb) (fun (a, b) ->
+           Value.coerce_equal a b = Value.coerce_equal b a));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"coerce_compare antisymmetric" ~count:500
+         (QCheck.pair value_arb value_arb) (fun (a, b) ->
+           match Value.coerce_compare a b, Value.coerce_compare b a with
+           | Some x, Some y -> compare x 0 = compare 0 y
+           | None, None -> true
+           | _ -> false));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"coerce_equal reflexive" ~count:500 value_arb
+         (fun v -> Value.coerce_equal v v));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"value print/parse roundtrip" ~count:300
+         value_arb (fun v ->
+           let src = Printf.sprintf "object o { a %s }" (Value.to_string v) in
+           let g, _ = Ddl.parse src in
+           let o = Option.get (Graph.find_node g "o") in
+           match Graph.attr_value g o "a" with
+           | Some v' -> Value.equal v v'
+           | None -> false));
+  ]
+
+let suite = coercion @ literals @ display @ pp_roundtrip @ props

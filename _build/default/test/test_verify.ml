@@ -1,0 +1,149 @@
+open Sgraph
+open Schema
+
+let t name f = Alcotest.test_case name `Quick f
+let check_bool = Alcotest.(check bool)
+
+let is_holds = function Verify.Holds -> true | _ -> false
+let is_violated = function Verify.Violated _ -> true | _ -> false
+let is_unknown = function Verify.Unknown _ -> true | _ -> false
+
+(* a site graph with skolem-style node names *)
+let mk_site () =
+  let g = Graph.create ~name:"s" () in
+  let root = Graph.new_node g "Home()" in
+  let y1 = Graph.new_node g "YearPage(1997)" in
+  let y2 = Graph.new_node g "YearPage(1998)" in
+  let p1 = Graph.new_node g "Paper(pub1)" in
+  let orphan = Graph.new_node g "Paper(lost)" in
+  Graph.add_edge g root "Year" (Graph.N y1);
+  Graph.add_edge g root "Year" (Graph.N y2);
+  Graph.add_edge g y1 "Paper" (Graph.N p1);
+  Graph.add_edge g y2 "Paper" (Graph.N p1);
+  Graph.add_edge g p1 "secret" (Graph.V (Value.String "classified"));
+  (g, root, orphan)
+
+let family =
+  [
+    t "family_of_node" (fun () ->
+        check_bool "year" true
+          (Verify.family_of_node (Oid.fresh "YearPage(1997)") = Some "YearPage");
+        check_bool "nullary" true
+          (Verify.family_of_node (Oid.fresh "Home()") = Some "Home");
+        check_bool "plain" true (Verify.family_of_node (Oid.fresh "pub1") = None);
+        check_bool "nested parens" true
+          (Verify.family_of_node (Oid.fresh "F(G(x))") = Some "F"));
+  ]
+
+let site_checks =
+  [
+    t "reachable_from violated by orphan" (fun () ->
+        let g, _, _ = mk_site () in
+        check_bool "violated" true
+          (is_violated (Verify.check_site g (Verify.Reachable_from "Home"))));
+    t "reachable_from holds without orphan" (fun () ->
+        let g, _, orphan = mk_site () in
+        Graph.add_edge g
+          (Option.get (Graph.find_node g "Home()"))
+          "Stray" (Graph.N orphan);
+        check_bool "holds" true
+          (is_holds (Verify.check_site g (Verify.Reachable_from "Home"))));
+    t "reachable_from with missing root family" (fun () ->
+        let g, _, _ = mk_site () in
+        check_bool "violated" true
+          (is_violated (Verify.check_site g (Verify.Reachable_from "Nowhere"))));
+    t "points_to holds" (fun () ->
+        let g, _, _ = mk_site () in
+        check_bool "holds" true
+          (is_holds
+             (Verify.check_site g (Verify.Points_to ("YearPage", "Paper", "Paper")))));
+    t "points_to violated by missing link" (fun () ->
+        let g, _, _ = mk_site () in
+        check_bool "violated" true
+          (is_violated
+             (Verify.check_site g
+                (Verify.Points_to ("YearPage", "Paper", "Home")))));
+    t "no_edge" (fun () ->
+        let g, _, _ = mk_site () in
+        check_bool "violated on root" true
+          (is_violated (Verify.check_site g (Verify.No_edge ("Home", "Year"))));
+        check_bool "holds elsewhere" true
+          (is_holds (Verify.check_site g (Verify.No_edge ("YearPage", "Year")))));
+    t "no_attribute_anywhere" (fun () ->
+        let g, _, _ = mk_site () in
+        check_bool "secret found" true
+          (is_violated
+             (Verify.check_site g (Verify.No_attribute_anywhere "secret")));
+        check_bool "clean label" true
+          (is_holds
+             (Verify.check_site g (Verify.No_attribute_anywhere "proprietary"))));
+    t "acyclic_links" (fun () ->
+        let g, root, _ = mk_site () in
+        check_bool "acyclic" true
+          (is_holds (Verify.check_site g (Verify.Acyclic_links "Year")));
+        let y1 = Option.get (Graph.find_node g "YearPage(1997)") in
+        Graph.add_edge g y1 "Year" (Graph.N root);
+        check_bool "cycle detected" true
+          (is_violated (Verify.check_site g (Verify.Acyclic_links "Year"))));
+  ]
+
+let schema_checks =
+  let schema =
+    Site_schema.of_query (Struql.Parser.parse Sites.Paper_example.site_query)
+  in
+  [
+    t "static reachability holds on fig5" (fun () ->
+        check_bool "holds" true
+          (is_holds (Verify.check_schema schema (Verify.Reachable_from "RootPage"))));
+    t "static reachability violated from a leaf family" (fun () ->
+        check_bool "violated" true
+          (is_violated
+             (Verify.check_schema schema (Verify.Reachable_from "YearPage"))));
+    t "static points_to is unknown when clause exists" (fun () ->
+        check_bool "unknown" true
+          (is_unknown
+             (Verify.check_schema schema
+                (Verify.Points_to ("YearPage", "Paper", "PaperPresentation")))));
+    t "static points_to violated when no clause can fire" (fun () ->
+        check_bool "violated" true
+          (is_violated
+             (Verify.check_schema schema
+                (Verify.Points_to ("YearPage", "Nope", "PaperPresentation")))));
+    t "static no_edge: exact label violation" (fun () ->
+        check_bool "violated" true
+          (is_violated
+             (Verify.check_schema schema (Verify.No_edge ("RootPage", "YearPage")))));
+    t "static no_edge: arc variable gives unknown" (fun () ->
+        check_bool "unknown" true
+          (is_unknown
+             (Verify.check_schema schema
+                (Verify.No_edge ("PaperPresentation", "whatever")))));
+    t "static no_attribute: clean label holds" (fun () ->
+        (* the query has an arc-variable link clause, so any label could
+           in principle appear: Unknown, not Holds *)
+        check_bool "unknown" true
+          (is_unknown
+             (Verify.check_schema schema
+                (Verify.No_attribute_anywhere "proprietary"))));
+    t "static acyclic on fig5" (fun () ->
+        check_bool "holds" true
+          (is_holds (Verify.check_schema schema (Verify.Acyclic_links "YearPage"))));
+    t "static acyclic unknown on self-referential family" (fun () ->
+        let s =
+          Site_schema.of_query
+            (Struql.Parser.parse
+               {|WHERE C(x), x -> "sub" -> y CREATE F(x), F(y)
+                 LINK F(x) -> "Sub" -> F(y)|})
+        in
+        check_bool "unknown" true
+          (is_unknown (Verify.check_schema s (Verify.Acyclic_links "Sub"))));
+    t "check_all convenience" (fun () ->
+        let g, _, _ = mk_site () in
+        let results =
+          Verify.check_all_site g
+            [ Verify.No_attribute_anywhere "secret"; Verify.Acyclic_links "Year" ]
+        in
+        Alcotest.(check int) "2 results" 2 (List.length results));
+  ]
+
+let suite = family @ site_checks @ schema_checks

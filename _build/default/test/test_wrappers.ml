@@ -1,0 +1,319 @@
+open Sgraph
+
+let t name f = Alcotest.test_case name `Quick f
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+let bib_sample =
+  {|% a comment
+@string{sigmod = "Proc. of SIGMOD"}
+@article{toplas97,
+  title = {Specifying {R}epresentations},
+  author = {Norman Ramsey and Mary Fernandez},
+  year = 1997,
+  journal = "TOPLAS",
+  volume = {19 (3)},
+  abstract = {abstracts/toplas97.txt},
+  postscript = {papers/toplas97.ps.gz},
+  keywords = {Architecture, Languages}
+}
+@inproceedings{demo97,
+  title = {System Demonstration - Strudel},
+  author = {Mary Fernandez},
+  booktitle = sigmod # {, 1997},
+  year = {1997},
+  url = {http://www.research.att.com/strudel}
+}
+@comment{ ignored stuff {nested} }
+|}
+
+let bibtex =
+  [
+    t "parses entries, skips comments and strings" (fun () ->
+        let g, os = Wrappers.Bibtex.load bib_sample in
+        check_int "2 entries" 2 (List.length os);
+        check_int "collection" 2 (Graph.collection_size g "Publications"));
+    t "entry type recorded" (fun () ->
+        let g, _ = Wrappers.Bibtex.load bib_sample in
+        let e = Option.get (Graph.find_node g "toplas97") in
+        check_bool "article" true
+          (Graph.attr_value g e "pub-type" = Some (Value.String "article")));
+    t "authors split on and" (fun () ->
+        let g, _ = Wrappers.Bibtex.load bib_sample in
+        let e = Option.get (Graph.find_node g "toplas97") in
+        check_int "2 authors" 2 (List.length (Graph.attr g e "author"));
+        check_bool "first author" true
+          (Graph.attr_value g e "author" = Some (Value.String "Norman Ramsey")));
+    t "keyed authors preserve order" (fun () ->
+        let g, _ = Wrappers.Bibtex.load ~keyed_authors:true bib_sample in
+        let e = Option.get (Graph.find_node g "toplas97") in
+        match Graph.attr g e "author" with
+        | [ Graph.N a0; Graph.N a1 ] ->
+          check_bool "keys" true
+            (Graph.attr_value g a0 "key" = Some (Value.Int 0)
+             && Graph.attr_value g a1 "key" = Some (Value.Int 1));
+          check_bool "names" true
+            (Graph.attr_value g a1 "name" = Some (Value.String "Mary Fernandez"))
+        | _ -> Alcotest.fail "expected nested author objects");
+    t "braces stripped, whitespace collapsed" (fun () ->
+        let g, _ = Wrappers.Bibtex.load bib_sample in
+        let e = Option.get (Graph.find_node g "toplas97") in
+        check_bool "title" true
+          (Graph.attr_value g e "title"
+           = Some (Value.String "Specifying Representations")));
+    t "year is an int" (fun () ->
+        let g, _ = Wrappers.Bibtex.load bib_sample in
+        let e = Option.get (Graph.find_node g "toplas97") in
+        check_bool "int" true (Graph.attr_value g e "year" = Some (Value.Int 1997)));
+    t "file fields typed" (fun () ->
+        let g, _ = Wrappers.Bibtex.load bib_sample in
+        let e = Option.get (Graph.find_node g "toplas97") in
+        check_bool "ps" true
+          (match Graph.attr_value g e "postscript" with
+           | Some (Value.File (Value.Postscript, _)) -> true
+           | _ -> false);
+        check_bool "abstract text" true
+          (match Graph.attr_value g e "abstract" with
+           | Some (Value.File (Value.Text, _)) -> true
+           | _ -> false));
+    t "url field typed" (fun () ->
+        let g, _ = Wrappers.Bibtex.load bib_sample in
+        let e = Option.get (Graph.find_node g "demo97") in
+        check_bool "url" true
+          (match Graph.attr_value g e "url" with
+           | Some (Value.Url _) -> true
+           | _ -> false));
+    t "macro expansion and concatenation" (fun () ->
+        let g, _ = Wrappers.Bibtex.load bib_sample in
+        let e = Option.get (Graph.find_node g "demo97") in
+        check_bool "booktitle" true
+          (Graph.attr_value g e "booktitle"
+           = Some (Value.String "Proc. of SIGMOD, 1997")));
+    t "keywords become categories" (fun () ->
+        let g, _ = Wrappers.Bibtex.load bib_sample in
+        let e = Option.get (Graph.find_node g "toplas97") in
+        check_int "2 categories" 2 (List.length (Graph.attr g e "category")));
+    t "error on malformed entry" (fun () ->
+        check_bool "raises" true
+          (try ignore (Wrappers.Bibtex.load "@article{x, title = }"); false
+           with Wrappers.Bibtex.Bibtex_error _ -> true));
+  ]
+
+let csv_sample = "login,name,phone,boss\np1,\"Doe, Jane\",555,&p2\np2,John,,\n"
+
+let csv =
+  [
+    t "rows and quoting" (fun () ->
+        let g, os = Wrappers.Csv.load ~name:"People" csv_sample in
+        check_int "2 rows" 2 (List.length os);
+        let p1 = Option.get (Graph.find_node g "p1") in
+        check_bool "quoted comma" true
+          (Graph.attr_value g p1 "name" = Some (Value.String "Doe, Jane")));
+    t "empty cells produce no edge" (fun () ->
+        let g, _ = Wrappers.Csv.load ~name:"People" csv_sample in
+        let p2 = Option.get (Graph.find_node g "p2") in
+        check_bool "no phone" true (Graph.attr_value g p2 "phone" = None));
+    t "references resolve" (fun () ->
+        let g, _ = Wrappers.Csv.load ~name:"People" csv_sample in
+        let p1 = Option.get (Graph.find_node g "p1") in
+        let p2 = Option.get (Graph.find_node g "p2") in
+        check_bool "boss ref" true (Graph.has_edge g p1 "boss" (Graph.N p2)));
+    t "numeric cells typed" (fun () ->
+        let g, _ = Wrappers.Csv.load ~name:"People" csv_sample in
+        let p1 = Option.get (Graph.find_node g "p1") in
+        check_bool "int" true (Graph.attr_value g p1 "phone" = Some (Value.Int 555)));
+    t "multi-valued cells split on semicolon" (fun () ->
+        let g, _ = Wrappers.Csv.load ~name:"T" "k,tags\na,x;y;z\n" in
+        let a = Option.get (Graph.find_node g "a") in
+        check_int "3 tags" 3 (List.length (Graph.attr g a "tags")));
+    t "cross-table references with load_tables" (fun () ->
+        let g = Graph.create () in
+        ignore
+          (Wrappers.Csv.load_tables g
+             [
+               Wrappers.Csv.table_of_string ~name:"A" "id,to\na1,&b1\n";
+               Wrappers.Csv.table_of_string ~name:"B" "id,back\nb1,&a1\n";
+             ]);
+        let a1 = Option.get (Graph.find_node g "a1") in
+        let b1 = Option.get (Graph.find_node g "b1") in
+        check_bool "a->b" true (Graph.has_edge g a1 "to" (Graph.N b1));
+        check_bool "b->a" true (Graph.has_edge g b1 "back" (Graph.N a1)));
+    t "dangling reference kept as string" (fun () ->
+        let g, _ = Wrappers.Csv.load ~name:"T" "id,to\nx,&nope\n" in
+        let x = Option.get (Graph.find_node g "x") in
+        check_bool "string" true
+          (Graph.attr_value g x "to" = Some (Value.String "&nope")));
+    t "quoted newline in field" (fun () ->
+        let g, _ = Wrappers.Csv.load ~name:"T" "id,note\nx,\"a\nb\"\n" in
+        let x = Option.get (Graph.find_node g "x") in
+        check_bool "newline" true
+          (Graph.attr_value g x "note" = Some (Value.String "a\nb")));
+    t "key column selection" (fun () ->
+        let g, _ =
+          Wrappers.Csv.load ~key:"login" ~name:"T" "dept,login\nsales,bob\n"
+        in
+        check_bool "named by login" true (Graph.find_node g "bob" <> None));
+  ]
+
+let structured_sample =
+  {|id: strudel
+in: Projects
+name: STRUDEL
+member: mff
+member: suciu
+budget: 100
+
+# a comment
+id: lore
+in: Projects
+in: Featured
+name: LORE
+doc: text "docs/lore.txt"
+partner: &strudel
+|}
+
+let structured =
+  [
+    t "blocks and collections" (fun () ->
+        let g, os = Wrappers.Structured_file.load structured_sample in
+        check_int "2 objects" 2 (List.length os);
+        check_int "projects" 2 (Graph.collection_size g "Projects");
+        check_int "featured" 1 (Graph.collection_size g "Featured"));
+    t "repeated keys multi-valued" (fun () ->
+        let g, _ = Wrappers.Structured_file.load structured_sample in
+        let s = Option.get (Graph.find_node g "strudel") in
+        check_int "2 members" 2 (List.length (Graph.attr g s "member")));
+    t "typed values" (fun () ->
+        let g, _ = Wrappers.Structured_file.load structured_sample in
+        let s = Option.get (Graph.find_node g "strudel") in
+        let l = Option.get (Graph.find_node g "lore") in
+        check_bool "int" true (Graph.attr_value g s "budget" = Some (Value.Int 100));
+        check_bool "text file" true
+          (match Graph.attr_value g l "doc" with
+           | Some (Value.File (Value.Text, "docs/lore.txt")) -> true
+           | _ -> false));
+    t "references between blocks" (fun () ->
+        let g, _ = Wrappers.Structured_file.load structured_sample in
+        let s = Option.get (Graph.find_node g "strudel") in
+        let l = Option.get (Graph.find_node g "lore") in
+        check_bool "partner" true (Graph.has_edge g l "partner" (Graph.N s)));
+    t "error without separator" (fun () ->
+        check_bool "raises" true
+          (try ignore (Wrappers.Structured_file.load "id x"); false
+           with Wrappers.Structured_file.Structured_error _ -> true));
+  ]
+
+let html_sample =
+  {|<html><head><title>My Page</title></head>
+<body><h1>Welcome</h1>
+<p>Some <b>text</b> here.</p>
+<a href="other.html">Other</a>
+<a href="http://x.org/a">External</a>
+<img src="pic.gif">
+</body></html>|}
+
+let html =
+  [
+    t "title extracted" (fun () ->
+        let g, os = Wrappers.Html_wrapper.load_pages [ ("p", html_sample) ] in
+        let o = List.hd os in
+        check_bool "title" true
+          (Graph.attr_value g o "title" = Some (Value.String "My Page")));
+    t "headings extracted" (fun () ->
+        let g, os = Wrappers.Html_wrapper.load_pages [ ("p", html_sample) ] in
+        let o = List.hd os in
+        check_bool "h1" true
+          (Graph.attr_value g o "heading" = Some (Value.String "Welcome")));
+    t "links become nested objects" (fun () ->
+        let g, os = Wrappers.Html_wrapper.load_pages [ ("p", html_sample) ] in
+        let o = List.hd os in
+        let links = Graph.attr g o "link" in
+        check_int "2 links" 2 (List.length links);
+        match links with
+        | Graph.N l :: _ ->
+          check_bool "href" true
+            (Graph.attr_value g l "href" = Some (Value.String "other.html"));
+          check_bool "anchor" true
+            (Graph.attr_value g l "anchor" = Some (Value.String "Other"))
+        | _ -> Alcotest.fail "expected link object");
+    t "absolute url typed" (fun () ->
+        let g, os = Wrappers.Html_wrapper.load_pages [ ("p", html_sample) ] in
+        let o = List.hd os in
+        check_bool "url" true
+          (List.exists
+             (fun tgt ->
+               match tgt with
+               | Graph.N l -> (
+                   match Graph.attr_value g l "href" with
+                   | Some (Value.Url _) -> true
+                   | _ -> false)
+               | _ -> false)
+             (Graph.attr g o "link")));
+    t "images extracted" (fun () ->
+        let g, os = Wrappers.Html_wrapper.load_pages [ ("p", html_sample) ] in
+        let o = List.hd os in
+        check_bool "img" true
+          (match Graph.attr_value g o "image" with
+           | Some (Value.File (Value.Image, "pic.gif")) -> true
+           | _ -> false));
+    t "text stripped of tags" (fun () ->
+        let g, os = Wrappers.Html_wrapper.load_pages [ ("p", html_sample) ] in
+        let o = List.hd os in
+        match Graph.attr_value g o "text" with
+        | Some (Value.String s) ->
+          check_bool "no tags" true (not (String.contains s '<'));
+          check_bool "has words" true (String.length s > 10)
+        | _ -> Alcotest.fail "no text");
+  ]
+
+let synth =
+  [
+    t "generators are deterministic" (fun () ->
+        check_str "bibtex" (Wrappers.Synth.bibtex ~entries:5 ())
+          (Wrappers.Synth.bibtex ~entries:5 ());
+        let p1, o1 = Wrappers.Synth.org_csv ~people:5 ~orgs:2 () in
+        let p2, o2 = Wrappers.Synth.org_csv ~people:5 ~orgs:2 () in
+        check_str "people" p1 p2;
+        check_str "orgs" o1 o2);
+    t "seeds change output" (fun () ->
+        check_bool "different" true
+          (Wrappers.Synth.bibtex ~seed:1 ~entries:5 ()
+           <> Wrappers.Synth.bibtex ~seed:2 ~entries:5 ()));
+    t "synthetic bibtex is parseable at size" (fun () ->
+        let g, os = Wrappers.Bibtex.load (Wrappers.Synth.bibtex ~entries:100 ()) in
+        check_int "100 pubs" 100 (List.length os);
+        check_bool "irregular: some lack abstracts" true
+          (List.exists (fun o -> Graph.attr_value g o "abstract" = None) os);
+        check_bool "some have abstracts" true
+          (List.exists (fun o -> Graph.attr_value g o "abstract" <> None) os));
+    t "news graph shape" (fun () ->
+        let g = Wrappers.Synth.news_graph ~articles:40 () in
+        check_int "40 articles" 40 (Graph.collection_size g "Articles");
+        check_bool "multi-section articles exist" true
+          (List.exists
+             (fun o -> List.length (Graph.attr g o "section") > 1)
+             (Graph.collection g "Articles")));
+    t "org csv loads with irregularities" (fun () ->
+        let pc, oc = Wrappers.Synth.org_csv ~people:50 ~orgs:5 () in
+        let g = Graph.create () in
+        ignore
+          (Wrappers.Csv.load_tables g
+             [
+               Wrappers.Csv.table_of_string ~name:"People" pc;
+               Wrappers.Csv.table_of_string ~name:"Orgs" oc;
+             ]);
+        check_int "people" 50 (Graph.collection_size g "People");
+        let people = Graph.collection g "People" in
+        check_bool "some lack phone" true
+          (List.exists (fun p -> Graph.attr_value g p "phone" = None) people);
+        check_bool "org refs are nodes" true
+          (List.exists
+             (fun p ->
+               match Graph.attr1 g p "org" with
+               | Some (Graph.N _) -> true
+               | _ -> false)
+             people));
+  ]
+
+let suite = bibtex @ csv @ structured @ html @ synth

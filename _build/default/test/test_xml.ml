@@ -1,0 +1,161 @@
+open Sgraph
+
+let t name f = Alcotest.test_case name `Quick f
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+let graph_signature g =
+  let edges =
+    Graph.fold_edges
+      (fun s l tgt acc ->
+        let tk =
+          match tgt with
+          | Graph.N o -> "N:" ^ Oid.name o
+          | Graph.V v -> "V:" ^ Value.to_string v
+        in
+        (Oid.name s, l, tk) :: acc)
+      g []
+    |> List.sort compare
+  in
+  let colls =
+    List.map
+      (fun c ->
+        (c, List.sort compare (List.map Oid.name (Graph.collection g c))))
+      (List.sort compare (Graph.collections g))
+  in
+  (List.sort compare (List.map Oid.name (Graph.nodes g)), edges, colls)
+
+let exchange =
+  [
+    t "export/import roundtrip on fig2" (fun () ->
+        let g, _ = Ddl.parse Sites.Paper_example.data_ddl in
+        let g' = Xml.import (Xml.export g) in
+        check_bool "signature" true (graph_signature g = graph_signature g'));
+    t "export is stable" (fun () ->
+        let g, _ = Ddl.parse Sites.Paper_example.data_ddl in
+        let x1 = Xml.export g in
+        let x2 = Xml.export (Xml.import x1) in
+        check_str "stable" x1 x2);
+    t "value types survive" (fun () ->
+        let g, _ = Ddl.parse Sites.Paper_example.data_ddl in
+        let g' = Xml.import (Xml.export g) in
+        let p1 = Option.get (Graph.find_node g' "pub1") in
+        check_bool "int year" true
+          (Graph.attr_value g' p1 "year" = Some (Value.Int 1997));
+        check_bool "ps file" true
+          (match Graph.attr_value g' p1 "postscript" with
+           | Some (Value.File (Value.Postscript, _)) -> true
+           | _ -> false);
+        check_bool "text file" true
+          (match Graph.attr_value g' p1 "abstract" with
+           | Some (Value.File (Value.Text, _)) -> true
+           | _ -> false));
+    t "escaping of markup characters" (fun () ->
+        let g = Graph.create () in
+        let o = Graph.new_node g "o" in
+        Graph.add_edge g o "t" (Graph.V (Value.String "a < b & \"c\" > d"));
+        let g' = Xml.import (Xml.export g) in
+        let o' = Option.get (Graph.find_node g' "o") in
+        check_bool "escaped roundtrip" true
+          (Graph.attr_value g' o' "t" = Some (Value.String "a < b & \"c\" > d")));
+    t "non-name labels use attr elements" (fun () ->
+        let g = Graph.create () in
+        let o = Graph.new_node g "o" in
+        Graph.add_edge g o "weird label!" (Graph.V (Value.Int 1));
+        let xml = Xml.export g in
+        check_bool "attr element" true
+          (let needle = {|<attr name="weird label!"|} in
+           let n = String.length needle and h = String.length xml in
+           let rec find i =
+             i + n <= h && (String.sub xml i n = needle || find (i + 1))
+           in
+           find 0);
+        let g' = Xml.import xml in
+        let o' = Option.get (Graph.find_node g' "o") in
+        check_bool "label survives" true
+          (Graph.attr_value g' o' "weird label!" = Some (Value.Int 1)));
+    t "references including forward" (fun () ->
+        let src =
+          {|<graph name="t">
+            <object id="a"><next ref="b"/></object>
+            <object id="b"><prev ref="a"/></object>
+            </graph>|}
+        in
+        let g = Xml.import src in
+        let a = Option.get (Graph.find_node g "a") in
+        let b = Option.get (Graph.find_node g "b") in
+        check_bool "fwd" true (Graph.has_edge g a "next" (Graph.N b));
+        check_bool "back" true (Graph.has_edge g b "prev" (Graph.N a)));
+    t "collections via in attribute" (fun () ->
+        let g =
+          Xml.import {|<graph name="t"><object id="a" in="C D"/></graph>|}
+        in
+        let a = Option.get (Graph.find_node g "a") in
+        Alcotest.(check (list string)) "colls" [ "C"; "D" ]
+          (Graph.collections_of g a));
+    t "comments, declarations and doctype skipped" (fun () ->
+        let g =
+          Xml.import
+            "<?xml version=\"1.0\"?><!DOCTYPE graph><!-- hi -->\n\
+             <graph name=\"t\"><!-- inner --><object id=\"a\"/></graph>"
+        in
+        check_int "1 node" 1 (Graph.node_count g));
+    t "errors" (fun () ->
+        let raises src =
+          try
+            ignore (Xml.import src);
+            false
+          with Xml.Xml_error _ -> true
+        in
+        check_bool "not graph root" true (raises "<x/>");
+        check_bool "mismatched close" true
+          (raises "<graph name=\"t\"><object id=\"a\"></x></graph>");
+        check_bool "unknown ref" true
+          (raises
+             {|<graph name="t"><object id="a"><r ref="zz"/></object></graph>|});
+        check_bool "unterminated" true (raises "<graph name=\"t\">"));
+  ]
+
+let generic =
+  [
+    t "parse_element structure" (fun () ->
+        let e =
+          Xml.parse_element
+            {|<doc a="1"><s>hi &amp; ho</s><t x='2'/></doc>|}
+        in
+        check_str "tag" "doc" e.Xml.tag;
+        check_bool "attr" true (e.Xml.attrs = [ ("a", "1") ]);
+        check_int "2 children" 2 (List.length e.Xml.children);
+        match e.Xml.children with
+        | [ Xml.Element s; Xml.Element t' ] ->
+          check_bool "text decoded" true
+            (s.Xml.children = [ Xml.Text "hi & ho" ]);
+          check_bool "single-quoted attr" true (t'.Xml.attrs = [ ("x", "2") ])
+        | _ -> Alcotest.fail "bad children");
+    t "numeric character references" (fun () ->
+        let e = Xml.parse_element "<a>&#65;&#x42;</a>" in
+        check_bool "AB" true (e.Xml.children = [ Xml.Text "AB" ]));
+    t "wrap_document builds a graph" (fun () ->
+        let e =
+          Xml.parse_element
+            {|<book title="T"><ch n="1">one</ch><ch n="2"><sec>deep</sec></ch></book>|}
+        in
+        let g = Graph.create () in
+        let root = Xml.wrap_document g ~name:"book" e in
+        check_bool "tag attr" true
+          (Graph.attr_value g root "tag" = Some (Value.String "book"));
+        check_bool "xml attr" true
+          (Graph.attr_value g root "@title" = Some (Value.String "T"));
+        check_int "2 children" 2 (List.length (Graph.attr g root "child"));
+        (* a StruQL query over the wrapped XML *)
+        let hits =
+          Strudel.Api.query g
+            {|WHERE Documents(d), d -> "child"* -> c, c -> "text" -> t
+              COLLECT Texts(c) OUTPUT o|}
+        in
+        check_int "text-bearing descendants" 2
+          (Graph.collection_size hits "Texts"));
+  ]
+
+let suite = exchange @ generic
