@@ -35,6 +35,12 @@ let or_die f =
   | Struql.Eval.Eval_error msg ->
     Fmt.epr "evaluation error: %s@." msg;
     exit 1
+  | Struql.Plan.No_plan msg ->
+    Fmt.epr "no executable plan: %s@." msg;
+    exit 1
+  | Struql.Plan.Plan_error msg ->
+    Fmt.epr "planning error: %s@." msg;
+    exit 1
   | Struql.Check.Invalid problems ->
     Fmt.epr "invalid query:@.";
     List.iter (fun p -> Fmt.epr "  %a@." Struql.Check.pp_problem p) problems;
@@ -116,65 +122,127 @@ let strategy_arg =
        & info [ "s"; "strategy" ] ~docv:"STRATEGY"
            ~doc:"Optimizer: naive, heuristic or costbased.")
 
+let query_pos_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"QUERY")
+
+let data_opt_arg =
+  Arg.(value & opt (some file) None
+       & info [ "d"; "data" ] ~docv:"DDL"
+           ~doc:"Data graph in DDL syntax (single-input mode).")
+
+let graphs_arg =
+  Arg.(value & opt_all (pair ~sep:'=' string file) []
+       & info [ "g"; "graph" ] ~docv:"NAME=FILE"
+           ~doc:
+             "Catalogue a named graph (repeatable); the query's INPUT \
+              names resolve against the catalogue.")
+
+(* Resolve the -d / -g options to the graph a query runs over. *)
+let input_graph data graphs (q : Struql.Ast.query) =
+  match data, graphs with
+  | Some d, [] -> fst (Ddl.parse ~graph_name:"input" (read_file d))
+  | None, (_ :: _ as graphs) ->
+    let repo = Repository.Store.create () in
+    List.iter
+      (fun (name, file) ->
+        Repository.Store.put repo
+          (fst (Ddl.parse ~graph_name:name (read_file file))))
+      graphs;
+    let merged = Sgraph.Graph.create ~name:"inputs" () in
+    List.iter
+      (fun n ->
+        Graph.merge_into ~dst:merged ~src:(Repository.Store.get repo n))
+      q.Struql.Ast.input;
+    merged
+  | Some _, _ :: _ ->
+    Fmt.epr "use either -d or -g, not both@.";
+    exit 1
+  | None, [] ->
+    Fmt.epr "one of -d DDL or -g NAME=FILE is required@.";
+    exit 1
+
 let query_cmd =
-  let query_arg =
-    Arg.(required & pos 0 (some file) None & info [] ~docv:"QUERY")
-  in
   let stats_arg =
-    Arg.(value & flag & info [ "stats" ] ~doc:"Print evaluation statistics.")
-  in
-  let data_opt_arg =
-    Arg.(value & opt (some file) None
-         & info [ "d"; "data" ] ~docv:"DDL"
-             ~doc:"Data graph in DDL syntax (single-input mode).")
-  in
-  let graphs_arg =
-    Arg.(value & opt_all (pair ~sep:'=' string file) []
-         & info [ "g"; "graph" ] ~docv:"NAME=FILE"
-             ~doc:
-               "Catalogue a named graph (repeatable); the query's INPUT \
-                names resolve against the catalogue.")
+    Arg.(value & flag
+         & info [ "stats" ]
+             ~doc:"Print the measured per-operator execution profile.")
   in
   let run data graphs query strategy stats output =
     or_die (fun () ->
         let q = Struql.Parser.parse (read_file query) in
         let options = { Struql.Eval.default_options with strategy } in
-        let out, st =
-          match data, graphs with
-          | Some d, [] ->
-            let g, _ = Ddl.parse ~graph_name:"input" (read_file d) in
-            Struql.Eval.run_with_stats ~options g q
-          | None, (_ :: _ as graphs) ->
-            let repo = Repository.Store.create () in
-            List.iter
-              (fun (name, file) ->
-                Repository.Store.put repo
-                  (fst (Ddl.parse ~graph_name:name (read_file file))))
-              graphs;
-            let merged = Sgraph.Graph.create ~name:"inputs" () in
-            List.iter
-              (fun n ->
-                Graph.merge_into ~dst:merged
-                  ~src:(Repository.Store.get repo n))
-              q.Struql.Ast.input;
-            Struql.Eval.run_with_stats ~options merged q
-          | Some _, _ :: _ ->
-            Fmt.epr "use either -d or -g, not both@.";
-            exit 1
-          | None, [] ->
-            Fmt.epr "one of -d DDL or -g NAME=FILE is required@.";
-            exit 1
+        let g = input_graph data graphs q in
+        let out, prof =
+          Struql.Exec.run_with_profile ~options ~timed:stats g q
         in
-        if stats then
-          Fmt.epr "rows=%d steps=%d intermediate=%d max_intermediate=%d@."
-            st.Struql.Eval.rows st.Struql.Eval.steps
-            st.Struql.Eval.intermediate st.Struql.Eval.max_intermediate;
+        if stats then Fmt.epr "%a@." Struql.Exec.pp_profile prof;
         Fmt.epr "%a@." Graph.pp_stats out;
         emit output (Ddl.print out))
   in
   Cmd.v (Cmd.info "query" ~doc:"Evaluate a StruQL query over data graphs.")
-    Term.(const run $ data_opt_arg $ graphs_arg $ query_arg $ strategy_arg
+    Term.(const run $ data_opt_arg $ graphs_arg $ query_pos_arg $ strategy_arg
           $ stats_arg $ output_arg)
+
+(* --- explain / explain-analyze --- *)
+
+let strategy_opt_arg =
+  Arg.(value & opt (some (enum [ ("naive", Struql.Plan.Naive);
+                                 ("heuristic", Struql.Plan.Heuristic);
+                                 ("costbased", Struql.Plan.Cost_based) ]))
+         None
+       & info [ "s"; "strategy" ] ~docv:"STRATEGY"
+           ~doc:
+             "Optimizer: naive, heuristic or costbased (default: show all \
+              three).")
+
+let strategies_of = function
+  | Some s -> [ s ]
+  | None -> [ Struql.Plan.Naive; Struql.Plan.Heuristic; Struql.Plan.Cost_based ]
+
+let explain_cmd =
+  let run data graphs query strategy =
+    or_die (fun () ->
+        let q = Struql.Parser.parse (read_file query) in
+        let g = input_graph data graphs q in
+        List.iter
+          (fun strategy ->
+            let options = { Struql.Eval.default_options with strategy } in
+            Fmt.pr "%a@."
+              Struql.Exec.pp_query_plan
+              (Struql.Exec.plan_query ~options g q))
+          (strategies_of strategy))
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Show the physical plan of a query: operator order, access paths \
+          (index probe vs scan) and cardinality estimates, without running \
+          it.")
+    Term.(const run $ data_opt_arg $ graphs_arg $ query_pos_arg
+          $ strategy_opt_arg)
+
+let explain_analyze_cmd =
+  let run data graphs query strategy =
+    or_die (fun () ->
+        let q = Struql.Parser.parse (read_file query) in
+        let g = input_graph data graphs q in
+        List.iter
+          (fun strategy ->
+            let options = { Struql.Eval.default_options with strategy } in
+            let _, prof =
+              Struql.Exec.run_with_profile ~options ~timed:true g q
+            in
+            Fmt.pr "%a@." Struql.Exec.pp_profile prof)
+          (strategies_of strategy))
+  in
+  Cmd.v
+    (Cmd.info "explain-analyze"
+       ~doc:
+         "Run a query on the streaming engine and show the measured plan: \
+          per-operator rows in/out, batch watermarks, timings and the peak \
+          live-binding count.")
+    Term.(const run $ data_opt_arg $ graphs_arg $ query_pos_arg
+          $ strategy_opt_arg)
 
 (* --- check --- *)
 
@@ -385,12 +453,13 @@ let browse_cmd =
         Fmt.pr
           "visited %d pages in %d clicks@.expansions: %d, link-clause \
            evaluations: %d, cache hits: %d@.materialized: %d nodes, %d \
-           edges@."
+           edges@.peak live bindings: %d@."
           visited clicks st.Strudel.Materialize.Click_time.expansions
           st.Strudel.Materialize.Click_time.queries
           st.Strudel.Materialize.Click_time.cache_hits
           st.Strudel.Materialize.Click_time.materialized_nodes
-          st.Strudel.Materialize.Click_time.materialized_edges)
+          st.Strudel.Materialize.Click_time.materialized_edges
+          st.Strudel.Materialize.Click_time.peak_live)
   in
   Cmd.v
     (Cmd.info "browse"
@@ -439,5 +508,6 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "strudel" ~doc)
-          [ load_cmd; query_cmd; check_cmd; schema_cmd; decompose_cmd;
-            build_cmd; verify_cmd; browse_cmd; demo_cmd ]))
+          [ load_cmd; query_cmd; explain_cmd; explain_analyze_cmd; check_cmd;
+            schema_cmd; decompose_cmd; build_cmd; verify_cmd; browse_cmd;
+            demo_cmd ]))

@@ -35,6 +35,8 @@ module Click_time = struct
     mutable stats_expansions : int;
     mutable stats_queries : int;  (** link-clause evaluations performed *)
     mutable stats_cache_hits : int;
+    mutable stats_peak_live : int;
+        (** largest live-binding watermark any click-time query reached *)
   }
 
   let binding_of_arg = function
@@ -84,6 +86,7 @@ module Click_time = struct
         stats_expansions = 0;
         stats_queries = 0;
         stats_cache_hits = 0;
+        stats_peak_live = 0;
       }
     in
     (* materialize the root family's nodes *)
@@ -93,12 +96,13 @@ module Click_time = struct
           (fun (k : Schema.Site_schema.create_info) ->
             if k.k_fn = def.Site.root_family then begin
               t.stats_queries <- t.stats_queries + 1;
-              let rows =
-                Eval.bindings ~options data k.k_conds
+              let rows, _, peak =
+                Exec.bindings_profiled ~options data k.k_conds
                   ~needed_obj:
                     (Ast.dedup
                        (List.concat_map (Ast.term_vars []) k.k_args))
               in
+              t.stats_peak_live <- max t.stats_peak_live peak;
               List.iter
                 (fun env ->
                   let args =
@@ -164,8 +168,9 @@ module Click_time = struct
                     | None -> ()
                     | Some env ->
                       t.stats_queries <- t.stats_queries + 1;
-                      let rows =
-                        Eval.bindings ~options:t.options ~env t.data e.conds
+                      let rows, _, peak =
+                        Exec.bindings_profiled ~options:t.options ~env t.data
+                          e.conds
                           ~needed_obj:
                             (Ast.dedup
                                (List.concat_map (Ast.term_vars [])
@@ -177,6 +182,7 @@ module Click_time = struct
                                         | Ast.L_const _ -> [])
                                       [ e.label ])))
                       in
+                      t.stats_peak_live <- max t.stats_peak_live peak;
                       let label_of env =
                         match e.label with
                         | Ast.L_const c -> Some c
@@ -344,6 +350,7 @@ module Click_time = struct
     cache_hits : int;
     materialized_nodes : int;
     materialized_edges : int;
+    peak_live : int;
   }
 
   let stats t =
@@ -353,5 +360,6 @@ module Click_time = struct
       cache_hits = t.stats_cache_hits;
       materialized_nodes = Graph.node_count t.partial;
       materialized_edges = Graph.edge_count t.partial;
+      peak_live = t.stats_peak_live;
     }
 end

@@ -30,6 +30,9 @@ module Click_time : sig
     mutable stats_expansions : int;
     mutable stats_queries : int;
     mutable stats_cache_hits : int;
+    mutable stats_peak_live : int;
+        (** largest live-binding watermark any click-time query reached
+            on the streaming {!Struql.Exec} pipeline *)
   }
 
   val start : ?cache:bool -> data:Graph.t -> Site.definition -> t
@@ -59,6 +62,7 @@ module Click_time : sig
     cache_hits : int;
     materialized_nodes : int;
     materialized_edges : int;
+    peak_live : int;      (** see [stats_peak_live] *)
   }
 
   val stats : t -> stats

@@ -45,7 +45,9 @@ type built = {
   schemas : (string * Schema.Site_schema.t) list;
   site : Template.Generator.site;
   verification : (Schema.Verify.constraint_ * Schema.Verify.verdict) list;
-  query_stats : Struql.Eval.stats list;
+  query_stats : Struql.Exec.profile list;
+      (** per-operator execution profile of each site-definition query,
+          in evaluation order *)
 }
 
 exception Build_error of string
@@ -79,10 +81,10 @@ let build_site_graph ?scope ?into def (data : Graph.t) =
   let stats =
     List.map
       (fun (_, q) ->
-        let _, st =
-          Struql.Eval.run_with_stats ~options ~scope ~into:site_graph data q
+        let _, prof =
+          Struql.Exec.run_with_profile ~options ~scope ~into:site_graph data q
         in
-        st)
+        prof)
       queries
   in
   let schemas =

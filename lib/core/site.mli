@@ -39,7 +39,9 @@ type built = {
   schemas : (string * Schema.Site_schema.t) list;
   site : Template.Generator.site;
   verification : (Schema.Verify.constraint_ * Schema.Verify.verdict) list;
-  query_stats : Struql.Eval.stats list;
+  query_stats : Struql.Exec.profile list;
+      (** per-operator execution profile of each site-definition query,
+          in evaluation order *)
 }
 
 exception Build_error of string
@@ -52,9 +54,11 @@ val build_site_graph :
   definition ->
   Graph.t ->
   Graph.t * Skolem.t * (string * Schema.Site_schema.t) list
-  * Struql.Eval.stats list
+  * Struql.Exec.profile list
 (** Evaluate the definition's queries over the data into one site
-    graph, without generating HTML. *)
+    graph, without generating HTML.  Queries run on the streaming
+    {!Struql.Exec} engine; the returned profiles carry per-operator
+    row counts and the peak live-binding watermark of each query. *)
 
 val roots_of : Graph.t -> string -> Oid.t list
 (** Members of the root Skolem family in a site graph. *)

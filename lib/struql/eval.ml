@@ -353,15 +353,22 @@ let exec_steps ?stats g reg envs steps =
 
 (* --- Stage 2: the construction stage --- *)
 
-type context = {
+(** The construction sinks: the output graph and the Skolem scope that
+    names the nodes it creates.  Shared by the eager evaluator below
+    and the streaming {!Exec} engine, which feeds rows one at a time. *)
+type cons = {
   out : Graph.t;
   scope : Skolem.t;
+}
+
+type context = {
+  sink : cons;
   registry : Builtins.registry;
   strategy : Plan.strategy;
   run_stats : stats;
 }
 
-let rec cons_target ctx env (t : Ast.term) : Graph.target =
+let rec cons_target sink env (t : Ast.term) : Graph.target =
   match t with
   | Ast.T_const c -> Graph.V c
   | Ast.T_var v ->
@@ -374,13 +381,13 @@ let rec cons_target ctx env (t : Ast.term) : Graph.target =
     let sargs =
       List.map
         (fun a ->
-          match cons_target ctx env a with
+          match cons_target sink env a with
           | Graph.N o -> Skolem.A_oid o
           | Graph.V v -> Skolem.A_val v)
         args
     in
-    let o, _fresh = Skolem.apply ctx.scope f sargs in
-    Graph.add_node ctx.out o;
+    let o, _fresh = Skolem.apply sink.scope f sargs in
+    Graph.add_node sink.out o;
     Graph.N o
   | Ast.T_agg (fn, _) ->
     raise
@@ -450,11 +457,11 @@ let target_key = function
   | Graph.N o -> "N" ^ string_of_int (Oid.id o)
   | Graph.V v -> "V" ^ Value.to_string v
 
-let link_source ctx env x lt =
+let link_source sink env x lt =
   let src =
     match x with
     | Ast.T_skolem _ -> (
-        match cons_target ctx env x with
+        match cons_target sink env x with
         | Graph.N o -> o
         | Graph.V _ -> assert false)
     | Ast.T_var _ | Ast.T_const _ | Ast.T_agg _ ->
@@ -465,57 +472,72 @@ let link_source ctx env x lt =
   in
   (src, cons_label env lt)
 
-(** Run the construction clauses of one block over its whole binding
-    relation.  Aggregate link targets are grouped by (source node,
-    label, aggregate expression) across the rows. *)
-let construct_block ctx envs (b : Ast.block) =
-  (* group key -> (src, label, fn, distinct inner values) *)
-  let groups : (string, Oid.t * string * Ast.agg_fn * (string, Graph.target) Hashtbl.t) Hashtbl.t =
-    Hashtbl.create 8
-  in
+(* Aggregate link targets are grouped by (source node, label, aggregate
+   expression) across the rows of one block; the groups live for the
+   duration of the block and are folded when the last row is in. *)
+type agg_groups =
+  (string, Oid.t * string * Ast.agg_fn * (string, Graph.target) Hashtbl.t)
+    Hashtbl.t
+
+let new_groups () : agg_groups = Hashtbl.create 8
+
+(** Interpret the construction clauses of one block over a single
+    binding row.  Aggregate link targets only accumulate into [groups];
+    {!construct_flush} emits them once the block's relation is
+    exhausted.  The streaming engine calls this row-by-row as bindings
+    come off the operator pipeline; the mutation sequence is identical
+    to the eager evaluator's. *)
+let construct_row sink (groups : agg_groups) (b : Ast.block) env =
   List.iter
-    (fun env ->
-      List.iter
-        (fun (f, args) ->
-          ignore (cons_target ctx env (Ast.T_skolem (f, args))))
-        b.create;
-      List.iter
-        (fun (x, lt, y) ->
-          match y with
-          | Ast.T_agg (fn, inner) ->
-            let src, label = link_source ctx env x lt in
-            let v = cons_target ctx env inner in
-            let key =
-              Printf.sprintf "%d|%s|%s|%s" (Oid.id src) label
-                (Ast.agg_name fn)
-                (Fmt.str "%a" Pretty.pp_term inner)
-            in
-            let _, _, _, vals =
-              match Hashtbl.find_opt groups key with
-              | Some g -> g
-              | None ->
-                let g = (src, label, fn, Hashtbl.create 8) in
-                Hashtbl.add groups key g;
-                g
-            in
-            Hashtbl.replace vals (target_key v) v
-          | y ->
-            let src, label = link_source ctx env x lt in
-            Graph.add_edge ctx.out src label (cons_target ctx env y))
-        b.link;
-      List.iter
-        (fun (c, t) ->
-          match cons_target ctx env t with
-          | Graph.N o -> Graph.add_to_collection ctx.out c o
-          | Graph.V _ ->
-            raise (Eval_error ("COLLECT " ^ c ^ " applied to an atomic value")))
-        b.collect)
-    envs;
+    (fun (f, args) ->
+      ignore (cons_target sink env (Ast.T_skolem (f, args))))
+    b.create;
+  List.iter
+    (fun (x, lt, y) ->
+      match y with
+      | Ast.T_agg (fn, inner) ->
+        let src, label = link_source sink env x lt in
+        let v = cons_target sink env inner in
+        let key =
+          Printf.sprintf "%d|%s|%s|%s" (Oid.id src) label
+            (Ast.agg_name fn)
+            (Fmt.str "%a" Pretty.pp_term inner)
+        in
+        let _, _, _, vals =
+          match Hashtbl.find_opt groups key with
+          | Some g -> g
+          | None ->
+            let g = (src, label, fn, Hashtbl.create 8) in
+            Hashtbl.add groups key g;
+            g
+        in
+        Hashtbl.replace vals (target_key v) v
+      | y ->
+        let src, label = link_source sink env x lt in
+        Graph.add_edge sink.out src label (cons_target sink env y))
+    b.link;
+  List.iter
+    (fun (c, t) ->
+      match cons_target sink env t with
+      | Graph.N o -> Graph.add_to_collection sink.out c o
+      | Graph.V _ ->
+        raise (Eval_error ("COLLECT " ^ c ^ " applied to an atomic value")))
+    b.collect
+
+(** Fold and emit the accumulated aggregate groups of one block. *)
+let construct_flush sink (groups : agg_groups) =
   Hashtbl.iter
     (fun _ (src, label, fn, vals) ->
       let values = Hashtbl.fold (fun _ v acc -> v :: acc) vals [] in
-      Graph.add_edge ctx.out src label (Graph.V (aggregate fn values)))
+      Graph.add_edge sink.out src label (Graph.V (aggregate fn values)))
     groups
+
+(** Run the construction clauses of one block over its whole binding
+    relation. *)
+let construct_block ctx envs (b : Ast.block) =
+  let groups = new_groups () in
+  List.iter (fun env -> construct_row ctx.sink groups b env) envs;
+  construct_flush ctx.sink groups
 
 (* Construction variables of a block, split into object and arc
    positions, for the planner's active-domain pre-pass. *)
@@ -567,8 +589,7 @@ let run ?(options = default_options) ?scope ?into g (q : Ast.query) =
   let scope = match scope with Some s -> s | None -> Skolem.create () in
   let ctx =
     {
-      out;
-      scope;
+      sink = { out; scope };
       registry = options.registry;
       strategy = options.strategy;
       run_stats = new_stats ();
@@ -587,8 +608,7 @@ let run_with_stats ?(options = default_options) ?scope ?into g q =
   let scope = match scope with Some s -> s | None -> Skolem.create () in
   let ctx =
     {
-      out;
-      scope;
+      sink = { out; scope };
       registry = options.registry;
       strategy = options.strategy;
       run_stats = new_stats ();

@@ -49,6 +49,35 @@ val exec_steps :
 
 (** {1 Stage 2: the construction stage} *)
 
+(** The construction sinks: the output graph and the Skolem scope that
+    names the nodes it creates. *)
+type cons = {
+  out : Graph.t;
+  scope : Skolem.t;
+}
+
+type agg_groups
+(** Aggregate-link accumulator of one block: groups keyed by (source
+    node, label, aggregate expression), holding distinct inner values. *)
+
+val new_groups : unit -> agg_groups
+
+val construct_row : cons -> agg_groups -> Ast.block -> env -> unit
+(** Interpret a block's CREATE / LINK / COLLECT clauses over one
+    binding row.  Aggregate link targets only accumulate into the
+    groups; non-aggregate construction mutates the sink immediately.
+    Feeding the block's rows in relation order through this function
+    and then calling {!construct_flush} performs exactly the mutation
+    sequence of the eager evaluator — the streaming {!Exec} engine
+    relies on this for bit-identical Skolem oids. *)
+
+val construct_flush : cons -> agg_groups -> unit
+(** Fold and emit the accumulated aggregate groups of one block. *)
+
+val construction_needs : Ast.block -> Ast.var list * Ast.var list
+(** Construction variables of a block, split into (object positions,
+    arc positions) — the planner's active-domain pre-pass input. *)
+
 val aggregate : Ast.agg_fn -> Graph.target list -> Value.t
 (** Fold an aggregate over the distinct values of its group.  [Count]
     counts all objects; the numeric aggregates range over the atomic

@@ -1,0 +1,470 @@
+(* Streaming physical-operator execution of StruQL.
+
+   Each plan step becomes a pipelined operator over an [env Seq.t];
+   rows flow operator-to-operator depth-first, so the pull order is
+   exactly the row order the eager evaluator's per-step
+   [List.concat_map] produces.  Construction consumes the stream
+   row-by-row through {!Eval.construct_row}, giving the identical
+   mutation sequence — and therefore identical Skolem oids — as
+   {!Eval.run}.  Two situations force materialization of a block's
+   relation: nested blocks (they re-consume the parent rows, and the
+   parent's construction must fully precede theirs), and [into == g]
+   (construction would mutate the graph the pipeline is still
+   scanning). *)
+
+open Sgraph
+
+(* --- Access-path classification --- *)
+
+type access =
+  | Coll_scan of string
+  | Coll_probe of string
+  | Extern_filter of string
+  | Edge_out
+  | Edge_by_label of string option
+  | Edge_in
+  | Edge_scan
+  | Path_walk
+  | Path_scan
+  | Filter
+  | Bind_eq
+  | In_scan
+  | Anti_join
+  | Domain_objects
+  | Domain_labels
+
+let pp_access ppf = function
+  | Coll_scan c -> Fmt.pf ppf "coll scan %s" c
+  | Coll_probe c -> Fmt.pf ppf "coll probe %s" c
+  | Extern_filter n -> Fmt.pf ppf "extern %s" n
+  | Edge_out -> Fmt.string ppf "edge index: out-edges"
+  | Edge_by_label (Some l) -> Fmt.pf ppf "edge index: label extent %S" l
+  | Edge_by_label None -> Fmt.string ppf "edge index: label extent (runtime)"
+  | Edge_in -> Fmt.string ppf "edge index: in-edges"
+  | Edge_scan -> Fmt.string ppf "edge scan"
+  | Path_walk -> Fmt.string ppf "path walk"
+  | Path_scan -> Fmt.string ppf "path scan"
+  | Filter -> Fmt.string ppf "filter"
+  | Bind_eq -> Fmt.string ppf "bind ="
+  | In_scan -> Fmt.string ppf "list scan"
+  | Anti_join -> Fmt.string ppf "anti-join"
+  | Domain_objects -> Fmt.string ppf "domain: objects"
+  | Domain_labels -> Fmt.string ppf "domain: labels"
+
+let access_uses_index = function
+  | Coll_probe _ | Edge_out | Edge_by_label _ | Edge_in | Path_walk -> true
+  | Coll_scan _ | Extern_filter _ | Edge_scan | Path_scan | Filter | Bind_eq
+  | In_scan | Anti_join | Domain_objects | Domain_labels ->
+    false
+
+(* Mirrors the runtime dispatch of [Eval.exec_edge] / [exec_path] /
+   [exec_cond]: boundness at this point in the plan decides the access
+   path, so the classification is static. *)
+let classify bound (s : Plan.step) : access =
+  match s with
+  | Plan.Domain_obj _ -> Domain_objects
+  | Plan.Domain_label _ -> Domain_labels
+  | Plan.Exec c ->
+    (match c with
+     | Plan.CC_not _ -> Anti_join
+     | Plan.CC_coll (name, t) ->
+       if Plan.term_bound bound t then Coll_probe name else Coll_scan name
+     | Plan.CC_extern (name, _) -> Extern_filter name
+     | Plan.CC_edge (x, l, y) ->
+       if Plan.term_bound bound x then Edge_out
+       else if Plan.label_bound bound l then
+         Edge_by_label
+           (match l with Ast.L_const s -> Some s | Ast.L_var _ -> None)
+       else if Plan.term_bound bound y then Edge_in
+       else Edge_scan
+     | Plan.CC_path (x, _, _, _) ->
+       if Plan.term_bound bound x then Path_walk else Path_scan
+     | Plan.CC_cmp (Ast.Eq, a, b) ->
+       if Plan.term_bound bound a && Plan.term_bound bound b then Filter
+       else Bind_eq
+     | Plan.CC_cmp _ -> Filter
+     | Plan.CC_in (t, _) ->
+       if Plan.term_bound bound t then Filter else In_scan)
+
+let vset_of_list vs =
+  List.fold_left (fun s v -> Plan.VSet.add v s) Plan.VSet.empty vs
+
+let vset_add_binds vs step =
+  List.fold_left (fun s v -> Plan.VSet.add v s) vs (Plan.step_binds step)
+
+(* --- Static plans (EXPLAIN) --- *)
+
+type op_plan = {
+  op_step : Plan.step;
+  op_access : access;
+  op_est_fanout : float;
+  op_est_rows : float;
+}
+
+type block_plan = {
+  bp_path : string;
+  bp_steps : op_plan list;
+  bp_nested : block_plan list;
+}
+
+type query_plan = {
+  qp_strategy : Plan.strategy;
+  qp_blocks : block_plan list;
+}
+
+let rec plan_block st ~registry ~strategy g bound path (b : Ast.block) =
+  let needed_obj, needed_label = Eval.construction_needs b in
+  let steps =
+    Plan.plan ~strategy ~registry g ~bound ~needed_obj ~needed_label b.where
+  in
+  let _, _, rev_ops =
+    List.fold_left
+      (fun (vs, card, acc) step ->
+        let fanout =
+          match step with
+          | Plan.Exec c -> fst (Plan.estimate st vs c)
+          | Plan.Domain_obj _ -> st.Plan.n_objects
+          | Plan.Domain_label _ -> st.Plan.n_labels
+        in
+        let card' = Float.max 0.01 (card *. fanout) in
+        let op =
+          {
+            op_step = step;
+            op_access = classify vs step;
+            op_est_fanout = fanout;
+            op_est_rows = card';
+          }
+        in
+        (vset_add_binds vs step, card', op :: acc))
+      (vset_of_list bound, 1., [])
+      steps
+  in
+  let bound' =
+    Ast.dedup (bound @ List.concat_map (fun s -> Plan.step_binds s) steps)
+  in
+  {
+    bp_path = path;
+    bp_steps = List.rev rev_ops;
+    bp_nested =
+      List.mapi
+        (fun i n ->
+          plan_block st ~registry ~strategy g bound'
+            (path ^ "." ^ string_of_int (i + 1))
+            n)
+        b.nested;
+  }
+
+let plan_query ?(options = Eval.default_options) g (q : Ast.query) =
+  if options.Eval.validate then Check.validate_exn q;
+  let st = Plan.stats_of_graph g in
+  {
+    qp_strategy = options.Eval.strategy;
+    qp_blocks =
+      List.mapi
+        (fun i b ->
+          plan_block st ~registry:options.Eval.registry
+            ~strategy:options.Eval.strategy g []
+            (string_of_int (i + 1))
+            b)
+        q.blocks;
+  }
+
+let strategy_name = function
+  | Plan.Naive -> "naive"
+  | Plan.Heuristic -> "heuristic"
+  | Plan.Cost_based -> "cost-based"
+
+let pp_est ppf r =
+  if r >= 10. then Fmt.pf ppf "%.0f" r else Fmt.pf ppf "%.1f" r
+
+let rec pp_block_plan ppf bp =
+  Fmt.pf ppf "block %s" bp.bp_path;
+  List.iter
+    (fun op ->
+      Fmt.pf ppf "@,  -> %a  [%a]  (est rows %a)" Plan.pp_step op.op_step
+        pp_access op.op_access pp_est op.op_est_rows)
+    bp.bp_steps;
+  List.iter (fun n -> Fmt.pf ppf "@,%a" pp_block_plan n) bp.bp_nested
+
+let pp_query_plan ppf qp =
+  Fmt.pf ppf "@[<v>QUERY PLAN (strategy: %s)" (strategy_name qp.qp_strategy);
+  List.iter (fun bp -> Fmt.pf ppf "@,%a" pp_block_plan bp) qp.qp_blocks;
+  Fmt.pf ppf "@]"
+
+let explain ?options g q = Fmt.str "%a" pp_query_plan (plan_query ?options g q)
+
+(* --- Runtime profiles (EXPLAIN ANALYZE) --- *)
+
+type op_stats = {
+  os_step : Plan.step;
+  os_access : access;
+  mutable os_rows_in : int;
+  mutable os_rows_out : int;
+  mutable os_max_batch : int;
+  mutable os_time : float;
+}
+
+type block_profile = {
+  bpr_path : string;
+  bpr_ops : op_stats list;
+  mutable bpr_rows : int;
+}
+
+type profile = {
+  prf_strategy : Plan.strategy;
+  mutable prf_blocks : block_profile list;
+  mutable prf_rows : int;
+  mutable prf_peak_live : int;
+  mutable prf_time : float;
+}
+
+let profile_steps p =
+  List.fold_left (fun n b -> n + List.length b.bpr_ops) 0 p.prf_blocks
+
+let profile_rows_out p =
+  List.fold_left
+    (fun n b -> List.fold_left (fun n o -> n + o.os_rows_out) n b.bpr_ops)
+    0 p.prf_blocks
+
+let profile_max_batch p =
+  List.fold_left
+    (fun m b -> List.fold_left (fun m o -> max m o.os_max_batch) m b.bpr_ops)
+    0 p.prf_blocks
+
+let pp_op_stats ppf os =
+  Fmt.pf ppf "-> %a  [%a]  (in=%d out=%d batch<=%d%t)" Plan.pp_step os.os_step
+    pp_access os.os_access os.os_rows_in os.os_rows_out os.os_max_batch
+    (fun ppf ->
+      if os.os_time > 0. then Fmt.pf ppf " time=%.3fms" (os.os_time *. 1000.))
+
+let pp_profile ppf p =
+  Fmt.pf ppf "@[<v>EXPLAIN ANALYZE (strategy: %s)" (strategy_name p.prf_strategy);
+  List.iter
+    (fun bp ->
+      Fmt.pf ppf "@,block %s  (rows=%d)" bp.bpr_path bp.bpr_rows;
+      List.iter (fun os -> Fmt.pf ppf "@,  %a" pp_op_stats os) bp.bpr_ops)
+    p.prf_blocks;
+  Fmt.pf ppf "@,total: rows=%d operators=%d peak live bindings=%d%t@]"
+    p.prf_rows (profile_steps p) p.prf_peak_live (fun ppf ->
+      if p.prf_time > 0. then Fmt.pf ppf " elapsed=%.3fms" (p.prf_time *. 1000.))
+
+(* --- Live-binding accounting --- *)
+
+(* Counts binding rows buffered in the pipeline: the per-row output
+   batch of each operator (released as downstream pulls each row) plus
+   any materialized parent relations.  Its high-water mark is the
+   streaming analogue of the eager evaluator's [max_intermediate]. *)
+type live = { mutable cur : int; mutable peak : int }
+
+let live_alloc lv n =
+  lv.cur <- lv.cur + n;
+  if lv.cur > lv.peak then lv.peak <- lv.cur
+
+let live_release lv n = lv.cur <- lv.cur - n
+
+(* --- The pipeline --- *)
+
+let new_op_stats bound step =
+  {
+    os_step = step;
+    os_access = classify bound step;
+    os_rows_in = 0;
+    os_rows_out = 0;
+    os_max_batch = 0;
+    os_time = 0.;
+  }
+
+let ops_of_steps bound steps =
+  let _, rev =
+    List.fold_left
+      (fun (vs, acc) step ->
+        (vset_add_binds vs step, new_op_stats vs step :: acc))
+      (vset_of_list bound, [])
+      steps
+  in
+  List.rev rev
+
+(* One physical operator: expand each input row with [Eval.exec_step].
+   The expansion batch is eager (as in the eager engine), but only one
+   batch per operator is ever live — [Seq.concat_map] pulls rows
+   depth-first, which is exactly the row order of the eager engine's
+   step-by-step [List.concat_map]. *)
+let op_seq g reg ~timed live (os : op_stats) (input : Eval.env Seq.t) :
+    Eval.env Seq.t =
+  Seq.concat_map
+    (fun env ->
+      os.os_rows_in <- os.os_rows_in + 1;
+      let outs =
+        if timed then begin
+          let t0 = Sys.time () in
+          let r = Eval.exec_step g reg env os.os_step in
+          os.os_time <- os.os_time +. (Sys.time () -. t0);
+          r
+        end
+        else Eval.exec_step g reg env os.os_step
+      in
+      let k = List.length outs in
+      os.os_rows_out <- os.os_rows_out + k;
+      if k > os.os_max_batch then os.os_max_batch <- k;
+      live_alloc live k;
+      Seq.map
+        (fun e ->
+          live_release live 1;
+          e)
+        (List.to_seq outs))
+    input
+
+let fold_pipeline g reg ~timed live ops input =
+  List.fold_left (fun s op -> op_seq g reg ~timed live op s) input ops
+
+(* --- Whole-query evaluation --- *)
+
+type rctx = {
+  g : Graph.t;
+  sink : Eval.cons;
+  registry : Builtins.registry;
+  strategy : Plan.strategy;
+  timed : bool;
+  live : live;
+  materialize_all : bool;
+      (* [into == g]: stage 1 would scan the graph construction is
+         mutating, so fall back to the eager engine's materialize-then-
+         construct discipline per block *)
+  blocks_rev : block_profile list ref;
+  prof : profile;
+}
+
+let rec run_block rctx path bound (inputs : Eval.env Seq.t) (b : Ast.block) =
+  let needed_obj, needed_label = Eval.construction_needs b in
+  let steps =
+    Plan.plan ~strategy:rctx.strategy ~registry:rctx.registry rctx.g ~bound
+      ~needed_obj ~needed_label b.where
+  in
+  let ops = ops_of_steps bound steps in
+  let stream =
+    fold_pipeline rctx.g rctx.registry ~timed:rctx.timed rctx.live ops inputs
+  in
+  let bpr = { bpr_path = path; bpr_ops = ops; bpr_rows = 0 } in
+  rctx.blocks_rev := bpr :: !(rctx.blocks_rev);
+  let groups = Eval.new_groups () in
+  if b.nested = [] && not rctx.materialize_all then begin
+    (* fully pipelined: construct each row as it is pulled *)
+    Seq.iter
+      (fun env ->
+        bpr.bpr_rows <- bpr.bpr_rows + 1;
+        Eval.construct_row rctx.sink groups b env)
+      stream;
+    Eval.construct_flush rctx.sink groups
+  end
+  else begin
+    (* nested blocks re-consume the relation, and the parent's
+       construction must fully precede theirs for oid-order fidelity *)
+    let rows = List.of_seq stream in
+    let n = List.length rows in
+    bpr.bpr_rows <- n;
+    live_alloc rctx.live n;
+    List.iter (fun env -> Eval.construct_row rctx.sink groups b env) rows;
+    Eval.construct_flush rctx.sink groups;
+    let bound' =
+      Ast.dedup (bound @ List.concat_map (fun s -> Plan.step_binds s) steps)
+    in
+    List.iteri
+      (fun i nested ->
+        run_block rctx
+          (path ^ "." ^ string_of_int (i + 1))
+          bound' (List.to_seq rows) nested)
+      b.nested;
+    live_release rctx.live n
+  end;
+  rctx.prof.prf_rows <- rctx.prof.prf_rows + bpr.bpr_rows
+
+let run_with_profile ?(options = Eval.default_options) ?(timed = false) ?scope
+    ?into g (q : Ast.query) =
+  if options.Eval.validate then Check.validate_exn q;
+  let out =
+    match into with Some g' -> g' | None -> Graph.create ~name:q.output ()
+  in
+  let scope = match scope with Some s -> s | None -> Skolem.create () in
+  let prof =
+    {
+      prf_strategy = options.Eval.strategy;
+      prf_blocks = [];
+      prf_rows = 0;
+      prf_peak_live = 0;
+      prf_time = 0.;
+    }
+  in
+  let rctx =
+    {
+      g;
+      sink = { Eval.out; scope };
+      registry = options.Eval.registry;
+      strategy = options.Eval.strategy;
+      timed;
+      live = { cur = 0; peak = 0 };
+      materialize_all = out == g;
+      blocks_rev = ref [];
+      prof;
+    }
+  in
+  let t0 = Sys.time () in
+  List.iteri
+    (fun i b ->
+      run_block rctx (string_of_int (i + 1)) [] (Seq.return Eval.Env.empty) b)
+    q.blocks;
+  prof.prf_time <- Sys.time () -. t0;
+  prof.prf_peak_live <- rctx.live.peak;
+  prof.prf_blocks <- List.rev !(rctx.blocks_rev);
+  (out, prof)
+
+let run ?options ?scope ?into g q =
+  fst (run_with_profile ?options ?scope ?into g q)
+
+let run_string ?options ?scope ?into g src =
+  let registry =
+    match options with Some o -> o.Eval.registry | None -> Builtins.default
+  in
+  let q = Parser.parse ~registry src in
+  run ?options ?scope ?into g q
+
+(* --- Stage 1 alone --- *)
+
+let pipeline_of_conds ~options ~timed ~env ~bound ~needed_obj ~needed_label g
+    conds =
+  let bound =
+    Ast.dedup (bound @ List.map fst (Eval.Env.bindings env))
+  in
+  let steps =
+    Plan.plan ~strategy:options.Eval.strategy ~registry:options.Eval.registry g
+      ~bound ~needed_obj ~needed_label conds
+  in
+  let live = { cur = 0; peak = 0 } in
+  let ops = ops_of_steps bound steps in
+  let stream =
+    fold_pipeline g options.Eval.registry ~timed live ops (Seq.return env)
+  in
+  (stream, ops, live)
+
+let bindings_seq ?(options = Eval.default_options) ?(env = Eval.Env.empty)
+    ?(bound = []) ?(needed_obj = []) ?(needed_label = []) g conds =
+  let s, _, _ =
+    pipeline_of_conds ~options ~timed:false ~env ~bound ~needed_obj
+      ~needed_label g conds
+  in
+  s
+
+let bindings_profiled ?(options = Eval.default_options) ?(timed = false)
+    ?(env = Eval.Env.empty) ?(bound = []) ?(needed_obj = [])
+    ?(needed_label = []) g conds =
+  let s, ops, live =
+    pipeline_of_conds ~options ~timed ~env ~bound ~needed_obj ~needed_label g
+      conds
+  in
+  let rows = List.of_seq s in
+  (rows, ops, live.peak)
+
+let bindings ?options ?env ?bound ?needed_obj ?needed_label g conds =
+  let rows, _, _ =
+    bindings_profiled ?options ?env ?bound ?needed_obj ?needed_label g conds
+  in
+  rows

@@ -41,6 +41,12 @@ val ccond_vars : Ast.var list -> ccond -> Ast.var list
 val ccond_binds : ccond -> Ast.var list
 (** Variables the condition binds when executed. *)
 
+val term_bound : VSet.t -> Ast.term -> bool
+(** Whether a term is ground given the bound set (constants always;
+    variables when in the set). *)
+
+val label_bound : VSet.t -> Ast.label_term -> bool
+
 val executable :
   ?limited:string list -> ?universe:VSet.t -> VSet.t -> ccond -> bool
 (** Whether the condition can run given the bound set.  A negation

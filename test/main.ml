@@ -14,6 +14,7 @@ let () =
       ("struql-plan", Test_plan.suite);
       ("struql-eval", Test_eval.suite);
       ("struql-eval-reference", Test_eval_ref.suite);
+      ("struql-exec", Test_exec.suite);
       ("struql-aggregates", Test_agg.suite);
       ("struql-theory", Test_theory.suite);
       ("xml", Test_xml.suite);

@@ -196,7 +196,7 @@ let reference_rows g reg conds =
       List.sort compare (List.map (fun (v, b) -> (v, rbind_key b)) env))
   |> List.sort compare
 
-let planner_rows g reg conds =
+let rows_via bindings g reg conds =
   let free = positive_free_vars conds in
   let kinds =
     List.concat_map
@@ -204,9 +204,7 @@ let planner_rows g reg conds =
       conds
   in
   let is_label v = List.mem (v, `Lab) kinds in
-  Eval.bindings
-    ~options:{ Eval.default_options with registry = reg }
-    g conds
+  bindings ~options:{ Eval.default_options with registry = reg } g conds
   |> List.map (fun env ->
       List.filter_map
         (fun v ->
@@ -221,6 +219,26 @@ let planner_rows g reg conds =
         free
       |> List.sort compare)
   |> List.sort_uniq compare
+
+let planner_rows g reg conds =
+  rows_via (fun ~options g conds -> Eval.bindings ~options g conds) g reg conds
+
+(* the same relation through the streaming operator pipeline *)
+let streaming_rows g reg conds =
+  rows_via (fun ~options g conds -> Exec.bindings ~options g conds) g reg conds
+
+(* ---- exact (order-sensitive) agreement between the two engines ---- *)
+
+let binding_eq a b =
+  match a, b with
+  | Eval.B_target x, Eval.B_target y -> Graph.target_equal x y
+  | Eval.B_label x, Eval.B_label y -> String.equal x y
+  | _ -> false
+
+let env_eq = Eval.Env.equal binding_eq
+
+let envs_eq a b =
+  List.length a = List.length b && List.for_all2 env_eq a b
 
 (* ---- random inputs ---- *)
 
@@ -274,7 +292,21 @@ let agree (spec, qi) =
   let g = build_data spec in
   let conds = Parser.parse_conditions (List.nth cond_pool qi) in
   let reg = Builtins.default in
-  reference_rows g reg conds = planner_rows g reg conds
+  let reference = reference_rows g reg conds in
+  reference = planner_rows g reg conds
+  && reference = streaming_rows g reg conds
+
+(* the streaming pipeline must produce not just the same relation but
+   the same rows in the same order as the eager evaluator, under every
+   strategy — the construction stage depends on it for oid fidelity *)
+let exact_agree (spec, qi) =
+  let g = build_data spec in
+  let conds = Parser.parse_conditions (List.nth cond_pool qi) in
+  List.for_all
+    (fun strategy ->
+      let options = { Eval.default_options with strategy } in
+      envs_eq (Eval.bindings ~options g conds) (Exec.bindings ~options g conds))
+    [ Plan.Naive; Plan.Heuristic; Plan.Cost_based ]
 
 let suite =
   List.mapi
@@ -301,4 +333,14 @@ let suite =
               ~print:(fun (_, qi) -> List.nth cond_pool qi)
               QCheck.Gen.(pair data_gen (int_bound (List.length cond_pool - 1))))
            agree);
+      QCheck_alcotest.to_alcotest
+        (QCheck.Test.make
+           ~name:
+             "streaming engine matches eager engine row-for-row (all \
+              strategies)"
+           ~count:300
+           (QCheck.make
+              ~print:(fun (_, qi) -> List.nth cond_pool qi)
+              QCheck.Gen.(pair data_gen (int_bound (List.length cond_pool - 1))))
+           exact_agree);
     ]

@@ -1,0 +1,278 @@
+(* The streaming physical-operator engine (Struql.Exec): whole-query
+   equivalence with the eager evaluator (same graphs, same Skolem oids,
+   same mutation order), per-operator statistics, EXPLAIN / EXPLAIN
+   ANALYZE rendering, and the memory win it exists for. *)
+
+open Sgraph
+open Struql
+
+let t name f = Alcotest.test_case name `Quick f
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let contains hay needle =
+  let n = String.length needle and h = String.length hay in
+  let rec find i = i + n <= h && (String.sub hay i n = needle || find (i + 1)) in
+  find 0
+
+let all_strategies =
+  [ ("naive", Plan.Naive); ("heuristic", Plan.Heuristic);
+    ("costbased", Plan.Cost_based) ]
+
+(* A graph's observable content with oids canonicalized by name, in
+   insertion order — equal canonical forms mean the two engines issued
+   the identical mutation sequence (Skolem names are derived from the
+   data's stable node names, so they agree across runs). *)
+let canon g =
+  let tname = function
+    | Graph.N o -> "N:" ^ Oid.name o
+    | Graph.V v -> "V:" ^ Value.to_string v
+  in
+  let nodes = List.map Oid.name (Graph.nodes g) in
+  let edges =
+    List.concat_map
+      (fun o ->
+        List.map (fun (l, tg) -> (Oid.name o, l, tname tg)) (Graph.out_edges g o))
+      (Graph.nodes g)
+  in
+  let colls =
+    List.map
+      (fun c -> (c, List.map Oid.name (Graph.collection g c)))
+      (List.sort compare (Graph.collections g))
+  in
+  (nodes, edges, colls)
+
+let graphs_agree a b = canon a = canon b
+
+(* Aggregate flush emits its groups in [Hashtbl.iter] order, and the
+   group keys embed global oid ids — so aggregate edge *order* differs
+   between any two runs (even eager vs eager).  Both engines share the
+   flush code; compare aggregate graphs with edges sorted. *)
+let graphs_agree_unordered a b =
+  let sort (nodes, edges, colls) =
+    (nodes, List.sort compare edges, colls)
+  in
+  sort (canon a) = sort (canon b)
+
+(* ---- fixtures ---- *)
+
+let small_data () =
+  let g = Graph.create ~name:"d" () in
+  let mk name k =
+    let o = Graph.new_node g name in
+    Graph.add_to_collection g "C" o;
+    Graph.add_edge g o "k" (Graph.V (Value.Int k));
+    o
+  in
+  let a = mk "a" 1 and b = mk "b" 2 in
+  ignore (mk "c" 3);
+  Graph.add_edge g a "next" (Graph.N b);
+  g
+
+let simple_query =
+  {|WHERE C(x), x -> "k" -> v
+    CREATE F(x)
+    LINK F(x) -> "key" -> v
+    COLLECT Out(F(x))
+    OUTPUT R|}
+
+let nested_query =
+  {|WHERE C(x)
+    CREATE P(x)
+    { WHERE x -> "k" -> v
+      LINK P(x) -> "val" -> v }
+    { WHERE x -> "next" -> y
+      LINK P(x) -> "succ" -> P(y) }
+    COLLECT Pages(P(x))
+    OUTPUT R|}
+
+let agg_query =
+  {|WHERE C(x), x -> "k" -> v
+    CREATE S()
+    LINK S() -> "total" -> sum(v), S() -> "hi" -> max(v)
+    OUTPUT R|}
+
+let both_runs ?into_self q_src strategy =
+  let q = Parser.parse q_src in
+  let options = { Eval.default_options with strategy } in
+  match into_self with
+  | None ->
+    let g = small_data () in
+    (Eval.run ~options g q, Exec.run ~options g q)
+  | Some () ->
+    (* out == g: both engines construct into the graph they query *)
+    let g1 = small_data () and g2 = small_data () in
+    (Eval.run ~options ~into:g1 g1 q, Exec.run ~options ~into:g2 g2 q)
+
+let equivalence_cases =
+  List.concat_map
+    (fun (sname, strategy) ->
+      List.map
+        (fun (qname, src, agree) ->
+          t
+            (Printf.sprintf "streaming = eager: %s (%s)" qname sname)
+            (fun () ->
+              let eager, streaming = both_runs src strategy in
+              check_bool "identical graphs" true (agree eager streaming)))
+        [ ("simple", simple_query, graphs_agree);
+          ("nested", nested_query, graphs_agree);
+          ("aggregate", agg_query, graphs_agree_unordered) ])
+    all_strategies
+
+(* ---- per-operator statistics ---- *)
+
+let stats_cases =
+  [
+    t "per-operator row counts" (fun () ->
+        let g = small_data () in
+        let q = Parser.parse simple_query in
+        let _, prof = Exec.run_with_profile g q in
+        check_int "one block" 1 (List.length prof.Exec.prf_blocks);
+        let bp = List.hd prof.Exec.prf_blocks in
+        check_int "rows to construction" 3 bp.Exec.bpr_rows;
+        (match bp.Exec.bpr_ops with
+         | [ scan; edge ] ->
+           check_int "scan in" 1 scan.Exec.os_rows_in;
+           check_int "scan out" 3 scan.Exec.os_rows_out;
+           check_int "scan batch" 3 scan.Exec.os_max_batch;
+           check_bool "scan access" true
+             (scan.Exec.os_access = Exec.Coll_scan "C");
+           check_int "edge in" 3 edge.Exec.os_rows_in;
+           check_int "edge out" 3 edge.Exec.os_rows_out;
+           check_bool "edge probes the out-edge index" true
+             (edge.Exec.os_access = Exec.Edge_out)
+         | ops -> Alcotest.failf "expected 2 operators, got %d" (List.length ops));
+        check_int "total rows" 3 prof.Exec.prf_rows;
+        check_bool "peak live is positive and small" true
+          (prof.Exec.prf_peak_live >= 3 && prof.Exec.prf_peak_live <= 4));
+    t "profile totals line up with per-op counters" (fun () ->
+        let g = small_data () in
+        let q = Parser.parse nested_query in
+        let _, prof = Exec.run_with_profile g q in
+        check_int "three blocks (parent + 2 nested)" 3
+          (List.length prof.Exec.prf_blocks);
+        check_int "operators counted" (Exec.profile_steps prof)
+          (List.fold_left
+             (fun n (b : Exec.block_profile) -> n + List.length b.Exec.bpr_ops)
+             0 prof.Exec.prf_blocks);
+        check_bool "nested block paths" true
+          (List.map (fun (b : Exec.block_profile) -> b.Exec.bpr_path)
+             prof.Exec.prf_blocks
+           = [ "1"; "1.1"; "1.2" ]));
+    t "peak live stays below the eager intermediate on a join" (fun () ->
+        (* C(x), C(y), x != y: the eager engine materializes the n^2
+           cross product; the pipeline keeps one expansion batch *)
+        let g = Graph.create ~name:"j" () in
+        for i = 1 to 8 do
+          let o = Graph.new_node g (Printf.sprintf "n%d" i) in
+          Graph.add_to_collection g "C" o
+        done;
+        let conds = Parser.parse_conditions {|C(x), C(y), x != y|} in
+        let eager_stats = Eval.new_stats () in
+        let steps =
+          Plan.plan ~registry:Builtins.default g ~bound:[] ~needed_obj:[]
+            ~needed_label:[] conds
+        in
+        let eager =
+          Eval.exec_steps ~stats:eager_stats g Builtins.default
+            [ Eval.Env.empty ] steps
+        in
+        let rows, _, peak = Exec.bindings_profiled g conds in
+        check_int "same relation size" (List.length eager) (List.length rows);
+        check_bool
+          (Printf.sprintf "peak %d < eager max intermediate %d" peak
+             eager_stats.Eval.max_intermediate)
+          true
+          (peak < eager_stats.Eval.max_intermediate));
+    t "click-time profiled bindings equal eager bindings" (fun () ->
+        let g = small_data () in
+        let conds = Parser.parse_conditions {|C(x), x -> "k" -> v|} in
+        let rows, ops, peak = Exec.bindings_profiled g conds in
+        check_int "rows" (List.length (Eval.bindings g conds))
+          (List.length rows);
+        check_bool "ops recorded" true (ops <> []);
+        check_bool "peak recorded" true (peak > 0));
+  ]
+
+(* ---- EXPLAIN / EXPLAIN ANALYZE ---- *)
+
+let explain_cases =
+  List.map
+    (fun (sname, strategy) ->
+      t (Printf.sprintf "explain renders the %s plan" sname) (fun () ->
+          let g = small_data () in
+          let q = Parser.parse simple_query in
+          let options = { Eval.default_options with strategy } in
+          let plan = Exec.plan_query ~options g q in
+          check_bool "strategy recorded" true (plan.Exec.qp_strategy = strategy);
+          check_bool "has operators" true
+            (List.for_all
+               (fun (b : Exec.block_plan) -> b.Exec.bp_steps <> [])
+               plan.Exec.qp_blocks);
+          let s = Exec.explain ~options g q in
+          check_bool "header" true (contains s "QUERY PLAN");
+          check_bool "estimates" true (contains s "est rows");
+          check_bool "an access path appears" true
+            (contains s "scan" || contains s "probe" || contains s "index")))
+    all_strategies
+  @ List.map
+      (fun (sname, strategy) ->
+        t
+          (Printf.sprintf "explain analyze reports measured rows (%s)" sname)
+          (fun () ->
+            let g = small_data () in
+            let q = Parser.parse simple_query in
+            let options = { Eval.default_options with strategy } in
+            let _, prof = Exec.run_with_profile ~options ~timed:true g q in
+            let s = Fmt.str "%a" Exec.pp_profile prof in
+            check_bool "header" true (contains s "EXPLAIN ANALYZE");
+            check_bool "strategy named" true
+              (contains s
+                 (match strategy with
+                  | Plan.Naive -> "naive"
+                  | Plan.Heuristic -> "heuristic"
+                  | Plan.Cost_based -> "cost-based"));
+            check_bool "measured rows" true (contains s "out=3");
+            check_bool "watermark" true (contains s "batch<=");
+            check_bool "peak live" true (contains s "peak live bindings");
+            check_bool "timings on" true (contains s "time=")))
+      all_strategies
+
+(* ---- the paper's site-definition query, end to end ---- *)
+
+let site_cases =
+  List.map
+    (fun (sname, strategy) ->
+      t
+        (Printf.sprintf "paper-example site graph is bit-identical (%s)" sname)
+        (fun () ->
+          let q = Parser.parse Sites.Paper_example.site_query in
+          let options = { Eval.default_options with strategy } in
+          let eager = Eval.run ~options (Sites.Paper_example.data ()) q in
+          let streaming, prof =
+            Exec.run_with_profile ~options (Sites.Paper_example.data ()) q
+          in
+          check_bool "identical site graphs" true
+            (graphs_agree eager streaming);
+          check_bool "profile covers nested blocks" true
+            (List.exists
+               (fun (b : Exec.block_profile) ->
+                 String.contains b.Exec.bpr_path '.')
+               prof.Exec.prf_blocks)))
+    all_strategies
+  @ [
+      t "into = data graph falls back to materialized construction" (fun () ->
+          List.iter
+            (fun (_, strategy) ->
+              let eager, streaming = both_runs ~into_self:() simple_query strategy in
+              check_bool "identical self-mutated graphs" true
+                (graphs_agree eager streaming))
+            all_strategies);
+      t "run_string parses and evaluates" (fun () ->
+          let g = small_data () in
+          let out = Exec.run_string g simple_query in
+          check_int "three pages" 3
+            (List.length (Graph.collection out "Out")));
+    ]
+
+let suite = equivalence_cases @ stats_cases @ explain_cases @ site_cases
