@@ -820,6 +820,177 @@ let e16 () =
   Fmt.pr "per-stage watermarks written to BENCH_exec.json@."
 
 (* ----------------------------------------------------------------- *)
+(* E17 — parallel materialization and the render cache                *)
+(* ----------------------------------------------------------------- *)
+
+(* Wall-clock, not [Sys.time]: CPU time sums over domains, which would
+   make a perfect parallel speedup look like no speedup at all. *)
+let wall_it f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, (Unix.gettimeofday () -. t0) *. 1000.)
+
+let pages_identical (a : Template.Generator.site)
+    (b : Template.Generator.site) =
+  let key (p : Template.Generator.page) =
+    (p.Template.Generator.url, p.Template.Generator.html)
+  in
+  List.map key a.Template.Generator.pages
+  = List.map key b.Template.Generator.pages
+
+let e17 () =
+  section "E17"
+    "parallel materialization on domains + dependency-tracked render cache";
+  let cores =
+    match Domain.recommended_domain_count () with n when n > 0 -> n | _ -> 1
+  in
+  Fmt.pr "recommended domain count on this machine: %d@." cores;
+  let sites =
+    [
+      ("cnn-100", Sites.Cnn.definition, Sites.Cnn.data ~articles:100 ());
+      ( "org-100",
+        Sites.Org.definition,
+        let _, w = Sites.Org.data ~people:100 ~orgs:6 () in
+        Mediator.Warehouse.graph w );
+    ]
+  in
+  let job_levels = [ 1; 2; 4; 8 ] in
+  let entries =
+    List.map
+      (fun (name, def, data) ->
+        let reference, t_seq =
+          wall_it (fun () -> Strudel.Site.build ~data def)
+        in
+        Fmt.pr "@.%-10s sequential reference: %d pages, %.1f ms@." name
+          (Template.Generator.page_count reference.Strudel.Site.site)
+          t_seq;
+        Fmt.pr "  %-8s %10s %9s %6s %10s@." "jobs" "wall ms" "speedup"
+          "waves" "identical";
+        let runs =
+          List.map
+            (fun jobs ->
+              let b, t = wall_it (fun () -> Strudel.Site.build ~jobs ~data def) in
+              let prof = b.Strudel.Site.render_profile in
+              let identical =
+                pages_identical reference.Strudel.Site.site b.Strudel.Site.site
+              in
+              Fmt.pr "  %-8d %10.1f %8.2fx %6d %10b@." jobs t (t_seq /. t)
+                prof.Strudel.Render_pool.rp_waves identical;
+              (jobs, t, prof, identical))
+            job_levels
+        in
+        (* cache: cold build seeds the traces, an identical rebuild hits
+           on every page, a one-object edit invalidates only the pages
+           whose read set saw it *)
+        let cache = Strudel.Render_cache.create () in
+        let _, t_cold =
+          wall_it (fun () -> Strudel.Site.build ~render_cache:cache ~data def)
+        in
+        Strudel.Render_cache.reset_stats cache;
+        let warm, t_warm =
+          wall_it (fun () -> Strudel.Site.build ~render_cache:cache ~data def)
+        in
+        let w_hits, w_misses, w_inval =
+          Strudel.Render_cache.stats cache
+        in
+        let warm_pages =
+          Template.Generator.page_count warm.Strudel.Site.site
+        in
+        let hit_rate =
+          float_of_int w_hits /. float_of_int (max 1 (w_hits + w_misses))
+        in
+        Strudel.Render_cache.reset_stats cache;
+        (* edit one observable attribute: the first titled object in any
+           collection gets a new title, so exactly the pages whose read
+           traces saw the old value must re-render *)
+        let edited = Graph.copy data in
+        (match
+           List.find_map
+             (fun o ->
+               List.find_map
+                 (fun a ->
+                   match Graph.attr_value edited o a with
+                   | Some v -> Some (o, a, v)
+                   | None -> None)
+                 [ "title"; "headline"; "name" ])
+             (List.concat_map (Graph.collection edited)
+                (Graph.collections edited))
+         with
+         | Some (o, a, old) ->
+           Graph.remove_edge edited o a (Graph.V old);
+           Graph.add_edge edited o a (Graph.V (Value.String "E17 edited"))
+         | None -> ());
+        let inc, t_inc =
+          wall_it (fun () ->
+              Strudel.Site.build ~render_cache:cache ~data:edited def)
+        in
+        let i_hits, i_misses, i_inval = Strudel.Render_cache.stats cache in
+        let warm_identical =
+          pages_identical reference.Strudel.Site.site warm.Strudel.Site.site
+        in
+        Fmt.pr
+          "  cache: cold %.1f ms, warm %.1f ms (%d/%d hits, rate %.2f, \
+           identical %b), 1-object edit %.1f ms (%d hits, %d invalidated)@."
+          t_cold t_warm w_hits warm_pages hit_rate warm_identical t_inc i_hits
+          i_inval;
+        ignore inc;
+        ( name,
+          t_seq,
+          runs,
+          (t_cold, t_warm, w_hits, w_misses, w_inval, hit_rate, warm_identical),
+          (t_inc, i_hits, i_misses, i_inval) ))
+      sites
+  in
+  Fmt.pr
+    "@.note: speedup tracks the machine's core count (this container \
+     reports %d); byte-identity holds at every jobs level by \
+     construction and is what the differential suite enforces.@."
+    cores;
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    "{\n  \"experiment\": \"E17_parallel_materialization\",\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"recommended_domain_count\": %d,\n  \"sites\": [\n"
+       cores);
+  List.iteri
+    (fun i
+         ( name,
+           t_seq,
+           runs,
+           (t_cold, t_warm, w_hits, w_misses, w_inval, hit_rate, warm_id),
+           (t_inc, i_hits, i_misses, i_inval) ) ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"site\": \"%s\", \"sequential_ms\": %.3f,\n     \"jobs\": ["
+           (json_escape name) t_seq);
+      List.iteri
+        (fun j (jobs, t, (prof : Strudel.Render_pool.profile), identical) ->
+          if j > 0 then Buffer.add_string buf ", ";
+          Buffer.add_string buf
+            (Printf.sprintf
+               "{\"jobs\": %d, \"wall_ms\": %.3f, \"speedup\": %.3f, \
+                \"waves\": %d, \"pages\": %d, \"identical\": %b}"
+               jobs t (t_seq /. t) prof.Strudel.Render_pool.rp_waves
+               prof.Strudel.Render_pool.rp_pages identical))
+        runs;
+      Buffer.add_string buf
+        (Printf.sprintf
+           "],\n     \"cache\": {\"cold_ms\": %.3f, \"warm_ms\": %.3f, \
+            \"warm_hits\": %d, \"warm_misses\": %d, \"warm_invalidations\": \
+            %d, \"hit_rate\": %.3f, \"warm_identical\": %b, \
+            \"edit_ms\": %.3f, \"edit_hits\": %d, \"edit_misses\": %d, \
+            \"edit_invalidations\": %d}}"
+           t_cold t_warm w_hits w_misses w_inval hit_rate warm_id t_inc i_hits
+           i_misses i_inval))
+    entries;
+  Buffer.add_string buf "\n  ]\n}\n";
+  let oc = open_out "BENCH_parallel.json" in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Fmt.pr "parallel/cache profile written to BENCH_parallel.json@."
+
+(* ----------------------------------------------------------------- *)
 (* Bechamel microbenchmarks — one Test.make per measured experiment   *)
 (* ----------------------------------------------------------------- *)
 
@@ -964,23 +1135,41 @@ let bechamel_suite () =
       else Fmt.pr "  %-45s %12.0f ns/run@." name e)
     (List.sort compare !rows)
 
+(* --- experiment selection ---
+
+   With no arguments every experiment runs, in order.  With arguments,
+   only the named experiments run; an unknown name is an error (exit 1)
+   rather than a silent no-op, so a typo in CI cannot masquerade as a
+   passing run. *)
+
+let experiments =
+  [
+    ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
+    ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11);
+    ("E12", e12); ("E13", e13); ("E14", e14); ("E15", e15); ("E16", e16);
+    ("E17", e17); ("micro", bechamel_suite);
+  ]
+
 let () =
   let t0 = Sys.time () in
-  e1 ();
-  e2 ();
-  e3 ();
-  e4 ();
-  e5 ();
-  e6 ();
-  e7 ();
-  e8 ();
-  e9 ();
-  e10 ();
-  e11 ();
-  e12 ();
-  e13 ();
-  e14 ();
-  e15 ();
-  e16 ();
-  bechamel_suite ();
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as names) -> names
+    | _ -> List.map fst experiments
+  in
+  let find name =
+    List.find_opt
+      (fun (n, _) -> String.lowercase_ascii n = String.lowercase_ascii name)
+      experiments
+  in
+  (* validate every name before running anything *)
+  let unknown = List.filter (fun n -> find n = None) requested in
+  if unknown <> [] then begin
+    Fmt.epr "unknown experiment%s: %s@.known: %s@."
+      (if List.length unknown > 1 then "s" else "")
+      (String.concat ", " unknown)
+      (String.concat ", " (List.map fst experiments));
+    exit 1
+  end;
+  List.iter (fun n -> (snd (Option.get (find n))) ()) requested;
   Fmt.pr "@.total bench time: %.1f s@." (Sys.time () -. t0)

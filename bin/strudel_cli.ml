@@ -336,7 +336,22 @@ let build_cmd =
     Arg.(value & opt string "_site/out"
          & info [ "o"; "output" ] ~docv:"DIR" ~doc:"Output directory.")
   in
-  let run data query root templates strategy dir =
+  let jobs_arg =
+    Arg.(value & opt int 1
+         & info [ "j"; "jobs" ] ~docv:"N"
+             ~doc:
+               "Render pages on $(docv) OCaml domains (1 = the \
+                sequential reference path; output is byte-identical \
+                either way).")
+  in
+  let stats_arg =
+    Arg.(value & flag
+         & info [ "stats" ]
+             ~doc:
+               "Print the render profile (per-domain pages and wall \
+                time, waves, cache counters) after building.")
+  in
+  let run data query root templates strategy dir jobs stats =
     or_die (fun () ->
         let g, _ = Ddl.parse ~graph_name:"input" (read_file data) in
         let templates =
@@ -351,7 +366,7 @@ let build_cmd =
             ~strategy
             [ ("site", read_file query) ]
         in
-        let built = Strudel.Site.build ~data:g def in
+        let built = Strudel.Site.build ~jobs ~data:g def in
         let rec mkdirs d =
           if d <> "." && d <> "/" && not (Sys.file_exists d) then begin
             mkdirs (Filename.dirname d);
@@ -362,11 +377,14 @@ let build_cmd =
         Template.Generator.write_site ~dir built.Strudel.Site.site;
         Fmt.pr "%d pages written to %s@."
           (Template.Generator.page_count built.Strudel.Site.site)
-          dir)
+          dir;
+        if stats then
+          Fmt.pr "%a@." Strudel.Render_pool.pp_profile
+            built.Strudel.Site.render_profile)
   in
   Cmd.v (Cmd.info "build" ~doc:"Build a browsable site from data + query + templates.")
     Term.(const run $ data_arg $ query_arg $ root_arg $ template_arg
-          $ strategy_arg $ dir_arg)
+          $ strategy_arg $ dir_arg $ jobs_arg $ stats_arg)
 
 (* --- verify --- *)
 

@@ -88,43 +88,89 @@ let page_candidates site_graph roots =
     (List.filter (fun o -> Oid.Set.mem o reachable) (Graph.nodes site_graph))
 
 (** Rebuild the site over changed data, reusing unchanged pages of
-    [previous] without re-rendering them. *)
-let rebuild ?(depth = default_depth) ~(previous : Site.built) ~data () :
-    rebuild_report =
+    [previous] without re-rendering them.
+
+    Two reuse disciplines:
+    - the default {e fingerprint} path hashes each page object's
+      out-neighbourhood to [depth] and reuses the previous page on a
+      match — cheap but approximate (a conservative depth must cover
+      the deepest template traversal);
+    - with [cache], the {e trace-verified} path replays each cached
+      page's recorded read set against the new site graph and reuses
+      the page iff every read still returns the same answer — exact
+      invalidation, independent of template traversal depth.  The
+      rebuild then runs through {!Render_pool.materialize} (so [jobs]
+      also parallelizes the re-renders) and fresh traces are stored
+      back into [cache]. *)
+let rebuild ?(depth = default_depth) ?jobs ?cache ?file_loader
+    ~(previous : Site.built) ~data () : rebuild_report =
   let def = previous.Site.def in
   let site_graph, scope, schemas, query_stats =
     Site.build_site_graph def data
   in
   let roots = Site.roots_of site_graph def.Site.root_family in
-  (* previous pages and fingerprints, keyed by node name *)
-  let old_cache : fp_cache = Hashtbl.create 1024 in
-  let new_cache : fp_cache = Hashtbl.create 1024 in
-  let old_fp = Hashtbl.create 256 in
-  List.iter
-    (fun (p : Template.Generator.page) ->
-      Hashtbl.replace old_fp
-        (Oid.name p.Template.Generator.obj)
-        ( fingerprint ~cache:old_cache previous.Site.site_graph ~depth
-            p.Template.Generator.obj,
-          p ))
-    previous.Site.site.Template.Generator.pages;
-  let rerendered = ref 0 and reused = ref 0 in
-  let pages =
-    List.map
-      (fun o ->
-        let name = Oid.name o in
-        match Hashtbl.find_opt old_fp name with
-        | Some (fp_old, p_old)
-          when fp_old = fingerprint ~cache:new_cache site_graph ~depth o ->
-          incr reused;
-          { p_old with Template.Generator.obj = o }
-        | _ ->
-          incr rerendered;
-          Template.Generator.render_page ~templates:def.Site.templates
-            site_graph o)
-      (page_candidates site_graph roots)
+  let t0 = Unix.gettimeofday () in
+  let site, render_profile, rerendered, reused =
+    match cache with
+    | Some c ->
+      let site, profile =
+        Render_pool.materialize ?jobs ~cache:c ?file_loader
+          ~templates:def.Site.templates site_graph ~roots
+      in
+      ( site,
+        profile,
+        profile.Render_pool.rp_rendered,
+        profile.Render_pool.rp_pages - profile.Render_pool.rp_rendered )
+    | None ->
+      (* previous pages and fingerprints, keyed by node name *)
+      let old_cache : fp_cache = Hashtbl.create 1024 in
+      let new_cache : fp_cache = Hashtbl.create 1024 in
+      let old_fp = Hashtbl.create 256 in
+      List.iter
+        (fun (p : Template.Generator.page) ->
+          Hashtbl.replace old_fp
+            (Oid.name p.Template.Generator.obj)
+            ( fingerprint ~cache:old_cache previous.Site.site_graph ~depth
+                p.Template.Generator.obj,
+              p ))
+        previous.Site.site.Template.Generator.pages;
+      let rerendered = ref 0 and reused = ref 0 in
+      let pages =
+        List.map
+          (fun o ->
+            let name = Oid.name o in
+            match Hashtbl.find_opt old_fp name with
+            | Some (fp_old, p_old)
+              when fp_old = fingerprint ~cache:new_cache site_graph ~depth o
+              ->
+              incr reused;
+              { p_old with Template.Generator.obj = o }
+            | _ ->
+              incr rerendered;
+              Template.Generator.render_page ?file_loader
+                ~templates:def.Site.templates site_graph o)
+          (page_candidates site_graph roots)
+      in
+      let wall = (Unix.gettimeofday () -. t0) *. 1000. in
+      ( { Template.Generator.pages; graph = site_graph },
+        {
+          Render_pool.rp_jobs = 1;
+          rp_pages = List.length pages;
+          rp_rendered = !rerendered;
+          rp_waves = 1;
+          rp_shards =
+            [ { Render_pool.sh_domain = 0;
+                sh_pages = !rerendered;
+                sh_wall_ms = wall } ];
+          rp_cache_hits = !reused;
+          rp_cache_misses = !rerendered;
+          rp_cache_invalidations = 0;
+          rp_fallback = false;
+          rp_wall_ms = wall;
+        },
+        !rerendered,
+        !reused )
   in
-  let site = { Template.Generator.pages; graph = site_graph } in
   let verification =
     Schema.Verify.check_all_site site_graph def.Site.constraints
   in
@@ -139,8 +185,9 @@ let rebuild ?(depth = default_depth) ~(previous : Site.built) ~data () :
         site;
         verification;
         query_stats;
+        render_profile;
       };
-    pages_total = List.length pages;
-    pages_rerendered = !rerendered;
-    pages_reused = !reused;
+    pages_total = List.length site.Template.Generator.pages;
+    pages_rerendered = rerendered;
+    pages_reused = reused;
   }

@@ -34,8 +34,17 @@ val default_depth : int
 val page_candidates : Graph.t -> Oid.t list -> Oid.t list
 
 val rebuild :
-  ?depth:int -> previous:Site.built -> data:Graph.t -> unit ->
+  ?depth:int ->
+  ?jobs:int ->
+  ?cache:Render_cache.t ->
+  ?file_loader:(string -> string option) ->
+  previous:Site.built -> data:Graph.t -> unit ->
   rebuild_report
 (** Rebuild the site over changed data, reusing unchanged pages of
     [previous] without re-rendering them.  Pages match between builds
-    by Skolem-term name. *)
+    by Skolem-term name.  By default reuse is decided by neighbourhood
+    fingerprints to [depth]; with [cache] it is decided by replaying
+    each cached page's recorded read set against the new site graph —
+    exact invalidation — and re-renders run through
+    {!Render_pool.materialize} with [jobs] domains, storing fresh
+    traces back into [cache]. *)

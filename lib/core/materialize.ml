@@ -17,7 +17,8 @@ open Struql
 
 (* --- Full materialization --- *)
 
-let full ?file_loader ~data (def : Site.definition) = Site.build ?file_loader ~data def
+let full ?jobs ?render_cache ?file_loader ~data (def : Site.definition) =
+  Site.build ?jobs ?render_cache ?file_loader ~data def
 
 (* --- Click-time evaluation --- *)
 
@@ -30,11 +31,16 @@ module Click_time = struct
     schemas : Schema.Site_schema.t list;
     options : Eval.options;
     mutable expanded : Oid.Set.t;
-    page_cache : string Oid.Tbl.t;
+    page_cache : Render_cache.t;
+        (** dependency-tracked page cache: entries are re-verified
+            against the partial graph on every lookup, so a session that
+            mutates already-expanded regions re-renders exactly the
+            affected pages *)
     cache_pages : bool;
+    compiled : Template.Generator.compiled;
+        (** session-wide template-compilation cache *)
     mutable stats_expansions : int;
     mutable stats_queries : int;  (** link-clause evaluations performed *)
-    mutable stats_cache_hits : int;
     mutable stats_peak_live : int;
         (** largest live-binding watermark any click-time query reached *)
   }
@@ -81,14 +87,15 @@ module Click_time = struct
         schemas;
         options;
         expanded = Oid.Set.empty;
-        page_cache = Oid.Tbl.create 64;
+        page_cache = Render_cache.create ();
         cache_pages = cache;
+        compiled = Template.Generator.new_compiled ();
         stats_expansions = 0;
         stats_queries = 0;
-        stats_cache_hits = 0;
         stats_peak_live = 0;
       }
     in
+    Render_cache.set_templates t.page_cache def.Site.templates;
     (* materialize the root family's nodes *)
     List.iter
       (fun sch ->
@@ -285,11 +292,10 @@ module Click_time = struct
       content, its immediate successors), then render just that page. *)
   let browse t (o : Oid.t) : string =
     match
-      if t.cache_pages then Oid.Tbl.find_opt t.page_cache o else None
+      if t.cache_pages then Render_cache.find_valid t.page_cache t.partial o
+      else None
     with
-    | Some html ->
-      t.stats_cache_hits <- t.stats_cache_hits + 1;
-      html
+    | Some e -> e.Render_cache.e_html
     | None ->
       expand t o;
       (* templates may embed or traverse into neighbours: expand the
@@ -298,12 +304,13 @@ module Click_time = struct
         (fun (_, tgt) ->
           match tgt with Graph.N n -> expand t n | Graph.V _ -> ())
         (Graph.out_edges t.partial o);
-      let page =
-        Template.Generator.render_page
-          ~templates:t.def.Site.templates t.partial o
+      let r =
+        Template.Generator.render_page_full
+          ~templates:t.def.Site.templates ~compiled:t.compiled
+          ~trace_reads:t.cache_pages t.partial o
       in
-      if t.cache_pages then Oid.Tbl.replace t.page_cache o page.Template.Generator.html;
-      page.Template.Generator.html
+      if t.cache_pages then Render_cache.store t.page_cache r;
+      r.Template.Generator.r_page.Template.Generator.html
 
   let roots t =
     List.filter
@@ -348,16 +355,23 @@ module Click_time = struct
     expansions : int;
     queries : int;
     cache_hits : int;
+    cache_misses : int;
+    cache_invalidations : int;
+        (** cached pages whose read trace no longer verified against
+            the partial graph and were re-rendered *)
     materialized_nodes : int;
     materialized_edges : int;
     peak_live : int;
   }
 
   let stats t =
+    let hits, misses, invalidations = Render_cache.stats t.page_cache in
     {
       expansions = t.stats_expansions;
       queries = t.stats_queries;
-      cache_hits = t.stats_cache_hits;
+      cache_hits = hits;
+      cache_misses = misses;
+      cache_invalidations = invalidations;
       materialized_nodes = Graph.node_count t.partial;
       materialized_edges = Graph.edge_count t.partial;
       peak_live = t.stats_peak_live;

@@ -13,8 +13,12 @@
 open Sgraph
 
 val full :
+  ?jobs:int ->
+  ?render_cache:Render_cache.t ->
   ?file_loader:(string -> string option) ->
   data:Graph.t -> Site.definition -> Site.built
+(** {!Site.build}: [jobs] parallelizes page rendering over OCaml
+    domains; [render_cache] reuses pages whose read traces verify. *)
 
 module Click_time : sig
   type t = {
@@ -25,11 +29,14 @@ module Click_time : sig
     schemas : Schema.Site_schema.t list;
     options : Struql.Eval.options;
     mutable expanded : Oid.Set.t;
-    page_cache : string Oid.Tbl.t;
+    page_cache : Render_cache.t;
+        (** dependency-tracked page cache, re-verified against the
+            partial graph on every lookup *)
     cache_pages : bool;
+    compiled : Template.Generator.compiled;
+        (** session-wide template-compilation cache *)
     mutable stats_expansions : int;
     mutable stats_queries : int;
-    mutable stats_cache_hits : int;
     mutable stats_peak_live : int;
         (** largest live-binding watermark any click-time query reached
             on the streaming {!Struql.Exec} pipeline *)
@@ -60,6 +67,10 @@ module Click_time : sig
     expansions : int;
     queries : int;        (** link-clause evaluations performed *)
     cache_hits : int;
+    cache_misses : int;
+    cache_invalidations : int;
+        (** cached pages whose read trace no longer verified against
+            the partial graph and were re-rendered *)
     materialized_nodes : int;
     materialized_edges : int;
     peak_live : int;      (** see [stats_peak_live] *)

@@ -1,0 +1,166 @@
+(** Dependency-tracked cache of rendered pages.
+
+    A verifying-trace cache in the build-system sense: each entry stores
+    the page's rendered bytes together with the exact read set the
+    render performed ({!Template.Generator.read} records with result
+    hashes).  An entry is reused iff replaying every read against the
+    {e current} graph yields the same hashes — so an edit invalidates
+    exactly the pages whose rendering observed it, and nothing else.
+
+    Entries are keyed by the page object's {e name} (for site pages, its
+    Skolem term): oids are allocated fresh on every rebuild, names are
+    the stable identity across builds.  The cache also fingerprints the
+    template set and clears itself wholesale when the templates change,
+    since template text is an input the read traces do not cover.
+
+    The cache is consulted and updated only from the main domain; the
+    parallel {!Render_pool} validates entries before fanning out and
+    stores fresh traces after joining. *)
+
+module G = Template.Generator
+open Sgraph
+
+type entry = {
+  e_url : string;
+  e_title : string;
+  e_body : string;
+  e_html : string;
+  e_reads : G.read list;
+  e_refs : string list;
+      (** names of the internal objects the page links to — the demand
+          edges page discovery follows on a cache hit *)
+}
+
+type stats = {
+  mutable hits : int;
+  mutable misses : int;
+  mutable invalidations : int;
+}
+
+type t = {
+  entries : (string, entry) Hashtbl.t;  (* page-object name → entry *)
+  stats : stats;
+  mutable templates_fp : int option;
+}
+
+let create () =
+  {
+    entries = Hashtbl.create 64;
+    stats = { hits = 0; misses = 0; invalidations = 0 };
+    templates_fp = None;
+  }
+
+let clear c = Hashtbl.reset c.entries
+let size c = Hashtbl.length c.entries
+let stats c = (c.stats.hits, c.stats.misses, c.stats.invalidations)
+
+let reset_stats c =
+  c.stats.hits <- 0;
+  c.stats.misses <- 0;
+  c.stats.invalidations <- 0
+
+(* --- Template fingerprint --- *)
+
+let fingerprint_templates (ts : G.template_set) =
+  let pairs ps =
+    List.fold_left
+      (fun acc (k, v) -> G.hash_strings [ k; v ] lxor ((acc * 31) land max_int))
+      7 ps
+  in
+  G.hash_strings
+    [ string_of_int (pairs ts.G.by_object);
+      string_of_int (pairs ts.G.by_collection);
+      string_of_int (pairs ts.G.named) ]
+
+(** Declare the template set the cached pages were rendered with.  If it
+    differs from the recorded fingerprint, all entries are dropped
+    (template text is an input the read traces cannot see). *)
+let set_templates c ts =
+  let fp = fingerprint_templates ts in
+  (match c.templates_fp with
+   | Some old when old <> fp -> clear c
+   | _ -> ());
+  c.templates_fp <- Some fp
+
+(* --- Trace verification --- *)
+
+(** Replay one recorded read against [g] and compare result hashes.  A
+    node that no longer exists reads as the empty result — exactly what
+    a render against [g] would observe. *)
+let verify_read ?(file_loader = fun _ -> None) g read =
+  match read with
+  | G.R_attr (name, label, h) ->
+    let targets =
+      match Graph.find_node g name with
+      | Some o -> Graph.attr g o label
+      | None -> []
+    in
+    G.hash_targets targets = h
+  | G.R_edges (name, h) ->
+    let edges =
+      match Graph.find_node g name with
+      | Some o -> Graph.out_edges g o
+      | None -> []
+    in
+    G.hash_edges edges = h
+  | G.R_colls (name, h) ->
+    let colls =
+      match Graph.find_node g name with
+      | Some o -> Graph.collections_of g o
+      | None -> []
+    in
+    G.hash_strings colls = h
+  | G.R_file (path, h) -> G.hash_file (file_loader path) = h
+
+let verify ?file_loader g entry =
+  List.for_all (verify_read ?file_loader g) entry.e_reads
+
+(** Look up the page for object [o] (keyed by its name) and re-verify
+    its trace against [g].  Counts a hit on success; a stale entry is
+    removed and counted as an invalidation; an absent one as a miss. *)
+let find_valid ?file_loader c g o =
+  let key = Oid.name o in
+  match Hashtbl.find_opt c.entries key with
+  | None ->
+    c.stats.misses <- c.stats.misses + 1;
+    None
+  | Some e ->
+    if verify ?file_loader g e then begin
+      c.stats.hits <- c.stats.hits + 1;
+      Some e
+    end
+    else begin
+      c.stats.invalidations <- c.stats.invalidations + 1;
+      Hashtbl.remove c.entries key;
+      None
+    end
+
+(** Record a freshly rendered page (must come from [render_page_full
+    ~trace_reads:true], else the entry would validate vacuously). *)
+let store c (r : G.rendered) =
+  let p = r.G.r_page in
+  Hashtbl.replace c.entries (Oid.name p.G.obj)
+    {
+      e_url = p.G.url;
+      e_title = p.G.title;
+      e_body = p.G.body;
+      e_html = p.G.html;
+      e_reads = r.G.r_reads;
+      e_refs = List.map Oid.name r.G.r_refs;
+    }
+
+(** Rebuild a {!Template.Generator.page} for the current build's page
+    object [o] from a validated entry. *)
+let page_of_entry (e : entry) o : G.page =
+  { G.obj = o; url = e.e_url; title = e.e_title; html = e.e_html;
+    body = e.e_body }
+
+(** Resolve an entry's referenced-object names in the current graph
+    (names missing from [g] are dropped — a verified trace cannot
+    actually contain any, since the link render read their anchors). *)
+let refs_of_entry g (e : entry) : Oid.t list =
+  List.filter_map (Graph.find_node g) e.e_refs
+
+let pp_stats ppf c =
+  Fmt.pf ppf "%d entries, %d hits / %d misses / %d invalidations" (size c)
+    c.stats.hits c.stats.misses c.stats.invalidations

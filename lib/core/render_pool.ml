@@ -1,0 +1,286 @@
+(** Parallel page materialization on OCaml 5 domains.
+
+    The generator's page set is demand-driven: roots become pages, and
+    every object a rendered page links to becomes a page transitively.
+    That closure is order-independent, so it can be computed in {e
+    waves}: render the current frontier's pages concurrently (each page
+    render is a pure function of the graph — graph reads build no
+    indexes and mutate nothing), collect the objects they link to, and
+    repeat until no new page appears.
+
+    Byte-identity with the sequential reference path
+    ({!Template.Generator.generate}) rests on URL assignment.  The
+    sequential generator assigns [slug name ^ ".html"] and uniquifies
+    collisions in discovery order — something a parallel wave cannot
+    know up front.  Pages here get slug-only URLs (the click-time
+    convention, which the incremental rebuilder already relies on);
+    after the fixpoint the canonical discovery order is reconstructed
+    sequentially from each page's recorded first-reference list, and if
+    any two pages collide on a URL the pool discards its output and
+    falls back to the sequential generator ([rp_fallback] — no site in
+    this repository collides).
+
+    A {!Render_cache} short-circuits rendering: before each wave fans
+    out, cached entries are re-verified against the graph on the main
+    domain, and only the misses are sharded across domains.  Fresh
+    renders are traced and stored back.  The cache is touched only from
+    the main domain. *)
+
+module G = Template.Generator
+open Sgraph
+
+type shard = {
+  sh_domain : int;   (** 0 is the main domain *)
+  sh_pages : int;    (** pages this domain rendered, summed over waves *)
+  sh_wall_ms : float;
+}
+
+type profile = {
+  rp_jobs : int;
+  rp_pages : int;     (** pages in the final site *)
+  rp_rendered : int;  (** pages actually rendered (not served from cache) *)
+  rp_waves : int;
+  rp_shards : shard list;
+  rp_cache_hits : int;
+  rp_cache_misses : int;
+  rp_cache_invalidations : int;
+  rp_fallback : bool;
+      (** URL collision detected; the sequential generator's output was
+          used instead of the pool's *)
+  rp_wall_ms : float;  (** whole materialization, main-domain clock *)
+}
+
+let pp_profile ppf p =
+  Fmt.pf ppf
+    "@[<v>jobs=%d pages=%d rendered=%d waves=%d wall=%.2fms cache=%d/%d/%d \
+     (hit/miss/invalid)%s"
+    p.rp_jobs p.rp_pages p.rp_rendered p.rp_waves p.rp_wall_ms p.rp_cache_hits
+    p.rp_cache_misses p.rp_cache_invalidations
+    (if p.rp_fallback then " FALLBACK(sequential)" else "");
+  List.iter
+    (fun s ->
+      Fmt.pf ppf "@,  domain %d: %d pages, %.2fms" s.sh_domain s.sh_pages
+        s.sh_wall_ms)
+    p.rp_shards;
+  Fmt.pf ppf "@]"
+
+let now_ms () = Unix.gettimeofday () *. 1000.
+
+(** Materialize the site's pages.  [jobs = 1] with no cache is the
+    sequential reference path — a plain {!Template.Generator.generate}.
+    Otherwise the wave loop runs, on [jobs] domains (the main domain
+    renders a shard itself, so [jobs - 1] domains are spawned). *)
+let materialize ?(jobs = 1) ?cache ?file_loader
+    ?(templates = G.empty_templates) (g : Graph.t) ~(roots : Oid.t list) :
+    G.site * profile =
+  let t0 = now_ms () in
+  let jobs = max 1 jobs in
+  if jobs = 1 && cache = None then begin
+    let site = G.generate ?file_loader ~templates g ~roots in
+    let wall = now_ms () -. t0 in
+    let pages = G.page_count site in
+    ( site,
+      {
+        rp_jobs = 1;
+        rp_pages = pages;
+        rp_rendered = pages;
+        rp_waves = 1;
+        rp_shards = [ { sh_domain = 0; sh_pages = pages; sh_wall_ms = wall } ];
+        rp_cache_hits = 0;
+        rp_cache_misses = 0;
+        rp_cache_invalidations = 0;
+        rp_fallback = false;
+        rp_wall_ms = wall;
+      } )
+  end
+  else begin
+    (match cache with
+     | Some c -> Render_cache.set_templates c templates
+     | None -> ());
+    let h0, m0, i0 =
+      match cache with Some c -> Render_cache.stats c | None -> (0, 0, 0)
+    in
+    let trace = cache <> None in
+    let compiled = Array.init jobs (fun _ -> G.new_compiled ()) in
+    (* page → (rendered page, outgoing first-reference list) *)
+    let results : (G.page * Oid.t list) Oid.Tbl.t = Oid.Tbl.create 64 in
+    let seen = Oid.Tbl.create 64 in
+    let dedup os =
+      List.filter
+        (fun o ->
+          if Oid.Tbl.mem seen o then false
+          else begin
+            Oid.Tbl.add seen o ();
+            true
+          end)
+        os
+    in
+    let shard_pages = Array.make jobs 0 in
+    let shard_ms = Array.make jobs 0. in
+    let waves = ref 0 in
+    let rendered_count = ref 0 in
+    let frontier = ref (dedup roots) in
+    while !frontier <> [] do
+      incr waves;
+      (* cache validation runs sequentially on the main domain; only the
+         misses are sharded out *)
+      let to_render =
+        List.filter
+          (fun o ->
+            match cache with
+            | None -> true
+            | Some c -> (
+                match Render_cache.find_valid ?file_loader c g o with
+                | Some e ->
+                  Oid.Tbl.replace results o
+                    ( Render_cache.page_of_entry e o,
+                      Render_cache.refs_of_entry g e );
+                  false
+                | None -> true))
+          !frontier
+      in
+      rendered_count := !rendered_count + List.length to_render;
+      (* round-robin sharding keeps the shards balanced when page costs
+         are roughly uniform *)
+      let buckets = Array.make jobs [] in
+      List.iteri
+        (fun i o -> buckets.(i mod jobs) <- o :: buckets.(i mod jobs))
+        to_render;
+      let buckets = Array.map List.rev buckets in
+      (* each domain mutates only its own slots of shard_pages/shard_ms;
+         Domain.join publishes them to the main domain *)
+      let render_bucket i =
+        let t = now_ms () in
+        let out =
+          List.map
+            (fun o ->
+              ( o,
+                G.render_page_full ?file_loader ~templates
+                  ~compiled:compiled.(i) ~trace_reads:trace g o ))
+            buckets.(i)
+        in
+        shard_ms.(i) <- shard_ms.(i) +. (now_ms () -. t);
+        shard_pages.(i) <- shard_pages.(i) + List.length out;
+        out
+      in
+      let spawned =
+        List.init (jobs - 1) (fun k ->
+            let i = k + 1 in
+            if buckets.(i) = [] then None
+            else Some (Domain.spawn (fun () -> render_bucket i)))
+      in
+      (* render the main shard, then join everything before letting any
+         exception escape — never leave a domain running *)
+      let main_out = try Ok (render_bucket 0) with e -> Error e in
+      let joined =
+        List.map
+          (function
+            | None -> Ok []
+            | Some d -> ( try Ok (Domain.join d) with e -> Error e))
+          spawned
+      in
+      let outs =
+        List.map
+          (function Ok out -> out | Error e -> raise e)
+          (main_out :: joined)
+      in
+      List.iter
+        (List.iter (fun (o, (r : G.rendered)) ->
+             (match cache with
+              | Some c -> Render_cache.store c r
+              | None -> ());
+             Oid.Tbl.replace results o (r.G.r_page, r.G.r_refs)))
+        outs;
+      (* next wave: referenced objects not yet seen, discovered in
+         deterministic frontier × reference order *)
+      let next =
+        List.concat_map
+          (fun o ->
+            match Oid.Tbl.find_opt results o with
+            | Some (_, refs) -> refs
+            | None -> [])
+          !frontier
+      in
+      frontier := dedup next
+    done;
+    (* reconstruct the sequential generator's discovery order: a FIFO
+       over the recorded first-reference lists replays its queue *)
+    let queue = Queue.create () in
+    let qseen = Oid.Tbl.create 64 in
+    let enqueue o =
+      if not (Oid.Tbl.mem qseen o) then begin
+        Oid.Tbl.add qseen o ();
+        Queue.add o queue
+      end
+    in
+    List.iter enqueue roots;
+    let order = ref [] in
+    while not (Queue.is_empty queue) do
+      let o = Queue.pop queue in
+      order := o :: !order;
+      match Oid.Tbl.find_opt results o with
+      | Some (_, refs) -> List.iter enqueue refs
+      | None -> ()
+    done;
+    let pages =
+      List.filter_map
+        (fun o -> Option.map fst (Oid.Tbl.find_opt results o))
+        (List.rev !order)
+    in
+    let urls = Hashtbl.create 64 in
+    let collision =
+      List.exists
+        (fun (p : G.page) ->
+          Hashtbl.mem urls p.G.url
+          ||
+          (Hashtbl.add urls p.G.url ();
+           false))
+        pages
+    in
+    let mk_profile ~site_pages ~fallback =
+      {
+        rp_jobs = jobs;
+        rp_pages = site_pages;
+        rp_rendered = !rendered_count;
+        rp_waves = !waves;
+        rp_shards =
+          List.init jobs (fun i ->
+              {
+                sh_domain = i;
+                sh_pages = shard_pages.(i);
+                sh_wall_ms = shard_ms.(i);
+              });
+        rp_cache_hits =
+          (match cache with
+           | Some c ->
+             let h, _, _ = Render_cache.stats c in
+             h - h0
+           | None -> 0);
+        rp_cache_misses =
+          (match cache with
+           | Some c ->
+             let _, m, _ = Render_cache.stats c in
+             m - m0
+           | None -> 0);
+        rp_cache_invalidations =
+          (match cache with
+           | Some c ->
+             let _, _, i = Render_cache.stats c in
+             i - i0
+           | None -> 0);
+        rp_fallback = fallback;
+        rp_wall_ms = now_ms () -. t0;
+      }
+    in
+    if collision then begin
+      (* distinct pages share a slug: only the sequential generator's
+         discovery-ordered uniquification produces the reference URLs,
+         and name-keyed cache entries are ambiguous — drop them *)
+      (match cache with Some c -> Render_cache.clear c | None -> ());
+      let site = G.generate ?file_loader ~templates g ~roots in
+      (site, mk_profile ~site_pages:(G.page_count site) ~fallback:true)
+    end
+    else
+      ( { G.pages; graph = g },
+        mk_profile ~site_pages:(List.length pages) ~fallback:false )
+  end

@@ -1,0 +1,53 @@
+(** Parallel page materialization on OCaml 5 domains.
+
+    Pages are rendered in waves: the current frontier is sharded
+    round-robin across [jobs] domains (page rendering is a pure
+    function of the graph), the objects the new pages link to form the
+    next frontier, and the fixpoint is the same demand-driven page set
+    the sequential generator discovers.  The canonical page order is
+    reconstructed afterwards from each page's recorded first-reference
+    list; on a URL collision (two pages sharing a slug) the pool falls
+    back to the sequential generator so output stays byte-identical to
+    the reference path.  A {!Render_cache} short-circuits rendering:
+    entries are re-verified on the main domain before each wave and
+    only the misses are sharded out. *)
+
+open Sgraph
+
+type shard = {
+  sh_domain : int;   (** 0 is the main domain *)
+  sh_pages : int;    (** pages this domain rendered, summed over waves *)
+  sh_wall_ms : float;
+}
+
+type profile = {
+  rp_jobs : int;
+  rp_pages : int;     (** pages in the final site *)
+  rp_rendered : int;  (** pages actually rendered (not served from cache) *)
+  rp_waves : int;
+  rp_shards : shard list;
+  rp_cache_hits : int;
+  rp_cache_misses : int;
+  rp_cache_invalidations : int;
+  rp_fallback : bool;
+      (** URL collision detected; the sequential generator's output was
+          used instead of the pool's *)
+  rp_wall_ms : float;  (** whole materialization, main-domain clock *)
+}
+
+val pp_profile : Format.formatter -> profile -> unit
+
+val materialize :
+  ?jobs:int ->
+  ?cache:Render_cache.t ->
+  ?file_loader:(string -> string option) ->
+  ?templates:Template.Generator.template_set ->
+  Graph.t ->
+  roots:Oid.t list ->
+  Template.Generator.site * profile
+(** Materialize the site's pages.  [jobs = 1] (the default) with no
+    cache is the sequential reference path, a plain
+    {!Template.Generator.generate}; otherwise the wave loop runs on
+    [jobs] domains ([jobs - 1] spawned — the main domain renders a
+    shard itself).  Output is byte-identical to the reference path on
+    every input (enforced by the differential suite). *)

@@ -48,6 +48,9 @@ type built = {
   query_stats : Struql.Exec.profile list;
       (** per-operator execution profile of each site-definition query,
           in evaluation order *)
+  render_profile : Render_pool.profile;
+      (** per-domain page-rendering profile of the HTML generation
+          phase (jobs, waves, shard times, cache hit counts) *)
 }
 
 exception Build_error of string
@@ -95,7 +98,7 @@ let build_site_graph ?scope ?into def (data : Graph.t) =
 let roots_of site_graph family =
   Schema.Verify.family_members site_graph family
 
-let build ?file_loader ~data (def : definition) : built =
+let build ?jobs ?render_cache ?file_loader ~data (def : definition) : built =
   Log.debug (fun m ->
       m "building site %s over %a" def.name Graph.pp_stats data);
   let site_graph, scope, schemas, query_stats =
@@ -108,9 +111,9 @@ let build ?file_loader ~data (def : definition) : built =
       (Build_error
          (Printf.sprintf "no pages of root family %s in site graph %s"
             def.root_family def.name));
-  let site =
-    Template.Generator.generate ?file_loader ~templates:def.templates
-      site_graph ~roots
+  let site, render_profile =
+    Render_pool.materialize ?jobs ?cache:render_cache ?file_loader
+      ~templates:def.templates site_graph ~roots
   in
   let verification = Schema.Verify.check_all_site site_graph def.constraints in
   List.iter
@@ -126,17 +129,27 @@ let build ?file_loader ~data (def : definition) : built =
       m "built site %s: %d pages, %d bytes" def.name
         (Template.Generator.page_count site)
         (Template.Generator.total_bytes site));
-  { def; data; site_graph; scope; schemas; site; verification; query_stats }
+  {
+    def;
+    data;
+    site_graph;
+    scope;
+    schemas;
+    site;
+    verification;
+    query_stats;
+    render_profile;
+  }
 
 (** Re-run only the HTML generator with different templates — the cheap
     way to produce another visual version of the same site graph
     (internal vs external AT&T site). *)
-let regenerate ?file_loader (b : built) templates : built =
+let regenerate ?jobs ?file_loader (b : built) templates : built =
   let roots = roots_of b.site_graph b.def.root_family in
-  let site =
-    Template.Generator.generate ?file_loader ~templates b.site_graph ~roots
+  let site, render_profile =
+    Render_pool.materialize ?jobs ?file_loader ~templates b.site_graph ~roots
   in
-  { b with site; def = { b.def with templates } }
+  { b with site; render_profile; def = { b.def with templates } }
 
 let violations (b : built) =
   List.filter_map

@@ -42,6 +42,9 @@ type built = {
   query_stats : Struql.Exec.profile list;
       (** per-operator execution profile of each site-definition query,
           in evaluation order *)
+  render_profile : Render_pool.profile;
+      (** per-domain page-rendering profile of the HTML generation
+          phase (jobs, waves, shard times, cache hit counts) *)
 }
 
 exception Build_error of string
@@ -64,12 +67,18 @@ val roots_of : Graph.t -> string -> Oid.t list
 (** Members of the root Skolem family in a site graph. *)
 
 val build :
+  ?jobs:int ->
+  ?render_cache:Render_cache.t ->
   ?file_loader:(string -> string option) -> data:Graph.t -> definition ->
   built
 (** The full pipeline: site graph, schema, constraint verification,
-    HTML generation. *)
+    HTML generation.  [jobs] (default 1) fans page rendering out over
+    OCaml domains through {!Render_pool}; [render_cache] reuses pages
+    whose read traces still verify.  Output is byte-identical across
+    [jobs] values and cache states. *)
 
 val regenerate :
+  ?jobs:int ->
   ?file_loader:(string -> string option) ->
   built -> Template.Generator.template_set -> built
 (** Re-run only the HTML generator with different templates — another

@@ -56,23 +56,83 @@ let slug name =
   let s = Buffer.contents buf in
   if s = "" then "page" else s
 
+(* --- Read tracing (render-cache support) ---
+
+   A page's bytes are a function of (a) the template set, (b) the
+   page object's name, and (c) a set of graph reads: attribute lookups
+   (template expressions, anchors, titles, template selection),
+   out-edge enumerations (the generic property sheet), collection
+   memberships (template selection) and file loads.  Each read is
+   recorded together with a hash of its result, so a render cache can
+   later re-verify the trace against a changed graph and reuse the page
+   iff every read still returns the same answer (a verifying-trace
+   cache in the build-system sense).  Nodes contribute their {e names}
+   to hashes, not their oids, so traces survive rebuilds that allocate
+   fresh oids. *)
+
+type read =
+  | R_attr of string * string * int  (** node name, label, result hash *)
+  | R_edges of string * int          (** node name, out-edge list hash *)
+  | R_colls of string * int          (** node name, collection-list hash *)
+  | R_file of string * int           (** path, loaded-content hash *)
+
+(* FNV-style combining: [Hashtbl.hash] truncates structured data after
+   ~10 nodes, so lists are folded by hand (strings hash in full). *)
+let mixh acc h = (acc * 0x01000193) lxor h land max_int
+
+let hash_target = function
+  | Graph.N o -> mixh 17 (Hashtbl.hash (Oid.name o))
+  | Graph.V v ->
+    mixh 23
+      (mixh
+         (Hashtbl.hash (Value.to_display_string v))
+         (Hashtbl.hash (Value.kind_name v)))
+
+let hash_targets ts =
+  List.fold_left (fun acc t -> mixh acc (hash_target t)) 11 ts
+
+let hash_edges es =
+  List.fold_left
+    (fun acc (l, t) -> mixh (mixh acc (Hashtbl.hash l)) (hash_target t))
+    13 es
+
+let hash_strings ss =
+  List.fold_left (fun acc s -> mixh acc (Hashtbl.hash s)) 19 ss
+
+let hash_file = function None -> 0 | Some s -> mixh 29 (Hashtbl.hash s)
+
 (* --- Anchor text for links to internal objects --- *)
 
 let anchor_attrs = [ "title"; "name"; "Name"; "label"; "Year"; "year" ]
 
-let default_anchor g o =
+(* [note] records the probed attributes (tracing must see the misses
+   too: adding a [title] later must invalidate the page). *)
+let default_anchor_noting note g o =
   let rec first = function
     | [] -> Teval.escape_html (Oid.name o)
     | a :: rest -> (
-        match Graph.attr_value g o a with
+        let targets = Graph.attr g o a in
+        (match note with
+         | Some f -> f (R_attr (Oid.name o, a, hash_targets targets))
+         | None -> ());
+        let rec first_value = function
+          | [] -> None
+          | Graph.V v :: _ -> Some v
+          | Graph.N _ :: tl -> first_value tl
+        in
+        match first_value targets with
         | Some v -> Teval.escape_html (Value.to_display_string v)
         | None -> first rest)
   in
   first anchor_attrs
 
+let default_anchor g o = default_anchor_noting None g o
+
 (* --- Template selection --- *)
 
 type compiled = { cache : (string, Tast.t) Hashtbl.t }
+
+let new_compiled () = { cache = Hashtbl.create 16 }
 
 let compile_cached c key text =
   match Hashtbl.find_opt c.cache key with
@@ -82,7 +142,18 @@ let compile_cached c key text =
     Hashtbl.add c.cache key t;
     t
 
-let select_template c (ts : template_set) g o : Tast.t option =
+let select_template ?note c (ts : template_set) g o : Tast.t option =
+  (* the selection depends on two graph reads — record both so a cache
+     re-verifies the choice (the object-name branch reads nothing) *)
+  (match note with
+   | Some f ->
+     f
+       (R_attr
+          ( Oid.name o,
+            "HTML-template",
+            hash_targets (Graph.attr g o "HTML-template") ));
+     f (R_colls (Oid.name o, hash_strings (Graph.collections_of g o)))
+   | None -> ());
   match List.assoc_opt (Oid.name o) ts.by_object with
   | Some text -> Some (compile_cached c ("obj:" ^ Oid.name o) text)
   | None -> (
@@ -194,7 +265,7 @@ let generate ?(file_loader = fun _ -> None) ?(templates = empty_templates)
         g o
   in
   let ctx =
-    { Teval.graph = g; vars = []; render_object; file_loader }
+    { Teval.graph = g; vars = []; render_object; file_loader; on_read = None }
   in
   List.iter (fun o -> ignore (ensure_page o)) roots;
   let pages = ref [] in
@@ -212,20 +283,65 @@ let generate ?(file_loader = fun _ -> None) ?(templates = empty_templates)
   done;
   { pages = List.rev !pages; graph = g }
 
+type rendered = {
+  r_page : page;
+  r_reads : read list;
+      (** the page's read set with result hashes, in read order (empty
+          unless rendered with [~trace_reads:true]) *)
+  r_refs : Oid.t list;
+      (** internal objects the page links to, in first-reference order —
+          the demand edges page discovery follows *)
+}
+
 (** Render a single object's page without materializing the rest of the
     site: links to internal objects get their deterministic URLs (slug
     of the object name) but the linked pages are not generated.  This
-    is the rendering primitive of the click-time evaluator. *)
-let render_page ?(file_loader = fun _ -> None) ?(templates = empty_templates)
-    (g : Graph.t) (o : Oid.t) : page =
-  let compiled = { cache = Hashtbl.create 16 } in
+    is the rendering primitive of the click-time evaluator, the
+    incremental rebuilder and the parallel render pool.  [compiled]
+    shares the template-compilation cache across pages (one per domain
+    in the parallel pool); [trace_reads] records the page's read set for
+    the render cache; the referenced-object list is always recorded. *)
+let render_page_full ?(file_loader = fun _ -> None)
+    ?(templates = empty_templates) ?compiled ?(trace_reads = false)
+    (g : Graph.t) (o : Oid.t) : rendered =
+  let compiled =
+    match compiled with Some c -> c | None -> new_compiled ()
+  in
+  let reads_rev = ref [] in
+  let note_f r = reads_rev := r :: !reads_rev in
+  let note = if trace_reads then Some note_f else None in
+  let refs_rev = ref [] in
+  let ref_seen = Oid.Tbl.create 8 in
+  let note_ref o' =
+    if not (Oid.Tbl.mem ref_seen o') then begin
+      Oid.Tbl.add ref_seen o' ();
+      refs_rev := o' :: !refs_rev
+    end
+  in
+  let on_read =
+    if trace_reads then
+      Some
+        (fun o' seg targets ->
+          note_f (R_attr (Oid.name o', seg, hash_targets targets)))
+    else None
+  in
+  let file_loader =
+    if trace_reads then (fun p ->
+      let r = file_loader p in
+      note_f (R_file (p, hash_file r));
+      r)
+    else file_loader
+  in
   let depth = ref 0 in
   let embedding = Oid.Tbl.create 8 in
   let rec render_object ctx mode o' =
     match mode with
     | Teval.Link_to anchor ->
+      note_ref o';
       let anchor =
-        match anchor with Some a -> a | None -> default_anchor g o'
+        match anchor with
+        | Some a -> a
+        | None -> default_anchor_noting note g o'
       in
       Teval.render_link ~href:(slug (Oid.name o') ^ ".html") ~anchor
     | Teval.Embed ->
@@ -240,27 +356,45 @@ let render_page ?(file_loader = fun _ -> None) ?(templates = empty_templates)
         body
       end
   and render_body ctx o' =
-    match select_template compiled templates g o' with
+    match select_template ?note compiled templates g o' with
     | Some t -> Teval.render { ctx with Teval.vars = [] } t o'
     | None ->
+      (match note with
+       | Some f ->
+         f (R_edges (Oid.name o', hash_edges (Graph.out_edges g o')))
+       | None -> ());
       default_render
         (fun tgt -> Teval.render_target ctx o' Tast.default_directives tgt)
         g o'
   in
-  let ctx = { Teval.graph = g; vars = []; render_object; file_loader } in
+  let ctx =
+    { Teval.graph = g; vars = []; render_object; file_loader; on_read }
+  in
   let body = render_body ctx o in
+  (match note with
+   | Some f ->
+     f (R_attr (Oid.name o, "title", hash_targets (Graph.attr g o "title")))
+   | None -> ());
   let title =
     match Graph.attr_value g o "title" with
     | Some v -> Value.to_display_string v
     | None -> Oid.name o
   in
   {
-    obj = o;
-    url = slug (Oid.name o) ^ ".html";
-    title;
-    html = wrap_page ~title body;
-    body;
+    r_page =
+      {
+        obj = o;
+        url = slug (Oid.name o) ^ ".html";
+        title;
+        html = wrap_page ~title body;
+        body;
+      };
+    r_reads = List.rev !reads_rev;
+    r_refs = List.rev !refs_rev;
   }
+
+let render_page ?file_loader ?templates (g : Graph.t) (o : Oid.t) : page =
+  (render_page_full ?file_loader ?templates g o).r_page
 
 let page_count site = List.length site.pages
 

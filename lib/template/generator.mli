@@ -45,6 +45,33 @@ type site = {
 val slug : string -> string
 (** URL-safe name fragment used for page file names. *)
 
+(** {1 Read tracing}
+
+    A rendered page's bytes are a function of the template set, the
+    page object's name and a set of graph reads.  [render_page_full
+    ~trace_reads:true] records each read with a hash of its result so a
+    render cache can later re-verify the trace against a changed graph
+    and reuse the page iff every read still returns the same answer.
+    Node hashes use {e names}, not oids, so traces survive rebuilds
+    that allocate fresh oids. *)
+
+type read =
+  | R_attr of string * string * int  (** node name, label, result hash *)
+  | R_edges of string * int          (** node name, out-edge list hash *)
+  | R_colls of string * int          (** node name, collection-list hash *)
+  | R_file of string * int           (** path, loaded-content hash *)
+
+val hash_targets : Graph.target list -> int
+val hash_edges : (string * Graph.target) list -> int
+val hash_strings : string list -> int
+val hash_file : string option -> int
+
+type compiled
+(** Template-compilation cache; share one per rendering thread of
+    control (e.g. one per domain in the parallel render pool). *)
+
+val new_compiled : unit -> compiled
+
 val default_anchor : Graph.t -> Oid.t -> string
 (** Anchor text for a link to an object: its [title]/[name]/... if
     present, else the object name (HTML-escaped). *)
@@ -60,13 +87,33 @@ val generate :
     emitted page also becomes a page, transitively.  [file_loader]
     supplies the contents of text/HTML file values for inlining. *)
 
+type rendered = {
+  r_page : page;
+  r_reads : read list;
+      (** the page's read set with result hashes, in read order (empty
+          unless rendered with [~trace_reads:true]) *)
+  r_refs : Oid.t list;
+      (** internal objects the page links to, in first-reference order —
+          the demand edges page discovery follows *)
+}
+
+val render_page_full :
+  ?file_loader:(string -> string option) ->
+  ?templates:template_set ->
+  ?compiled:compiled ->
+  ?trace_reads:bool ->
+  Graph.t -> Oid.t -> rendered
+(** Render a single object's page without materializing the rest of the
+    site — the rendering primitive of the click-time evaluator, the
+    incremental rebuilder and the parallel render pool.  Links to
+    internal objects get their deterministic URL ([slug name ^
+    ".html"]) but the linked pages are not generated. *)
+
 val render_page :
   ?file_loader:(string -> string option) ->
   ?templates:template_set ->
   Graph.t -> Oid.t -> page
-(** Render a single object's page without materializing the rest of the
-    site — the rendering primitive of the click-time evaluator.  Links
-    get their deterministic URLs but linked pages are not generated. *)
+(** [render_page_full] without tracing, returning just the page. *)
 
 val page_count : site -> int
 val find_page : site -> string -> page option

@@ -20,7 +20,19 @@ type ctx = {
   vars : (string * Graph.target) list;  (** SFOR bindings, innermost first *)
   render_object : ctx -> obj_mode -> Oid.t -> string;
   file_loader : string -> string option;
+  on_read : (Oid.t -> string -> Graph.target list -> unit) option;
+      (** read-set tracing hook: called on every attribute read the
+          template evaluation performs, with the object, the attribute
+          name and the full target list the read returned.  [None] (the
+          common case) keeps the hot path free of tracing. *)
 }
+
+(* Every graph read of the evaluator funnels through here so a render
+   cache can record the page's exact read set. *)
+let read_attr ctx o seg =
+  let targets = Graph.attr ctx.graph o seg in
+  (match ctx.on_read with Some f -> f o seg targets | None -> ());
+  targets
 
 let escape_html s =
   let buf = Buffer.create (String.length s) in
@@ -49,7 +61,7 @@ let eval_attr_expr ctx obj (ae : Tast.attr_expr) : Graph.target list =
       List.concat_map
         (fun t ->
           match t with
-          | Graph.N o -> Graph.attr ctx.graph o seg
+          | Graph.N o -> read_attr ctx o seg
           | Graph.V _ -> [])
         targets)
     start segs

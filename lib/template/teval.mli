@@ -20,6 +20,10 @@ type ctx = {
   vars : (string * Graph.target) list;  (** SFOR bindings, innermost first *)
   render_object : ctx -> obj_mode -> Oid.t -> string;
   file_loader : string -> string option;
+  on_read : (Oid.t -> string -> Graph.target list -> unit) option;
+      (** read-set tracing hook: called on every attribute read template
+          evaluation performs (object, attribute, returned targets).
+          [None] keeps the hot path free of tracing. *)
 }
 
 val escape_html : string -> string

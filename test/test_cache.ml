@@ -1,0 +1,186 @@
+(* Correctness of the dependency-tracked render cache: cache-assisted
+   incremental rebuilds must equal cold full builds page-for-page under
+   random edit scripts; traces must hit on unchanged graphs, invalidate
+   exactly on observed reads, and die wholesale on template changes. *)
+
+open Sgraph
+
+let t name f = Alcotest.test_case name `Quick f
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let page_map = Test_end_to_end_props.page_map
+let articles = Test_end_to_end_props.articles
+
+(* --- the fuzz property: random edit scripts --- *)
+
+let cache_rebuild_equals_full ~jobs muts =
+  let data0 = Sites.Cnn.data ~articles () in
+  let cache = Strudel.Render_cache.create () in
+  let previous =
+    Strudel.Site.build ~render_cache:cache ~data:data0 Sites.Cnn.definition
+  in
+  let data1 = Sites.Cnn.data ~articles () in
+  Test_end_to_end_props.apply_mutations data1 articles muts;
+  let inc =
+    Strudel.Incremental.rebuild ~jobs ~cache ~previous ~data:data1 ()
+  in
+  let full = Strudel.Site.build ~data:data1 Sites.Cnn.definition in
+  page_map inc.Strudel.Incremental.built.Strudel.Site.site
+  = page_map full.Strudel.Site.site
+
+(* --- unit tests --- *)
+
+let no_change_all_hits () =
+  let data = Sites.Cnn.data ~articles:12 () in
+  let cache = Strudel.Render_cache.create () in
+  let previous =
+    Strudel.Site.build ~render_cache:cache ~data Sites.Cnn.definition
+  in
+  Strudel.Render_cache.reset_stats cache;
+  let report = Strudel.Incremental.rebuild ~cache ~previous ~data () in
+  check_int "every page reused" report.Strudel.Incremental.pages_total
+    report.Strudel.Incremental.pages_reused;
+  check_int "nothing re-rendered" 0
+    report.Strudel.Incremental.pages_rerendered;
+  let hits, _, invalidations = Strudel.Render_cache.stats cache in
+  check_int "all hits" report.Strudel.Incremental.pages_total hits;
+  check_int "no invalidations" 0 invalidations
+
+let targeted_invalidation () =
+  let data0 = Sites.Cnn.data ~articles:12 () in
+  let cache = Strudel.Render_cache.create () in
+  let previous =
+    Strudel.Site.build ~render_cache:cache ~data:data0 Sites.Cnn.definition
+  in
+  Strudel.Render_cache.reset_stats cache;
+  let data1 = Sites.Cnn.data ~articles:12 () in
+  Test_end_to_end_props.apply_mutations data1 12
+    [ Test_end_to_end_props.Set_headline (3, "Hedited") ];
+  let report = Strudel.Incremental.rebuild ~cache ~previous ~data:data1 () in
+  let _, _, invalidations = Strudel.Render_cache.stats cache in
+  check_bool "some page invalidated" true (invalidations >= 1);
+  check_bool "but not the whole site" true
+    (report.Strudel.Incremental.pages_rerendered
+    < report.Strudel.Incremental.pages_total);
+  let full = Strudel.Site.build ~data:data1 Sites.Cnn.definition in
+  check_bool "equals cold full build" true
+    (page_map report.Strudel.Incremental.built.Strudel.Site.site
+    = page_map full.Strudel.Site.site)
+
+let template_change_clears () =
+  let data = Sites.Cnn.data ~articles:8 () in
+  let cache = Strudel.Render_cache.create () in
+  let _ = Strudel.Site.build ~render_cache:cache ~data Sites.Cnn.definition in
+  check_bool "cache populated" true (Strudel.Render_cache.size cache > 0);
+  Strudel.Render_cache.reset_stats cache;
+  (* same data, edited presentation: the traces can't see template text,
+     so the fingerprint guard must drop every entry *)
+  let ts = Sites.Cnn.definition.Strudel.Site.templates in
+  let def2 =
+    {
+      Sites.Cnn.definition with
+      Strudel.Site.templates =
+        {
+          ts with
+          Template.Generator.by_collection =
+            List.map
+              (fun (c, text) -> (c, text ^ "\n<!-- v2 -->"))
+              ts.Template.Generator.by_collection;
+        };
+    }
+  in
+  let b2 = Strudel.Site.build ~render_cache:cache ~data def2 in
+  let hits, _, _ = Strudel.Render_cache.stats cache in
+  check_int "no stale hit across template change" 0 hits;
+  let cold = Strudel.Site.build ~data def2 in
+  check_bool "rebuilt output equals cold build with new templates" true
+    (page_map b2.Strudel.Site.site = page_map cold.Strudel.Site.site)
+
+(* trace semantics at the Render_cache level: hit on an unchanged
+   graph, invalidation exactly when an observed read changes *)
+let find_valid_semantics () =
+  let g = Graph.create ~name:"rc" () in
+  let o = Graph.new_node g "obj" in
+  Graph.add_edge g o "k" (Graph.V (Value.String "v1"));
+  let cache = Strudel.Render_cache.create () in
+  let r = Template.Generator.render_page_full ~trace_reads:true g o in
+  Strudel.Render_cache.store cache r;
+  (match Strudel.Render_cache.find_valid cache g o with
+   | Some e ->
+     check_bool "hit returns the rendered bytes" true
+       (e.Strudel.Render_cache.e_html
+       = r.Template.Generator.r_page.Template.Generator.html)
+   | None -> Alcotest.fail "expected a hit on the unchanged graph");
+  (* change an attribute the property sheet read *)
+  Graph.remove_edge g o "k" (Graph.V (Value.String "v1"));
+  Graph.add_edge g o "k" (Graph.V (Value.String "v2"));
+  check_bool "edit invalidates" true
+    (Strudel.Render_cache.find_valid cache g o = None);
+  let hits, misses, invalidations = Strudel.Render_cache.stats cache in
+  check_int "one hit" 1 hits;
+  check_int "one invalidation" 1 invalidations;
+  (* the stale entry was dropped: next lookup is a plain miss *)
+  check_bool "stale entry removed" true
+    (Strudel.Render_cache.find_valid cache g o = None);
+  check_int "then a miss" (misses + 1)
+    (let _, m, _ = Strudel.Render_cache.stats cache in
+     m)
+
+(* click-time sessions sit on the same cache: revisits hit, and a
+   mutation of the partial graph re-renders exactly the touched page *)
+let clicktime_hit_and_invalidation () =
+  let data, _ = Ddl.parse ~graph_name:"ct" "object a in C { k 1 }\n" in
+  let def =
+    Strudel.Site.define ~name:"ct-site" ~root_family:"RootPage"
+      [
+        ( "site",
+          {|WHERE C(x), x -> "k" -> v
+            CREATE RootPage(), P(x)
+            LINK RootPage() -> "item" -> P(x), P(x) -> "key" -> v
+            COLLECT Pages(P(x))|} );
+      ]
+  in
+  let ct = Strudel.Materialize.Click_time.start ~data def in
+  let root = List.hd (Strudel.Materialize.Click_time.roots ct) in
+  let h1 = Strudel.Materialize.Click_time.browse ct root in
+  let h2 = Strudel.Materialize.Click_time.browse ct root in
+  check_bool "revisit is byte-identical" true (h1 = h2);
+  let st = Strudel.Materialize.Click_time.stats ct in
+  check_int "revisit hit the cache" 1
+    st.Strudel.Materialize.Click_time.cache_hits;
+  (* no template: the render traced the root's out-edge list, so a new
+     edge on the root must invalidate its page *)
+  Graph.add_edge ct.Strudel.Materialize.Click_time.partial root "extra"
+    (Graph.V (Value.String "late"));
+  let h3 = Strudel.Materialize.Click_time.browse ct root in
+  let st = Strudel.Materialize.Click_time.stats ct in
+  check_int "mutation invalidated the page" 1
+    st.Strudel.Materialize.Click_time.cache_invalidations;
+  check_bool "re-render sees the new edge" true (h3 <> h2)
+
+let muts_arb = Test_end_to_end_props.muts_arb
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make
+         ~name:
+           "cache-assisted incremental rebuild equals cold full build \
+            (random edit scripts)"
+         ~count:20 muts_arb
+         (cache_rebuild_equals_full ~jobs:1));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make
+         ~name:
+           "cache-assisted rebuild on 4 domains equals cold full build \
+            (random edit scripts)"
+         ~count:10 muts_arb
+         (cache_rebuild_equals_full ~jobs:4));
+    t "no-change rebuild hits on every page" no_change_all_hits;
+    t "one edit invalidates only dependent pages" targeted_invalidation;
+    t "template change clears the cache" template_change_clears;
+    t "find_valid: hit, invalidation, removal" find_valid_semantics;
+    t "click-time revisits hit; partial-graph edits invalidate"
+      clicktime_hit_and_invalidation;
+  ]

@@ -127,4 +127,52 @@ let suite =
         Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
         Sys.rmdir dir;
         List.iter Sys.remove [ d; q; tpl ]));
+    t "build: --jobs output identical, --stats prints profile"
+      (guard (fun () ->
+        let d = write_tmp ".ddl" Sites.Paper_example.data_ddl in
+        let q = write_tmp ".struql" Sites.Paper_example.site_query in
+        let build_to jobs =
+          let dir = Filename.temp_file "strudelsite" "" in
+          Sys.remove dir;
+          let code, out =
+            run_cmd
+              (Filename.quote cli ^ " build -d " ^ Filename.quote d ^ " -q "
+               ^ Filename.quote q ^ " --root RootPage --jobs "
+               ^ string_of_int jobs ^ " --stats -o " ^ Filename.quote dir)
+          in
+          let pages =
+            List.sort compare
+              (List.map
+                 (fun f ->
+                   let ic = open_in_bin (Filename.concat dir f) in
+                   let n = in_channel_length ic in
+                   let s = really_input_string ic n in
+                   close_in ic;
+                   (f, s))
+                 (Array.to_list (Sys.readdir dir)))
+          in
+          Array.iter
+            (fun f -> Sys.remove (Filename.concat dir f))
+            (Sys.readdir dir);
+          Sys.rmdir dir;
+          (code, out, pages)
+        in
+        let code1, out1, pages1 = build_to 1 in
+        let code4, out4, pages4 = build_to 4 in
+        List.iter Sys.remove [ d; q ];
+        check_int "jobs=1 exit 0" 0 code1;
+        check_int "jobs=4 exit 0" 0 code4;
+        check_bool "stats profile printed" true (contains out1 "jobs=1");
+        check_bool "stats shows 4 domains" true (contains out4 "jobs=4");
+        check_bool "written files byte-identical" true (pages1 = pages4)));
+    t "bench: unknown experiment name exits nonzero"
+      (guard (fun () ->
+        let code, _ = run_cmd "../bench/main.exe E99_no_such_experiment" in
+        check_bool "nonzero" true (code <> 0)));
+    t "bench: named experiment selection runs"
+      (guard (fun () ->
+        let code, out = run_cmd "../bench/main.exe E2" in
+        check_int "exit 0" 0 code;
+        check_bool "ran E2" true (contains out "E2");
+        check_bool "ran only E2" true (not (contains out "E1 —"))));
   ]

@@ -1,0 +1,135 @@
+(* Differential suite for the parallel render pool: builds at jobs ∈
+   {2,4,8} must be byte-identical to the sequential reference path —
+   same page URLs, same bytes, same Skolem page identities, in the same
+   order — on every example site and under randomized mutations of the
+   data graph.  Also pins the slug-collision fallback. *)
+
+open Sgraph
+
+let t name f = Alcotest.test_case name `Quick f
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let job_levels = [ 2; 4; 8 ]
+
+(* (url, skolem name, html) per page, in generator order: comparing the
+   full triple list checks byte-identity AND identical page identities
+   AND identical discovery order at once *)
+let page_triples (site : Template.Generator.site) =
+  List.map
+    (fun (p : Template.Generator.page) ->
+      ( p.Template.Generator.url,
+        Oid.name p.Template.Generator.obj,
+        p.Template.Generator.html ))
+    site.Template.Generator.pages
+
+let sites_under_test () =
+  [
+    ("paper", Sites.Paper_example.definition, Sites.Paper_example.data ());
+    ("cnn", Sites.Cnn.definition, Sites.Cnn.data ~articles:20 ());
+    ( "org",
+      Sites.Org.definition,
+      let _, w = Sites.Org.data ~people:20 ~orgs:3 () in
+      Mediator.Warehouse.graph w );
+    ("homepage", Sites.Homepage.definition, Sites.Homepage.data ~entries:12 ());
+    ("rodin", Sites.Rodin.definition, Sites.Rodin.data ~extra_projects:2 ());
+  ]
+
+let example_site_tests =
+  List.map
+    (fun (name, def, data) ->
+      t
+        (Printf.sprintf "%s: parallel builds byte-identical to sequential"
+           name)
+        (fun () ->
+          let reference = Strudel.Site.build ~data def in
+          let seq_pages = page_triples reference.Strudel.Site.site in
+          check_bool (name ^ " has pages") true (seq_pages <> []);
+          List.iter
+            (fun jobs ->
+              let b = Strudel.Site.build ~jobs ~data def in
+              let prof = b.Strudel.Site.render_profile in
+              check_int
+                (Printf.sprintf "%s jobs=%d profile jobs" name jobs)
+                jobs prof.Strudel.Render_pool.rp_jobs;
+              check_bool
+                (Printf.sprintf "%s jobs=%d no fallback" name jobs)
+                false prof.Strudel.Render_pool.rp_fallback;
+              check_bool
+                (Printf.sprintf "%s jobs=%d pages identical" name jobs)
+                true
+                (page_triples b.Strudel.Site.site = seq_pages))
+            job_levels))
+    (sites_under_test ())
+
+(* randomized inputs: the site queries run over randomly mutated data
+   graphs; the parallel build must track the sequential one on each *)
+let parallel_equals_sequential_random muts =
+  let data = Sites.Cnn.data ~articles:Test_end_to_end_props.articles () in
+  Test_end_to_end_props.apply_mutations data Test_end_to_end_props.articles
+    muts;
+  let reference = Strudel.Site.build ~data Sites.Cnn.definition in
+  List.for_all
+    (fun jobs ->
+      let b = Strudel.Site.build ~jobs ~data Sites.Cnn.definition in
+      page_triples b.Strudel.Site.site
+      = page_triples reference.Strudel.Site.site)
+    job_levels
+
+(* two distinct page objects sharing a name share a slug; only the
+   sequential generator's discovery-ordered uniquification produces the
+   reference URLs, so the pool must detect the collision and fall back *)
+let collision_fallback () =
+  let g = Graph.create ~name:"collide" () in
+  let root = Graph.new_node g "root" in
+  let d1 = Graph.new_node g "dup" in
+  let d2 = Graph.new_node g "dup" in
+  Graph.add_edge g root "first" (Graph.N d1);
+  Graph.add_edge g root "second" (Graph.N d2);
+  Graph.add_edge g d1 "kind" (Graph.V (Value.String "one"));
+  Graph.add_edge g d2 "kind" (Graph.V (Value.String "two"));
+  let reference = Template.Generator.generate g ~roots:[ root ] in
+  let site, prof = Strudel.Render_pool.materialize ~jobs:4 g ~roots:[ root ] in
+  check_bool "fallback detected" true prof.Strudel.Render_pool.rp_fallback;
+  check_bool "pages equal sequential" true
+    (page_triples site = page_triples reference);
+  (* the reference really does uniquify: three pages, distinct URLs *)
+  check_int "three pages" 3 (Template.Generator.page_count reference);
+  let urls =
+    List.map (fun (u, _, _) -> u) (page_triples reference)
+    |> List.sort_uniq compare
+  in
+  check_int "distinct urls" 3 (List.length urls)
+
+(* profile sanity on the wave path: every rendered page is attributed
+   to exactly one shard, and shard page counts sum to the total *)
+let profile_accounts_pages () =
+  let data = Sites.Cnn.data ~articles:20 () in
+  let b = Strudel.Site.build ~jobs:4 ~data Sites.Cnn.definition in
+  let prof = b.Strudel.Site.render_profile in
+  let shard_sum =
+    List.fold_left
+      (fun n (s : Strudel.Render_pool.shard) ->
+        n + s.Strudel.Render_pool.sh_pages)
+      0 prof.Strudel.Render_pool.rp_shards
+  in
+  check_int "shards account for every render"
+    prof.Strudel.Render_pool.rp_rendered shard_sum;
+  check_int "no cache, so rendered = pages" prof.Strudel.Render_pool.rp_pages
+    prof.Strudel.Render_pool.rp_rendered;
+  check_bool "at least one wave" true (prof.Strudel.Render_pool.rp_waves >= 1)
+
+let suite =
+  example_site_tests
+  @ [
+      QCheck_alcotest.to_alcotest
+        (QCheck.Test.make
+           ~name:
+             "parallel builds equal sequential on randomized site inputs \
+              (jobs 2,4,8)"
+           ~count:10 Test_end_to_end_props.muts_arb
+           parallel_equals_sequential_random);
+      t "slug collision falls back to the sequential generator"
+        collision_fallback;
+      t "render profile accounts for every page" profile_accounts_pages;
+    ]

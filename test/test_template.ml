@@ -38,6 +38,7 @@ let render_str ?(vars = []) g obj tpl =
           | Teval.Link_to (Some a) -> "[link " ^ Oid.name o ^ " as " ^ a ^ "]"
           | Teval.Link_to None -> "[link " ^ Oid.name o ^ "]");
       file_loader = (fun _ -> None);
+      on_read = None;
     }
   in
   Teval.render ctx (Tparse.parse tpl) obj
@@ -105,6 +106,7 @@ let value_rules =
             vars = [];
             render_object = (fun _ _ _ -> "");
             file_loader = (fun p -> if p = "a.txt" then Some "CONTENT" else None);
+            on_read = None;
           }
         in
         check_str "inlined" "<pre>CONTENT</pre>"
