@@ -991,6 +991,168 @@ let e17 () =
   Fmt.pr "parallel/cache profile written to BENCH_parallel.json@."
 
 (* ----------------------------------------------------------------- *)
+(* E18 — fault tolerance: degraded-build overhead, retry latency      *)
+(* ----------------------------------------------------------------- *)
+
+let percentile sorted p =
+  match Array.length sorted with
+  | 0 -> 0.
+  | n -> sorted.(min (n - 1) (int_of_float (p *. float_of_int n)))
+
+let e18 () =
+  section "E18"
+    "fault tolerance: degraded-build overhead and retry-latency \
+     distribution";
+  (* -- degraded builds: what does surviving a faulty render cost? --
+     The injector fires on a fixed share of pages (decisions are a pure
+     hash of (seed, page), so every jobs level degrades identically);
+     overhead is measured against the same build with the injector
+     present but disarmed, isolating the cost of quarantine +
+     placeholder emission from the cost of carrying the fault ctx. *)
+  let sites =
+    [
+      ("cnn-100", Sites.Cnn.definition, Sites.Cnn.data ~articles:100 ());
+      ( "org-100",
+        Sites.Org.definition,
+        let _, w = Sites.Org.data ~people:100 ~orgs:6 () in
+        Mediator.Warehouse.graph w );
+    ]
+  in
+  let job_levels = [ 1; 4 ] in
+  let p_render = 0.3 in
+  let site_entries =
+    List.map
+      (fun (name, def, data) ->
+        let clean, t_clean = wall_it (fun () -> Strudel.Site.build ~data def) in
+        let pages =
+          Template.Generator.page_count clean.Strudel.Site.site
+        in
+        Fmt.pr "@.%-10s clean reference: %d pages, %.1f ms@." name pages
+          t_clean;
+        Fmt.pr "  %-8s %12s %12s %10s %9s %10s@." "jobs" "degraded ms"
+          "recovery ms" "broken" "overhead" "identical";
+        let runs =
+          List.map
+            (fun jobs ->
+              let inject =
+                Fault.Inject.create ~seed:42 ~p_render ()
+              in
+              let b, t_degraded =
+                wall_it (fun () ->
+                    Strudel.Site.build ~jobs ~on_error:Fault.Degrade
+                      ~fault:(Fault.ctx ~inject ()) ~data def)
+              in
+              let broken =
+                List.length
+                  (List.filter Template.Generator.is_placeholder
+                     b.Strudel.Site.site.Template.Generator.pages)
+              in
+              (* the faults clear: same pipeline, injector disarmed *)
+              Fault.Inject.disarm inject;
+              let r, t_recovery =
+                wall_it (fun () ->
+                    Strudel.Site.build ~jobs ~on_error:Fault.Degrade
+                      ~fault:(Fault.ctx ~inject ()) ~data def)
+              in
+              let identical =
+                pages_identical clean.Strudel.Site.site r.Strudel.Site.site
+              in
+              let overhead = t_degraded /. t_recovery in
+              Fmt.pr "  %-8d %12.1f %12.1f %10d %8.2fx %10b@." jobs
+                t_degraded t_recovery broken overhead identical;
+              (jobs, t_degraded, t_recovery, broken, overhead, identical))
+            job_levels
+        in
+        (name, t_clean, pages, runs))
+      sites
+  in
+  (* -- retry latency on virtual time: the backoff schedule is policy,
+     not luck, so the distribution is computed exactly — each trial
+     draws per-attempt failures from a seeded PRNG, runs the real
+     Retry.run loop on a virtual clock, and records the total time the
+     loop would have slept. -- *)
+  Fmt.pr "@.retry latency (virtual time, %d trials per point):@." 1000;
+  Fmt.pr "  %-12s %8s %12s %10s %10s %10s@." "p(fail)" "success"
+    "mean ms" "p50 ms" "p95 ms" "max ms";
+  let trials = 1000 in
+  let retry_entries =
+    List.map
+      (fun p_fail ->
+        let rng = Random.State.make [| 0xE18; int_of_float (p_fail *. 100.) |] in
+        let latencies = Array.make trials 0. in
+        let successes = ref 0 in
+        for i = 0 to trials - 1 do
+          let clock, sleeps = Fault.Clock.virtual_ () in
+          let r =
+            Fault.Retry.run ~clock ~retry:Fault.Policy.default_retry
+              (fun ~attempt:_ ->
+                if Random.State.float rng 1.0 < p_fail then
+                  failwith "transient"
+                else ())
+          in
+          if r = Ok () then incr successes;
+          latencies.(i) <- List.fold_left ( +. ) 0. (sleeps ())
+        done;
+        Array.sort compare latencies;
+        let mean =
+          Array.fold_left ( +. ) 0. latencies /. float_of_int trials
+        in
+        let p50 = percentile latencies 0.50 in
+        let p95 = percentile latencies 0.95 in
+        let p_max = latencies.(trials - 1) in
+        let success_rate = float_of_int !successes /. float_of_int trials in
+        Fmt.pr "  %-12.1f %7.1f%% %12.2f %10.1f %10.1f %10.1f@." p_fail
+          (100. *. success_rate) mean p50 p95 p_max;
+        (p_fail, success_rate, mean, p50, p95, p_max))
+      [ 0.1; 0.3; 0.5; 0.8 ]
+  in
+  Fmt.pr
+    "@.note: degraded output costs about what the equivalent clean \
+     build does — the placeholder path renders less, not more; \
+     recovery byte-identity is the property the fault suite \
+     enforces.@.";
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\n  \"experiment\": \"E18_fault_tolerance\",\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"p_render\": %.2f,\n  \"sites\": [\n" p_render);
+  List.iteri
+    (fun i (name, t_clean, pages, runs) ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"site\": \"%s\", \"pages\": %d, \"clean_ms\": %.3f, \
+            \"jobs\": ["
+           (json_escape name) pages t_clean);
+      List.iteri
+        (fun j (jobs, t_degraded, t_recovery, broken, overhead, identical) ->
+          if j > 0 then Buffer.add_string buf ", ";
+          Buffer.add_string buf
+            (Printf.sprintf
+               "{\"jobs\": %d, \"degraded_ms\": %.3f, \"recovery_ms\": \
+                %.3f, \"broken_pages\": %d, \"overhead\": %.3f, \
+                \"recovery_identical\": %b}"
+               jobs t_degraded t_recovery broken overhead identical))
+        runs;
+      Buffer.add_string buf "]}")
+    site_entries;
+  Buffer.add_string buf "\n  ],\n  \"retry_latency\": [\n";
+  List.iteri
+    (fun i (p_fail, success_rate, mean, p50, p95, p_max) ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"p_fail\": %.2f, \"trials\": %d, \"success_rate\": %.3f, \
+            \"mean_ms\": %.3f, \"p50_ms\": %.3f, \"p95_ms\": %.3f, \
+            \"max_ms\": %.3f}"
+           p_fail trials success_rate mean p50 p95 p_max))
+    retry_entries;
+  Buffer.add_string buf "\n  ]\n}\n";
+  let oc = open_out "BENCH_fault.json" in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Fmt.pr "fault-tolerance profile written to BENCH_fault.json@."
+
+(* ----------------------------------------------------------------- *)
 (* Bechamel microbenchmarks — one Test.make per measured experiment   *)
 (* ----------------------------------------------------------------- *)
 
@@ -1147,7 +1309,7 @@ let experiments =
     ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
     ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11);
     ("E12", e12); ("E13", e13); ("E14", e14); ("E15", e15); ("E16", e16);
-    ("E17", e17); ("micro", bechamel_suite);
+    ("E17", e17); ("E18", e18); ("micro", bechamel_suite);
   ]
 
 let () =

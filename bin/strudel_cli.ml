@@ -48,6 +48,21 @@ let or_die f =
   | Wrappers.Bibtex.Bibtex_error (msg, line) ->
     Fmt.epr "BibTeX error, line %d: %s@." line msg;
     exit 1
+  | Wrappers.Csv.Csv_error (msg, line, col) ->
+    Fmt.epr "CSV error, line %d, column %d: %s@." line col msg;
+    exit 1
+  | Wrappers.Structured_file.Structured_error (msg, line) ->
+    Fmt.epr "structured-file error, line %d: %s@." line msg;
+    exit 1
+  | Repository.Binary.Corrupt (msg, offset) ->
+    Fmt.epr "corrupt binary graph at byte %d: %s@." offset msg;
+    exit 1
+  | Fault.Inject.Injected msg ->
+    Fmt.epr "injected fault: %s@." msg;
+    exit 1
+  | Fault.Manifest.Manifest_error msg ->
+    Fmt.epr "malformed fault manifest: %s@." msg;
+    exit 1
   | Template.Tparse.Template_error msg ->
     Fmt.epr "template error: %s@." msg;
     exit 1
@@ -351,9 +366,44 @@ let build_cmd =
                "Print the render profile (per-domain pages and wall \
                 time, waves, cache counters) after building.")
   in
-  let run data query root templates strategy dir jobs stats =
+  let on_error_arg =
+    Arg.(value & opt (enum [ ("abort", Fault.Abort); ("degrade", Fault.Degrade) ])
+           Fault.Abort
+         & info [ "on-error" ] ~docv:"MODE"
+             ~doc:
+               "What a failed page render does: $(b,abort) the build \
+                (default, exit 1) or $(b,degrade) — emit a placeholder \
+                error page, record the fault in the manifest and exit 3.")
+  in
+  let retries_arg =
+    Arg.(value & opt int 1
+         & info [ "retries" ] ~docv:"N"
+             ~doc:
+               "Attempt reading and parsing the data graph up to $(docv) \
+                times with exponential backoff before giving up.")
+  in
+  let faults_out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "faults-out" ] ~docv:"PATH"
+             ~doc:
+               "Where to write the machine-readable fault manifest \
+                (default: $(i,DIR)/faults.json).")
+  in
+  let run data query root templates strategy dir jobs stats on_error retries
+      faults_out =
     or_die (fun () ->
-        let g, _ = Ddl.parse ~graph_name:"input" (read_file data) in
+        let fault = Fault.ctx () in
+        let g =
+          let retry =
+            { Fault.Policy.default_retry with attempts = max 1 retries }
+          in
+          match
+            Fault.Retry.run ~retry (fun ~attempt:_ ->
+                fst (Ddl.parse ~graph_name:"input" (read_file data)))
+          with
+          | Ok g -> g
+          | Error (e, _) -> raise e
+        in
         let templates =
           {
             Template.Generator.empty_templates with
@@ -366,7 +416,7 @@ let build_cmd =
             ~strategy
             [ ("site", read_file query) ]
         in
-        let built = Strudel.Site.build ~jobs ~data:g def in
+        let built = Strudel.Site.build ~jobs ~on_error ~fault ~data:g def in
         let rec mkdirs d =
           if d <> "." && d <> "/" && not (Sys.file_exists d) then begin
             mkdirs (Filename.dirname d);
@@ -380,11 +430,45 @@ let build_cmd =
           dir;
         if stats then
           Fmt.pr "%a@." Strudel.Render_pool.pp_profile
-            built.Strudel.Site.render_profile)
+            built.Strudel.Site.render_profile;
+        let manifest = Strudel.Site.manifest built in
+        let manifest_path =
+          match faults_out with
+          | Some p -> p
+          | None -> Filename.concat dir "faults.json"
+        in
+        write_file manifest_path (Fault.Manifest.to_json manifest);
+        (match Fault.Manifest.status manifest with
+         | Fault.Manifest.Clean -> ()
+         | Fault.Manifest.Degraded ->
+           Fmt.epr "build degraded: %d fault(s), see %s@."
+             (List.length (Fault.Manifest.faults manifest))
+             manifest_path);
+        exit (Fault.Manifest.exit_code manifest))
   in
   Cmd.v (Cmd.info "build" ~doc:"Build a browsable site from data + query + templates.")
     Term.(const run $ data_arg $ query_arg $ root_arg $ template_arg
-          $ strategy_arg $ dir_arg $ jobs_arg $ stats_arg)
+          $ strategy_arg $ dir_arg $ jobs_arg $ stats_arg $ on_error_arg
+          $ retries_arg $ faults_out_arg)
+
+(* --- faults: inspect a build manifest --- *)
+
+let faults_cmd =
+  let file_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FAULTS_JSON")
+  in
+  let run file =
+    or_die (fun () ->
+        let m = Fault.Manifest.of_json (read_file file) in
+        Fmt.pr "%a@." Fault.Manifest.pp m;
+        exit (Fault.Manifest.exit_code m))
+  in
+  Cmd.v
+    (Cmd.info "faults"
+       ~doc:
+         "Pretty-print a build's fault manifest (faults.json) and exit \
+          with its status code (0 clean, 3 degraded).")
+    Term.(const run $ file_arg)
 
 (* --- verify --- *)
 
@@ -527,5 +611,5 @@ let () =
     (Cmd.eval
        (Cmd.group (Cmd.info "strudel" ~doc)
           [ load_cmd; query_cmd; explain_cmd; explain_analyze_cmd; check_cmd;
-            schema_cmd; decompose_cmd; build_cmd; verify_cmd; browse_cmd;
-            demo_cmd ]))
+            schema_cmd; decompose_cmd; build_cmd; faults_cmd; verify_cmd;
+            browse_cmd; demo_cmd ]))

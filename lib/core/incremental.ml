@@ -103,7 +103,8 @@ let page_candidates site_graph roots =
       also parallelizes the re-renders) and fresh traces are stored
       back into [cache]. *)
 let rebuild ?(depth = default_depth) ?jobs ?cache ?file_loader
-    ~(previous : Site.built) ~data () : rebuild_report =
+    ?(on_error = Fault.Abort) ?fault ~(previous : Site.built) ~data () :
+    rebuild_report =
   let def = previous.Site.def in
   let site_graph, scope, schemas, query_stats =
     Site.build_site_graph def data
@@ -114,7 +115,7 @@ let rebuild ?(depth = default_depth) ?jobs ?cache ?file_loader
     match cache with
     | Some c ->
       let site, profile =
-        Render_pool.materialize ?jobs ~cache:c ?file_loader
+        Render_pool.materialize ?jobs ~cache:c ?file_loader ~on_error ?fault
           ~templates:def.Site.templates site_graph ~roots
       in
       ( site,
@@ -134,7 +135,37 @@ let rebuild ?(depth = default_depth) ?jobs ?cache ?file_loader
                 p.Template.Generator.obj,
               p ))
         previous.Site.site.Template.Generator.pages;
-      let rerendered = ref 0 and reused = ref 0 in
+      let rerendered = ref 0 and reused = ref 0 and degraded = ref 0 in
+      let inject = Fault.inject fault in
+      let render_one o =
+        let render () =
+          Fault.Inject.fire inject
+            (Fault.Inject.Render_page (Oid.name o));
+          Template.Generator.render_page ?file_loader
+            ~templates:def.Site.templates site_graph o
+        in
+        match on_error with
+        | Fault.Abort -> render ()
+        | Fault.Degrade -> (
+          try render ()
+          with e ->
+            let cause =
+              match e with
+              | Fault.Inject.Injected m -> m
+              | Template.Generator.Generator_error m -> m
+              | Template.Tparse.Template_error m -> "template error: " ^ m
+              | e -> Printexc.to_string e
+            in
+            let url = Template.Generator.slug (Oid.name o) ^ ".html" in
+            incr degraded;
+            (match fault with
+             | Some c ->
+               Fault.record c
+                 (Fault.report ~stage:Fault.Render
+                    ~source:(Graph.name site_graph) ~location:url ~cause ())
+             | None -> ());
+            Template.Generator.placeholder_page ~url ~cause o)
+      in
       let pages =
         List.map
           (fun o ->
@@ -142,13 +173,15 @@ let rebuild ?(depth = default_depth) ?jobs ?cache ?file_loader
             match Hashtbl.find_opt old_fp name with
             | Some (fp_old, p_old)
               when fp_old = fingerprint ~cache:new_cache site_graph ~depth o
-              ->
+                   (* a placeholder is not a real previous render: a
+                      matching fingerprint must still re-render it once
+                      the fault clears *)
+                   && not (Template.Generator.is_placeholder p_old) ->
               incr reused;
               { p_old with Template.Generator.obj = o }
             | _ ->
               incr rerendered;
-              Template.Generator.render_page ?file_loader
-                ~templates:def.Site.templates site_graph o)
+              render_one o)
           (page_candidates site_graph roots)
       in
       let wall = (Unix.gettimeofday () -. t0) *. 1000. in
@@ -166,6 +199,7 @@ let rebuild ?(depth = default_depth) ?jobs ?cache ?file_loader
           rp_cache_misses = !rerendered;
           rp_cache_invalidations = 0;
           rp_fallback = false;
+          rp_degraded = !degraded;
           rp_wall_ms = wall;
         },
         !rerendered,
@@ -186,6 +220,7 @@ let rebuild ?(depth = default_depth) ?jobs ?cache ?file_loader
         verification;
         query_stats;
         render_profile;
+        faults = (match fault with Some c -> Fault.reports c | None -> []);
       };
     pages_total = List.length site.Template.Generator.pages;
     pages_rerendered = rerendered;

@@ -38,6 +38,8 @@ val rebuild :
   ?jobs:int ->
   ?cache:Render_cache.t ->
   ?file_loader:(string -> string option) ->
+  ?on_error:Fault.on_error ->
+  ?fault:Fault.ctx ->
   previous:Site.built -> data:Graph.t -> unit ->
   rebuild_report
 (** Rebuild the site over changed data, reusing unchanged pages of
@@ -47,4 +49,10 @@ val rebuild :
     each cached page's recorded read set against the new site graph —
     exact invalidation — and re-renders run through
     {!Render_pool.materialize} with [jobs] domains, storing fresh
-    traces back into [cache]. *)
+    traces back into [cache].
+
+    With [~on_error:Degrade], failed re-renders become placeholder
+    pages with recorded faults (see {!Render_pool.materialize}); a
+    previous build's placeholder is never reused even when its
+    fingerprint matches, so the page re-renders for real once the
+    fault clears. *)

@@ -47,16 +47,21 @@ type profile = {
   rp_fallback : bool;
       (** URL collision detected; the sequential generator's output was
           used instead of the pool's *)
+  rp_degraded : int;
+      (** pages that failed to render and were emitted as placeholders
+          (always 0 under [~on_error:Abort]) *)
   rp_wall_ms : float;  (** whole materialization, main-domain clock *)
 }
 
 let pp_profile ppf p =
   Fmt.pf ppf
     "@[<v>jobs=%d pages=%d rendered=%d waves=%d wall=%.2fms cache=%d/%d/%d \
-     (hit/miss/invalid)%s"
+     (hit/miss/invalid)%s%s"
     p.rp_jobs p.rp_pages p.rp_rendered p.rp_waves p.rp_wall_ms p.rp_cache_hits
     p.rp_cache_misses p.rp_cache_invalidations
-    (if p.rp_fallback then " FALLBACK(sequential)" else "");
+    (if p.rp_fallback then " FALLBACK(sequential)" else "")
+    (if p.rp_degraded > 0 then Printf.sprintf " DEGRADED(%d)" p.rp_degraded
+     else "");
   List.iter
     (fun s ->
       Fmt.pf ppf "@,  domain %d: %d pages, %.2fms" s.sh_domain s.sh_pages
@@ -71,11 +76,18 @@ let now_ms () = Unix.gettimeofday () *. 1000.
     Otherwise the wave loop runs, on [jobs] domains (the main domain
     renders a shard itself, so [jobs - 1] domains are spawned). *)
 let materialize ?(jobs = 1) ?cache ?file_loader
-    ?(templates = G.empty_templates) (g : Graph.t) ~(roots : Oid.t list) :
-    G.site * profile =
+    ?(templates = G.empty_templates) ?(on_error = Fault.Abort) ?fault
+    (g : Graph.t) ~(roots : Oid.t list) : G.site * profile =
   let t0 = now_ms () in
   let jobs = max 1 jobs in
-  if jobs = 1 && cache = None then begin
+  let inject = Fault.inject fault in
+  (* degraded (or injectable) builds always run the wave loop, even at
+     [jobs = 1]: the sequential generator lets a failed render's
+     partial work leak extra pages into its queue, so only the wave
+     loop — which isolates each page render — keeps degraded output
+     independent of [jobs] *)
+  if jobs = 1 && cache = None && on_error = Fault.Abort && inject = None
+  then begin
     let site = G.generate ?file_loader ~templates g ~roots in
     let wall = now_ms () -. t0 in
     let pages = G.page_count site in
@@ -90,6 +102,7 @@ let materialize ?(jobs = 1) ?cache ?file_loader
         rp_cache_misses = 0;
         rp_cache_invalidations = 0;
         rp_fallback = false;
+        rp_degraded = 0;
         rp_wall_ms = wall;
       } )
   end
@@ -119,6 +132,8 @@ let materialize ?(jobs = 1) ?cache ?file_loader
     let shard_ms = Array.make jobs 0. in
     let waves = ref 0 in
     let rendered_count = ref 0 in
+    let wave_reports = ref [] in
+    let all_reports = ref [] in
     let frontier = ref (dedup roots) in
     while !frontier <> [] do
       incr waves;
@@ -151,14 +166,37 @@ let materialize ?(jobs = 1) ?cache ?file_loader
          Domain.join publishes them to the main domain *)
       let render_bucket i =
         let t = now_ms () in
-        let out =
-          List.map
-            (fun o ->
+        let render_one o =
+          let render () =
+            Fault.Inject.fire inject
+              (Fault.Inject.Render_page (Oid.name o));
+            G.render_page_full ?file_loader ~templates
+              ~compiled:compiled.(i) ~trace_reads:trace g o
+          in
+          match on_error with
+          | Fault.Abort -> (o, render (), None)
+          | Fault.Degrade -> (
+            try (o, render (), None)
+            with e ->
+              let cause =
+                match e with
+                | Fault.Inject.Injected m -> m
+                | G.Generator_error m -> m
+                | Template.Tparse.Template_error m -> "template error: " ^ m
+                | e -> Printexc.to_string e
+              in
+              let url = G.slug (Oid.name o) ^ ".html" in
               ( o,
-                G.render_page_full ?file_loader ~templates
-                  ~compiled:compiled.(i) ~trace_reads:trace g o ))
-            buckets.(i)
+                {
+                  G.r_page = G.placeholder_page ~url ~cause o;
+                  r_reads = [];
+                  r_refs = [];
+                },
+                Some
+                  (Fault.report ~stage:Fault.Render ~source:(Graph.name g)
+                     ~location:url ~cause ()) ))
         in
+        let out = List.map render_one buckets.(i) in
         shard_ms.(i) <- shard_ms.(i) +. (now_ms () -. t);
         shard_pages.(i) <- shard_pages.(i) + List.length out;
         out
@@ -185,12 +223,26 @@ let materialize ?(jobs = 1) ?cache ?file_loader
           (main_out :: joined)
       in
       List.iter
-        (List.iter (fun (o, (r : G.rendered)) ->
-             (match cache with
-              | Some c -> Render_cache.store c r
+        (List.iter (fun (o, (r : G.rendered), report) ->
+             (* placeholders never enter the cache: their empty read
+                trace would re-validate vacuously forever *)
+             (match (cache, report) with
+              | Some c, None -> Render_cache.store c r
+              | _ -> ());
+             (match report with
+              | Some rep -> wave_reports := rep :: !wave_reports
               | None -> ());
              Oid.Tbl.replace results o (r.G.r_page, r.G.r_refs)))
         outs;
+      (* queue this wave's faults in deterministic (URL) order so the
+         manifest is identical whatever [jobs] sharding produced them;
+         they reach the context only if the pool's output is kept *)
+      all_reports :=
+        !all_reports
+        @ List.sort
+            (fun a b -> compare a.Fault.f_location b.Fault.f_location)
+            (List.rev !wave_reports);
+      wave_reports := [];
       (* next wave: referenced objects not yet seen, discovered in
          deterministic frontier × reference order *)
       let next =
@@ -237,7 +289,7 @@ let materialize ?(jobs = 1) ?cache ?file_loader
            false))
         pages
     in
-    let mk_profile ~site_pages ~fallback =
+    let mk_profile ~site_pages ~fallback ~degraded =
       {
         rp_jobs = jobs;
         rp_pages = site_pages;
@@ -269,18 +321,29 @@ let materialize ?(jobs = 1) ?cache ?file_loader
              i - i0
            | None -> 0);
         rp_fallback = fallback;
+        rp_degraded = degraded;
         rp_wall_ms = now_ms () -. t0;
       }
     in
     if collision then begin
       (* distinct pages share a slug: only the sequential generator's
          discovery-ordered uniquification produces the reference URLs,
-         and name-keyed cache entries are ambiguous — drop them *)
+         and name-keyed cache entries are ambiguous — drop them.  The
+         pool's queued fault reports are discarded with its output; the
+         generator records its own. *)
       (match cache with Some c -> Render_cache.clear c | None -> ());
-      let site = G.generate ?file_loader ~templates g ~roots in
-      (site, mk_profile ~site_pages:(G.page_count site) ~fallback:true)
+      let site = G.generate ?file_loader ~templates ~on_error ?fault g ~roots in
+      let degraded =
+        List.length (List.filter G.is_placeholder site.G.pages)
+      in
+      (site, mk_profile ~site_pages:(G.page_count site) ~fallback:true ~degraded)
     end
-    else
+    else begin
+      (match fault with
+       | Some c -> List.iter (Fault.record c) !all_reports
+       | None -> ());
       ( { G.pages; graph = g },
-        mk_profile ~site_pages:(List.length pages) ~fallback:false )
+        mk_profile ~site_pages:(List.length pages) ~fallback:false
+          ~degraded:(List.length !all_reports) )
+    end
   end

@@ -32,6 +32,9 @@ type profile = {
   rp_fallback : bool;
       (** URL collision detected; the sequential generator's output was
           used instead of the pool's *)
+  rp_degraded : int;
+      (** pages that failed to render and were emitted as placeholders
+          (always 0 under [~on_error:Abort]) *)
   rp_wall_ms : float;  (** whole materialization, main-domain clock *)
 }
 
@@ -42,12 +45,22 @@ val materialize :
   ?cache:Render_cache.t ->
   ?file_loader:(string -> string option) ->
   ?templates:Template.Generator.template_set ->
+  ?on_error:Fault.on_error ->
+  ?fault:Fault.ctx ->
   Graph.t ->
   roots:Oid.t list ->
   Template.Generator.site * profile
 (** Materialize the site's pages.  [jobs = 1] (the default) with no
-    cache is the sequential reference path, a plain
-    {!Template.Generator.generate}; otherwise the wave loop runs on
-    [jobs] domains ([jobs - 1] spawned — the main domain renders a
-    shard itself).  Output is byte-identical to the reference path on
-    every input (enforced by the differential suite). *)
+    cache, no injector and [~on_error:Abort] is the sequential
+    reference path, a plain {!Template.Generator.generate}; otherwise
+    the wave loop runs on [jobs] domains ([jobs - 1] spawned — the main
+    domain renders a shard itself).  Output is byte-identical to the
+    reference path on every input (enforced by the differential suite).
+
+    With [~on_error:Degrade], a failed (or injected-faulty) page render
+    is isolated: the page becomes a {!Template.Generator.placeholder_page},
+    a [Render] fault is recorded in [fault] (in deterministic URL order
+    per wave, so manifests are [jobs]-independent), and the placeholder
+    is never stored in the render cache.  Degraded builds always run
+    the wave loop — even at [jobs = 1] — so degraded output is
+    identical across [jobs]. *)

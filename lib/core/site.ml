@@ -51,6 +51,10 @@ type built = {
   render_profile : Render_pool.profile;
       (** per-domain page-rendering profile of the HTML generation
           phase (jobs, waves, shard times, cache hit counts) *)
+  faults : Fault.report list;
+      (** everything recorded in the build's fault context (ingest,
+          integration and render faults), oldest first; [[]] for a
+          clean or fault-blind build *)
 }
 
 exception Build_error of string
@@ -98,7 +102,8 @@ let build_site_graph ?scope ?into def (data : Graph.t) =
 let roots_of site_graph family =
   Schema.Verify.family_members site_graph family
 
-let build ?jobs ?render_cache ?file_loader ~data (def : definition) : built =
+let build ?jobs ?render_cache ?file_loader ?on_error ?fault ~data
+    (def : definition) : built =
   Log.debug (fun m ->
       m "building site %s over %a" def.name Graph.pp_stats data);
   let site_graph, scope, schemas, query_stats =
@@ -112,8 +117,8 @@ let build ?jobs ?render_cache ?file_loader ~data (def : definition) : built =
          (Printf.sprintf "no pages of root family %s in site graph %s"
             def.root_family def.name));
   let site, render_profile =
-    Render_pool.materialize ?jobs ?cache:render_cache ?file_loader
-      ~templates:def.templates site_graph ~roots
+    Render_pool.materialize ?jobs ?cache:render_cache ?file_loader ?on_error
+      ?fault ~templates:def.templates site_graph ~roots
   in
   let verification = Schema.Verify.check_all_site site_graph def.constraints in
   List.iter
@@ -139,7 +144,15 @@ let build ?jobs ?render_cache ?file_loader ~data (def : definition) : built =
     verification;
     query_stats;
     render_profile;
+    faults = (match fault with Some c -> Fault.reports c | None -> []);
   }
+
+(** The machine-readable outcome of a build: site name, status
+    ([Clean]/[Degraded]) and the recorded faults — what the CLI writes
+    to [faults.json] and turns into the process exit code (0 clean,
+    3 degraded). *)
+let manifest (b : built) : Fault.Manifest.t =
+  Fault.Manifest.make ~site:b.def.name b.faults
 
 (** Re-run only the HTML generator with different templates — the cheap
     way to produce another visual version of the same site graph

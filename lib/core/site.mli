@@ -45,6 +45,10 @@ type built = {
   render_profile : Render_pool.profile;
       (** per-domain page-rendering profile of the HTML generation
           phase (jobs, waves, shard times, cache hit counts) *)
+  faults : Fault.report list;
+      (** everything recorded in the build's fault context (ingest,
+          integration and render faults), oldest first; [[]] for a
+          clean or fault-blind build *)
 }
 
 exception Build_error of string
@@ -69,13 +73,25 @@ val roots_of : Graph.t -> string -> Oid.t list
 val build :
   ?jobs:int ->
   ?render_cache:Render_cache.t ->
-  ?file_loader:(string -> string option) -> data:Graph.t -> definition ->
+  ?file_loader:(string -> string option) ->
+  ?on_error:Fault.on_error ->
+  ?fault:Fault.ctx -> data:Graph.t -> definition ->
   built
 (** The full pipeline: site graph, schema, constraint verification,
     HTML generation.  [jobs] (default 1) fans page rendering out over
     OCaml domains through {!Render_pool}; [render_cache] reuses pages
     whose read traces still verify.  Output is byte-identical across
-    [jobs] values and cache states. *)
+    [jobs] values and cache states.
+
+    With [~on_error:Degrade] a failed page render becomes a
+    placeholder instead of aborting the build; faults recorded in
+    [fault] (by this build or by the ingest stage before it) are
+    snapshotted into [built.faults] for {!manifest}. *)
+
+val manifest : built -> Fault.Manifest.t
+(** The machine-readable outcome of the build ([faults.json]): site
+    name, [Clean]/[Degraded] status, the recorded faults, and the exit
+    code (0 clean, 3 degraded). *)
 
 val regenerate :
   ?jobs:int ->

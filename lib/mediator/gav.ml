@@ -46,27 +46,61 @@ let copy_collection ~source ~collection ?(fn = collection ^ "Obj") () =
     All mappings share one Skolem scope, so Skolem terms built from the
     same source objects fuse.  A mapping whose source is ["*"] runs
     over the union of all sources — the form a cross-source join (e.g.
-    project members referenced by login) takes in GAV. *)
+    project members referenced by login) takes in GAV.
+
+    [load] plugs in a fault-aware loader (typically
+    {!Source.load_with} partially applied): a source it yields [None]
+    for is unavailable — its mappings are skipped and ["*"] becomes
+    the union of the sources that {e did} load.  Each source loads at
+    most once per integration.  With a [fault] context, a mapping over
+    an unknown source is recorded and skipped instead of aborting. *)
 let integrate ?(options = Eval.default_options) ?(graph_name = "mediated")
-    (sources : Source.t list) (mappings : mapping list) : Graph.t =
+    ?load ?fault (sources : Source.t list) (mappings : mapping list) : Graph.t
+    =
+  let load =
+    match load with Some f -> f | None -> fun s -> Some (Source.load s)
+  in
+  let loaded : (string, Graph.t option) Hashtbl.t = Hashtbl.create 8 in
+  let get_source s =
+    match Hashtbl.find_opt loaded (Source.name s) with
+    | Some r -> r
+    | None ->
+      let r = load s in
+      Hashtbl.add loaded (Source.name s) r;
+      r
+  in
   let mediated = Graph.create ~name:graph_name () in
   let scope = Skolem.create () in
   let merged = lazy (
     let g = Graph.create ~name:"all-sources" () in
-    List.iter (fun s -> Graph.merge_into ~dst:g ~src:(Source.load s)) sources;
+    List.iter
+      (fun s ->
+        match get_source s with
+        | Some src -> Graph.merge_into ~dst:g ~src
+        | None -> ())
+      sources;
     g)
   in
   List.iter
     (fun m ->
       let g =
-        if m.source_name = "*" then Lazy.force merged
+        if m.source_name = "*" then Some (Lazy.force merged)
         else
           match
             List.find_opt (fun s -> Source.name s = m.source_name) sources
           with
-          | None -> failwith ("mediator: unknown source " ^ m.source_name)
-          | Some s -> Source.load s
+          | None -> (
+            match fault with
+            | None -> failwith ("mediator: unknown source " ^ m.source_name)
+            | Some c ->
+              Fault.record c
+                (Fault.report ~stage:Fault.Integrate ~source:m.source_name
+                   ~location:"mapping" ~cause:"unknown source" ());
+              None)
+          | Some s -> get_source s
       in
-      ignore (Eval.run ~options ~scope ~into:mediated g m.query))
+      match g with
+      | None -> ()  (* unavailable source: its mappings are skipped *)
+      | Some g -> ignore (Eval.run ~options ~scope ~into:mediated g m.query))
     mappings;
   mediated

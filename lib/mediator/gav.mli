@@ -31,7 +31,15 @@ val copy_collection :
 val integrate :
   ?options:Struql.Eval.options ->
   ?graph_name:string ->
+  ?load:(Source.t -> Graph.t option) ->
+  ?fault:Fault.ctx ->
   Source.t list ->
   mapping list ->
   Graph.t
-(** Run the mappings over their sources into a fresh mediated graph. *)
+(** Run the mappings over their sources into a fresh mediated graph.
+    [load] plugs in a fault-aware loader (typically
+    {!Source.load_with} partially applied); a source it yields [None]
+    for is unavailable — its mappings are skipped and ["*"] unions only
+    the sources that did load.  Each source loads at most once per
+    integration.  With [fault], a mapping over an unknown source is
+    recorded and skipped instead of aborting. *)

@@ -16,17 +16,42 @@ type access_pattern = {
 
 type t
 
-val make : ?access:access_pattern -> name:string -> (unit -> Graph.t) -> t
-val of_graph : ?access:access_pattern -> name:string -> Graph.t -> t
+val make :
+  ?access:access_pattern -> ?policy:Fault.Policy.t -> name:string ->
+  (unit -> Graph.t) -> t
+(** [policy] governs what {!load_with} does when the loader fails:
+    retry/backoff, then fail-fast (the default), skip the source, or
+    serve a stale snapshot. *)
+
+val of_graph :
+  ?access:access_pattern -> ?policy:Fault.Policy.t -> name:string ->
+  Graph.t -> t
 
 val name : t -> string
 val version : t -> int
+
+val policy : t -> Fault.Policy.t
+val set_policy : t -> Fault.Policy.t -> unit
 
 val update : t -> (unit -> Graph.t) -> unit
 (** Replace the source's contents (a new export arrived); bumps the
     version so the warehouse knows to refresh. *)
 
 val load : t -> Graph.t
-(** Load through the per-version cache. *)
+(** Load through the per-version cache; loader failures propagate (the
+    pre-fault behavior, regardless of policy). *)
+
+val load_with :
+  ?clock:Fault.Clock.t -> ?snapshots:Repository.Store.t ->
+  ?fault:Fault.ctx -> t -> Graph.t option
+(** Load under the source's fault policy: failed attempts (including
+    injected [Load] faults from the context's injector) retry with
+    exponential backoff on [clock] until the policy exhausts; a
+    successful load is cached and, given [snapshots], persisted as the
+    source's last good snapshot (graph name ["source:<name>"]).  On
+    exhaustion, [Fail_fast] re-raises; [Skip_source] records a fault
+    and yields [None]; [Stale age] serves the last good snapshot when
+    it is at most [age] versions behind (recording how stale it is),
+    else records and yields [None]. *)
 
 val requires_bound : t -> string list

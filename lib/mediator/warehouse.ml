@@ -15,6 +15,9 @@ type t = {
   sources : Source.t list;
   mappings : Gav.mapping list;
   options : Struql.Eval.options;
+  clock : Fault.Clock.t;
+  snapshots : Repository.Store.t option;
+  fault : Fault.ctx option;
   mutable graph : Graph.t;
   mutable seen_versions : (string * int) list;
   mutable refreshes : int;  (** number of integrations performed *)
@@ -22,12 +25,26 @@ type t = {
 
 let versions sources = List.map (fun s -> (Source.name s, Source.version s)) sources
 
-let create ?(options = Struql.Eval.default_options) ~sources ~mappings () =
-  let g = Gav.integrate ~options sources mappings in
+let integrate_now ~options ~clock ~snapshots ~fault sources mappings =
+  match (snapshots, fault) with
+  | None, None ->
+    (* no fault machinery in play: the pre-fault direct path *)
+    Gav.integrate ~options sources mappings
+  | _ ->
+    Gav.integrate ~options
+      ~load:(fun s -> Source.load_with ~clock ?snapshots ?fault s)
+      ?fault sources mappings
+
+let create ?(options = Struql.Eval.default_options)
+    ?(clock = Fault.Clock.real) ?snapshots ?fault ~sources ~mappings () =
+  let g = integrate_now ~options ~clock ~snapshots ~fault sources mappings in
   {
     sources;
     mappings;
     options;
+    clock;
+    snapshots;
+    fault;
     graph = g;
     seen_versions = versions sources;
     refreshes = 1;
@@ -36,13 +53,17 @@ let create ?(options = Struql.Eval.default_options) ~sources ~mappings () =
 let graph w = w.graph
 let refresh_count w = w.refreshes
 
+let faults w = match w.fault with Some c -> Fault.reports c | None -> []
+
 let stale w = versions w.sources <> w.seen_versions
 
 (** Re-integrate if any source changed; returns whether a rebuild
     happened. *)
 let refresh w =
   if stale w then begin
-    w.graph <- Gav.integrate ~options:w.options w.sources w.mappings;
+    w.graph <-
+      integrate_now ~options:w.options ~clock:w.clock ~snapshots:w.snapshots
+        ~fault:w.fault w.sources w.mappings;
     w.seen_versions <- versions w.sources;
     w.refreshes <- w.refreshes + 1;
     true

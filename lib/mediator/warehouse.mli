@@ -12,11 +12,19 @@ type t
 
 val create :
   ?options:Struql.Eval.options ->
+  ?clock:Fault.Clock.t ->
+  ?snapshots:Repository.Store.t ->
+  ?fault:Fault.ctx ->
   sources:Source.t list ->
   mappings:Gav.mapping list ->
   unit ->
   t
-(** Builds the initial integration. *)
+(** Builds the initial integration.  With [snapshots] and/or [fault],
+    sources load through {!Source.load_with} — honouring each source's
+    fault policy (retry/backoff on [clock], skip, or stale-snapshot
+    fallback persisted in [snapshots]) — and integration faults are
+    recorded in [fault]; without either, loads are direct and the first
+    failure aborts, exactly as before. *)
 
 val graph : t -> Graph.t
 (** The current mediated graph. *)
@@ -29,5 +37,9 @@ val refresh : t -> bool
 
 val refresh_count : t -> int
 (** Number of integrations performed (including the initial one). *)
+
+val faults : t -> Fault.report list
+(** Reports recorded in the warehouse's fault context, oldest first
+    ([[]] without a context). *)
 
 val find_source : t -> string -> Source.t option

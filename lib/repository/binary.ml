@@ -13,7 +13,7 @@
 
 open Sgraph
 
-exception Corrupt of string
+exception Corrupt of string * int  (** message, byte offset *)
 
 let magic = "SGBIN1"
 
@@ -41,7 +41,7 @@ let unzigzag z = (z lsr 1) lxor (- (z land 1))
 type reader = { src : string; mutable pos : int }
 
 let get_byte r =
-  if r.pos >= String.length r.src then raise (Corrupt "unexpected end");
+  if r.pos >= String.length r.src then raise (Corrupt ("unexpected end", r.pos));
   let c = Char.code r.src.[r.pos] in
   r.pos <- r.pos + 1;
   c
@@ -55,7 +55,7 @@ let get_varint r =
   go 0 0
 
 let get_bytes r n =
-  if r.pos + n > String.length r.src then raise (Corrupt "unexpected end");
+  if r.pos + n > String.length r.src then raise (Corrupt ("unexpected end", r.pos));
   let s = String.sub r.src r.pos n in
   r.pos <- r.pos + n;
   s
@@ -110,7 +110,8 @@ let put_value buf it v =
 
 let get_value r strings =
   let str i =
-    if i < 0 || i >= Array.length strings then raise (Corrupt "string index");
+    if i < 0 || i >= Array.length strings then
+      raise (Corrupt ("string index", r.pos));
     strings.(i)
   in
   match get_varint r with
@@ -133,7 +134,7 @@ let get_value r strings =
       | None -> Value.Other_file kind
     in
     Value.File (k, path)
-  | t -> raise (Corrupt (Printf.sprintf "unknown value tag %d" t))
+  | t -> raise (Corrupt (Printf.sprintf "unknown value tag %d" t, r.pos))
 
 (* --- graph encoding --- *)
 
@@ -194,7 +195,7 @@ let encode (g : Graph.t) : string =
 let decode ?(indexed = true) (s : string) : Graph.t =
   if String.length s < String.length magic
      || String.sub s 0 (String.length magic) <> magic
-  then raise (Corrupt "bad magic");
+  then raise (Corrupt ("bad magic", 0));
   let r = { src = s; pos = String.length magic } in
   let nstrings = get_varint r in
   let strings =
@@ -203,7 +204,7 @@ let decode ?(indexed = true) (s : string) : Graph.t =
         get_bytes r len)
   in
   let str i =
-    if i < 0 || i >= nstrings then raise (Corrupt "string index");
+    if i < 0 || i >= nstrings then raise (Corrupt ("string index", r.pos));
     strings.(i)
   in
   let g = Graph.create ~indexed ~name:(str (get_varint r)) () in
@@ -211,7 +212,7 @@ let decode ?(indexed = true) (s : string) : Graph.t =
   let nodes = Array.init nnodes (fun _ -> Oid.fresh (str (get_varint r))) in
   Array.iter (Graph.add_node g) nodes;
   let node i =
-    if i < 0 || i >= nnodes then raise (Corrupt "node index");
+    if i < 0 || i >= nnodes then raise (Corrupt ("node index", r.pos));
     nodes.(i)
   in
   let nedges = get_varint r in
@@ -221,7 +222,7 @@ let decode ?(indexed = true) (s : string) : Graph.t =
     match get_varint r with
     | 0 -> Graph.add_edge g src label (Graph.N (node (get_varint r)))
     | 1 -> Graph.add_edge g src label (Graph.V (get_value r strings))
-    | t -> raise (Corrupt (Printf.sprintf "unknown target tag %d" t))
+    | t -> raise (Corrupt (Printf.sprintf "unknown target tag %d" t, r.pos))
   done;
   let ncolls = get_varint r in
   for _ = 1 to ncolls do
@@ -231,7 +232,7 @@ let decode ?(indexed = true) (s : string) : Graph.t =
       Graph.add_to_collection g cname (node (get_varint r))
     done
   done;
-  if r.pos <> String.length s then raise (Corrupt "trailing bytes");
+  if r.pos <> String.length s then raise (Corrupt ("trailing bytes", r.pos));
   g
 
 (* --- file helpers --- *)

@@ -9,7 +9,10 @@
 
 open Sgraph
 
-exception Corrupt of string
+exception Corrupt of string * int
+(** Malformed input: what was wrong, and the byte offset at which the
+    decoder detected it (so a truncated or bit-flipped file can be
+    triaged without a hex dump). *)
 
 val encode : Graph.t -> string
 val decode : ?indexed:bool -> string -> Graph.t

@@ -202,11 +202,45 @@ let wrap_page ~title body =
 
 let max_embed_depth = 32
 
+(* --- Degraded rendering ---
+
+   When a page render fails under [~on_error:Degrade], the site still
+   ships: the failed page is replaced by a small error page carrying a
+   deterministic marker comment, so placeholders can be recognized
+   (and never reused) by the incremental rebuilder and are never stored
+   in the render cache. *)
+
+let fault_marker = "<!-- strudel:fault -->"
+
+let placeholder_page ~url ~cause (o : Oid.t) : page =
+  let title = Oid.name o in
+  let body =
+    Printf.sprintf
+      "%s\n<h1>%s</h1>\n<p>This page could not be rendered: %s</p>\n"
+      fault_marker (Teval.escape_html title) (Teval.escape_html cause)
+  in
+  { obj = o; url; title; html = wrap_page ~title body; body }
+
+let is_placeholder (p : page) =
+  String.length p.body >= String.length fault_marker
+  && String.sub p.body 0 (String.length fault_marker) = fault_marker
+
 (** Generate the browsable site.  [roots] are the objects realized as
     pages up front; any object referenced with the default (link)
-    format from an emitted page also becomes a page. *)
+    format from an emitted page also becomes a page.
+
+    With [~on_error:Degrade], a page whose render fails (or whose
+    injected render fault fires) becomes a {!placeholder_page} and the
+    fault is recorded in [fault]; note that work the failed render did
+    before failing — objects it already queued via links — still
+    becomes pages, so prefer the render pool's wave loop (which
+    isolates each page render) when degraded output must be
+    jobs-independent.  No site in this repository hits this path except
+    through the pool's URL-collision fallback. *)
 let generate ?(file_loader = fun _ -> None) ?(templates = empty_templates)
-    (g : Graph.t) ~(roots : Oid.t list) : site =
+    ?(on_error = Fault.Abort) ?fault (g : Graph.t) ~(roots : Oid.t list) :
+    site =
+  let inject = Fault.inject fault in
   let compiled = { cache = Hashtbl.create 16 } in
   let urls : string Oid.Tbl.t = Oid.Tbl.create 64 in
   let used_urls = Hashtbl.create 64 in
@@ -272,14 +306,38 @@ let generate ?(file_loader = fun _ -> None) ?(templates = empty_templates)
   while not (Queue.is_empty queue) do
     let o = Queue.pop queue in
     let url = Oid.Tbl.find urls o in
-    let body = render_body ctx o in
-    let title =
-      match Graph.attr_value g o "title" with
-      | Some v -> Value.to_display_string v
-      | None -> Oid.name o
+    let render () =
+      Fault.Inject.fire inject (Fault.Inject.Render_page (Oid.name o));
+      let body = render_body ctx o in
+      let title =
+        match Graph.attr_value g o "title" with
+        | Some v -> Value.to_display_string v
+        | None -> Oid.name o
+      in
+      { obj = o; url; title; html = wrap_page ~title body; body }
     in
-    pages :=
-      { obj = o; url; title; html = wrap_page ~title body; body } :: !pages
+    let page =
+      match on_error with
+      | Fault.Abort -> render ()
+      | Fault.Degrade -> (
+        try render ()
+        with e ->
+          let cause =
+            match e with
+            | Fault.Inject.Injected m -> m
+            | Generator_error m -> m
+            | Tparse.Template_error m -> "template error: " ^ m
+            | e -> Printexc.to_string e
+          in
+          (match fault with
+           | Some c ->
+             Fault.record c
+               (Fault.report ~stage:Fault.Render ~source:(Graph.name g)
+                  ~location:url ~cause ())
+           | None -> ());
+          placeholder_page ~url ~cause o)
+    in
+    pages := page :: !pages
   done;
   { pages = List.rev !pages; graph = g }
 

@@ -76,16 +76,35 @@ val default_anchor : Graph.t -> Oid.t -> string
 (** Anchor text for a link to an object: its [title]/[name]/... if
     present, else the object name (HTML-escaped). *)
 
+val fault_marker : string
+(** Deterministic marker comment opening every placeholder body. *)
+
+val placeholder_page : url:string -> cause:string -> Oid.t -> page
+(** The error page emitted in place of a page whose render failed under
+    [~on_error:Degrade]. *)
+
+val is_placeholder : page -> bool
+(** Whether the page is a degraded-build placeholder (so caches and the
+    incremental rebuilder never reuse one as a real page). *)
+
 val generate :
   ?file_loader:(string -> string option) ->
   ?templates:template_set ->
+  ?on_error:Fault.on_error ->
+  ?fault:Fault.ctx ->
   Graph.t ->
   roots:Oid.t list ->
   site
 (** Generate the browsable site.  [roots] are realized as pages up
     front; any object referenced with the default (link) format from an
     emitted page also becomes a page, transitively.  [file_loader]
-    supplies the contents of text/HTML file values for inlining. *)
+    supplies the contents of text/HTML file values for inlining.
+
+    With [~on_error:Degrade], a failed (or injected-faulty) page render
+    yields a {!placeholder_page} and a recorded [Render] fault instead
+    of aborting; objects the failed render linked before failing still
+    become pages, so degraded builds normally run through the render
+    pool's wave loop, which isolates each page. *)
 
 type rendered = {
   r_page : page;

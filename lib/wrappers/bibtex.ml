@@ -152,21 +152,11 @@ let clean s =
     s;
   String.trim (Buffer.contents buf)
 
-let parse_entries src : entry list =
-  let p = { src; pos = 0; line = 1 } in
-  let entries = ref [] in
-  let macros = ref [] in
-  let continue = ref true in
-  while !continue do
-    (* skip until '@' *)
-    while peek_char p <> None && peek_char p <> Some '@' do
-      advance p
-    done;
-    match peek_char p with
-    | None -> continue := false
-    | Some '@' ->
-      advance p;
-      let ty = String.lowercase_ascii (read_name p) in
+(* Parse one '@'-entry body (the parser is positioned just after the
+   '@').  Raises [Bibtex_error] on malformed input; the recovering
+   caller quarantines the entry and resynchronizes at the next '@'. *)
+let parse_one p macros entries =
+  let ty = String.lowercase_ascii (read_name p) in
       skip_ws p;
       let closing =
         match peek_char p with
@@ -236,7 +226,52 @@ let parse_entries src : entry list =
         entries :=
           { entry_type = ty; key; fields = List.rev !fields } :: !entries
       end
-    | Some _ -> assert false
+
+let parse_entries ?fault ?(source = "bibtex") src : entry list =
+  let p = { src; pos = 0; line = 1 } in
+  let entries = ref [] in
+  let macros = ref [] in
+  let inject = Fault.inject fault in
+  let index = ref 0 in
+  let continue = ref true in
+  while !continue do
+    (* skip until '@' *)
+    while peek_char p <> None && peek_char p <> Some '@' do
+      advance p
+    done;
+    match peek_char p with
+    | None -> continue := false
+    | Some _ (* '@' *) ->
+      let start_pos = p.pos and start_line = p.line in
+      advance p;
+      (match fault with
+       | None -> parse_one p macros entries
+       | Some c -> (
+           (* recovering mode: a malformed (or injected-faulty) entry is
+              quarantined with its entry index, line and a raw excerpt;
+              the scanner then resynchronizes at the next '@'.  Progress
+              is guaranteed — the '@' that opened this entry is already
+              consumed. *)
+           try
+             Fault.Inject.fire inject (Fault.Inject.Parse (source, !index));
+             parse_one p macros entries
+           with
+           | (Bibtex_error _ | Fault.Inject.Injected _) as e ->
+             let msg, line =
+               match e with
+               | Bibtex_error (m, l) -> (m, l)
+               | Fault.Inject.Injected m -> (m, start_line)
+               | _ -> assert false
+             in
+             let excerpt_end = min (String.length src) (start_pos + 120) in
+             Fault.record c
+               (Fault.report ~stage:Fault.Ingest ~source
+                  ~location:
+                    (Printf.sprintf "entry %d, line %d" !index line)
+                  ~cause:msg
+                  ~excerpt:(String.sub src start_pos (excerpt_end - start_pos))
+                  ())));
+      incr index
   done;
   List.rev !entries
 
@@ -287,8 +322,9 @@ let field_value fname v =
     workaround for ordered lists in an unordered data model.  By
     default authors are plain string attributes (the repository
     preserves insertion order). *)
-let load_into ?(collection = "Publications") ?(keyed_authors = false) g src =
-  let entries = parse_entries src in
+let load_into ?fault ?(collection = "Publications") ?(keyed_authors = false)
+    g src =
+  let entries = parse_entries ?fault ~source:(Graph.name g) src in
   List.map
     (fun e ->
       let o = Graph.new_node g e.key in
@@ -322,7 +358,7 @@ let load_into ?(collection = "Publications") ?(keyed_authors = false) g src =
       o)
     entries
 
-let load ?(graph_name = "BIBTEX") ?collection ?keyed_authors src =
+let load ?fault ?(graph_name = "BIBTEX") ?collection ?keyed_authors src =
   let g = Graph.create ~name:graph_name () in
-  let os = load_into ?collection ?keyed_authors g src in
+  let os = load_into ?fault ?collection ?keyed_authors g src in
   (g, os)

@@ -20,17 +20,21 @@ type entry = {
   fields : (string * string) list;
 }
 
-val parse_entries : string -> entry list
-(** The raw entries, before graph mapping. *)
+val parse_entries : ?fault:Fault.ctx -> ?source:string -> string -> entry list
+(** The raw entries, before graph mapping.  Strict mode (no [fault])
+    raises {!Bibtex_error} on the first malformed entry; with a
+    {!Fault.ctx} the parser recovers — the bad (or injected-faulty)
+    entry is quarantined as a structured report and the scanner
+    resynchronizes at the next ['@']. *)
 
 val split_authors : string -> string list
 
 val load_into :
-  ?collection:string -> ?keyed_authors:bool -> Graph.t -> string ->
-  Oid.t list
+  ?fault:Fault.ctx -> ?collection:string -> ?keyed_authors:bool ->
+  Graph.t -> string -> Oid.t list
 (** Load BibTeX text into an existing graph; returns the created
     publication objects in file order. *)
 
 val load :
-  ?graph_name:string -> ?collection:string -> ?keyed_authors:bool ->
-  string -> Graph.t * Oid.t list
+  ?fault:Fault.ctx -> ?graph_name:string -> ?collection:string ->
+  ?keyed_authors:bool -> string -> Graph.t * Oid.t list

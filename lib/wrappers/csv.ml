@@ -7,47 +7,106 @@
     with {!Sgraph.Value.of_literal}.  Empty cells produce {e no} edge —
     the natural encoding of missing attributes in the semistructured
     model.  Cells referencing other rows ([&key]) become object
-    references (foreign keys). *)
+    references (foreign keys).
+
+    Errors carry line {e and column}.  In the default (strict) mode a
+    malformed record aborts the load, as a database loader would; with
+    a {!Fault.ctx} the wrapper {e recovers}: the bad record is
+    quarantined as a structured report (source, location, cause, raw
+    excerpt), the scanner resynchronizes at the next row boundary, and
+    the remaining records load normally.  Recovering mode additionally
+    rejects ragged rows (field count ≠ header count), which strict mode
+    tolerates for compatibility with legacy exports. *)
 
 open Sgraph
 
-exception Csv_error of string * int  (** message, line *)
+exception Csv_error of string * int * int  (** message, line, column *)
 
 (* RFC-4180-ish parsing: quoted fields may contain commas, newlines and
-   doubled quotes. *)
-let parse_rows (src : string) : string list list =
+   doubled quotes.  Returns each row with the line it starts on. *)
+let parse_rows_loc ?fault ~source (src : string) : (string list * int) list =
   let n = String.length src in
   let rows = ref [] in
   let fields = ref [] in
   let buf = Buffer.create 32 in
   let line = ref 1 in
+  let col = ref 1 in
+  let row_line = ref 1 in
+  let row_start = ref 0 in
+  let i = ref 0 in
+  let in_quotes = ref false in
   let push_field () =
     fields := Buffer.contents buf :: !fields;
     Buffer.clear buf
   in
+  let start_row () =
+    row_line := !line;
+    row_start := !i
+  in
   let push_row () =
     push_field ();
-    rows := List.rev !fields :: !rows;
-    fields := []
+    rows := (List.rev !fields, !row_line) :: !rows;
+    fields := [];
+    start_row ()
   in
-  let i = ref 0 in
-  let in_quotes = ref false in
+  (* advance consuming one char's worth of position bookkeeping *)
+  let step ?(chars = 1) () =
+    i := !i + chars;
+    col := !col + chars
+  in
+  let newline () =
+    incr line;
+    col := 1
+  in
+  (* Recovery: drop the current (broken) row, resynchronize after the
+     next raw newline.  If the error happened inside a quoted field
+     that legitimately contains newlines the resync may split it — an
+     accepted heuristic, since the quoting state is exactly what broke. *)
+  let resync () =
+    Buffer.clear buf;
+    fields := [];
+    in_quotes := false;
+    let continue = ref true in
+    while !continue && !i < n do
+      (match src.[!i] with
+       | '\n' ->
+         newline ();
+         continue := false
+       | _ -> incr col);
+      incr i
+    done;
+    start_row ()
+  in
+  let error msg =
+    match fault with
+    | None -> raise (Csv_error (msg, !line, !col))
+    | Some c ->
+      let excerpt_end = min n (!row_start + 120) in
+      Fault.record c
+        (Fault.report ~stage:Fault.Ingest ~source
+           ~location:(Printf.sprintf "line %d, column %d" !line !col)
+           ~cause:msg
+           ~excerpt:(String.sub src !row_start (excerpt_end - !row_start))
+           ());
+      resync ()
+  in
+  start_row ();
   while !i < n do
     let c = src.[!i] in
     if !in_quotes then begin
       if c = '"' then
         if !i + 1 < n && src.[!i + 1] = '"' then begin
           Buffer.add_char buf '"';
-          i := !i + 2
+          step ~chars:2 ()
         end
         else begin
           in_quotes := false;
-          incr i
+          step ()
         end
       else begin
-        if c = '\n' then incr line;
         Buffer.add_char buf c;
-        incr i
+        step ();
+        if c = '\n' then newline ()
       end
     end
     else
@@ -55,25 +114,32 @@ let parse_rows (src : string) : string list list =
       | '"' ->
         if Buffer.length buf = 0 then begin
           in_quotes := true;
-          incr i
+          step ()
         end
-        else raise (Csv_error ("quote inside unquoted field", !line))
+        else error "quote inside unquoted field"
       | ',' ->
         push_field ();
-        incr i
-      | '\r' -> incr i
+        step ()
+      | '\r' -> step ()
       | '\n' ->
-        push_row ();
-        incr line;
-        incr i
+        (* consume and account the newline first, so the row we push
+           keeps its recorded start line while the next row's origin
+           (set by [push_row]'s [start_row]) is the new line *)
+        incr i;
+        newline ();
+        push_row ()
       | c ->
         Buffer.add_char buf c;
-        incr i
+        step ()
   done;
-  if !in_quotes then raise (Csv_error ("unterminated quoted field", !line));
-  if Buffer.length buf > 0 || !fields <> [] then push_row ();
+  if !in_quotes then error "unterminated quoted field";
+  if not !in_quotes && (Buffer.length buf > 0 || !fields <> []) then
+    push_row ();
   (* drop fully empty trailing rows *)
-  List.rev !rows |> List.filter (fun r -> r <> [ "" ] && r <> [])
+  List.rev !rows |> List.filter (fun (r, _) -> r <> [ "" ] && r <> [])
+
+let parse_rows ?fault src =
+  List.map fst (parse_rows_loc ?fault ~source:"csv" src)
 
 type table = {
   name : string;
@@ -81,10 +147,46 @@ type table = {
   rows : string list list;
 }
 
-let table_of_string ~name src =
-  match parse_rows src with
+let table_of_string ?fault ~name src =
+  match parse_rows_loc ?fault ~source:name src with
   | [] -> { name; headers = []; rows = [] }
-  | headers :: rows -> { name; headers; rows }
+  | (headers, _) :: rows ->
+    let rows =
+      match fault with
+      | None -> List.map fst rows
+      | Some c ->
+        (* recovering mode: quarantine ragged rows (strict mode keeps
+           the legacy tolerance) and honour injected parse faults *)
+        let inject = Fault.inject fault in
+        let width = List.length headers in
+        List.filteri
+          (fun idx (row, row_line) ->
+            let ok =
+              match Fault.Inject.fire inject (Fault.Inject.Parse (name, idx)) with
+              | () ->
+                if List.length row = width then true
+                else begin
+                  Fault.record c
+                    (Fault.report ~stage:Fault.Ingest ~source:name
+                       ~location:(Printf.sprintf "line %d" row_line)
+                       ~cause:
+                         (Printf.sprintf "ragged row: %d field(s), expected %d"
+                            (List.length row) width)
+                       ~excerpt:(String.concat "," row) ());
+                  false
+                end
+              | exception Fault.Inject.Injected msg ->
+                Fault.record c
+                  (Fault.report ~stage:Fault.Ingest ~source:name
+                     ~location:(Printf.sprintf "line %d" row_line) ~cause:msg
+                     ~excerpt:(String.concat "," row) ());
+                false
+            in
+            ok)
+          rows
+        |> List.map fst
+    in
+    { name; headers; rows }
 
 (** Load several tables into [g] at once: all rows of all tables are
     created first, then cells are added, so [&name] references may
@@ -159,13 +261,13 @@ let rec load_tables ?key g (tables : table list) : Oid.t list list =
 and load_table ?key g (t : table) : Oid.t list =
   (match key with
    | Some k when not (List.mem k t.headers) ->
-     raise (Csv_error ("no column named " ^ k, 1))
+     raise (Csv_error ("no column named " ^ k, 1, 1))
    | _ -> ());
   match load_tables ?key g [ t ] with
   | [ os ] -> os
   | _ -> assert false
 
-let load ?(graph_name = "RDB") ?key ~name src =
+let load ?fault ?(graph_name = "RDB") ?key ~name src =
   let g = Graph.create ~name:graph_name () in
-  let os = load_table ?key g (table_of_string ~name src) in
+  let os = load_table ?key g (table_of_string ?fault ~name src) in
   (g, os)

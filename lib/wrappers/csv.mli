@@ -6,15 +6,21 @@
     non-empty cells become attribute edges (values read with
     {!Sgraph.Value.of_literal}); empty cells produce {e no} edge — the
     natural encoding of missing attributes.  [&key] cells become object
-    references; [;]-separated cells are multi-valued. *)
+    references; [;]-separated cells are multi-valued.
+
+    Strict mode (no [fault]) aborts on the first malformed record with
+    line and column; with a {!Fault.ctx} the wrapper recovers — bad
+    records (including ragged rows and injected parse faults) are
+    quarantined as structured reports and the rest of the file loads. *)
 
 open Sgraph
 
-exception Csv_error of string * int  (** message, line *)
+exception Csv_error of string * int * int  (** message, line, column *)
 
-val parse_rows : string -> string list list
+val parse_rows : ?fault:Fault.ctx -> string -> string list list
 (** RFC-4180-ish: quoted fields may contain commas, newlines and
-    doubled quotes. *)
+    doubled quotes.  With [fault], a malformed row is quarantined and
+    the scanner resynchronizes at the next row boundary. *)
 
 type table = {
   name : string;
@@ -22,7 +28,10 @@ type table = {
   rows : string list list;
 }
 
-val table_of_string : name:string -> string -> table
+val table_of_string : ?fault:Fault.ctx -> name:string -> string -> table
+(** With [fault], additionally quarantines ragged rows (field count ≠
+    header count) and honours injected per-record parse faults; strict
+    mode keeps the legacy tolerance for ragged rows. *)
 
 val load_tables : ?key:string -> Graph.t -> table list -> Oid.t list list
 (** Load several tables at once: all rows are created before any cell
@@ -33,5 +42,5 @@ val load_tables : ?key:string -> Graph.t -> table list -> Oid.t list list
 val load_table : ?key:string -> Graph.t -> table -> Oid.t list
 
 val load :
-  ?graph_name:string -> ?key:string -> name:string -> string ->
-  Graph.t * Oid.t list
+  ?fault:Fault.ctx -> ?graph_name:string -> ?key:string -> name:string ->
+  string -> Graph.t * Oid.t list

@@ -161,9 +161,30 @@ let load_page ?(collection = "Pages") g ~name (html : string) : Oid.t =
     Graph.add_edge g o "text" (Graph.V (Value.String body_text));
   o
 
-let load_pages ?(graph_name = "HTML") ?collection pages =
+let load_pages ?fault ?(graph_name = "HTML") ?collection pages =
   let g = Graph.create ~name:graph_name () in
+  let inject = Fault.inject fault in
   let os =
-    List.map (fun (name, html) -> load_page ?collection g ~name html) pages
+    List.filter_map
+      (fun (idx, (name, html)) ->
+        match fault with
+        | None -> Some (load_page ?collection g ~name html)
+        | Some c -> (
+          (* recovering mode: a page whose extraction fails (or whose
+             injected parse fault fires) is quarantined and skipped *)
+          try
+            Fault.Inject.fire inject (Fault.Inject.Parse (graph_name, idx));
+            Some (load_page ?collection g ~name html)
+          with e ->
+            let msg =
+              match e with
+              | Fault.Inject.Injected m -> m
+              | e -> Printexc.to_string e
+            in
+            Fault.record c
+              (Fault.report ~stage:Fault.Ingest ~source:graph_name
+                 ~location:name ~cause:msg ~excerpt:html ());
+            None))
+      (List.mapi (fun i p -> (i, p)) pages)
   in
   (g, os)

@@ -17,5 +17,9 @@ val load_page : ?collection:string -> Graph.t -> name:string -> string -> Oid.t
     ["Pages"]). *)
 
 val load_pages :
-  ?graph_name:string -> ?collection:string -> (string * string) list ->
-  Graph.t * Oid.t list
+  ?fault:Fault.ctx -> ?graph_name:string -> ?collection:string ->
+  (string * string) list -> Graph.t * Oid.t list
+(** With a {!Fault.ctx}, a page whose extraction fails — or whose
+    injected per-page parse fault fires — is quarantined as a
+    structured report and skipped; the returned oids then cover only
+    the pages that loaded. *)

@@ -19,7 +19,7 @@ open Sgraph
 
 exception Structured_error of string * int
 
-let split_blocks src =
+let split_blocks ?fault ?(source = "files") src =
   let lines = String.split_on_char '\n' src in
   let blocks = ref [] and current = ref [] in
   let lineno = ref 0 in
@@ -43,8 +43,17 @@ let split_blocks src =
             String.trim (String.sub line' (i + 1) (String.length line' - i - 1))
           in
           current := (k, v, !lineno) :: !current
-        | None ->
-          raise (Structured_error ("line without ':' separator", !lineno)))
+        | None -> (
+          match fault with
+          | None ->
+            raise (Structured_error ("line without ':' separator", !lineno))
+          | Some c ->
+            (* recovering mode: quarantine the malformed line and keep
+               loading the rest of the block *)
+            Fault.record c
+              (Fault.report ~stage:Fault.Ingest ~source
+                 ~location:(Printf.sprintf "line %d" !lineno)
+                 ~cause:"line without ':' separator" ~excerpt:line' ())))
     lines;
   flush ();
   List.rev !blocks
@@ -76,8 +85,35 @@ let value_of_string v =
 
 (** Load blocks into [g]; returns created oids in file order.
     References ([&name]) resolve after all blocks load. *)
-let load_into g src =
-  let blocks = split_blocks src in
+let load_into ?fault g src =
+  let source = Graph.name g in
+  let blocks = split_blocks ?fault ~source src in
+  (* honour injected per-block parse faults: a faulted block is
+     quarantined whole, identified by its first line *)
+  let blocks =
+    match Fault.inject fault with
+    | None -> blocks
+    | Some inject ->
+      let c = match fault with Some c -> c | None -> assert false in
+      List.filteri
+        (fun idx block ->
+          match
+            Fault.Inject.fire (Some inject) (Fault.Inject.Parse (source, idx))
+          with
+          | () -> true
+          | exception Fault.Inject.Injected msg ->
+            let location, excerpt =
+              match block with
+              | (k, v, line) :: _ ->
+                (Printf.sprintf "block %d, line %d" idx line, k ^ ": " ^ v)
+              | [] -> (Printf.sprintf "block %d" idx, "")
+            in
+            Fault.record c
+              (Fault.report ~stage:Fault.Ingest ~source ~location ~cause:msg
+                 ~excerpt ());
+            false)
+        blocks
+  in
   (* first pass: create the objects *)
   let objs =
     List.map
@@ -118,7 +154,7 @@ let load_into g src =
     objs;
   List.map fst objs
 
-let load ?(graph_name = "FILES") src =
+let load ?fault ?(graph_name = "FILES") src =
   let g = Graph.create ~name:graph_name () in
-  let os = load_into g src in
+  let os = load_into ?fault g src in
   (g, os)

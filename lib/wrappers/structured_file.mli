@@ -11,8 +11,13 @@ open Sgraph
 
 exception Structured_error of string * int  (** message, line *)
 
-val load_into : Graph.t -> string -> Oid.t list
+val load_into : ?fault:Fault.ctx -> Graph.t -> string -> Oid.t list
 (** Load blocks into an existing graph; returns created oids in file
-    order.  References resolve after all blocks load. *)
+    order.  References resolve after all blocks load.  Strict mode (no
+    [fault]) raises {!Structured_error} on a line without a [':']
+    separator; with a {!Fault.ctx} such lines — and injected per-block
+    parse faults — are quarantined as structured reports and the rest
+    of the file loads. *)
 
-val load : ?graph_name:string -> string -> Graph.t * Oid.t list
+val load :
+  ?fault:Fault.ctx -> ?graph_name:string -> string -> Graph.t * Oid.t list

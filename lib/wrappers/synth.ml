@@ -80,7 +80,7 @@ let sentence r =
     (login, name, phone?, office?, email, org, proprietary?) and [Orgs]
     (id, name, parent?, director).  Shapes match §5: some people lack
     phones or offices; some orgs lack a parent (roots). *)
-let org_csv ?(seed = 1) ~people ~orgs () =
+let org_csv ?(seed = 1) ?(corrupt = 0) ~people ~orgs () =
   let r = rng ~seed () in
   let orgs_rows = Buffer.create 1024 in
   Buffer.add_string orgs_rows "id,name,parent,director\n";
@@ -109,19 +109,43 @@ let org_csv ?(seed = 1) ~people ~orgs () =
       if chance r 90 then pick r research_areas else ""
     in
     let proprietary = if chance r 15 then "true" else "" in
-    Buffer.add_string people_rows
-      (Printf.sprintf "p%d,%s,%s,%s,p%d@research.example.com,&org%d,%s,%s\n" i
-         (full_name r) phone office i (int r (max 1 orgs)) area proprietary)
+    let line =
+      Printf.sprintf "p%d,%s,%s,%s,p%d@research.example.com,&org%d,%s,%s\n" i
+        (full_name r) phone office i (int r (max 1 orgs)) area proprietary
+    in
+    (* the corruption draws are guarded so the RNG stream — and hence
+       the default output — is byte-identical when [corrupt = 0] *)
+    let line =
+      if corrupt > 0 && chance r corrupt then
+        match int r 3 with
+        | 0 ->
+          (* ragged: too few fields *)
+          Printf.sprintf "p%d,truncated\n" i
+        | 1 ->
+          (* ragged: too many fields *)
+          String.sub line 0 (String.length line - 1) ^ ",extra,extra\n"
+        | _ ->
+          (* stray quote inside an unquoted field *)
+          Printf.sprintf
+            "p%d,Bro\"ken Name,,,p%d@research.example.com,&org0,,\n" i i
+      else line
+    in
+    Buffer.add_string people_rows line
   done;
   (Buffer.contents people_rows, Buffer.contents orgs_rows)
 
 (* --- Project data (structured files) --- *)
 
-let projects_file ?(seed = 2) ~projects ~people () =
+let projects_file ?(seed = 2) ?(corrupt = 0) ~projects ~people () =
   let r = rng ~seed () in
   let buf = Buffer.create 4096 in
   for i = 0 to projects - 1 do
     Buffer.add_string buf (Printf.sprintf "id: proj%d\nin: Projects\n" i);
+    if corrupt > 0 && chance r corrupt then
+      (* a line without the ':' separator, quarantined in recovering
+         mode without losing the rest of the block *)
+      Buffer.add_string buf
+        (Printf.sprintf "malformed line %d without separator\n" i);
     Buffer.add_string buf
       (Printf.sprintf "name: %s\n" (pick r project_words));
     (* some projects omit the synopsis (§5.2's missing attributes) *)
@@ -144,10 +168,16 @@ let projects_file ?(seed = 2) ~projects ~people () =
 
 (* --- Bibliographies (BibTeX) --- *)
 
-let bibtex ?(seed = 3) ~entries () =
+let bibtex ?(seed = 3) ?(corrupt = 0) ~entries () =
   let r = rng ~seed () in
   let buf = Buffer.create 8192 in
   for i = 0 to entries - 1 do
+    if corrupt > 0 && chance r corrupt then
+      (* missing ',' after the citation key: the parser quarantines the
+         entry and resynchronizes at the next '@' *)
+      Buffer.add_string buf
+        (Printf.sprintf "@article{bad%d\n  title missing comma}\n\n" i)
+    else begin
     let inproc = chance r 60 in
     Buffer.add_string buf
       (Printf.sprintf "@%s{pub%d,\n"
@@ -185,6 +215,7 @@ let bibtex ?(seed = 3) ~entries () =
       String.concat ", " (List.init n_cat (fun _ -> pick r research_areas))
     in
     Buffer.add_string buf (Printf.sprintf "  keywords = {%s}\n}\n\n" cats)
+    end
   done;
   Buffer.contents buf
 

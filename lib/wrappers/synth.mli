@@ -20,18 +20,30 @@ val int : rng -> int -> int
 val pick : rng -> 'a array -> 'a
 val chance : rng -> int -> bool
 
-val org_csv : ?seed:int -> people:int -> orgs:int -> unit -> string * string
+val org_csv :
+  ?seed:int -> ?corrupt:int -> people:int -> orgs:int -> unit ->
+  string * string
 (** The two tables of the organizational database as CSV text:
     [People] (some lack phones/offices/areas, some marked proprietary,
-    [&org] foreign keys) and [Orgs] ([&parent]/[&director] keys). *)
+    [&org] foreign keys) and [Orgs] ([&parent]/[&director] keys).
 
-val projects_file : ?seed:int -> projects:int -> people:int -> unit -> string
+    [corrupt] (a percentage, default [0]) makes roughly that share of
+    people rows malformed — ragged rows or stray quotes — exercising
+    the wrappers' quarantine paths.  The corruption draws are guarded
+    so [corrupt:0] output is byte-identical to the pre-knob
+    generator. *)
+
+val projects_file :
+  ?seed:int -> ?corrupt:int -> projects:int -> people:int -> unit -> string
 (** Structured project files; some omit the synopsis (§5.2's missing
-    attributes), members reference people by login. *)
+    attributes), members reference people by login.  [corrupt] inserts
+    separator-less lines into that share of blocks. *)
 
-val bibtex : ?seed:int -> entries:int -> unit -> string
+val bibtex : ?seed:int -> ?corrupt:int -> entries:int -> unit -> string
 (** A BibTeX bibliography with irregular fields (articles vs
-    inproceedings, optional abstracts/volumes). *)
+    inproceedings, optional abstracts/volumes).  [corrupt] replaces
+    that share of entries with ones missing the ',' after the citation
+    key. *)
 
 val news_graph : ?seed:int -> ?graph_name:string -> articles:int -> unit -> Graph.t
 (** The CNN-shaped article base: [Articles] with [headline],
