@@ -1153,6 +1153,70 @@ let e18 () =
   Fmt.pr "fault-tolerance profile written to BENCH_fault.json@."
 
 (* ----------------------------------------------------------------- *)
+(* E19 — static analysis cost: lint vs a full build                   *)
+(* ----------------------------------------------------------------- *)
+
+(* The whole point of linting is a verdict without the build; the
+   budget for the four analysis families is a small fraction of the
+   build they replace.  Lint runs several times (it is fast and
+   jittery), the build once. *)
+let e19 () =
+  section "E19" "static analysis: lint wall time vs full build";
+  let sites =
+    [
+      ( "cnn-100",
+        Sites.Lint_specs.cnn ~articles:100 (),
+        fun () ->
+          Strudel.Site.build
+            ~data:(Sites.Cnn.data ~articles:100 ())
+            Sites.Cnn.definition );
+      ( "org-100",
+        Sites.Lint_specs.org ~people:100 ~orgs:6 ~projects:30 ~pubs:80 (),
+        fun () ->
+          let _, w = Sites.Org.data ~people:100 ~orgs:6 () in
+          Strudel.Site.build ~data:(Mediator.Warehouse.graph w)
+            Sites.Org.definition );
+    ]
+  in
+  Fmt.pr "  %-10s %10s %10s %8s %6s@." "site" "lint ms" "build ms" "ratio"
+    "diags";
+  let entries =
+    List.map
+      (fun (name, spec, build) ->
+        let runs = 5 in
+        let lint_ms = ref infinity in
+        let diags = ref [] in
+        for _ = 1 to runs do
+          let ds, t = wall_it (fun () -> Analysis.Lint.run spec) in
+          diags := ds;
+          if t < !lint_ms then lint_ms := t
+        done;
+        let _, build_ms = wall_it build in
+        let ratio = !lint_ms /. build_ms in
+        Fmt.pr "  %-10s %10.2f %10.1f %7.1f%% %6d@." name !lint_ms build_ms
+          (100. *. ratio)
+          (List.length !diags);
+        (name, !lint_ms, build_ms, ratio, List.length !diags))
+      sites
+  in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "{\n  \"experiment\": \"E19_lint\",\n  \"sites\": [";
+  List.iteri
+    (fun i (name, lint_ms, build_ms, ratio, diags) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf
+           "\n    {\"site\": \"%s\", \"lint_ms\": %.3f, \"build_ms\": %.3f, \
+            \"ratio\": %.4f, \"diagnostics\": %d}"
+           name lint_ms build_ms ratio diags))
+    entries;
+  Buffer.add_string buf "\n  ]\n}\n";
+  let oc = open_out "BENCH_lint.json" in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Fmt.pr "lint cost profile written to BENCH_lint.json@."
+
+(* ----------------------------------------------------------------- *)
 (* Bechamel microbenchmarks — one Test.make per measured experiment   *)
 (* ----------------------------------------------------------------- *)
 
@@ -1309,7 +1373,7 @@ let experiments =
     ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
     ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11);
     ("E12", e12); ("E13", e13); ("E14", e14); ("E15", e15); ("E16", e16);
-    ("E17", e17); ("E18", e18); ("micro", bechamel_suite);
+    ("E17", e17); ("E18", e18); ("E19", e19); ("micro", bechamel_suite);
   ]
 
 let () =

@@ -29,8 +29,10 @@ let or_die f =
   | Ddl.Ddl_error (msg, line) ->
     Fmt.epr "DDL error, line %d: %s@." line msg;
     exit 1
-  | Struql.Parser.Parse_error (msg, line) ->
-    Fmt.epr "StruQL parse error, line %d: %s@." line msg;
+  | Struql.Parser.Parse_error (msg, line, col) ->
+    if col > 0 then
+      Fmt.epr "StruQL parse error, line %d, column %d: %s@." line col msg
+    else Fmt.epr "StruQL parse error, line %d: %s@." line msg;
     exit 1
   | Struql.Eval.Eval_error msg ->
     Fmt.epr "evaluation error: %s@." msg;
@@ -53,6 +55,11 @@ let or_die f =
     exit 1
   | Wrappers.Structured_file.Structured_error (msg, line) ->
     Fmt.epr "structured-file error, line %d: %s@." line msg;
+    exit 1
+  | Mediator.Gav.Unknown_source (name, declared) ->
+    Fmt.epr "mediator: mapping names unknown source '%s' (declared: %s)@."
+      name
+      (String.concat ", " declared);
     exit 1
   | Repository.Binary.Corrupt (msg, offset) ->
     Fmt.epr "corrupt binary graph at byte %d: %s@." offset msg;
@@ -514,6 +521,111 @@ let verify_cmd =
   Cmd.v (Cmd.info "verify" ~doc:"Check integrity constraints on a site graph.")
     Term.(const run $ data_arg $ reachable_arg $ points_arg $ no_label_arg)
 
+(* --- lint: static analysis of a site specification --- *)
+
+let lint_cmd =
+  let spec_arg =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"SITE"
+             ~doc:
+               "A bundled example site (quickstart, homepage, cnn, org, \
+                rodin — a path like examples/cnn also works) or a StruQL \
+                site-definition query file (combine with $(b,-d), \
+                $(b,-t) and $(b,--root)).")
+  in
+  let format_arg =
+    Arg.(value & opt (enum [ ("text", `Text); ("json", `Json);
+                             ("sarif", `Sarif) ]) `Text
+         & info [ "f"; "format" ] ~docv:"FORMAT"
+             ~doc:"Report format: text, json or sarif (2.1.0).")
+  in
+  let fail_on_arg =
+    Arg.(value & opt (enum [ ("error", Analysis.Lint.Fail_error);
+                             ("warning", Analysis.Lint.Fail_warning) ])
+           Analysis.Lint.Fail_error
+         & info [ "fail-on" ] ~docv:"SEVERITY"
+             ~doc:
+               "Exit 1 when a diagnostic at or above $(docv) is present: \
+                error (default) or warning.")
+  in
+  let root_arg =
+    Arg.(value & opt string "RootPage"
+         & info [ "root" ] ~docv:"FAMILY"
+             ~doc:"Skolem family of the root page(s) (query-file mode).")
+  in
+  let template_arg =
+    Arg.(value & opt_all (pair ~sep:'=' string file) []
+         & info [ "t"; "template" ] ~docv:"COLLECTION=FILE"
+             ~doc:"Template for a collection (repeatable, query-file mode).")
+  in
+  let resolve_bundled name =
+    let base =
+      String.lowercase_ascii (Filename.remove_extension (Filename.basename name))
+    in
+    match base with
+    | "quickstart" | "paper" | "paper_example" ->
+      Some (Sites.Lint_specs.paper ())
+    | "homepage" -> Some (Sites.Lint_specs.homepage ())
+    | "cnn" -> Some (Sites.Lint_specs.cnn ~articles:100 ())
+    | "org" -> Some (Sites.Lint_specs.org ~people:50 ~orgs:5 ())
+    | "rodin" -> Some (Sites.Lint_specs.rodin ())
+    | _ -> None
+  in
+  let run spec_name data templates root format fail_on output =
+    or_die (fun () ->
+        let spec =
+          match resolve_bundled spec_name with
+          | Some s -> s
+          | None when Sys.file_exists spec_name ->
+            let templates =
+              {
+                Template.Generator.empty_templates with
+                Template.Generator.by_collection =
+                  List.map (fun (c, f) -> (c, read_file f)) templates;
+              }
+            in
+            {
+              Analysis.Lint.name = Filename.basename spec_name;
+              queries = [ (spec_name, read_file spec_name) ];
+              templates;
+              root_family = root;
+              constraints = [];
+              registry = Struql.Builtins.default;
+              data =
+                Option.map
+                  (fun d ->
+                    fst (Ddl.parse ~graph_name:"input" (read_file d)))
+                  data;
+              declared_sources = [];
+              mapping_sources = [];
+              max_guide_states = 10_000;
+            }
+          | None ->
+            Fmt.epr
+              "unknown site '%s' (bundled: quickstart, homepage, cnn, org, \
+               rodin) and no such file@."
+              spec_name;
+            exit 2
+        in
+        let diags = Analysis.Lint.run spec in
+        let rendered =
+          match format with
+          | `Text -> Analysis.Diagnostic.to_text diags
+          | `Json -> Analysis.Diagnostic.to_json diags
+          | `Sarif -> Analysis.Diagnostic.to_sarif diags
+        in
+        emit output rendered;
+        exit (Analysis.Lint.exit_code fail_on diags))
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Statically analyze a site specification without building it: \
+          path emptiness, dead/unused spec, constraint verification and \
+          template lint, as structured SA0xx diagnostics.")
+    Term.(const run $ spec_arg $ data_opt_arg $ template_arg $ root_arg
+          $ format_arg $ fail_on_arg $ output_arg)
+
 (* --- browse: click-time materialization simulator --- *)
 
 let browse_cmd =
@@ -612,4 +724,4 @@ let () =
        (Cmd.group (Cmd.info "strudel" ~doc)
           [ load_cmd; query_cmd; explain_cmd; explain_analyze_cmd; check_cmd;
             schema_cmd; decompose_cmd; build_cmd; faults_cmd; verify_cmd;
-            browse_cmd; demo_cmd ]))
+            lint_cmd; browse_cmd; demo_cmd ]))

@@ -1,0 +1,54 @@
+(** Structured diagnostics for [strudel lint].
+
+    Every finding carries a stable code ([SA0xx]), a severity, a
+    one-line message, and — when the offending construct has source
+    text — a span.  Diagnostics render as human-readable text, as
+    JSON, and as SARIF 2.1.0 (for code-scanning upload in CI). *)
+
+type severity = Error | Warning | Info
+
+val severity_name : severity -> string
+(** ["error"] / ["warning"] / ["info"]. *)
+
+val severity_rank : severity -> int
+(** [Error] = 2, [Warning] = 1, [Info] = 0. *)
+
+type span = {
+  file : string;  (** query name, template key, or file path *)
+  l1 : int;       (** 1-based start line *)
+  c1 : int;       (** 1-based start column; 0 when unknown *)
+  l2 : int;       (** end line *)
+  c2 : int;       (** one past the last column *)
+}
+
+type t = {
+  code : string;  (** stable [SA0xx] code *)
+  severity : severity;
+  message : string;
+  span : span option;
+  related : string list;
+      (** witnesses and notes, e.g. a violated constraint's witnesses *)
+}
+
+val make :
+  ?span:span -> ?related:string list -> code:string -> severity ->
+  string -> t
+
+val catalog : (string * severity * string) list
+(** Every diagnostic code this analyzer can emit: code, default
+    severity, short description.  The SARIF rule table and the DESIGN.md
+    catalog are generated from this list. *)
+
+val compare : t -> t -> int
+(** Order for stable output: file, position, code, message. *)
+
+val max_severity : t list -> severity option
+
+val to_text : t list -> string
+(** One line per diagnostic ([file:line:col: severity SA0xx: message])
+    followed by indented [note:] lines, then a summary line. *)
+
+val to_json : t list -> string
+
+val to_sarif : ?tool_version:string -> t list -> string
+(** SARIF 2.1.0, one run, rules from {!catalog}. *)

@@ -63,10 +63,13 @@ let parse_queries def =
   List.map
     (fun (qname, src) ->
       try (qname, Struql.Parser.parse ~registry:def.registry src)
-      with Struql.Parser.Parse_error (msg, line) ->
+      with Struql.Parser.Parse_error (msg, line, col) ->
         raise
           (Build_error
-             (Printf.sprintf "query %s, line %d: %s" qname line msg)))
+             (if col > 0 then
+                Printf.sprintf "query %s, line %d, column %d: %s" qname line
+                  col msg
+              else Printf.sprintf "query %s, line %d: %s" qname line msg)))
     def.queries
 
 (** Evaluate the definition's queries over [data] into one site graph;

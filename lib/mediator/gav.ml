@@ -20,6 +20,9 @@ type mapping = {
   query : Ast.query;
 }
 
+exception Unknown_source of string * string list
+(** the mapping's source name, the declared source names *)
+
 let mapping ~source query = { source_name = source; query }
 
 let mapping_of_string ~source q_src =
@@ -91,7 +94,9 @@ let integrate ?(options = Eval.default_options) ?(graph_name = "mediated")
           with
           | None -> (
             match fault with
-            | None -> failwith ("mediator: unknown source " ^ m.source_name)
+            | None ->
+              raise
+                (Unknown_source (m.source_name, List.map Source.name sources))
             | Some c ->
               Fault.record c
                 (Fault.report ~stage:Fault.Integrate ~source:m.source_name

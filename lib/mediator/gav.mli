@@ -18,6 +18,12 @@ type mapping = {
   query : Struql.Ast.query;
 }
 
+exception Unknown_source of string * string list
+(** A mapping (run without a fault context) names a source that is not
+    among the declared sources: the offending name and the declared
+    names.  With a fault context the mapping is recorded and skipped
+    instead. *)
+
 val mapping : source:string -> Struql.Ast.query -> mapping
 val mapping_of_string : source:string -> string -> mapping
 

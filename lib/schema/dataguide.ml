@@ -144,6 +144,47 @@ let paths_up_to t depth : string list list =
   go (root_state t) [] [ t.root ] depth;
   List.rev !acc
 
+(** Does any label path recorded in the guide match the regular path
+    expression?  Product of the guide (a DFA over labels) with the
+    expression's NFA, BFS from (root, ε-closure of NFA start).  A
+    nullable expression matches the empty path and is trivially
+    nonempty. *)
+let intersect_nonempty t (r : Path.t) : bool =
+  Path.nullable r
+  ||
+  let nfa = Path.compile r in
+  let seen = Hashtbl.create 64 in
+  let queue = Queue.create () in
+  let push gid qs =
+    List.iter
+      (fun q ->
+        if not (Hashtbl.mem seen (gid, q)) then begin
+          Hashtbl.add seen (gid, q) ();
+          Queue.add (gid, q) queue
+        end)
+      qs
+  in
+  push t.root (Path.nfa_start_states nfa);
+  let found = ref false in
+  (try
+     while not (Queue.is_empty queue) do
+       let gid, q = Queue.pop queue in
+       if Path.nfa_is_accepting nfa q then begin
+         found := true;
+         raise Exit
+       end;
+       let s = state t gid in
+       List.iter
+         (fun (l, gid') ->
+           List.iter
+             (fun (pred, targets) ->
+               if Path.edge_pred_matches pred l then push gid' targets)
+             (Path.nfa_transitions nfa q))
+         s.transitions
+     done
+   with Exit -> ());
+  !found
+
 let pp ppf t =
   Fmt.pf ppf "dataguide: %d states, %d transitions over %d data nodes@."
     (state_count t) (transition_count t) t.graph_nodes;

@@ -43,4 +43,10 @@ val extent_size : t -> string list -> int
 val paths_up_to : t -> int -> string list list
 (** All distinct label paths of length ≤ depth (cycle-safe). *)
 
+val intersect_nonempty : t -> Path.t -> bool
+(** Whether some label path recorded in the guide matches the regular
+    path expression (product automaton, BFS).  Build the guide with
+    [~roots:(Graph.nodes g)] to decide emptiness of a path pattern that
+    may start anywhere.  Nullable expressions are trivially nonempty. *)
+
 val pp : Format.formatter -> t -> unit

@@ -140,7 +140,7 @@ let parse_decls src =
            (Fmt.str "expected 'collection' or 'object' but found %a"
               Lex.pp_token tok)
      done
-   with Lex.Stream.Parse_error (msg, line) -> raise (Ddl_error (msg, line)));
+   with Lex.Stream.Parse_error (msg, line, _col) -> raise (Ddl_error (msg, line)));
   List.rev !decls
 
 (* Apply collection file-kind defaults to a string value. *)

@@ -6,7 +6,7 @@ type token =
   | Punct of string
   | Eof
 
-type spanned = { tok : token; line : int }
+type spanned = { tok : token; line : int; col : int; ecol : int }
 
 exception Lex_error of string * int
 
@@ -33,18 +33,31 @@ let tokenize ?(ident_dash = false) ~puncts src =
   in
   let n = String.length src in
   let line = ref 1 in
+  let bol = ref 0 in
+  (* start position of the token being scanned, refreshed each loop *)
+  let start_line = ref 1 in
+  let start_col = ref 1 in
   let toks = ref [] in
-  let emit tok = toks := { tok; line = !line } :: !toks in
   let i = ref 0 in
+  let emit tok =
+    let ecol =
+      (* tokens that span lines get a 1-wide span at their start *)
+      if !line = !start_line then !i - !bol + 1 else !start_col + 1
+    in
+    toks := { tok; line = !start_line; col = !start_col; ecol } :: !toks
+  in
   let starts_with p pos =
     let lp = String.length p in
     pos + lp <= n && String.sub src pos lp = p
   in
   while !i < n do
+    start_line := !line;
+    start_col := !i - !bol + 1;
     let c = src.[!i] in
     if c = '\n' then begin
       incr line;
-      incr i
+      incr i;
+      bol := !i
     end
     else if c = ' ' || c = '\t' || c = '\r' then incr i
     else if starts_with "//" !i || c = '#' then begin
@@ -62,7 +75,10 @@ let tokenize ?(ident_dash = false) ~puncts src =
           fin := true
         end
         else begin
-          if src.[!i] = '\n' then incr line;
+          if src.[!i] = '\n' then begin
+            incr line;
+            bol := !i + 1
+          end;
           incr i
         end
       done
@@ -91,7 +107,8 @@ let tokenize ?(ident_dash = false) ~puncts src =
           | '\n' ->
             incr line;
             Buffer.add_char buf '\n';
-            incr i
+            incr i;
+            bol := !i
           | c ->
             Buffer.add_char buf c;
             incr i
@@ -141,15 +158,17 @@ let tokenize ?(ident_dash = false) ~puncts src =
         raise (Lex_error (Printf.sprintf "unexpected character %C" c, !line))
     end
   done;
+  start_line := !line;
+  start_col := n - !bol + 1;
   emit Eof;
   List.rev !toks
 
 module Stream = struct
-  type t = { mutable rest : spanned list }
+  type t = { mutable rest : spanned list; mutable last : spanned option }
 
-  exception Parse_error of string * int
+  exception Parse_error of string * int * int
 
-  let of_tokens toks = { rest = toks }
+  let of_tokens toks = { rest = toks; last = None }
 
   let peek t =
     match t.rest with { tok; _ } :: _ -> tok | [] -> Eof
@@ -158,15 +177,21 @@ module Stream = struct
     match t.rest with _ :: { tok; _ } :: _ -> tok | _ -> Eof
 
   let line t = match t.rest with { line; _ } :: _ -> line | [] -> 0
+  let col t = match t.rest with { col; _ } :: _ -> col | [] -> 0
+  let pos t = (line t, col t)
+
+  let last_end t =
+    match t.last with Some { line; ecol; _ } -> (line, ecol) | None -> (0, 0)
 
   let advance t =
     match t.rest with
     | { tok = Eof; _ } :: _ | [] -> Eof
-    | { tok; _ } :: rest ->
+    | ({ tok; _ } as sp) :: rest ->
       t.rest <- rest;
+      t.last <- Some sp;
       tok
 
-  let error t msg = raise (Parse_error (msg, line t))
+  let error t msg = raise (Parse_error (msg, line t, col t))
 
   let eat_punct t p =
     match advance t with

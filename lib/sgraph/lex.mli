@@ -13,7 +13,10 @@ type token =
   | Punct of string
   | Eof
 
-type spanned = { tok : token; line : int }
+type spanned = { tok : token; line : int; col : int; ecol : int }
+(** [line]/[col] are the 1-based start of the token; [ecol] is the
+    column one past its final character (on the start line — tokens
+    that span lines get a 1-wide span). *)
 
 exception Lex_error of string * int  (** message, line *)
 
@@ -33,12 +36,23 @@ val pp_token : Format.formatter -> token -> unit
 module Stream : sig
   type t
 
-  exception Parse_error of string * int
+  exception Parse_error of string * int * int  (** message, line, column *)
 
   val of_tokens : spanned list -> t
   val peek : t -> token
   val peek2 : t -> token
   val line : t -> int
+
+  val col : t -> int
+  (** 1-based start column of the next token (0 at end of stream). *)
+
+  val pos : t -> int * int
+  (** [(line, col)] of the next token. *)
+
+  val last_end : t -> int * int
+  (** [(line, ecol)] just past the most recently consumed token;
+      [(0, 0)] before the first [advance]. *)
+
   val advance : t -> token
   val eat_punct : t -> string -> unit
   val eat_ident : t -> string -> unit

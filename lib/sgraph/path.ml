@@ -122,6 +122,9 @@ let compile r =
   { n; start; closure; accepting; trans }
 
 let nfa_states a = a.n
+let nfa_start_states a = a.closure.(a.start)
+let nfa_is_accepting a s = a.accepting.(s)
+let nfa_transitions a s = List.map (fun (p, s') -> (p, a.closure.(s'))) a.trans.(s)
 
 let eval_from ?nfa g r src =
   let a = match nfa with Some a -> a | None -> compile r in

@@ -41,6 +41,18 @@ type nfa
 val compile : t -> nfa
 val nfa_states : nfa -> int
 
+val nfa_start_states : nfa -> int list
+(** The ε-closure of the start state. *)
+
+val nfa_is_accepting : nfa -> int -> bool
+
+val nfa_transitions : nfa -> int -> (edge_pred * int list) list
+(** Outgoing labelled transitions of a state; each target is given as
+    the ε-closure of the state the edge enters.  With
+    {!nfa_start_states} and {!nfa_is_accepting} this is enough to walk
+    the automaton against another transition system (e.g. a DataGuide
+    product). *)
+
 val eval_from : ?nfa:nfa -> Graph.t -> t -> Oid.t -> Graph.target list
 (** All objects [y] such that a path from the source matching the
     expression ends at [y].  Includes the source itself when the

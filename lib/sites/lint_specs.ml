@@ -1,0 +1,47 @@
+(** Ready-made {!Analysis.Lint.spec}s for the bundled example sites.
+
+    Shared by the [strudel lint] CLI, the lint test suite, and the
+    golden lint snapshots.  Data sizes default to small synthetic
+    instances so linting stays fast; callers can scale up (the E19
+    benchmark lints org at paper scale). *)
+
+let paper () =
+  Analysis.Lint.of_definition ~data:(Paper_example.data ())
+    Paper_example.definition
+
+let homepage ?entries ?seed () =
+  Analysis.Lint.of_definition
+    ~data:(Homepage.data ?entries ?seed ())
+    Homepage.definition
+
+let cnn ?(articles = 6) ?(seed = 4) () =
+  Analysis.Lint.of_definition ~data:(Cnn.data ~articles ~seed ()) Cnn.definition
+
+let rodin ?(extra_projects = 0) () =
+  Analysis.Lint.of_definition
+    ~data:(Rodin.data ~extra_projects ())
+    Rodin.definition
+
+(** The org site is mediated: the spec also carries the declared
+    source names and the source each GAV mapping reads, so the
+    mediation layer is linted too (SA005). *)
+let org ?seed ?(people = 8) ?(orgs = 2) ?(projects = 3) ?(pubs = 4) () =
+  let _sources, w = Org.data ?seed ~people ~orgs ~projects ~pubs () in
+  Analysis.Lint.of_definition
+    ~data:(Mediator.Warehouse.graph w)
+    ~declared_sources:[ "rdb"; "projects"; "bib"; "html" ]
+    ~mapping_sources:
+      (List.map
+         (fun (m : Mediator.Gav.mapping) -> m.Mediator.Gav.source_name)
+         Org.mediation_mappings)
+    Org.definition
+
+(** Name → spec constructor (default sizes), for CLI and tests. *)
+let by_name =
+  [
+    ("paper", fun () -> paper ());
+    ("homepage", fun () -> homepage ());
+    ("cnn", fun () -> cnn ());
+    ("rodin", fun () -> rodin ());
+    ("org", fun () -> org ());
+  ]

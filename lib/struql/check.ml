@@ -51,126 +51,188 @@ let rec term_skolem_arities acc = function
 (* Errors (hard violations) and warnings (safety classification). *)
 type report = { errors : problem list; warnings : problem list }
 
-let check (q : Ast.query) : report =
+type located_report = {
+  l_errors : (problem * Parser.span option) list;
+  l_warnings : (problem * Parser.span option) list;
+}
+
+(* Pair each AST item with its span when a matching span list is
+   available (spans come from [Parser.parse_located] and mirror the
+   block lists element-for-element). *)
+let zip_spans items sps =
+  match sps with
+  | Some sps when List.length sps = List.length items ->
+    List.map2 (fun i s -> (i, Some s)) items sps
+  | _ -> List.map (fun i -> (i, None)) items
+
+let check_located ?spans (q : Ast.query) : located_report =
   let errors = ref [] in
   let warnings = ref [] in
+  let err sp p = errors := (p, sp) :: !errors in
   let created = Ast.query_created_skolems q in
   (* Skolem functions in where clauses *)
-  let scan_where_term = function
+  let scan_where_term sp = function
     | Ast.T_var _ | Ast.T_const _ -> ()
-    | Ast.T_skolem (f, _) -> errors := Skolem_in_where f :: !errors
-    | Ast.T_agg (fn, _) -> errors := Agg_misplaced (Ast.agg_name fn) :: !errors
+    | Ast.T_skolem (f, _) -> err sp (Skolem_in_where f)
+    | Ast.T_agg (fn, _) -> err sp (Agg_misplaced (Ast.agg_name fn))
   in
   (* aggregates may only be the immediate target of a link clause *)
-  let rec scan_no_agg = function
+  let rec scan_no_agg sp = function
     | Ast.T_var _ | Ast.T_const _ -> ()
-    | Ast.T_skolem (_, args) -> List.iter scan_no_agg args
-    | Ast.T_agg (fn, _) -> errors := Agg_misplaced (Ast.agg_name fn) :: !errors
+    | Ast.T_skolem (_, args) -> List.iter (scan_no_agg sp) args
+    | Ast.T_agg (fn, _) -> err sp (Agg_misplaced (Ast.agg_name fn))
   in
-  let rec scan_cond = function
-    | Ast.C_atom (_, ts) -> List.iter scan_where_term ts
+  let rec scan_cond sp = function
+    | Ast.C_atom (_, ts) -> List.iter (scan_where_term sp) ts
     | Ast.C_edge (x, _, y) | Ast.C_path (x, _, y) ->
-      scan_where_term x;
-      scan_where_term y
+      scan_where_term sp x;
+      scan_where_term sp y
     | Ast.C_cmp (_, a, b) ->
-      scan_where_term a;
-      scan_where_term b
-    | Ast.C_in (t, _) -> scan_where_term t
-    | Ast.C_not c -> scan_cond c
+      scan_where_term sp a;
+      scan_where_term sp b
+    | Ast.C_in (t, _) -> scan_where_term sp t
+    | Ast.C_not c -> scan_cond sp c
   in
   (* arity consistency *)
   let arities = Hashtbl.create 16 in
-  let note_arity (f, n) =
+  let note_arity sp (f, n) =
     match Hashtbl.find_opt arities f with
-    | Some n' when n' <> n -> errors := Skolem_arity (f, n', n) :: !errors
+    | Some n' when n' <> n -> err sp (Skolem_arity (f, n', n))
     | Some _ -> ()
     | None -> Hashtbl.add arities f n
   in
-  let rec scan_block bound (b : Ast.block) =
-    List.iter scan_cond b.where;
+  let rec scan_block bound (b : Ast.block)
+      (sb : Parser.block_spans option) =
+    let where = zip_spans b.where (Option.map (fun s -> s.Parser.s_where) sb) in
+    let create =
+      zip_spans b.create (Option.map (fun s -> s.Parser.s_create) sb)
+    in
+    let link = zip_spans b.link (Option.map (fun s -> s.Parser.s_link) sb) in
+    let collect =
+      zip_spans b.collect (Option.map (fun s -> s.Parser.s_collect) sb)
+    in
+    List.iter (fun (c, sp) -> scan_cond sp c) where;
     (* collect arities from all construction terms *)
     List.iter
-      (fun (f, args) ->
-        note_arity (f, List.length args);
+      (fun ((f, args), sp) ->
+        note_arity sp (f, List.length args);
         List.iter
-          (fun t -> List.iter note_arity (term_skolem_arities [] t))
+          (fun t -> List.iter (note_arity sp) (term_skolem_arities [] t))
           args)
-      b.create;
+      create;
     List.iter
-      (fun (x, _, y) ->
-        List.iter note_arity (term_skolem_arities [] x);
-        List.iter note_arity (term_skolem_arities [] y))
-      b.link;
+      (fun ((x, _, y), sp) ->
+        List.iter (note_arity sp) (term_skolem_arities [] x);
+        List.iter (note_arity sp) (term_skolem_arities [] y))
+      link;
     List.iter
-      (fun (_, t) -> List.iter note_arity (term_skolem_arities [] t))
-      b.collect;
+      (fun ((_, t), sp) ->
+        List.iter (note_arity sp) (term_skolem_arities [] t))
+      collect;
     (* aggregate placement: only the immediate target of a link *)
-    List.iter (fun (_, args) -> List.iter scan_no_agg args) b.create;
-    List.iter (fun (_, t) -> scan_no_agg t) b.collect;
     List.iter
-      (fun (x, _, y) ->
-        scan_no_agg x;
+      (fun ((_, args), sp) -> List.iter (scan_no_agg sp) args)
+      create;
+    List.iter (fun ((_, t), sp) -> scan_no_agg sp t) collect;
+    List.iter
+      (fun ((x, _, y), sp) ->
+        scan_no_agg sp x;
         match y with
-        | Ast.T_agg (_, inner) -> scan_no_agg inner
-        | y -> scan_no_agg y)
-      b.link;
+        | Ast.T_agg (_, inner) -> scan_no_agg sp inner
+        | y -> scan_no_agg sp y)
+      link;
     (* link sources must be Skolem terms over created functions;
        referenced Skolem functions must be created somewhere *)
     List.iter
-      (fun (x, l, y) ->
+      (fun ((x, l, y), sp) ->
         (match x with
          | Ast.T_skolem (f, _) ->
-           if not (List.mem f created) then
-             errors := Skolem_not_created f :: !errors
+           if not (List.mem f created) then err sp (Skolem_not_created f)
          | Ast.T_var _ | Ast.T_const _ | Ast.T_agg _ ->
-           errors := Link_source_not_new (x, l, y) :: !errors);
+           err sp (Link_source_not_new (x, l, y)));
         List.iter
           (fun (f, _) ->
-            if not (List.mem f created) then
-              errors := Skolem_not_created f :: !errors)
+            if not (List.mem f created) then err sp (Skolem_not_created f))
           (match y with
            | Ast.T_skolem (f, args) -> [ (f, List.length args) ]
            | _ -> []))
-      b.link;
+      link;
     List.iter
-      (fun (_, t) ->
+      (fun ((_, t), sp) ->
         match t with
         | Ast.T_skolem (f, _) when not (List.mem f created) ->
-          errors := Skolem_not_created f :: !errors
+          err sp (Skolem_not_created f)
         | _ -> ())
-      b.collect;
+      collect;
     (* safety: construction variables and negated variables must be
        positively bound here or by an ancestor *)
     let bound_here =
       Ast.dedup (List.fold_left Ast.positive_vars bound b.where)
     in
     let used = ref [] in
+    let add_vars sp vs =
+      List.iter (fun v -> used := (v, sp) :: !used) vs
+    in
     List.iter
-      (fun (_, args) -> used := List.fold_left Ast.term_vars !used args)
-      b.create;
+      (fun ((_, args), sp) ->
+        add_vars sp (List.fold_left Ast.term_vars [] args))
+      create;
     List.iter
-      (fun (x, l, y) ->
-        used := Ast.term_vars (Ast.term_vars !used x) y;
-        used := Ast.label_vars !used l)
-      b.link;
-    List.iter (fun (_, t) -> used := Ast.term_vars !used t) b.collect;
+      (fun ((x, l, y), sp) ->
+        add_vars sp (Ast.term_vars (Ast.term_vars [] x) y);
+        add_vars sp (Ast.label_vars [] l))
+      link;
+    List.iter (fun ((_, t), sp) -> add_vars sp (Ast.term_vars [] t)) collect;
     List.iter
-      (function
-        | Ast.C_not c -> used := Ast.condition_vars !used c
+      (fun (c, sp) ->
+        match c with
+        | Ast.C_not c -> add_vars sp (Ast.condition_vars [] c)
         | _ -> ())
-      b.where;
+      where;
+    let seen = Hashtbl.create 8 in
     List.iter
-      (fun v ->
-        if not (List.mem v bound_here) then
-          warnings := Unsafe_variable v :: !warnings)
-      (Ast.dedup !used);
-    List.iter (scan_block bound_here) b.nested
+      (fun (v, sp) ->
+        if not (Hashtbl.mem seen v) then begin
+          Hashtbl.add seen v ();
+          if not (List.mem v bound_here) then
+            warnings := (Unsafe_variable v, sp) :: !warnings
+        end)
+      (List.rev !used);
+    let nested =
+      match Option.map (fun s -> s.Parser.s_nested) sb with
+      | Some sps when List.length sps = List.length b.nested ->
+        List.map2 (fun nb s -> (nb, Some s)) b.nested sps
+      | _ -> List.map (fun nb -> (nb, None)) b.nested
+    in
+    List.iter (fun (nb, nsb) -> scan_block bound_here nb nsb) nested
   in
-  List.iter (scan_block []) q.blocks;
+  let top =
+    match spans with
+    | Some sps when List.length sps = List.length q.blocks ->
+      List.map2 (fun b s -> (b, Some s)) q.blocks sps
+    | _ -> List.map (fun b -> (b, None)) q.blocks
+  in
+  List.iter (fun (b, sb) -> scan_block [] b sb) top;
+  (* warnings: sorted and deduplicated by problem, keeping the span of
+     the earliest occurrence (matches the unlocated sort_uniq) *)
+  let sorted =
+    List.stable_sort
+      (fun (a, _) (b, _) -> Stdlib.compare a b)
+      (List.rev !warnings)
+  in
+  let rec uniq = function
+    | (p1, s1) :: (p2, _) :: rest when Stdlib.compare p1 p2 = 0 ->
+      uniq ((p1, s1) :: rest)
+    | x :: rest -> x :: uniq rest
+    | [] -> []
+  in
+  { l_errors = List.rev !errors; l_warnings = uniq sorted }
+
+let check (q : Ast.query) : report =
+  let r = check_located q in
   {
-    errors = List.rev !errors;
-    warnings =
-      List.sort_uniq Stdlib.compare (List.rev !warnings);
+    errors = List.map fst r.l_errors;
+    warnings = List.map fst r.l_warnings;
   }
 
 let is_safe q = (check q).warnings = []

@@ -28,6 +28,18 @@ type report = { errors : problem list; warnings : problem list }
 
 val check : Ast.query -> report
 
+(** As {!report}, each problem paired with the source span of the
+    offending clause item when known. *)
+type located_report = {
+  l_errors : (problem * Parser.span option) list;
+  l_warnings : (problem * Parser.span option) list;
+}
+
+val check_located : ?spans:Parser.query_spans -> Ast.query -> located_report
+(** Like {!check} but attaches spans (from {!Parser.parse_located}) to
+    each problem.  Without [?spans] every span is [None].  [check q] is
+    exactly [check_located q] with the spans stripped. *)
+
 val is_safe : Ast.query -> bool
 (** No warnings: the query is range-restricted (domain-independent). *)
 

@@ -28,7 +28,22 @@
 
 open Sgraph
 
-exception Parse_error of string * int  (** message, line *)
+exception Parse_error of string * int * int  (** message, line, column *)
+
+type span = { sl : int; sc : int; el : int; ec : int }
+
+type block_spans = {
+  s_where : span list;
+  s_create : span list;
+  s_link : span list;
+  s_collect : span list;
+  s_nested : block_spans list;
+}
+
+type query_spans = block_spans list
+
+let empty_block_spans =
+  { s_where = []; s_create = []; s_link = []; s_collect = []; s_nested = [] }
 
 let puncts =
   [ "->"; "{"; "}"; "("; ")"; ","; ";"; "."; "|"; "*"; "+"; "?";
@@ -291,15 +306,30 @@ and parse_chain p src acc =
   | Lex.Punct "->" -> parse_chain p tgt acc
   | _ -> acc
 
+(* Close a span opened at [start]: it ends just past the last consumed
+   token (collapsing to the start position if nothing was consumed). *)
+let finish_span p ((sl, sc) as _start) =
+  match Lex.Stream.last_end p.st with
+  | 0, _ -> { sl; sc; el = sl; ec = sc }
+  | el, ec -> { sl; sc; el; ec }
+
 let parse_condition_list p =
   let acc = ref [] in
+  let sps = ref [] in
   let continue = ref true in
   while !continue do
+    let start = Lex.Stream.pos p.st in
+    let before = List.length !acc in
     acc := parse_condition p !acc;
+    (* one source chain may yield several conditions; they share its span *)
+    let sp = finish_span p start in
+    for _ = 1 to List.length !acc - before do
+      sps := sp :: !sps
+    done;
     if not (accept_separator p) then continue := false
     else if at_list_end p then continue := false
   done;
-  List.rev !acc
+  (List.rev !acc, List.rev !sps)
 
 (* --- Construction clauses --- *)
 
@@ -341,41 +371,56 @@ let parse_collect_item p =
       (Fmt.str "COLLECT expects Collection(term), found %a" Lex.pp_token tok)
 
 let parse_item_list p parse_item =
-  let acc = ref [ parse_item p ] in
+  let one () =
+    let start = Lex.Stream.pos p.st in
+    let it = parse_item p in
+    (it, finish_span p start)
+  in
+  let acc = ref [ one () ] in
   let continue = ref true in
   while !continue do
     if not (accept_separator p) then continue := false
     else if at_list_end p then continue := false
-    else acc := parse_item p :: !acc
+    else acc := one () :: !acc
   done;
-  List.rev !acc
+  List.split (List.rev !acc)
 
 (* --- Blocks --- *)
 
-let rec parse_block_items p blk =
+let rec parse_block_items p (blk, sb) =
   match Lex.Stream.peek p.st with
   | Lex.Ident s when String.lowercase_ascii s = "where" ->
     ignore (Lex.Stream.advance p.st);
-    let conds = parse_condition_list p in
-    parse_block_items p { blk with Ast.where = blk.Ast.where @ conds }
+    let conds, sps = parse_condition_list p in
+    parse_block_items p
+      ( { blk with Ast.where = blk.Ast.where @ conds },
+        { sb with s_where = sb.s_where @ sps } )
   | Lex.Ident s when String.lowercase_ascii s = "create" ->
     ignore (Lex.Stream.advance p.st);
-    let items = parse_item_list p parse_create_item in
-    parse_block_items p { blk with Ast.create = blk.Ast.create @ items }
+    let items, sps = parse_item_list p parse_create_item in
+    parse_block_items p
+      ( { blk with Ast.create = blk.Ast.create @ items },
+        { sb with s_create = sb.s_create @ sps } )
   | Lex.Ident s when String.lowercase_ascii s = "link" ->
     ignore (Lex.Stream.advance p.st);
-    let items = parse_item_list p parse_link_item in
-    parse_block_items p { blk with Ast.link = blk.Ast.link @ items }
+    let items, sps = parse_item_list p parse_link_item in
+    parse_block_items p
+      ( { blk with Ast.link = blk.Ast.link @ items },
+        { sb with s_link = sb.s_link @ sps } )
   | Lex.Ident s when String.lowercase_ascii s = "collect" ->
     ignore (Lex.Stream.advance p.st);
-    let items = parse_item_list p parse_collect_item in
-    parse_block_items p { blk with Ast.collect = blk.Ast.collect @ items }
+    let items, sps = parse_item_list p parse_collect_item in
+    parse_block_items p
+      ( { blk with Ast.collect = blk.Ast.collect @ items },
+        { sb with s_collect = sb.s_collect @ sps } )
   | Lex.Punct "{" ->
     ignore (Lex.Stream.advance p.st);
-    let nested = parse_block_items p Ast.empty_block in
+    let nested, snested = parse_block_items p (Ast.empty_block, empty_block_spans) in
     Lex.Stream.eat_punct p.st "}";
-    parse_block_items p { blk with Ast.nested = blk.Ast.nested @ [ nested ] }
-  | _ -> blk
+    parse_block_items p
+      ( { blk with Ast.nested = blk.Ast.nested @ [ nested ] },
+        { sb with s_nested = sb.s_nested @ [ snested ] } )
+  | _ -> (blk, sb)
 
 let block_is_empty (b : Ast.block) =
   b.where = [] && b.create = [] && b.link = [] && b.collect = []
@@ -395,13 +440,13 @@ let parse_query p =
   (* top level: braced blocks are siblings; unbraced clauses form one
      implicit block *)
   let blocks = ref [] in
-  let implicit = ref Ast.empty_block in
+  let implicit = ref (Ast.empty_block, empty_block_spans) in
   let continue = ref true in
   while !continue do
     match Lex.Stream.peek p.st with
     | Lex.Punct "{" ->
       ignore (Lex.Stream.advance p.st);
-      let b = parse_block_items p Ast.empty_block in
+      let b = parse_block_items p (Ast.empty_block, empty_block_spans) in
       Lex.Stream.eat_punct p.st "}";
       blocks := b :: !blocks
     | Lex.Ident s
@@ -410,7 +455,7 @@ let parse_query p =
       implicit := parse_block_items p !implicit
     | _ -> continue := false
   done;
-  if not (block_is_empty !implicit) then blocks := !implicit :: !blocks;
+  if not (block_is_empty (fst !implicit)) then blocks := !implicit :: !blocks;
   let output =
     if Lex.Stream.accept_ident p.st "output" then Lex.Stream.expect_ident p.st
     else "output"
@@ -419,26 +464,31 @@ let parse_query p =
     Lex.Stream.error p.st
       (Fmt.str "unexpected %a after end of query" Lex.pp_token
          (Lex.Stream.peek p.st));
-  { Ast.input; blocks = List.rev !blocks; output }
+  let bs, sps = List.split (List.rev !blocks) in
+  ({ Ast.input; blocks = bs; output }, sps)
 
-let parse ?(registry = Builtins.default) src =
+let parse_located ?(registry = Builtins.default) src =
   let toks =
     try Lex.tokenize ~puncts src
-    with Lex.Lex_error (msg, line) -> raise (Parse_error (msg, line))
+    with Lex.Lex_error (msg, line) -> raise (Parse_error (msg, line, 0))
   in
   let p = { st = Lex.Stream.of_tokens toks; reg = registry } in
   try parse_query p
-  with Lex.Stream.Parse_error (msg, line) -> raise (Parse_error (msg, line))
+  with Lex.Stream.Parse_error (msg, line, col) ->
+    raise (Parse_error (msg, line, col))
+
+let parse ?registry src = fst (parse_located ?registry src)
 
 let parse_conditions ?(registry = Builtins.default) src =
   let toks =
     try Lex.tokenize ~puncts src
-    with Lex.Lex_error (msg, line) -> raise (Parse_error (msg, line))
+    with Lex.Lex_error (msg, line) -> raise (Parse_error (msg, line, 0))
   in
   let p = { st = Lex.Stream.of_tokens toks; reg = registry } in
   try
-    let conds = parse_condition_list p in
+    let conds, _sps = parse_condition_list p in
     if not (Lex.Stream.at_eof p.st) then
       Lex.Stream.error p.st "trailing input after conditions";
     conds
-  with Lex.Stream.Parse_error (msg, line) -> raise (Parse_error (msg, line))
+  with Lex.Stream.Parse_error (msg, line, col) ->
+    raise (Parse_error (msg, line, col))

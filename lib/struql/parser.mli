@@ -28,12 +28,37 @@
     [F(args)] is a Skolem term and [count/sum/min/max/avg(t)] an
     aggregate (LINK targets only). *)
 
-exception Parse_error of string * int  (** message, line *)
+exception Parse_error of string * int * int
+(** message, line, column (1-based; column 0 when unknown, e.g. from a
+    lexer error) *)
+
+type span = { sl : int; sc : int; el : int; ec : int }
+(** A source region: start line/column to one past the last token's
+    final character (all 1-based). *)
+
+type block_spans = {
+  s_where : span list;
+  s_create : span list;
+  s_link : span list;
+  s_collect : span list;
+  s_nested : block_spans list;
+}
+(** Spans for one block, aligned element-for-element with the
+    corresponding {!Ast.block} lists (every condition of a single
+    [x -> a -> y -> b -> z] chain shares the chain's span). *)
+
+type query_spans = block_spans list
+(** Aligned with [query.blocks]. *)
 
 val parse : ?registry:Builtins.registry -> string -> Ast.query
 (** Parse a complete query.  The [registry] resolves label-predicate
     names inside regular path expressions (defaults to
     {!Builtins.default}). *)
+
+val parse_located :
+  ?registry:Builtins.registry -> string -> Ast.query * query_spans
+(** Like {!parse}, also returning source spans for every condition and
+    construction item, for diagnostics. *)
 
 val parse_conditions :
   ?registry:Builtins.registry -> string -> Ast.condition list

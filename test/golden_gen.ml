@@ -12,6 +12,11 @@ let dump (built : Strudel.Site.built) =
         p.Template.Generator.html)
     built.Strudel.Site.site.Template.Generator.pages
 
+(* lint-<site>: the text-format lint report of the site at the same
+   small, seeded sizes — the expected-warning baselines of the example
+   specifications. *)
+let lint spec = print_string (Analysis.Diagnostic.to_text (Analysis.Lint.run spec))
+
 let () =
   match if Array.length Sys.argv > 1 then Sys.argv.(1) else "" with
   | "paper" -> dump (Sites.Paper_example.build ())
@@ -19,7 +24,13 @@ let () =
   | "org" -> dump (Sites.Org.build ~people:8 ~orgs:2 ~projects:3 ~pubs:4 ())
   | "homepage" -> dump (Sites.Homepage.build ~entries:5 ())
   | "rodin" -> dump (Sites.Rodin.build ())
+  | "lint-paper" -> lint (Sites.Lint_specs.paper ())
+  | "lint-cnn" -> lint (Sites.Lint_specs.cnn ())
+  | "lint-org" -> lint (Sites.Lint_specs.org ())
+  | "lint-homepage" -> lint (Sites.Lint_specs.homepage ())
+  | "lint-rodin" -> lint (Sites.Lint_specs.rodin ())
   | other ->
     prerr_endline
-      ("usage: golden_gen (paper|cnn|org|homepage|rodin) — got: " ^ other);
+      ("usage: golden_gen (lint-)?(paper|cnn|org|homepage|rodin) — got: "
+       ^ other);
     exit 1

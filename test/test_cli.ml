@@ -165,6 +165,41 @@ let suite =
         check_bool "stats profile printed" true (contains out1 "jobs=1");
         check_bool "stats shows 4 domains" true (contains out4 "jobs=4");
         check_bool "written files byte-identical" true (pages1 = pages4)));
+    t "lint: bundled site in all three formats"
+      (guard (fun () ->
+        let code, text = run_cmd (cli ^ " lint cnn") in
+        check_int "text exit 0" 0 code;
+        check_bool "summary line" true (contains text "error(s)");
+        check_bool "known cnn warning" true (contains text "SA020");
+        let code, json = run_cmd (cli ^ " lint cnn --format json") in
+        check_int "json exit 0" 0 code;
+        check_bool "json summary" true (contains json "\"summary\"");
+        let code, sarif = run_cmd (cli ^ " lint examples/cnn --format sarif") in
+        check_int "sarif exit 0" 0 code;
+        check_bool "sarif version" true (contains sarif "\"2.1.0\"");
+        check_bool "sarif driver" true (contains sarif "strudel-lint")));
+    t "lint: --fail-on warning gates the exit code"
+      (guard (fun () ->
+        let code, _ = run_cmd (cli ^ " lint cnn --fail-on warning") in
+        check_int "warnings gate" 1 code;
+        let code, _ = run_cmd (cli ^ " lint rodin --fail-on warning") in
+        check_int "rodin is warning-free" 0 code));
+    t "lint: query file with an error diagnostic"
+      (guard (fun () ->
+        let q = write_tmp ".struql"
+            {|INPUT D
+{ CREATE Root() COLLECT Roots(Root()) }
+OUTPUT S|}
+        in
+        (* root family RootPage is never created -> SA024, exit 1 *)
+        let code, out = run_cmd (cli ^ " lint " ^ Filename.quote q) in
+        Sys.remove q;
+        check_int "exit 1" 1 code;
+        check_bool "SA024" true (contains out "SA024")));
+    t "lint: unknown site exits 2"
+      (guard (fun () ->
+        let code, _ = run_cmd (cli ^ " lint no_such_site_anywhere") in
+        check_int "exit 2" 2 code));
     t "bench: unknown experiment name exits nonzero"
       (guard (fun () ->
         let code, _ = run_cmd "../bench/main.exe E99_no_such_experiment" in

@@ -70,7 +70,7 @@ let suite =
         in
         check_bool "raises" true
           (try ignore (Mediator.Gav.integrate [ s ] [ m ]); false
-           with Failure _ -> true));
+           with Mediator.Gav.Unknown_source ("zzz", [ "a" ]) -> true));
     t "source caching and versioning" (fun () ->
         let calls = ref 0 in
         let s =
