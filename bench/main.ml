@@ -1217,6 +1217,160 @@ let e19 () =
   Fmt.pr "lint cost profile written to BENCH_lint.json@."
 
 (* ----------------------------------------------------------------- *)
+(* E20 — compiled graph kernel: frozen CSR + memoized path engine     *)
+(* ----------------------------------------------------------------- *)
+
+let e20 () =
+  section "E20" "graph kernel: interned CSR + memoized regular-path engine";
+  let with_kernel flag f =
+    let saved = !Path.kernel_enabled in
+    Path.kernel_enabled := flag;
+    Fun.protect ~finally:(fun () -> Path.kernel_enabled := saved) f
+  in
+  (* Closure-heavy workload shaped like eval_pairs: the same source set
+     probed repeatedly (once per conjunct / per round).  The legacy
+     engine re-runs the interpretive BFS every time; the kernel pays
+     one freeze plus one compiled BFS per distinct source, then serves
+     memo hits. *)
+  let rounds = 5 in
+  (* one compiled automaton per workload, as query plans hold one nfa
+     per conjunct — this is what makes the per-source memo effective *)
+  let run_closure g ~nfa r nsources =
+    let sources =
+      List.filteri (fun i _ -> i < nsources) (Graph.nodes g)
+    in
+    let n = ref 0 in
+    for _ = 1 to rounds do
+      List.iter
+        (fun s -> n := !n + List.length (Path.eval_from ~nfa g r s))
+        sources
+    done;
+    !n
+  in
+  let closure_workloads =
+    [
+      ( "chain-2k",
+        (fun () -> fst (chain_graph 2000)),
+        Path.any_path,
+        200 );
+      ( "grid-40",
+        (fun () -> fst (grid_graph 40)),
+        Path.Seq
+          ( Path.Star (Path.Edge (Path.Label "right")),
+            Path.Star (Path.Edge (Path.Label "down")) ),
+        400 );
+      ( "rand-2k",
+        (fun () -> fst (random_graph 2000 7)),
+        Path.any_path,
+        200 );
+    ]
+  in
+  Fmt.pr "  closure workload: %d rounds over the source set@." rounds;
+  Fmt.pr "  %-10s %8s %12s %12s %12s %8s@." "graph" "srcs" "legacy ms"
+    "kernel ms" "warm ms" "speedup";
+  let closure_rows =
+    List.map
+      (fun (name, build, r, nsources) ->
+        let nfa = Path.compile r in
+        let g_legacy = build () in
+        let legacy, legacy_ms =
+          with_kernel false (fun () ->
+              wall_it (fun () -> run_closure g_legacy ~nfa r nsources))
+        in
+        let g_kernel = build () in
+        (* cold leg pays the freeze and every memo miss *)
+        let kernel, kernel_ms =
+          with_kernel true (fun () ->
+              wall_it (fun () ->
+                  ignore (Graph.freeze g_kernel);
+                  run_closure g_kernel ~nfa r nsources))
+        in
+        (* warm leg: snapshot and memo already populated *)
+        let _, warm_ms =
+          with_kernel true (fun () ->
+              wall_it (fun () -> run_closure g_kernel ~nfa r nsources))
+        in
+        if legacy <> kernel then
+          failwith (Printf.sprintf "E20 %s: result mismatch" name);
+        let k = Graph.kernel_counters g_kernel in
+        let speedup = legacy_ms /. kernel_ms in
+        Fmt.pr "  %-10s %8d %12.1f %12.1f %12.1f %7.1fx@." name nsources
+          legacy_ms kernel_ms warm_ms speedup;
+        Fmt.pr "             kernel counters: freezes=%d hits=%d misses=%d@."
+          k.Graph.freezes k.Graph.hits k.Graph.misses;
+        (name, nsources, legacy_ms, kernel_ms, warm_ms, speedup))
+      closure_workloads
+  in
+  (* full site builds, kernel off vs on (builds freeze the data graph
+     once and every page query shares the snapshot + memo) *)
+  let builds =
+    [
+      ( "cnn-100",
+        fun () ->
+          (Sites.Cnn.data ~articles:100 (), Sites.Cnn.definition) );
+      ( "org-100",
+        fun () ->
+          let _, w = Sites.Org.data ~people:100 ~orgs:6 () in
+          (Mediator.Warehouse.graph w, Sites.Org.definition) );
+    ]
+  in
+  Fmt.pr "  %-10s %12s %12s %8s@." "site" "off ms" "on ms" "speedup";
+  let build_rows =
+    List.map
+      (fun (name, mk) ->
+        let best flag =
+          let t = ref infinity in
+          let site = ref None in
+          for _ = 1 to 3 do
+            let data, def = mk () in
+            let b, bt =
+              with_kernel flag (fun () ->
+                  wall_it (fun () -> Strudel.Site.build ~data def))
+            in
+            site := Some b.Strudel.Site.site;
+            if bt < !t then t := bt
+          done;
+          (Option.get !site, !t)
+        in
+        let off_site, off_ms = best false in
+        let on_site, on_ms = best true in
+        if not (pages_identical off_site on_site) then
+          failwith (Printf.sprintf "E20 %s: build mismatch" name);
+        let speedup = off_ms /. on_ms in
+        Fmt.pr "  %-10s %12.1f %12.1f %7.2fx@." name off_ms on_ms speedup;
+        (name, off_ms, on_ms, speedup))
+      builds
+  in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n  \"experiment\": \"E20_path_kernel\",\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"rounds\": %d,\n  \"closure\": [" rounds);
+  List.iteri
+    (fun i (name, srcs, legacy_ms, kernel_ms, warm_ms, speedup) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf
+           "\n    {\"graph\": \"%s\", \"sources\": %d, \"legacy_ms\": %.3f, \
+            \"kernel_ms\": %.3f, \"warm_ms\": %.3f, \"speedup\": %.2f}"
+           name srcs legacy_ms kernel_ms warm_ms speedup))
+    closure_rows;
+  Buffer.add_string buf "\n  ],\n  \"builds\": [";
+  List.iteri
+    (fun i (name, off_ms, on_ms, speedup) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf
+           "\n    {\"site\": \"%s\", \"kernel_off_ms\": %.3f, \
+            \"kernel_on_ms\": %.3f, \"speedup\": %.2f}"
+           name off_ms on_ms speedup))
+    build_rows;
+  Buffer.add_string buf "\n  ]\n}\n";
+  let oc = open_out "BENCH_path.json" in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Fmt.pr "path-kernel profile written to BENCH_path.json@."
+
+(* ----------------------------------------------------------------- *)
 (* Bechamel microbenchmarks — one Test.make per measured experiment   *)
 (* ----------------------------------------------------------------- *)
 
@@ -1373,7 +1527,8 @@ let experiments =
     ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
     ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11);
     ("E12", e12); ("E13", e13); ("E14", e14); ("E15", e15); ("E16", e16);
-    ("E17", e17); ("E18", e18); ("E19", e19); ("micro", bechamel_suite);
+    ("E17", e17); ("E18", e18); ("E19", e19); ("E20", e20);
+    ("micro", bechamel_suite);
   ]
 
 let () =

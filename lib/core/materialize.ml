@@ -71,6 +71,9 @@ module Click_time = struct
   let start ?(cache = true) ~(data : Graph.t) (def : Site.definition) : t =
     let queries = Site.parse_queries def in
     let scope = Skolem.create () in
+    (* the data graph is never mutated by a click-time session: one
+       freeze serves every root and expansion query *)
+    ignore (Graph.freeze data);
     let partial = Graph.create ~name:(def.Site.name ^ "-clicktime") () in
     let options =
       { Eval.default_options with

@@ -80,6 +80,10 @@ let materialize ?(jobs = 1) ?cache ?file_loader
     (g : Graph.t) ~(roots : Oid.t list) : G.site * profile =
   let t0 = now_ms () in
   let jobs = max 1 jobs in
+  (* the site graph is read-only from here on: freeze once so every
+     template attribute probe — from all render domains — hits the
+     kernel snapshot's per-(node, label) segments *)
+  ignore (Graph.freeze g);
   let inject = Fault.inject fault in
   (* degraded (or injectable) builds always run the wave loop, even at
      [jobs = 1]: the sequential generator lets a failed render's

@@ -153,34 +153,53 @@ let intersect_nonempty t (r : Path.t) : bool =
   Path.nullable r
   ||
   let nfa = Path.compile r in
+  (* compile the automaton against the guide's label alphabet once —
+     label predicates run per (state, label) in the matcher build, the
+     product walk itself is integer dispatch *)
+  let lab_ids = Hashtbl.create 32 in
+  let labs_rev = ref [] in
+  let nl = ref 0 in
+  let lab_id l =
+    match Hashtbl.find_opt lab_ids l with
+    | Some i -> i
+    | None ->
+      let i = !nl in
+      incr nl;
+      labs_rev := l :: !labs_rev;
+      Hashtbl.add lab_ids l i;
+      i
+  in
+  let trans = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun gid s ->
+      Hashtbl.replace trans gid
+        (List.map (fun (l, gid') -> (lab_id l, gid')) s.transitions))
+    t.states;
+  let labels = Array.of_list (List.rev !labs_rev) in
+  let m = Path.matcher nfa ~labels in
+  let ns = Path.nfa_states nfa in
   let seen = Hashtbl.create 64 in
   let queue = Queue.create () in
-  let push gid qs =
-    List.iter
-      (fun q ->
-        if not (Hashtbl.mem seen (gid, q)) then begin
-          Hashtbl.add seen (gid, q) ();
-          Queue.add (gid, q) queue
-        end)
-      qs
+  let push gid q =
+    let c = (gid * ns) + q in
+    if not (Hashtbl.mem seen c) then begin
+      Hashtbl.add seen c ();
+      Queue.add (gid, q) queue
+    end
   in
-  push t.root (Path.nfa_start_states nfa);
+  Array.iter (fun q -> push t.root q) (Path.matcher_start m);
   let found = ref false in
   (try
      while not (Queue.is_empty queue) do
        let gid, q = Queue.pop queue in
-       if Path.nfa_is_accepting nfa q then begin
+       if Path.matcher_accepting m q then begin
          found := true;
          raise Exit
        end;
-       let s = state t gid in
        List.iter
-         (fun (l, gid') ->
-           List.iter
-             (fun (pred, targets) ->
-               if Path.edge_pred_matches pred l then push gid' targets)
-             (Path.nfa_transitions nfa q))
-         s.transitions
+         (fun (li, gid') ->
+           Array.iter (fun q' -> push gid' q') (Path.matcher_row m q li))
+         (match Hashtbl.find_opt trans gid with Some l -> l | None -> [])
      done
    with Exit -> ());
   !found

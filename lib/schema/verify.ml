@@ -180,6 +180,9 @@ let family_members g fam =
   List.filter (fun o -> family_of_node o = Some fam) (Graph.nodes g)
 
 let check_site (g : Graph.t) (c : constraint_) : verdict =
+  (* constraints only read the graph; attribute probes below run on the
+     kernel snapshot (amortized across the constraint set) *)
+  ignore (Graph.freeze g);
   match c with
   | Reachable_from root ->
     let roots = family_members g root in

@@ -36,13 +36,19 @@ type t = {
   colls : (string, coll) Hashtbl.t;
   mutable coll_order_rev : string list;
   names : (string, Oid.t) Hashtbl.t;
-  (* indexes, maintained only when [use_index] *)
-  label_idx : (string, (Oid.t * target) list ref) Hashtbl.t;
-  value_idx : (Value.t, (Oid.t * string) list ref) Hashtbl.t;
-  in_idx : (Oid.t * string) list ref Oid.Tbl.t;
+  (* indexes, maintained only when [use_index]; buckets are ordered bags
+     so [remove_edge] is O(1) per bucket instead of a re-filter *)
+  label_idx : (string, (int * tkey, Oid.t * target) Obag.t) Hashtbl.t;
+  value_idx : (Value.t, (int * string, Oid.t * string) Obag.t) Hashtbl.t;
+  in_idx : (int * string, Oid.t * string) Obag.t Oid.Tbl.t;
   mutable label_order_rev : string list;  (* labels in first-seen order *)
   label_seen : (string, unit) Hashtbl.t;
   mutable n_edges : int;
+  (* kernel snapshot: bumped by every mutation the CSR reflects *)
+  mutable generation : int;
+  mutable frozen : Csr.t option;
+  kstats : Csr.kstats;
+  freeze_lock : Mutex.t;
 }
 
 let create ?(indexed = true) ?(name = "g") () =
@@ -62,13 +68,20 @@ let create ?(indexed = true) ?(name = "g") () =
     label_order_rev = [];
     label_seen = Hashtbl.create 32;
     n_edges = 0;
+    generation = 0;
+    frozen = None;
+    kstats = Csr.kstats_create ();
+    freeze_lock = Mutex.create ();
   }
 
 let name g = g.gname
 let indexed g = g.use_index
+let generation g = g.generation
+let touch g = g.generation <- g.generation + 1
 
 let add_node g o =
   if not (Oid.Set.mem o g.nodes) then begin
+    touch g;
     g.nodes <- Oid.Set.add o g.nodes;
     g.node_order_rev <- o :: g.node_order_rev;
     if not (Hashtbl.mem g.names (Oid.name o)) then
@@ -92,10 +105,18 @@ let note_label g l =
     g.label_order_rev <- l :: g.label_order_rev
   end
 
-let push tbl key v =
+let bag_push tbl key k v =
   match Hashtbl.find_opt tbl key with
-  | Some r -> r := v :: !r
-  | None -> Hashtbl.add tbl key (ref [ v ])
+  | Some b -> Obag.add b k v
+  | None ->
+    let b = Obag.create () in
+    Obag.add b k v;
+    Hashtbl.add tbl key b
+
+let bag_remove tbl key k =
+  match Hashtbl.find_opt tbl key with
+  | Some b -> Obag.remove b k
+  | None -> ()
 
 let has_edge g src l tgt = Hashtbl.mem g.edge_set (Oid.id src, l, tkey tgt)
 
@@ -103,6 +124,7 @@ let add_edge g src l tgt =
   if not (has_edge g src l tgt) then begin
     add_node g src;
     (match tgt with N o -> add_node g o | V _ -> ());
+    touch g;
     Hashtbl.replace g.edge_set (Oid.id src, l, tkey tgt) ();
     (match Oid.Tbl.find_opt g.out_tbl src with
      | Some r -> r := (l, tgt) :: !r
@@ -110,13 +132,16 @@ let add_edge g src l tgt =
     note_label g l;
     g.n_edges <- g.n_edges + 1;
     if g.use_index then begin
-      push g.label_idx l (src, tgt);
+      bag_push g.label_idx l (Oid.id src, tkey tgt) (src, tgt);
       match tgt with
-      | V v -> push g.value_idx v (src, l)
+      | V v -> bag_push g.value_idx v (Oid.id src, l) (src, l)
       | N o ->
         (match Oid.Tbl.find_opt g.in_idx o with
-         | Some r -> r := (src, l) :: !r
-         | None -> Oid.Tbl.add g.in_idx o (ref [ (src, l) ]))
+         | Some b -> Obag.add b (Oid.id src, l) (src, l)
+         | None ->
+           let b = Obag.create () in
+           Obag.add b (Oid.id src, l) (src, l);
+           Oid.Tbl.add g.in_idx o b)
     end
   end
 
@@ -124,6 +149,7 @@ let remove_assoc_edge r pred = r := List.filter (fun e -> not (pred e)) !r
 
 let remove_edge g src l tgt =
   if has_edge g src l tgt then begin
+    touch g;
     Hashtbl.remove g.edge_set (Oid.id src, l, tkey tgt);
     (match Oid.Tbl.find_opt g.out_tbl src with
      | Some r ->
@@ -131,21 +157,12 @@ let remove_edge g src l tgt =
      | None -> ());
     g.n_edges <- g.n_edges - 1;
     if g.use_index then begin
-      (match Hashtbl.find_opt g.label_idx l with
-       | Some r ->
-         remove_assoc_edge r (fun (s', t') ->
-             Oid.equal s' src && target_equal t' tgt)
-       | None -> ());
+      bag_remove g.label_idx l (Oid.id src, tkey tgt);
       match tgt with
-      | V v ->
-        (match Hashtbl.find_opt g.value_idx v with
-         | Some r ->
-           remove_assoc_edge r (fun (s', l') -> Oid.equal s' src && l' = l)
-         | None -> ())
+      | V v -> bag_remove g.value_idx v (Oid.id src, l)
       | N o ->
         (match Oid.Tbl.find_opt g.in_idx o with
-         | Some r ->
-           remove_assoc_edge r (fun (s', l') -> Oid.equal s' src && l' = l)
+         | Some b -> Obag.remove b (Oid.id src, l)
          | None -> ())
     end
   end
@@ -173,11 +190,11 @@ let in_edges g tgt =
     match tgt with
     | N o ->
       (match Oid.Tbl.find_opt g.in_idx o with
-       | Some r -> List.rev !r
+       | Some b -> Obag.to_list b
        | None -> [])
     | V v ->
       (match Hashtbl.find_opt g.value_idx v with
-       | Some r -> List.rev !r
+       | Some b -> Obag.to_list b
        | None -> [])
   else
     fold_edges
@@ -185,25 +202,231 @@ let in_edges g tgt =
       g []
     |> List.rev
 
-let attr g o l =
+(* --- kernel snapshot --- *)
+
+let labels g = List.rev g.label_order_rev
+
+let build_csr g : Csr.t =
+  let node_ids = Array.of_list (nodes g) in
+  let nn = Array.length node_ids in
+  let idx_of_node = Hashtbl.create (max 16 (2 * nn)) in
+  Array.iteri (fun i o -> Hashtbl.replace idx_of_node (Oid.id o) i) node_ids;
+  let label_names = Array.of_list (labels g) in
+  let nl = Array.length label_names in
+  let label_syms = Array.map Sym.intern label_names in
+  let local_of_sym = Hashtbl.create (2 * nl + 1) in
+  let local_of_label = Hashtbl.create (2 * nl + 1) in
+  Array.iteri (fun li s -> Hashtbl.replace local_of_sym s li) label_syms;
+  Array.iteri (fun li l -> Hashtbl.replace local_of_label l li) label_names;
+  let ne = g.n_edges in
+  let fwd_off = Array.make (nn + 1) 0 in
+  let fwd_lab = Array.make (max 1 ne) 0 in
+  let fwd_tgt = Array.make (max 1 ne) 0 in
+  (* values interned per snapshot in first-appearance order *)
+  let val_tbl = Hashtbl.create 256 in
+  let vals_rev = ref [] in
+  let nv = ref 0 in
+  let vcode v =
+    match Hashtbl.find_opt val_tbl v with
+    | Some c -> c
+    | None ->
+      let c = nn + !nv in
+      incr nv;
+      vals_rev := v :: !vals_rev;
+      Hashtbl.add val_tbl v c;
+      c
+  in
+  let e = ref 0 in
+  Array.iteri
+    (fun i o ->
+      fwd_off.(i) <- !e;
+      List.iter
+        (fun (l, tgt) ->
+          fwd_lab.(!e) <- Hashtbl.find local_of_label l;
+          fwd_tgt.(!e) <-
+            (match tgt with
+             | N o' -> Hashtbl.find idx_of_node (Oid.id o')
+             | V v -> vcode v);
+          incr e)
+        (out_edges g o))
+    node_ids;
+  fwd_off.(nn) <- !e;
+  let values = Array.of_list (List.rev !vals_rev) in
+  (* per-(node, label) segments, preserving per-label insertion order *)
+  let seg = Hashtbl.create (2 * nn + 1) in
+  let seg_tgt = Array.make (max 1 ne) 0 in
+  let label_edges = Array.make (max 1 nl) 0 in
+  let label_srcs = Array.make (max 1 nl) 0 in
+  let counts = Array.make (max 1 nl) 0 in
+  let cursor = Array.make (max 1 nl) 0 in
+  let scur = ref 0 in
+  for i = 0 to nn - 1 do
+    let lo = fwd_off.(i) and hi = fwd_off.(i + 1) in
+    if hi > lo then begin
+      let touched = ref [] in
+      for e = lo to hi - 1 do
+        let l = fwd_lab.(e) in
+        if counts.(l) = 0 then touched := l :: !touched;
+        counts.(l) <- counts.(l) + 1
+      done;
+      List.iter
+        (fun l ->
+          Hashtbl.add seg ((i * nl) + l) (!scur, counts.(l));
+          cursor.(l) <- !scur;
+          scur := !scur + counts.(l);
+          label_edges.(l) <- label_edges.(l) + counts.(l);
+          label_srcs.(l) <- label_srcs.(l) + 1)
+        (List.rev !touched);
+      for e = lo to hi - 1 do
+        let l = fwd_lab.(e) in
+        seg_tgt.(cursor.(l)) <- fwd_tgt.(e);
+        cursor.(l) <- cursor.(l) + 1
+      done;
+      List.iter (fun l -> counts.(l) <- 0) !touched
+    end
+  done;
+  (* reverse CSR over all tcodes (node-major order, backward lane only) *)
+  let ntc = nn + !nv in
+  let rev_off = Array.make (ntc + 1) 0 in
+  for e = 0 to ne - 1 do
+    let t = fwd_tgt.(e) in
+    rev_off.(t + 1) <- rev_off.(t + 1) + 1
+  done;
+  for t = 1 to ntc do
+    rev_off.(t) <- rev_off.(t) + rev_off.(t - 1)
+  done;
+  let rev_src = Array.make (max 1 ne) 0 in
+  let rev_lab = Array.make (max 1 ne) 0 in
+  let rcur = Array.sub rev_off 0 ntc in
+  for i = 0 to nn - 1 do
+    for e = fwd_off.(i) to fwd_off.(i + 1) - 1 do
+      let t = fwd_tgt.(e) in
+      rev_src.(rcur.(t)) <- i;
+      rev_lab.(rcur.(t)) <- fwd_lab.(e);
+      rcur.(t) <- rcur.(t) + 1
+    done
+  done;
+  {
+    Csr.gen = g.generation;
+    uid = Csr.fresh_uid ();
+    stats = g.kstats;
+    n_nodes = nn;
+    node_ids;
+    idx_of_node;
+    n_values = !nv;
+    values;
+    n_labels = nl;
+    label_syms;
+    label_names;
+    local_of_sym;
+    local_of_label;
+    fwd_off;
+    fwd_lab;
+    fwd_tgt;
+    seg;
+    seg_tgt;
+    rev_off;
+    rev_src;
+    rev_lab;
+    label_edges;
+    label_srcs;
+    cache = Hashtbl.create 8;
+  }
+
+let freeze g =
+  match g.frozen with
+  | Some s when s.Csr.gen = g.generation -> s
+  | _ ->
+    Mutex.lock g.freeze_lock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock g.freeze_lock)
+      (fun () ->
+        match g.frozen with
+        | Some s when s.Csr.gen = g.generation -> s
+        | _ ->
+          let s = build_csr g in
+          g.kstats.freezes <- g.kstats.freezes + 1;
+          g.frozen <- Some s;
+          s)
+
+let snapshot g =
+  match g.frozen with
+  | Some s when s.Csr.gen = g.generation -> Some s
+  | _ -> None
+
+type kernel_counters = { freezes : int; hits : int; misses : int }
+
+let kernel_counters g =
+  {
+    freezes = g.kstats.Csr.freezes;
+    hits = g.kstats.Csr.hits;
+    misses = g.kstats.Csr.misses;
+  }
+
+let decode_tcode (s : Csr.t) tc =
+  if tc < s.Csr.n_nodes then N s.Csr.node_ids.(tc)
+  else V s.Csr.values.(tc - s.Csr.n_nodes)
+
+(* --- attribute lookups: snapshot segment when valid, live scan else --- *)
+
+let attr_slow g o l =
   List.filter_map
     (fun (l', tgt) -> if l' = l then Some tgt else None)
     (out_edges g o)
 
+let attr g o l =
+  match snapshot g with
+  | None -> attr_slow g o l
+  | Some s -> (
+      match Csr.node_index s o, Csr.label_local s l with
+      | Some i, Some li -> (
+          match Csr.seg_range s i li with
+          | None -> []
+          | Some (off, len) ->
+            List.init len (fun k -> decode_tcode s s.Csr.seg_tgt.(off + k)))
+      | _ -> [])
+
 let attr1 g o l =
-  let rec first = function
-    | [] -> None
-    | (l', tgt) :: rest -> if l' = l then Some tgt else first rest
-  in
-  first (out_edges g o)
+  match snapshot g with
+  | None ->
+    let rec first = function
+      | [] -> None
+      | (l', tgt) :: rest -> if l' = l then Some tgt else first rest
+    in
+    first (out_edges g o)
+  | Some s -> (
+      match Csr.node_index s o, Csr.label_local s l with
+      | Some i, Some li -> (
+          match Csr.seg_range s i li with
+          | None -> None
+          | Some (off, _) -> Some (decode_tcode s s.Csr.seg_tgt.(off)))
+      | _ -> None)
 
 let attr_value g o l =
-  let rec first = function
-    | [] -> None
-    | (l', V v) :: _ when l' = l -> Some v
-    | _ :: rest -> first rest
-  in
-  first (out_edges g o)
+  match snapshot g with
+  | None ->
+    let rec first = function
+      | [] -> None
+      | (l', V v) :: _ when l' = l -> Some v
+      | _ :: rest -> first rest
+    in
+    first (out_edges g o)
+  | Some s -> (
+      match Csr.node_index s o, Csr.label_local s l with
+      | Some i, Some li -> (
+          match Csr.seg_range s i li with
+          | None -> None
+          | Some (off, len) ->
+            let rec scan k =
+              if k >= len then None
+              else
+                let tc = s.Csr.seg_tgt.(off + k) in
+                if tc >= s.Csr.n_nodes then
+                  Some s.Csr.values.(tc - s.Csr.n_nodes)
+                else scan (k + 1)
+            in
+            scan 0)
+      | _ -> None)
 
 let find_coll g c = Hashtbl.find_opt g.colls c
 
@@ -240,12 +463,10 @@ let collections g = List.rev g.coll_order_rev
 let collections_of g o =
   List.filter (fun c -> in_collection g c o) (collections g)
 
-let labels g = List.rev g.label_order_rev
-
 let label_extent g l =
   if g.use_index then
     match Hashtbl.find_opt g.label_idx l with
-    | Some r -> List.rev !r
+    | Some b -> Obag.to_list b
     | None -> []
   else
     fold_edges
@@ -256,14 +477,14 @@ let label_extent g l =
 let label_count g l =
   if g.use_index then
     match Hashtbl.find_opt g.label_idx l with
-    | Some r -> List.length !r
+    | Some b -> Obag.length b
     | None -> 0
   else List.length (label_extent g l)
 
 let value_index g v =
   if g.use_index then
     match Hashtbl.find_opt g.value_idx v with
-    | Some r -> List.rev !r
+    | Some b -> Obag.to_list b
     | None -> []
   else
     fold_edges

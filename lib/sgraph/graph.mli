@@ -96,6 +96,36 @@ val value_index : t -> Value.t -> (Oid.t * string) list
 (** All (source, label) pairs of edges whose target is exactly this
     atomic value.  Global to the graph, as in the paper. *)
 
+(** {1 Kernel snapshot}
+
+    A graph can be {e frozen} into an immutable {!Csr.t} snapshot — the
+    compiled form the path engine and attribute fast paths run on.
+    Freezing is lazy and cached: the first call after any mutation
+    builds the snapshot (O(V + E)); subsequent calls return it in O(1).
+    Every mutation bumps the graph's generation, which makes
+    outstanding snapshots invisible to {!snapshot} (readers fall back
+    to the live structures) — a stale snapshot can never be observed
+    through this API.  [freeze] is safe to call from multiple domains. *)
+
+val generation : t -> int
+(** Mutation counter; bumped by node/edge additions and removals. *)
+
+val freeze : t -> Csr.t
+(** The snapshot for the current generation, building it if needed. *)
+
+val snapshot : t -> Csr.t option
+(** The cached snapshot, only if it is still valid ([None] after any
+    mutation since the last {!freeze}).  Never builds. *)
+
+val decode_tcode : Csr.t -> int -> target
+(** The object behind a snapshot tcode (node index or interned value). *)
+
+type kernel_counters = { freezes : int; hits : int; misses : int }
+
+val kernel_counters : t -> kernel_counters
+(** Cumulative kernel statistics: snapshot builds, and path-engine memo
+    hits/misses (counted by {!Path} against this graph's snapshots). *)
+
 (** {1 Whole-graph operations} *)
 
 val copy : ?name:string -> t -> t

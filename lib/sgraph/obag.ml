@@ -1,0 +1,63 @@
+type ('k, 'v) node = {
+  key : 'k;
+  value : 'v;
+  mutable prev : ('k, 'v) node option;
+  mutable next : ('k, 'v) node option;
+}
+
+type ('k, 'v) t = {
+  tbl : ('k, ('k, 'v) node) Hashtbl.t;
+  mutable first : ('k, 'v) node option;
+  mutable last : ('k, 'v) node option;
+  mutable size : int;
+}
+
+let create ?(size_hint = 8) () =
+  { tbl = Hashtbl.create size_hint; first = None; last = None; size = 0 }
+
+let length t = t.size
+let mem t k = Hashtbl.mem t.tbl k
+
+let add t k v =
+  if Hashtbl.mem t.tbl k then
+    invalid_arg "Obag.add: duplicate key"
+  else begin
+    let n = { key = k; value = v; prev = t.last; next = None } in
+    (match t.last with
+     | Some l -> l.next <- Some n
+     | None -> t.first <- Some n);
+    t.last <- Some n;
+    Hashtbl.add t.tbl k n;
+    t.size <- t.size + 1
+  end
+
+let remove t k =
+  match Hashtbl.find_opt t.tbl k with
+  | None -> ()
+  | Some n ->
+    Hashtbl.remove t.tbl k;
+    (match n.prev with
+     | Some p -> p.next <- n.next
+     | None -> t.first <- n.next);
+    (match n.next with
+     | Some s -> s.prev <- n.prev
+     | None -> t.last <- n.prev);
+    t.size <- t.size - 1
+
+let iter f t =
+  let rec go = function
+    | None -> ()
+    | Some n ->
+      f n.key n.value;
+      go n.next
+  in
+  go t.first
+
+let fold f t init =
+  let rec go acc = function
+    | None -> acc
+    | Some n -> go (f acc n.key n.value) n.next
+  in
+  go init t.first
+
+let to_list t = List.rev (fold (fun acc _ v -> v :: acc) t [])

@@ -1,0 +1,29 @@
+(** Ordered bags: insertion-ordered buckets with O(1) keyed removal.
+
+    {!Graph} index buckets (label extents, the value index, incoming
+    edges) must enumerate in insertion order — every result ordering in
+    the system, down to Skolem oid allocation, rests on it — but they
+    are also hit by [remove_edge], which previously re-filtered the
+    whole bucket.  An ordered bag is a doubly-linked list threaded
+    through a hash table keyed by the identity of each entry: append,
+    membership and removal are O(1), enumeration is insertion order of
+    the surviving entries (exactly what filtering preserved). *)
+
+type ('k, 'v) t
+
+val create : ?size_hint:int -> unit -> ('k, 'v) t
+
+val length : ('k, 'v) t -> int
+val mem : ('k, 'v) t -> 'k -> bool
+
+val add : ('k, 'v) t -> 'k -> 'v -> unit
+(** Append at the end.  Raises [Invalid_argument] on a duplicate key —
+    graph edges are set-like, so a duplicate is a caller bug. *)
+
+val remove : ('k, 'v) t -> 'k -> unit
+(** Remove by key; no-op when absent. *)
+
+val iter : ('k -> 'v -> unit) -> ('k, 'v) t -> unit
+val fold : ('a -> 'k -> 'v -> 'a) -> ('k, 'v) t -> 'a -> 'a
+val to_list : ('k, 'v) t -> 'v list
+(** Values in insertion order. *)

@@ -40,6 +40,9 @@ type nfa
 
 val compile : t -> nfa
 val nfa_states : nfa -> int
+val nfa_id : nfa -> int
+(** Process-unique id of this compiled automaton; keys the per-snapshot
+    caches of prepared dispatch tables. *)
 
 val nfa_start_states : nfa -> int list
 (** The ε-closure of the start state. *)
@@ -53,10 +56,59 @@ val nfa_transitions : nfa -> int -> (edge_pred * int list) list
     the automaton against another transition system (e.g. a DataGuide
     product). *)
 
+(** {1 Dense dispatch against a label alphabet}
+
+    A {!matcher} compiles the automaton against a fixed array of edge
+    labels: successor states of (state, label index) become a dense
+    int-array row, with [Named_pred] predicates evaluated once per
+    (state, label) at build time.  Clients walking the automaton
+    against another transition system (DataGuide products, lint
+    path-emptiness) pay array indexing per step instead of predicate
+    calls over transition lists. *)
+
+type matcher
+
+val matcher : nfa -> labels:string array -> matcher
+val matcher_start : matcher -> int array
+val matcher_accepting : matcher -> int -> bool
+val matcher_row : matcher -> int -> int -> int array
+(** [matcher_row m state label] — successor states over an edge
+    carrying [labels.(label)], in product-BFS push order. *)
+
+(** {1 Evaluation}
+
+    When the graph has a valid {!Graph.snapshot}, evaluation runs on
+    the compiled kernel: per-state symbol-dispatch tables over the
+    snapshot's CSR, an epoch-stamped (state, tcode) visited table and
+    per-source result memo shared across all sources of a conjunct,
+    and a backward lane over the reverse CSR for bound targets.  The
+    result {e order is identical} to the interpretive BFS, so callers
+    (and everything downstream: Skolem oid allocation, golden sites,
+    the render cache) observe byte-identical results either way.
+    Without a valid snapshot — or with {!kernel_enabled} off — the
+    interpretive BFS runs directly on the live graph. *)
+
+val kernel_enabled : bool ref
+(** Kill switch for the compiled kernel (differential tests, bench
+    ablations).  Default [true]. *)
+
 val eval_from : ?nfa:nfa -> Graph.t -> t -> Oid.t -> Graph.target list
 (** All objects [y] such that a path from the source matching the
     expression ends at [y].  Includes the source itself when the
     expression is nullable.  Deduplicated, deterministic order. *)
+
+type probe = Pnode of Oid.t | Pvalue of Value.t
+(** A bound path target: an exact node, or a value matched up to
+    {!Value.coerce_equal} (how condition unification compares values). *)
+
+val candidate_sources :
+  ?nfa:nfa -> Graph.t -> t -> towards:probe -> Oid.t list option
+(** Backward lane: the complete set of source nodes from which a
+    matching path can reach the probe, in {!Graph.nodes} order —
+    [None] when no kernel snapshot is available.  The set may be a
+    superset of the exact sources only in that callers are expected to
+    re-confirm each candidate forward (which the memoized kernel makes
+    cheap); it is never missing a source. *)
 
 val matches : ?nfa:nfa -> Graph.t -> t -> Oid.t -> Graph.target -> bool
 

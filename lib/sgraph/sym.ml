@@ -1,0 +1,28 @@
+let lock = Mutex.create ()
+let table : (string, int) Hashtbl.t = Hashtbl.create 256
+let names = ref (Array.make 64 "")
+let count = ref 0
+
+let locked f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let intern s =
+  locked (fun () ->
+      match Hashtbl.find_opt table s with
+      | Some i -> i
+      | None ->
+        let i = !count in
+        if i >= Array.length !names then begin
+          let bigger = Array.make (2 * Array.length !names) "" in
+          Array.blit !names 0 bigger 0 i;
+          names := bigger
+        end;
+        !names.(i) <- s;
+        Hashtbl.add table s i;
+        incr count;
+        i)
+
+let find s = locked (fun () -> Hashtbl.find_opt table s)
+let name i = locked (fun () -> !names.(i))
+let count () = locked (fun () -> !count)

@@ -1,0 +1,23 @@
+(** Global label interner.
+
+    Edge labels are strings at the API surface but the compiled graph
+    kernel ({!Csr}) works on dense integer symbols.  The interner is
+    process-global so symbols are stable across graphs and snapshots:
+    the same label always maps to the same symbol, which lets a
+    compiled path automaton prepared against one snapshot share its
+    symbol ids with any other.  All operations are mutex-protected —
+    snapshots are built and consumed from multiple domains
+    ({!Render_pool}). *)
+
+val intern : string -> int
+(** Symbol of the label, allocating one on first sight.  Symbols are
+    small consecutive non-negative ints in interning order. *)
+
+val find : string -> int option
+(** Symbol of the label if it was ever interned, without allocating. *)
+
+val name : int -> string
+(** Label of a symbol previously returned by {!intern}. *)
+
+val count : unit -> int
+(** Number of symbols interned so far. *)

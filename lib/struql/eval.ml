@@ -248,7 +248,24 @@ and exec_path g env x r nfa y =
   | `Other -> []
   | `Unbound ->
     (* enumerate sources over the graph's nodes (and, for nullable
-       expressions, value objects pair with themselves) *)
+       expressions, value objects pair with themselves); when the
+       target end is bound and a kernel snapshot is live, the reverse
+       CSR prunes the enumeration to the complete candidate set, in
+       the same [Graph.nodes] order *)
+    let sources =
+      let candidates =
+        match term_binding env y with
+        | Some (B_target (Graph.N o)) ->
+          Path.candidate_sources ~nfa g r ~towards:(Path.Pnode o)
+        | Some (B_target (Graph.V v)) ->
+          Path.candidate_sources ~nfa g r ~towards:(Path.Pvalue v)
+        | Some (B_label l) ->
+          Path.candidate_sources ~nfa g r
+            ~towards:(Path.Pvalue (Value.String l))
+        | None -> None
+      in
+      match candidates with Some srcs -> srcs | None -> Graph.nodes g
+    in
     let from_nodes =
       List.concat_map
         (fun src ->
@@ -258,7 +275,7 @@ and exec_path g env x r nfa y =
             List.filter_map
               (fun tgt -> match_term env' y tgt)
               (Path.eval_from ~nfa g r src))
-        (Graph.nodes g)
+        sources
     in
     if Path.nullable r then
       let value_pairs =
@@ -587,6 +604,7 @@ let run ?(options = default_options) ?scope ?into g (q : Ast.query) =
     | None -> Graph.create ~name:q.output ()
   in
   let scope = match scope with Some s -> s | None -> Skolem.create () in
+  if not (out == g) then ignore (Graph.freeze g);
   let ctx =
     {
       sink = { out; scope };
@@ -606,6 +624,7 @@ let run_with_stats ?(options = default_options) ?scope ?into g q =
     | None -> Graph.create ~name:q.Ast.output ()
   in
   let scope = match scope with Some s -> s | None -> Skolem.create () in
+  if not (out == g) then ignore (Graph.freeze g);
   let ctx =
     {
       sink = { out; scope };

@@ -202,6 +202,7 @@ type op_stats = {
   mutable os_rows_out : int;
   mutable os_max_batch : int;
   mutable os_time : float;
+  mutable os_timed : bool;
 }
 
 type block_profile = {
@@ -216,6 +217,9 @@ type profile = {
   mutable prf_rows : int;
   mutable prf_peak_live : int;
   mutable prf_time : float;
+  mutable prf_kernel_freezes : int;
+  mutable prf_kernel_hits : int;
+  mutable prf_kernel_misses : int;
 }
 
 let profile_steps p =
@@ -235,7 +239,7 @@ let pp_op_stats ppf os =
   Fmt.pf ppf "-> %a  [%a]  (in=%d out=%d batch<=%d%t)" Plan.pp_step os.os_step
     pp_access os.os_access os.os_rows_in os.os_rows_out os.os_max_batch
     (fun ppf ->
-      if os.os_time > 0. then Fmt.pf ppf " time=%.3fms" (os.os_time *. 1000.))
+      if os.os_timed then Fmt.pf ppf " time=%.3fms" (os.os_time *. 1000.))
 
 let pp_profile ppf p =
   Fmt.pf ppf "@[<v>EXPLAIN ANALYZE (strategy: %s)" (strategy_name p.prf_strategy);
@@ -246,7 +250,12 @@ let pp_profile ppf p =
     p.prf_blocks;
   Fmt.pf ppf "@,total: rows=%d operators=%d peak live bindings=%d%t@]"
     p.prf_rows (profile_steps p) p.prf_peak_live (fun ppf ->
-      if p.prf_time > 0. then Fmt.pf ppf " elapsed=%.3fms" (p.prf_time *. 1000.))
+      if p.prf_time > 0. then Fmt.pf ppf " elapsed=%.3fms" (p.prf_time *. 1000.);
+      if p.prf_kernel_freezes > 0 || p.prf_kernel_hits > 0
+         || p.prf_kernel_misses > 0
+      then
+        Fmt.pf ppf "@,kernel: freezes=%d memo hits=%d misses=%d"
+          p.prf_kernel_freezes p.prf_kernel_hits p.prf_kernel_misses)
 
 (* --- Live-binding accounting --- *)
 
@@ -272,6 +281,7 @@ let new_op_stats bound step =
     os_rows_out = 0;
     os_max_batch = 0;
     os_time = 0.;
+    os_timed = false;
   }
 
 let ops_of_steps bound steps =
@@ -291,6 +301,7 @@ let ops_of_steps bound steps =
    step-by-step [List.concat_map]. *)
 let op_seq g reg ~timed live (os : op_stats) (input : Eval.env Seq.t) :
     Eval.env Seq.t =
+  if timed then os.os_timed <- true;
   Seq.concat_map
     (fun env ->
       os.os_rows_in <- os.os_rows_in + 1;
@@ -392,8 +403,17 @@ let run_with_profile ?(options = Eval.default_options) ?(timed = false) ?scope
       prf_rows = 0;
       prf_peak_live = 0;
       prf_time = 0.;
+      prf_kernel_freezes = 0;
+      prf_kernel_hits = 0;
+      prf_kernel_misses = 0;
     }
   in
+  (* Read-only data graph: freeze so path conditions and attribute
+     probes run on the compiled kernel.  When constructing into the
+     data graph itself every mutation would invalidate the snapshot
+     immediately, so skip the build. *)
+  let k0 = Graph.kernel_counters g in
+  if not (out == g) then ignore (Graph.freeze g);
   let rctx =
     {
       g;
@@ -415,6 +435,10 @@ let run_with_profile ?(options = Eval.default_options) ?(timed = false) ?scope
   prof.prf_time <- Sys.time () -. t0;
   prof.prf_peak_live <- rctx.live.peak;
   prof.prf_blocks <- List.rev !(rctx.blocks_rev);
+  let k1 = Graph.kernel_counters g in
+  prof.prf_kernel_freezes <- k1.Graph.freezes - k0.Graph.freezes;
+  prof.prf_kernel_hits <- k1.Graph.hits - k0.Graph.hits;
+  prof.prf_kernel_misses <- k1.Graph.misses - k0.Graph.misses;
   (out, prof)
 
 let run ?options ?scope ?into g q =
@@ -431,6 +455,9 @@ let run_string ?options ?scope ?into g src =
 
 let pipeline_of_conds ~options ~timed ~env ~bound ~needed_obj ~needed_label g
     conds =
+  (* bare condition pipelines (click-time expansion, lint) never mutate
+     the graph they query *)
+  ignore (Graph.freeze g);
   let bound =
     Ast.dedup (bound @ List.map fst (Eval.Env.bindings env))
   in

@@ -90,6 +90,7 @@ type op_stats = {
       (** largest per-input-row output batch: the operator's live-buffer
           watermark in the streaming pipeline *)
   mutable os_time : float;  (** cumulative seconds; 0 unless [timed] *)
+  mutable os_timed : bool;  (** whether [os_time] was measured *)
 }
 
 type block_profile = {
@@ -107,6 +108,10 @@ type profile = {
           the streaming analogue of the eager evaluator's
           [max_intermediate] *)
   mutable prf_time : float;     (** wall-clock seconds of the whole run *)
+  mutable prf_kernel_freezes : int;
+      (** graph-kernel snapshot builds during this run *)
+  mutable prf_kernel_hits : int;    (** path-engine memo hits *)
+  mutable prf_kernel_misses : int;  (** path-engine memo misses *)
 }
 
 val profile_steps : profile -> int

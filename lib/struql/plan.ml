@@ -119,16 +119,20 @@ type stats = {
   n_edges : float;
   n_labels : float;
   n_objects : float;
+  avg_out : float;
   coll_size : string -> float;
   label_cnt : string -> float;
 }
 
 let stats_of_graph g =
+  let n_nodes = float_of_int (max 1 (Graph.node_count g)) in
+  let n_edges = float_of_int (max 1 (Graph.edge_count g)) in
   {
-    n_nodes = float_of_int (max 1 (Graph.node_count g));
-    n_edges = float_of_int (max 1 (Graph.edge_count g));
+    n_nodes;
+    n_edges;
     n_labels = float_of_int (max 1 (List.length (Graph.labels g)));
     n_objects = float_of_int (max 1 (Graph.node_count g + Graph.edge_count g));
+    avg_out = n_edges /. n_nodes;
     coll_size = (fun c -> float_of_int (max 1 (Graph.collection_size g c)));
     label_cnt = (fun l -> float_of_int (max 0 (Graph.label_count g l)));
   }
@@ -171,11 +175,18 @@ let rec estimate st bound c =
      | false, false, false -> (st.n_edges, st.n_edges))
   | CC_path (x, _, _, y) ->
     let bx = term_bound bound x and by = term_bound bound y in
+    (* work models the kernel's per-conjunct lanes: a forward product
+       BFS from a bound source is degree-bounded (and memoized across
+       rows); a bound target runs one reverse-CSR sweep instead of an
+       all-sources enumeration; fanouts are unchanged so heuristic
+       plans — and the orderings every golden build depends on — do
+       not move *)
     (match bx, by with
-     | true, true -> (0.5, st.n_nodes)
-     | true, false -> (st.n_nodes /. 2., st.n_nodes)
-     | false, true -> (st.n_nodes /. 2., st.n_nodes *. st.n_nodes)
-     | false, false -> (st.n_nodes *. st.n_nodes /. 4., st.n_nodes *. st.n_nodes))
+     | true, true -> (0.5, st.avg_out +. 1.)
+     | true, false -> (st.n_nodes /. 2., st.avg_out +. 1.)
+     | false, true -> (st.n_nodes /. 2., st.n_edges +. st.n_nodes)
+     | false, false ->
+       (st.n_nodes *. st.n_nodes /. 4., st.n_nodes *. (st.avg_out +. 1.)))
   | CC_cmp (Ast.Eq, a, b) when term_bound bound a && term_bound bound b ->
     (0.3, 1.)
   | CC_cmp (Ast.Eq, _, _) -> (1., 1.)  (* binder *)

@@ -65,8 +65,11 @@ type stats = {
   n_edges : float;
   n_labels : float;
   n_objects : float;
+  avg_out : float;  (** mean out-degree — degree statistic for the
+                        kernel's direction-aware path work estimates *)
   coll_size : string -> float;
-  label_cnt : string -> float;
+  label_cnt : string -> float;  (** per-label edge count, O(1) from the
+                                    graph's indexed buckets *)
 }
 
 val stats_of_graph : Sgraph.Graph.t -> stats

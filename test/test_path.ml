@@ -111,7 +111,18 @@ let composite =
 
 let rpe_gen =
   let open QCheck.Gen in
-  let pred = oneofl [ Path.Label "x"; Path.Label "y"; Path.Label "z"; Path.Any ] in
+  let pred =
+    oneofl
+      [
+        Path.Label "x";
+        Path.Label "y";
+        Path.Label "z";
+        Path.Any;
+        (* a predicate the dispatch tables can't special-case: keeps the
+           compiled kernel's fallback lane under the same property *)
+        Path.Named_pred ("notY", fun l -> l <> "y");
+      ]
+  in
   let rec gen depth =
     if depth = 0 then map (fun p -> Path.Edge p) pred
     else

@@ -163,10 +163,14 @@ let gen_query =
 let arb_query =
   QCheck.make ~print:(fun q -> Pretty.to_string q) gen_query
 
-(* Naive evaluation enumerates the active domain for every WHERE
-   variable the conditions leave unbound, so a block whose (conjoined)
-   scope holds k distinct variables can cost |domain|^k; skip the rare
-   random queries where that blow-up would stall the suite. *)
+(* Evaluation enumerates the active domain for every variable the
+   conditions leave unbound — including CREATE/LINK/COLLECT variables,
+   which the planner backs with Domain_obj/Domain_label enumerators —
+   so a block whose (conjoined) scope holds k distinct variables can
+   cost |domain|^k; skip the rare random queries where that blow-up
+   would stall (or OOM) the suite.  Counting only WHERE variables here
+   is not enough: a block with no conditions but several construction
+   variables enumerates the full domain product all the same. *)
 let rec cond_vars acc = function
   | Ast.C_atom (_, ts) -> List.fold_left term_vars acc ts
   | Ast.C_edge (x, l, y) ->
@@ -179,10 +183,32 @@ let rec cond_vars acc = function
 
 and term_vars acc = function
   | Ast.T_var v -> v :: acc
-  | Ast.T_const _ | Ast.T_skolem _ | Ast.T_agg _ -> acc
+  | Ast.T_const _ -> acc
+  | Ast.T_skolem (_, args) -> List.fold_left term_vars acc args
+  | Ast.T_agg (_, t) -> term_vars acc t
+
+let construction_vars acc (b : Ast.block) =
+  let acc =
+    List.fold_left
+      (fun acc (_, args) -> List.fold_left term_vars acc args)
+      acc b.Ast.create
+  in
+  let acc =
+    List.fold_left
+      (fun acc (src, l, tgt) ->
+        let acc = term_vars (term_vars acc src) tgt in
+        match l with Ast.L_var v -> v :: acc | Ast.L_const _ -> acc)
+      acc b.Ast.link
+  in
+  List.fold_left (fun acc (_, t) -> term_vars acc t) acc b.Ast.collect
 
 let rec widest_scope inherited (b : Ast.block) =
-  let scope = Ast.dedup (List.fold_left cond_vars inherited b.Ast.where) in
+  let scope =
+    Ast.dedup
+      (construction_vars
+         (List.fold_left cond_vars inherited b.Ast.where)
+         b)
+  in
   List.fold_left
     (fun m nb -> max m (widest_scope scope nb))
     (List.length scope) b.Ast.nested
