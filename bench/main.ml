@@ -1371,6 +1371,189 @@ let e20 () =
   Fmt.pr "path-kernel profile written to BENCH_path.json@."
 
 (* ----------------------------------------------------------------- *)
+(* E21 — sharded repository: parallel refresh, mmap segments, pruning *)
+(* ----------------------------------------------------------------- *)
+
+let e21 () =
+  section "E21"
+    "sharded repository: parallel refresh, mmap segments, shard pruning";
+  (* --- A: parallel refresh across domains ---
+     A synthetic federation of independent sources whose loaders are
+     CPU-bound (the busy loop stands in for wrapper parsing cost; pure
+     integer ops, domain-safe).  Every round bumps every source so a
+     refresh must re-load all of them. *)
+  let n_sources = 8 in
+  let items = 1500 in
+  let spin = 20_000_000 in
+  let synth name round () =
+    let h = ref (Hashtbl.hash name + round) in
+    for _ = 1 to spin do
+      h := ((!h * 1103515245) + 12345) land 0x3FFFFFFF
+    done;
+    let g = Graph.create ~name () in
+    for i = 1 to items do
+      let o = Graph.new_node g (Printf.sprintf "%s-%d" name i) in
+      Graph.add_to_collection g name o;
+      Graph.add_edge g o "v"
+        (Graph.V (Value.Int ((i + round + (!h land 7)) mod 97)))
+    done;
+    g
+  in
+  let names = List.init n_sources (fun i -> Printf.sprintf "Src%d" i) in
+  let sources =
+    List.map (fun n -> Mediator.Source.make ~name:n (synth n 0)) names
+  in
+  let mappings =
+    List.map
+      (fun n -> Mediator.Gav.copy_collection ~source:n ~collection:n ())
+      names
+  in
+  let w = Mediator.Warehouse.create ~sources ~mappings () in
+  let round = ref 0 in
+  let refresh_ms jobs =
+    incr round;
+    let r = !round in
+    List.iter
+      (fun n ->
+        match Mediator.Warehouse.find_source w n with
+        | Some s -> Mediator.Source.update s (synth n r)
+        | None -> assert false)
+      names;
+    let changed, t = wall_it (fun () -> Mediator.Warehouse.refresh ~jobs w) in
+    if not changed then failwith "E21: refresh did not rebuild";
+    t
+  in
+  ignore (refresh_ms 1) (* warm-up: fault-free steady state *);
+  let base = ref nan in
+  Fmt.pr "  parallel refresh: %d sources, %d items each (cores: %d)@."
+    n_sources items
+    (Domain.recommended_domain_count ());
+  Fmt.pr "  %-6s %12s %8s@." "jobs" "ms" "speedup";
+  let refresh_rows =
+    List.map
+      (fun jobs ->
+        let t = refresh_ms jobs in
+        if jobs = 1 then base := t;
+        let sp = !base /. t in
+        Fmt.pr "  %-6d %12.1f %7.2fx@." jobs t sp;
+        (jobs, t, sp))
+      [ 1; 2; 4; 8 ]
+  in
+  let speedup4 =
+    match List.find_opt (fun (j, _, _) -> j = 4) refresh_rows with
+    | Some (_, _, sp) -> sp
+    | None -> nan
+  in
+  if speedup4 >= 2.0 then
+    Fmt.pr "  refresh at 4 domains: %.2fx >= 2x target@." speedup4
+  else
+    Fmt.pr "  WARNING: refresh at 4 domains only %.2fx (< 2x target)@."
+      speedup4;
+  (* --- B: cold segment open — full read+verify vs mmap --- *)
+  let g = Mediator.Warehouse.graph w in
+  let dir =
+    let f = Filename.temp_file "e21shard" "" in
+    Sys.remove f;
+    Unix.mkdir f 0o755;
+    f
+  in
+  let cfg = { Repository.Shard.dir; cfg_spec = Repository.Shard.By_collection } in
+  let snap = Repository.Shard.publish cfg ~epoch:1 g in
+  let seg_files =
+    List.filter (fun f -> Filename.check_suffix f ".seg") (Array.to_list (Sys.readdir dir))
+  in
+  let seg_path =
+    (* largest segment: the most interesting open cost *)
+    List.fold_left
+      (fun best f ->
+        let p = Filename.concat dir f in
+        match best with
+        | Some (_, sz) when (Unix.stat p).Unix.st_size <= sz -> best
+        | _ -> Some (p, (Unix.stat p).Unix.st_size))
+      None seg_files
+    |> Option.get |> fst
+  in
+  let seg_bytes = (Unix.stat seg_path).Unix.st_size in
+  let best_of f =
+    let t = ref infinity in
+    for _ = 1 to 5 do
+      let _, ms = wall_it f in
+      if ms < !t then t := ms
+    done;
+    !t
+  in
+  let read_ms =
+    best_of (fun () ->
+        ignore (Repository.Segment.read ~verify:true ~path:seg_path ()))
+  in
+  let mmap_ms =
+    best_of (fun () ->
+        ignore (Repository.Segment.map ~verify:false ~path:seg_path ()))
+  in
+  let decode_ms =
+    let seg = Repository.Segment.read ~verify:true ~path:seg_path () in
+    best_of (fun () -> ignore (Repository.Segment.to_graph seg))
+  in
+  Fmt.pr "  segment %s: %d bytes@." (Filename.basename seg_path) seg_bytes;
+  Fmt.pr "  open read+verify %.3f ms | mmap %.3f ms | decode to graph %.3f ms@."
+    read_ms mmap_ms decode_ms;
+  (* --- C: shard-pruned vs full-scan query --- *)
+  let q =
+    Struql.Parser.parse
+      {|INPUT D { WHERE Src0(x), x -> "v" -> y
+                  CREATE P(x) LINK P(x) -> "val" -> y
+                  COLLECT Ps(P(x)) } OUTPUT S|}
+  in
+  let ctx = Mediator.Warehouse.shard_ctx_of_snapshot snap in
+  let full_ms = best_of (fun () -> ignore (Struql.Exec.run g q)) in
+  let sharded_ms =
+    best_of (fun () -> ignore (Struql.Exec.run ~shards:ctx g q))
+  in
+  let out_full = Struql.Exec.run g q in
+  let out_sharded, prof = Struql.Exec.run_with_profile ~shards:ctx g q in
+  if Repository.Binary.encode out_full <> Repository.Binary.encode out_sharded
+  then failwith "E21: sharded evaluation diverged from full scan";
+  Fmt.pr
+    "  single-collection query: full scan %.3f ms | sharded %.3f ms \
+     (scanned %d, pruned %d)@."
+    full_ms sharded_ms prof.Struql.Exec.prf_shards_scanned
+    prof.Struql.Exec.prf_shards_pruned;
+  (* best-effort cleanup of the temp repository *)
+  Array.iter (fun f -> try Sys.remove (Filename.concat dir f) with _ -> ())
+    (Sys.readdir dir);
+  (try Unix.rmdir dir with _ -> ());
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n  \"experiment\": \"E21_sharded_repository\",\n";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"sources\": %d,\n  \"items_per_source\": %d,\n  \"cores\": %d,\n"
+       n_sources items
+       (Domain.recommended_domain_count ()));
+  Buffer.add_string buf "  \"refresh\": [";
+  List.iteri
+    (fun i (jobs, t, sp) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf
+           "\n    {\"jobs\": %d, \"ms\": %.3f, \"speedup\": %.2f}" jobs t sp))
+    refresh_rows;
+  Buffer.add_string buf
+    (Printf.sprintf
+       "\n  ],\n  \"segment\": {\"bytes\": %d, \"read_verify_ms\": %.3f, \
+        \"mmap_ms\": %.3f, \"decode_ms\": %.3f},\n"
+       seg_bytes read_ms mmap_ms decode_ms);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"pruned_query\": {\"full_ms\": %.3f, \"sharded_ms\": %.3f, \
+        \"shards_scanned\": %d, \"shards_pruned\": %d}\n}\n"
+       full_ms sharded_ms prof.Struql.Exec.prf_shards_scanned
+       prof.Struql.Exec.prf_shards_pruned);
+  let oc = open_out "BENCH_shard.json" in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Fmt.pr "shard profile written to BENCH_shard.json@."
+
+(* ----------------------------------------------------------------- *)
 (* Bechamel microbenchmarks — one Test.make per measured experiment   *)
 (* ----------------------------------------------------------------- *)
 
@@ -1527,7 +1710,7 @@ let experiments =
     ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
     ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11);
     ("E12", e12); ("E13", e13); ("E14", e14); ("E15", e15); ("E16", e16);
-    ("E17", e17); ("E18", e18); ("E19", e19); ("E20", e20);
+    ("E17", e17); ("E18", e18); ("E19", e19); ("E20", e20); ("E21", e21);
     ("micro", bechamel_suite);
   ]
 

@@ -64,6 +64,9 @@ let or_die f =
   | Repository.Binary.Corrupt (msg, offset) ->
     Fmt.epr "corrupt binary graph at byte %d: %s@." offset msg;
     exit 1
+  | Repository.Shard.Manifest_error msg ->
+    Fmt.epr "malformed shard manifest: %s@." msg;
+    exit 1
   | Fault.Inject.Injected msg ->
     Fmt.epr "injected fault: %s@." msg;
     exit 1
@@ -243,16 +246,40 @@ let explain_cmd =
     Term.(const run $ data_opt_arg $ graphs_arg $ query_pos_arg
           $ strategy_opt_arg)
 
+let shards_dir_arg =
+  Arg.(value & opt (some string) None
+       & info [ "shards" ] ~docv:"DIR"
+           ~doc:"A sharded repository directory (see $(b,strudel repo)).")
+
 let explain_analyze_cmd =
-  let run data graphs query strategy =
+  let run data graphs query strategy shards_dir =
     or_die (fun () ->
         let q = Struql.Parser.parse (read_file query) in
-        let g = input_graph data graphs q in
+        let g, shards =
+          match shards_dir with
+          | None -> (input_graph data graphs q, None)
+          | Some dir ->
+            (* the repository is the data: run over its union graph,
+               with the shard context driving per-shard scans *)
+            let sn = Repository.Shard.open_dir ~dir () in
+            ( sn.Repository.Shard.sn_union,
+              Some (Mediator.Warehouse.shard_ctx_of_snapshot sn) )
+        in
         List.iter
           (fun strategy ->
             let options = { Struql.Eval.default_options with strategy } in
+            (* fresh counter baseline per strategy, so each profile's
+               kernel and shard lines stand alone *)
+            Graph.reset_kernel_counters g;
+            (match shards with
+             | Some sc ->
+               List.iter
+                 (fun sv ->
+                   Graph.reset_kernel_counters sv.Struql.Exec.sv_graph)
+                 sc.Struql.Exec.sc_shards
+             | None -> ());
             let _, prof =
-              Struql.Exec.run_with_profile ~options ~timed:true g q
+              Struql.Exec.run_with_profile ~options ~timed:true ?shards g q
             in
             Fmt.pr "%a@." Struql.Exec.pp_profile prof)
           (strategies_of strategy))
@@ -262,9 +289,11 @@ let explain_analyze_cmd =
        ~doc:
          "Run a query on the streaming engine and show the measured plan: \
           per-operator rows in/out, batch watermarks, timings and the peak \
-          live-binding count.")
+          live-binding count.  With $(b,--shards), the query runs over the \
+          repository's union graph and the profile reports shards \
+          scanned/pruned and per-shard kernel counters.")
     Term.(const run $ data_opt_arg $ graphs_arg $ query_pos_arg
-          $ strategy_opt_arg)
+          $ strategy_opt_arg $ shards_dir_arg)
 
 (* --- check --- *)
 
@@ -396,10 +425,18 @@ let build_cmd =
                "Where to write the machine-readable fault manifest \
                 (default: $(i,DIR)/faults.json).")
   in
+  let shard_by_arg =
+    Arg.(value & opt (enum [ ("collection", Repository.Shard.By_collection);
+                             ("family", Repository.Shard.By_family) ])
+           Repository.Shard.By_collection
+         & info [ "shard-by" ] ~docv:"SPEC"
+             ~doc:"Partitioning spec for $(b,--shards): collection or family.")
+  in
   let run data query root templates strategy dir jobs stats on_error retries
-      faults_out =
+      faults_out shards_dir shard_by =
     or_die (fun () ->
         let fault = Fault.ctx () in
+        let t0 = Unix.gettimeofday () in
         let g =
           let retry =
             { Fault.Policy.default_retry with attempts = max 1 retries }
@@ -410,6 +447,25 @@ let build_cmd =
           with
           | Ok g -> g
           | Error (e, _) -> raise e
+        in
+        let load_ms = (Unix.gettimeofday () -. t0) *. 1000. in
+        (* with --shards, publish the data graph as segment files and
+           let the site queries run shard-aware; pages are
+           byte-identical either way *)
+        let snapshot =
+          Option.map
+            (fun sdir ->
+              Repository.Shard.publish
+                { Repository.Shard.dir = sdir; cfg_spec = shard_by }
+                ~epoch:1
+                ~sources:[ ("input", 0) ]
+                g)
+            shards_dir
+        in
+        let shards =
+          Option.map
+            (Mediator.Warehouse.shard_ctx_of_snapshot ~jobs)
+            snapshot
         in
         let templates =
           {
@@ -423,7 +479,9 @@ let build_cmd =
             ~strategy
             [ ("site", read_file query) ]
         in
-        let built = Strudel.Site.build ~jobs ~on_error ~fault ~data:g def in
+        let built =
+          Strudel.Site.build ~jobs ~on_error ~fault ?shards ~data:g def
+        in
         let rec mkdirs d =
           if d <> "." && d <> "/" && not (Sys.file_exists d) then begin
             mkdirs (Filename.dirname d);
@@ -435,9 +493,33 @@ let build_cmd =
         Fmt.pr "%d pages written to %s@."
           (Template.Generator.page_count built.Strudel.Site.site)
           dir;
-        if stats then
+        if stats then begin
+          (* the per-source outcome table (the degenerate one-source
+             federation of a file build; warehouse builds report every
+             source the same way) *)
+          Fmt.pr "sources:@.%a"
+            Mediator.Warehouse.pp_stats
+            [ { Mediator.Warehouse.ss_source = data;
+                ss_outcome = Mediator.Warehouse.Changed;
+                ss_duration_ms = load_ms;
+                ss_version = 0 } ];
+          (match snapshot with
+           | Some sn ->
+             Fmt.pr "shards (epoch %d):@." sn.Repository.Shard.sn_epoch;
+             List.iter
+               (fun (sh : Repository.Shard.shard) ->
+                 let e = sh.Repository.Shard.sh_entry in
+                 Fmt.pr "  %-20s %6d nodes %6d edges %8d bytes  %s@."
+                   e.Repository.Shard.e_name e.e_nodes e.e_edges e.e_bytes
+                   e.e_file)
+               sn.Repository.Shard.sn_shards
+           | None -> ());
+          List.iter
+            (fun prof -> Fmt.pr "%a@." Struql.Exec.pp_profile prof)
+            built.Strudel.Site.query_stats;
           Fmt.pr "%a@." Strudel.Render_pool.pp_profile
-            built.Strudel.Site.render_profile;
+            built.Strudel.Site.render_profile
+        end;
         let manifest = Strudel.Site.manifest built in
         let manifest_path =
           match faults_out with
@@ -456,7 +538,7 @@ let build_cmd =
   Cmd.v (Cmd.info "build" ~doc:"Build a browsable site from data + query + templates.")
     Term.(const run $ data_arg $ query_arg $ root_arg $ template_arg
           $ strategy_arg $ dir_arg $ jobs_arg $ stats_arg $ on_error_arg
-          $ retries_arg $ faults_out_arg)
+          $ retries_arg $ faults_out_arg $ shards_dir_arg $ shard_by_arg)
 
 (* --- faults: inspect a build manifest --- *)
 
@@ -571,7 +653,7 @@ let lint_cmd =
     | "rodin" -> Some (Sites.Lint_specs.rodin ())
     | _ -> None
   in
-  let run spec_name data templates root format fail_on output =
+  let run spec_name data templates root format fail_on shards output =
     or_die (fun () ->
         let spec =
           match resolve_bundled spec_name with
@@ -598,6 +680,7 @@ let lint_cmd =
                   data;
               declared_sources = [];
               mapping_sources = [];
+              shard_manifest = None;
               max_guide_states = 10_000;
             }
           | None ->
@@ -606,6 +689,22 @@ let lint_cmd =
                rodin) and no such file@."
               spec_name;
             exit 2
+        in
+        let spec =
+          match shards with
+          | None -> spec
+          | Some dir ->
+            let m = Repository.Shard.load_manifest ~dir in
+            {
+              spec with
+              Analysis.Lint.shard_manifest =
+                Some
+                  (List.map
+                     (fun (e : Repository.Shard.entry) ->
+                       (e.Repository.Shard.e_name,
+                        e.Repository.Shard.e_collections))
+                     m.Repository.Shard.m_entries);
+            }
         in
         let diags = Analysis.Lint.run spec in
         let rendered =
@@ -622,9 +721,11 @@ let lint_cmd =
        ~doc:
          "Statically analyze a site specification without building it: \
           path emptiness, dead/unused spec, constraint verification and \
-          template lint, as structured SA0xx diagnostics.")
+          template lint, as structured SA0xx diagnostics.  With \
+          $(b,--shards), also checks query collections against the \
+          repository's shard manifest (SA050).")
     Term.(const run $ spec_arg $ data_opt_arg $ template_arg $ root_arg
-          $ format_arg $ fail_on_arg $ output_arg)
+          $ format_arg $ fail_on_arg $ shards_dir_arg $ output_arg)
 
 (* --- browse: click-time materialization simulator --- *)
 
@@ -680,6 +781,61 @@ let browse_cmd =
        ~doc:"Simulate click-time browsing of an example site.")
     Term.(const run $ which_arg $ clicks_arg $ seed_arg $ no_cache_arg)
 
+(* --- repo: inspect a sharded repository --- *)
+
+let repo_cmd =
+  let dir_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"DIR"
+           ~doc:"Repository directory holding MANIFEST and segments.")
+  in
+  let check_arg =
+    Arg.(value & flag
+         & info [ "check" ]
+             ~doc:
+               "Additionally walk every segment's sections (strings, \
+                values, adjacency, collections) and report the byte \
+                offset of the first corruption found; exit 1 on any.")
+  in
+  let status_run dir check =
+    or_die (fun () ->
+        let m = Repository.Shard.load_manifest ~dir in
+        Fmt.pr "%a@." Repository.Shard.pp_manifest m;
+        if check then begin
+          let bad = ref 0 in
+          List.iter
+            (fun (e : Repository.Shard.entry) ->
+              let path = Filename.concat dir e.Repository.Shard.e_file in
+              match
+                Repository.Segment.validate
+                  (Repository.Segment.read ~path ())
+              with
+              | () -> Fmt.pr "%s: ok@." e.Repository.Shard.e_file
+              | exception Repository.Binary.Corrupt (msg, off) ->
+                incr bad;
+                Fmt.pr "%s: CORRUPT at byte %d: %s@."
+                  e.Repository.Shard.e_file off msg
+              | exception Sys_error msg ->
+                incr bad;
+                Fmt.pr "%s: unreadable: %s@." e.Repository.Shard.e_file msg)
+            m.Repository.Shard.m_entries;
+          if !bad > 0 then begin
+            Fmt.epr "%d corrupt segment(s)@." !bad;
+            exit 1
+          end
+        end)
+  in
+  let status =
+    Cmd.v
+      (Cmd.info "status"
+         ~doc:
+           "Show a repository's manifest: epoch, partitioning spec, \
+            per-source versions and per-shard segment statistics.")
+      Term.(const status_run $ dir_arg $ check_arg)
+  in
+  Cmd.group
+    (Cmd.info "repo" ~doc:"Inspect a sharded repository directory.")
+    [ status ]
+
 (* --- demo --- *)
 
 let demo_cmd =
@@ -724,4 +880,4 @@ let () =
        (Cmd.group (Cmd.info "strudel" ~doc)
           [ load_cmd; query_cmd; explain_cmd; explain_analyze_cmd; check_cmd;
             schema_cmd; decompose_cmd; build_cmd; faults_cmd; verify_cmd;
-            lint_cmd; browse_cmd; demo_cmd ]))
+            lint_cmd; browse_cmd; repo_cmd; demo_cmd ]))

@@ -46,6 +46,9 @@ let catalog : (string * severity * string) list =
     ("SA041", Warning, "attribute no page of the template's family can carry");
     ("SA042", Error, "broken template reference");
     ("SA043", Info, "named template never selected by a constant link");
+    ("SA050", Warning,
+     "query reads a collection no shard of the repository manifest is home \
+      to");
   ]
 
 let compare a b =

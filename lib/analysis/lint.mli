@@ -3,7 +3,7 @@
 
     Analyzes the complete specification — site-definition queries,
     templates, derived site schema, integrity constraints, and source
-    declarations — {e without building the site}.  Four analysis
+    declarations — {e without building the site}.  Five analysis
     families:
 
     - {b path emptiness}: each regular path expression's NFA is
@@ -19,7 +19,10 @@
     - {b template lint}: templates are checked against the derived
       schema — impossible attribute references, templates bound to
       never-collected collections, broken template references, unused
-      named templates (SA040–SA043).
+      named templates (SA040–SA043);
+    - {b shard-manifest coverage}: with a repository shard manifest,
+      query collections no shard is home to — blocks the sharded
+      evaluator cannot prune (SA050).
 
     Parse/check plumbing (SA001–SA005) runs first; analyses degrade
     gracefully when a query does not parse. *)
@@ -40,6 +43,12 @@ type spec = {
       (** mediated sites: the declared source names *)
   mapping_sources : string list;
       (** mediated sites: the source name of every GAV mapping *)
+  shard_manifest : (string * string list) list option;
+      (** sharded repositories: each shard's name and home collections,
+          as published in the {!Repository.Shard} manifest.  When
+          present, SA050 flags query collections no shard is home to
+          (the sharded evaluator would fall back to a full union scan
+          for those blocks); [None] disables the analysis *)
   max_guide_states : int;
       (** DataGuide size bound for the path-emptiness analysis; when
           exceeded the analysis degrades to SA013 instead of failing *)
@@ -49,6 +58,7 @@ val of_definition :
   ?data:Graph.t ->
   ?declared_sources:string list ->
   ?mapping_sources:string list ->
+  ?shard_manifest:(string * string list) list ->
   ?max_guide_states:int ->
   Strudel.Site.definition ->
   spec

@@ -103,11 +103,11 @@ let page_candidates site_graph roots =
       also parallelizes the re-renders) and fresh traces are stored
       back into [cache]. *)
 let rebuild ?(depth = default_depth) ?jobs ?cache ?file_loader
-    ?(on_error = Fault.Abort) ?fault ~(previous : Site.built) ~data () :
-    rebuild_report =
+    ?(on_error = Fault.Abort) ?fault ?shards ~(previous : Site.built) ~data ()
+    : rebuild_report =
   let def = previous.Site.def in
   let site_graph, scope, schemas, query_stats =
-    Site.build_site_graph def data
+    Site.build_site_graph ?shards def data
   in
   let roots = Site.roots_of site_graph def.Site.root_family in
   let t0 = Unix.gettimeofday () in

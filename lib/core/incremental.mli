@@ -40,6 +40,7 @@ val rebuild :
   ?file_loader:(string -> string option) ->
   ?on_error:Fault.on_error ->
   ?fault:Fault.ctx ->
+  ?shards:Struql.Exec.shard_ctx ->
   previous:Site.built -> data:Graph.t -> unit ->
   rebuild_report
 (** Rebuild the site over changed data, reusing unchanged pages of

@@ -57,6 +57,7 @@ val parse_queries : definition -> (string * Struql.Ast.query) list
 
 val build_site_graph :
   ?scope:Skolem.t ->
+  ?shards:Struql.Exec.shard_ctx ->
   ?into:Graph.t ->
   definition ->
   Graph.t ->
@@ -65,7 +66,11 @@ val build_site_graph :
 (** Evaluate the definition's queries over the data into one site
     graph, without generating HTML.  Queries run on the streaming
     {!Struql.Exec} engine; the returned profiles carry per-operator
-    row counts and the peak live-binding watermark of each query. *)
+    row counts and the peak live-binding watermark of each query.
+    [shards] (a context whose union is the data graph, e.g. from
+    {!Mediator.Warehouse.shard_ctx_of_view}) lets driving collection
+    scans prune and parallelize per shard — output is byte-identical
+    either way. *)
 
 val roots_of : Graph.t -> string -> Oid.t list
 (** Members of the root Skolem family in a site graph. *)
@@ -75,7 +80,9 @@ val build :
   ?render_cache:Render_cache.t ->
   ?file_loader:(string -> string option) ->
   ?on_error:Fault.on_error ->
-  ?fault:Fault.ctx -> data:Graph.t -> definition ->
+  ?fault:Fault.ctx ->
+  ?shards:Struql.Exec.shard_ctx ->
+  data:Graph.t -> definition ->
   built
 (** The full pipeline: site graph, schema, constraint verification,
     HTML generation.  [jobs] (default 1) fans page rendering out over

@@ -41,6 +41,27 @@ val load : t -> Graph.t
 (** Load through the per-version cache; loader failures propagate (the
     pre-fault behavior, regardless of policy). *)
 
+(** Outcome of a load attempt, before the fault policy is applied. *)
+type loaded =
+  | Cached of Graph.t  (** wrapper cache already holds this version *)
+  | Fresh of Graph.t  (** loader succeeded (possibly after retries) *)
+  | Load_failed of exn * int  (** last exception, attempts made *)
+
+val load_attempt : ?clock:Fault.Clock.t -> ?fault:Fault.ctx -> t -> loaded
+(** The first, parallel-safe phase of {!load_with}: cache check, then
+    injection + retry/backoff.  Mutates only this source's own fields,
+    so distinct sources may attempt concurrently (the warehouse's
+    parallel refresh does); records nothing into the fault context and
+    writes no snapshot store. *)
+
+val settle :
+  ?snapshots:Repository.Store.t -> ?fault:Fault.ctx -> t -> loaded ->
+  Graph.t option
+(** The second, sequential phase: persist a [Fresh] load's snapshot and
+    resolve a [Load_failed] under the source's policy (re-raise, skip,
+    or serve stale), recording faults.  [load_with] is exactly
+    [settle] ∘ [load_attempt]. *)
+
 val load_with :
   ?clock:Fault.Clock.t -> ?snapshots:Repository.Store.t ->
   ?fault:Fault.ctx -> t -> Graph.t option

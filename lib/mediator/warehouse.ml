@@ -7,9 +7,36 @@
     are monotone graph constructions, a changed source forces a rebuild
     of the mediated graph (the open problem of incremental view update
     for semistructured data, §6) — but unchanged sources are served
-    from their wrapper caches, which is where the real cost sat. *)
+    from their wrapper caches, which is where the real cost sat.
+
+    The mediated result lives in an immutable {!view} that is swapped
+    under a mutex: [refresh] builds the next graph (and, when sharding
+    is configured, publishes its segments) entirely off to the side,
+    then installs it atomically, so a reader that {!pin}s a view sees
+    one consistent integration end to end no matter how many refreshes
+    race past it.  With [jobs > 1] the per-source load attempts run in
+    parallel across domains; policy resolution (fault recording,
+    snapshot persistence) stays sequential in declared-source order. *)
 
 open Sgraph
+
+type outcome =
+  | Changed
+  | Unchanged
+  | Quarantined of string
+
+type source_stat = {
+  ss_source : string;
+  ss_outcome : outcome;
+  ss_duration_ms : float;
+  ss_version : int;
+}
+
+type view = {
+  v_epoch : int;
+  v_graph : Graph.t;
+  v_shards : Repository.Shard.snapshot option;
+}
 
 type t = {
   sources : Source.t list;
@@ -18,57 +45,245 @@ type t = {
   clock : Fault.Clock.t;
   snapshots : Repository.Store.t option;
   fault : Fault.ctx option;
-  mutable graph : Graph.t;
+  shards : Repository.Shard.config option;
+  jobs : int;
+  lock : Mutex.t;
+  mutable current : view;
   mutable seen_versions : (string * int) list;
   mutable refreshes : int;  (** number of integrations performed *)
+  mutable last_stats : source_stat list;
 }
 
 let versions sources = List.map (fun s -> (Source.name s, Source.version s)) sources
 
-let integrate_now ~options ~clock ~snapshots ~fault sources mappings =
-  match (snapshots, fault) with
-  | None, None ->
-    (* no fault machinery in play: the pre-fault direct path *)
-    Gav.integrate ~options sources mappings
-  | _ ->
-    Gav.integrate ~options
-      ~load:(fun s -> Source.load_with ~clock ?snapshots ?fault s)
-      ?fault sources mappings
+(* Whether [s] contributes data this integration didn't already have:
+   first integration, or a version bump since the last one. *)
+let version_outcome ~prev s =
+  let name = Source.name s in
+  match List.assoc_opt name prev with
+  | Some v when v = Source.version s -> Unchanged
+  | _ -> Changed
+
+(* The pre-fault direct attempt: [Source.load] propagates failures, so
+   a caught exception is re-raised at settle time (policies are only in
+   play when the warehouse carries fault machinery). *)
+let attempt_direct s =
+  try Source.Fresh (Source.load s) with e -> Source.Load_failed (e, 1)
+
+let settle_direct = function
+  | Source.Cached g | Source.Fresh g -> Some g
+  | Source.Load_failed (e, _) -> raise e
+
+(* Resolve one attempted load: apply the policy (or re-raise on the
+   direct path), and derive its refresh outcome. *)
+let settle_one ~direct ~prev ~snapshots ~fault s att dt =
+  let r =
+    if direct then settle_direct att else Source.settle ?snapshots ?fault s att
+  in
+  let outcome =
+    match att with
+    | Source.Load_failed (e, _) -> Quarantined (Printexc.to_string e)
+    | Source.Cached _ | Source.Fresh _ -> version_outcome ~prev s
+  in
+  let stat =
+    {
+      ss_source = Source.name s;
+      ss_outcome = outcome;
+      ss_duration_ms = dt;
+      ss_version = Source.version s;
+    }
+  in
+  (r, stat)
+
+(* Attempt every source's load in parallel: [jobs] domains, each owning
+   a round-robin slice, writing disjoint slots of [results].  Faults
+   are neither recorded nor resolved here (that is sequential), but an
+   injector shared across domains fires from all of them — injection
+   tests should refresh with [jobs = 1]. *)
+let attempt_parallel ~jobs ~clock ~fault ~direct sources =
+  let srcs = Array.of_list sources in
+  let n = Array.length srcs in
+  let jobs = max 1 (min jobs n) in
+  let results = Array.make n (Source.Load_failed (Exit, 0), 0.) in
+  let now () = clock.Fault.Clock.now_ms () in
+  let slice i () =
+    let j = ref i in
+    while !j < n do
+      let s = srcs.(!j) in
+      let t0 = now () in
+      let att =
+        if direct then attempt_direct s else Source.load_attempt ~clock ?fault s
+      in
+      results.(!j) <- (att, now () -. t0);
+      j := !j + jobs
+    done
+  in
+  let workers = List.init (jobs - 1) (fun i -> Domain.spawn (slice (i + 1))) in
+  slice 0 ();
+  List.iter Domain.join workers;
+  results
+
+let integrate_now ~jobs ~prev w_options ~clock ~snapshots ~fault sources mappings
+    =
+  (* Without fault machinery the warehouse keeps the pre-fault direct
+     path: loader failures propagate regardless of policy. *)
+  let direct = snapshots = None && fault = None in
+  let stats = ref [] in
+  let load =
+    if jobs > 1 then begin
+      (* Eager: every declared source is attempted (in parallel), then
+         settled sequentially in declared order, even ones no mapping
+         ends up consulting. *)
+      let results = attempt_parallel ~jobs ~clock ~fault ~direct sources in
+      let tbl = Hashtbl.create 16 in
+      List.iteri
+        (fun i s ->
+          let att, dt = results.(i) in
+          let r, stat = settle_one ~direct ~prev ~snapshots ~fault s att dt in
+          stats := stat :: !stats;
+          Hashtbl.replace tbl (Source.name s) r)
+        sources;
+      fun s ->
+        match Hashtbl.find_opt tbl (Source.name s) with
+        | Some r -> r
+        | None -> None
+    end
+    else
+      (* Lazy: only sources the mappings consult are attempted, in
+         consultation order — exactly the sequential behavior. *)
+      fun s ->
+        let t0 = clock.Fault.Clock.now_ms () in
+        let att =
+          if direct then attempt_direct s
+          else Source.load_attempt ~clock ?fault s
+        in
+        let dt = clock.Fault.Clock.now_ms () -. t0 in
+        let r, stat = settle_one ~direct ~prev ~snapshots ~fault s att dt in
+        stats := stat :: !stats;
+        r
+  in
+  let g = Gav.integrate ~options:w_options ~load ?fault sources mappings in
+  (* Report stats in declared-source order whatever order loads ran. *)
+  let stats =
+    List.filter_map
+      (fun s ->
+        List.find_opt (fun st -> st.ss_source = Source.name s) !stats)
+      sources
+  in
+  (g, stats)
+
+(* Build the next view off to the side: publish shard segments for the
+   fresh graph (when configured), never touching the live view. *)
+let build_view w ~epoch ~source_versions g =
+  let shards =
+    match w.shards with
+    | None -> None
+    | Some cfg ->
+      Some (Repository.Shard.publish cfg ~epoch ~sources:source_versions g)
+  in
+  { v_epoch = epoch; v_graph = g; v_shards = shards }
 
 let create ?(options = Struql.Eval.default_options)
-    ?(clock = Fault.Clock.real) ?snapshots ?fault ~sources ~mappings () =
-  let g = integrate_now ~options ~clock ~snapshots ~fault sources mappings in
-  {
-    sources;
-    mappings;
-    options;
-    clock;
-    snapshots;
-    fault;
-    graph = g;
-    seen_versions = versions sources;
-    refreshes = 1;
-  }
+    ?(clock = Fault.Clock.real) ?snapshots ?fault ?shards ?(jobs = 1) ~sources
+    ~mappings () =
+  let g, stats =
+    integrate_now ~jobs ~prev:[] options ~clock ~snapshots ~fault sources
+      mappings
+  in
+  let vs = versions sources in
+  let w =
+    {
+      sources;
+      mappings;
+      options;
+      clock;
+      snapshots;
+      fault;
+      shards;
+      jobs;
+      lock = Mutex.create ();
+      current = { v_epoch = 1; v_graph = g; v_shards = None };
+      seen_versions = vs;
+      refreshes = 1;
+      last_stats = stats;
+    }
+  in
+  w.current <- build_view w ~epoch:1 ~source_versions:vs g;
+  w
 
-let graph w = w.graph
-let refresh_count w = w.refreshes
+let pin w = Mutex.protect w.lock (fun () -> w.current)
+let view_epoch v = v.v_epoch
+let view_graph v = v.v_graph
+let view_shards v = v.v_shards
+let graph w = (pin w).v_graph
+let refresh_count w = Mutex.protect w.lock (fun () -> w.refreshes)
+let last_refresh w = Mutex.protect w.lock (fun () -> w.last_stats)
+let shard_config w = w.shards
 
 let faults w = match w.fault with Some c -> Fault.reports c | None -> []
 
-let stale w = versions w.sources <> w.seen_versions
+let stale w =
+  versions w.sources <> Mutex.protect w.lock (fun () -> w.seen_versions)
 
 (** Re-integrate if any source changed; returns whether a rebuild
-    happened. *)
-let refresh w =
+    happened.  The new graph (and shard snapshot) is built completely
+    before the view swap, so concurrent readers holding {!pin}ned views
+    never observe a half-refreshed mix. *)
+let refresh ?jobs w =
   if stale w then begin
-    w.graph <-
-      integrate_now ~options:w.options ~clock:w.clock ~snapshots:w.snapshots
-        ~fault:w.fault w.sources w.mappings;
-    w.seen_versions <- versions w.sources;
-    w.refreshes <- w.refreshes + 1;
+    let jobs = match jobs with Some j -> j | None -> w.jobs in
+    let prev = Mutex.protect w.lock (fun () -> w.seen_versions) in
+    let g, stats =
+      integrate_now ~jobs ~prev w.options ~clock:w.clock
+        ~snapshots:w.snapshots ~fault:w.fault w.sources w.mappings
+    in
+    let vs = versions w.sources in
+    let epoch = Mutex.protect w.lock (fun () -> w.refreshes) + 1 in
+    let view = build_view w ~epoch ~source_versions:vs g in
+    Mutex.protect w.lock (fun () ->
+        w.current <- view;
+        w.seen_versions <- vs;
+        w.refreshes <- w.refreshes + 1;
+        w.last_stats <- stats);
     true
   end
   else false
 
 let find_source w name =
   List.find_opt (fun s -> Source.name s = name) w.sources
+
+(* --- Bridging shard snapshots to the evaluator --- *)
+
+let shard_ctx_of_snapshot ?(jobs = 1) (sn : Repository.Shard.snapshot) =
+  {
+    Struql.Exec.sc_shards =
+      List.map
+        (fun (sh : Repository.Shard.shard) ->
+          {
+            Struql.Exec.sv_name = sh.Repository.Shard.sh_entry.e_name;
+            sv_graph = sh.sh_graph;
+            sv_collections = sh.sh_entry.e_collections;
+          })
+        sn.Repository.Shard.sn_shards;
+    sc_union = sn.Repository.Shard.sn_union;
+    sc_jobs = jobs;
+  }
+
+(** The evaluator-facing view of a pinned integration's shards; [None]
+    when the warehouse does not shard.  The context's union is the
+    view's graph itself (shards share its oids), so it is valid for any
+    query run against [view_graph]. *)
+let shard_ctx_of_view ?jobs v =
+  Option.map (shard_ctx_of_snapshot ?jobs) v.v_shards
+
+let pp_outcome ppf = function
+  | Changed -> Fmt.string ppf "changed"
+  | Unchanged -> Fmt.string ppf "unchanged"
+  | Quarantined why -> Fmt.pf ppf "quarantined (%s)" why
+
+let pp_stats ppf stats =
+  List.iter
+    (fun st ->
+      Fmt.pf ppf "  %-20s v%-3d %8.2fms  %a@." st.ss_source st.ss_version
+        st.ss_duration_ms pp_outcome st.ss_outcome)
+    stats

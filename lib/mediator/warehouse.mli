@@ -4,17 +4,46 @@
     sources is loaded into the repository and queries run against the
     warehouse.  The warehouse tracks per-source versions; {!refresh}
     re-integrates when any source changed, serving unchanged sources
-    from their wrapper caches. *)
+    from their wrapper caches.
+
+    Each integration produces an immutable {!view} installed by an
+    atomic swap: site builds, incremental rebuilds, and click-time
+    browsing {!pin} a view once and work against that snapshot while
+    refreshes proceed off to the side — snapshot isolation, never a
+    half-refreshed mix.  With a {!Repository.Shard.config} the fresh
+    graph is also published as mmap-able shard segments (and the shard
+    manifest swapped) before the view goes live. *)
 
 open Sgraph
 
 type t
+
+(** Per-source outcome of the most recent integration. *)
+type outcome =
+  | Changed  (** the source's version bumped and its data was reloaded *)
+  | Unchanged  (** served from the wrapper cache *)
+  | Quarantined of string
+      (** the load failed; the fault policy skipped the source or served
+          a stale snapshot (the reason is the last load exception) *)
+
+type source_stat = {
+  ss_source : string;
+  ss_outcome : outcome;
+  ss_duration_ms : float;  (** load-attempt wall time on the warehouse clock *)
+  ss_version : int;
+}
+
+(** One consistent integration: the mediated graph plus, when sharding
+    is configured, the shard snapshot published for it. *)
+type view
 
 val create :
   ?options:Struql.Eval.options ->
   ?clock:Fault.Clock.t ->
   ?snapshots:Repository.Store.t ->
   ?fault:Fault.ctx ->
+  ?shards:Repository.Shard.config ->
+  ?jobs:int ->
   sources:Source.t list ->
   mappings:Gav.mapping list ->
   unit ->
@@ -24,22 +53,64 @@ val create :
     fault policy (retry/backoff on [clock], skip, or stale-snapshot
     fallback persisted in [snapshots]) — and integration faults are
     recorded in [fault]; without either, loads are direct and the first
-    failure aborts, exactly as before. *)
+    failure aborts, exactly as before.
+
+    [shards] makes every integration publish the mediated graph as
+    segment files under the config's directory (epoch = refresh count).
+    [jobs] (default [1]) is the default parallelism of {!refresh}:
+    above 1, {e all} declared sources are load-attempted eagerly across
+    that many domains, then settled sequentially in declared order.
+    Fault injectors and virtual clocks are not domain-safe; tests using
+    them should keep [jobs = 1]. *)
+
+val pin : t -> view
+(** The current view, read atomically.  Everything reached through the
+    returned view is immutable with respect to refreshes: build pages
+    against it for as long as needed. *)
+
+val view_epoch : view -> int
+val view_graph : view -> Graph.t
+val view_shards : view -> Repository.Shard.snapshot option
 
 val graph : t -> Graph.t
-(** The current mediated graph. *)
+(** [view_graph (pin w)]. *)
 
 val stale : t -> bool
 (** Whether any source changed since the last integration. *)
 
-val refresh : t -> bool
-(** Re-integrate if stale; returns whether a rebuild happened. *)
+val refresh : ?jobs:int -> t -> bool
+(** Re-integrate if stale; returns whether a rebuild happened.  The new
+    graph (and shard snapshot) is built completely before the view
+    swap, so concurrent readers holding pinned views never observe a
+    half-refreshed mix.  [jobs] overrides the warehouse default for
+    this refresh only. *)
 
 val refresh_count : t -> int
 (** Number of integrations performed (including the initial one). *)
+
+val last_refresh : t -> source_stat list
+(** Per-source outcomes of the most recent integration, in declared
+    source order.  With [jobs = 1] only sources some mapping consulted
+    appear; with [jobs > 1] every declared source does. *)
+
+val shard_config : t -> Repository.Shard.config option
 
 val faults : t -> Fault.report list
 (** Reports recorded in the warehouse's fault context, oldest first
     ([[]] without a context). *)
 
 val find_source : t -> string -> Source.t option
+
+val shard_ctx_of_snapshot :
+  ?jobs:int -> Repository.Shard.snapshot -> Struql.Exec.shard_ctx
+(** The evaluator-facing view of a shard snapshot ([jobs] defaults to
+    [1]); its union is the snapshot's union graph. *)
+
+val shard_ctx_of_view : ?jobs:int -> view -> Struql.Exec.shard_ctx option
+(** Same, for a pinned integration; [None] when the warehouse does not
+    shard.  Valid for queries run against [view_graph] (the shards
+    share its oids). *)
+
+val pp_outcome : Format.formatter -> outcome -> unit
+val pp_stats : Format.formatter -> source_stat list -> unit
+(** The [strudel build --stats] / [strudel repo status] table body. *)

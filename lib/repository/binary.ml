@@ -69,6 +69,7 @@ type interner = {
 }
 
 let interner () = { tbl = Hashtbl.create 256; rev = []; count = 0 }
+let interner_strings it = List.rev it.rev
 
 let intern it s =
   match Hashtbl.find_opt it.tbl s with

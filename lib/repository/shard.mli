@@ -1,0 +1,115 @@
+(** The sharded repository: partitioning, segments on disk, manifests
+    and pinned snapshots.
+
+    The mediated graph is partitioned by collection or Skolem family
+    into shards.  A shard is itself a graph sharing the union's oids:
+    it holds its member nodes (plus {e ghost} stubs for foreign edge
+    targets), every out-edge of a member, and each member's collection
+    entries — so a collection whose members fall in several shards
+    appears, split, in each of them.  Publishing freezes every shard to
+    an mmap-able {!Segment} under the repository directory and then
+    atomically replaces the [MANIFEST] file, which names the current
+    epoch's segment set; readers that pinned the previous manifest keep
+    a fully consistent (if stale) repository, which is the snapshot
+    isolation contract the warehouse builds on.
+
+    Segments record global node ids and per-element sequence numbers,
+    so {!open_dir} can re-assemble the union graph of a cold repository
+    deterministically: nodes in global-id order, edges and collection
+    members replayed in sequence order. *)
+
+open Sgraph
+
+(** Partition key: a node's primary collection (first collection, in
+    the union's collection order, that contains it), or the Skolem
+    family of its oid name (["YearPage(1997)"] → ["YearPage"]).  Either
+    spec falls back to the other key and then to the ["rest"] shard. *)
+type spec = By_collection | By_family
+
+val spec_name : spec -> string
+val spec_of_name : string -> spec option
+
+type config = {
+  dir : string;  (** repository directory; created on first publish *)
+  cfg_spec : spec;
+}
+
+val family_of_name : string -> string option
+(** The Skolem family of an oid name, if it has the shape
+    ["Family(...)"].  *)
+
+val shard_key : spec -> primary:(Oid.t -> string option) -> Oid.t -> string
+(** The shard key of a node given its primary-collection lookup. *)
+
+val partition : spec -> Graph.t -> (string * Graph.t) list
+(** Split a graph into shard graphs, in first-touch key order.  Shard
+    graphs share the union's oids; every node, edge and collection
+    entry of the input appears in exactly one shard (ghost stubs
+    excepted). *)
+
+(** {1 Manifest} *)
+
+exception Manifest_error of string
+
+type entry = {
+  e_name : string;  (** shard key *)
+  e_file : string;  (** segment file name, relative to the directory *)
+  e_collections : string list;
+  e_labels : string list;
+  e_nodes : int;  (** including ghost stubs *)
+  e_edges : int;
+  e_bytes : int;
+}
+
+type manifest = {
+  m_epoch : int;
+  m_spec : spec;
+  m_graph : string;  (** the union graph's name *)
+  m_sources : (string * int) list;  (** source name → version at publish *)
+  m_entries : entry list;
+}
+
+val manifest_file : string
+(** ["MANIFEST"], under the repository directory. *)
+
+val load_manifest : dir:string -> manifest
+(** Raises {!Manifest_error} on a missing or malformed manifest. *)
+
+val pp_manifest : Format.formatter -> manifest -> unit
+
+(** {1 Snapshots} *)
+
+type shard = {
+  sh_entry : entry;
+  sh_graph : Graph.t;
+      (** the shard's graph, sharing oids with [sn_union] *)
+}
+
+type snapshot = {
+  sn_epoch : int;
+  sn_manifest : manifest;
+  sn_shards : shard list;
+  sn_union : Graph.t;
+}
+
+val publish :
+  config ->
+  epoch:int ->
+  ?sources:(string * int) list ->
+  Graph.t ->
+  snapshot
+(** Partition the graph, write one segment per shard
+    ([<key>.<epoch>.seg]), then atomically swap the manifest
+    (write-to-temporary, rename).  The returned snapshot's shard graphs
+    are the live partitions (sharing the argument's oids) — no segment
+    is read back. *)
+
+val open_dir : ?verify:bool -> dir:string -> unit -> snapshot
+(** Load a cold repository: read the manifest, decode every segment
+    ([verify] as in {!Segment.read}, default [true]), and re-assemble
+    the union graph by global-id node order and sequence-ordered edge /
+    collection replay.  Shard graphs share the rebuilt union's oids.
+    Raises {!Manifest_error} or {!Binary.Corrupt}. *)
+
+val shards_with_collection : snapshot -> string -> shard list
+(** The shards holding at least one member of the collection. *)

@@ -363,6 +363,11 @@ let kernel_counters g =
     misses = g.kstats.Csr.misses;
   }
 
+let reset_kernel_counters g =
+  g.kstats.Csr.freezes <- 0;
+  g.kstats.Csr.hits <- 0;
+  g.kstats.Csr.misses <- 0
+
 let decode_tcode (s : Csr.t) tc =
   if tc < s.Csr.n_nodes then N s.Csr.node_ids.(tc)
   else V s.Csr.values.(tc - s.Csr.n_nodes)

@@ -126,6 +126,12 @@ val kernel_counters : t -> kernel_counters
 (** Cumulative kernel statistics: snapshot builds, and path-engine memo
     hits/misses (counted by {!Path} against this graph's snapshots). *)
 
+val reset_kernel_counters : t -> unit
+(** Zero the counters (outstanding snapshots share the record, so their
+    future hits/misses count against the fresh baseline).  Used by
+    [explain-analyze] and the shard observability surfaces to report
+    per-run deltas deterministically. *)
+
 (** {1 Whole-graph operations} *)
 
 val copy : ?name:string -> t -> t

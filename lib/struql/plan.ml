@@ -253,6 +253,55 @@ let domain_steps ?limited conds ~bound0 ~needed_obj ~needed_label =
       else Some (Domain_obj v))
     needed
 
+(* --- Collection/label footprint --- *)
+
+type footprint = {
+  fp_collections : string list;
+  fp_labels : string list;
+  fp_opaque : bool;
+}
+
+let empty_footprint = { fp_collections = []; fp_labels = []; fp_opaque = false }
+
+let rec path_footprint acc = function
+  | Path.Epsilon -> acc
+  | Path.Edge (Path.Label l) -> { acc with fp_labels = l :: acc.fp_labels }
+  | Path.Edge (Path.Any | Path.Named_pred _) -> { acc with fp_opaque = true }
+  | Path.Seq (a, b) | Path.Alt (a, b) -> path_footprint (path_footprint acc a) b
+  | Path.Star a | Path.Plus a | Path.Opt a -> path_footprint acc a
+
+let rec ccond_footprint acc = function
+  | CC_coll (name, _) -> { acc with fp_collections = name :: acc.fp_collections }
+  | CC_extern _ -> { acc with fp_opaque = true }
+  | CC_edge (_, Ast.L_const l, _) -> { acc with fp_labels = l :: acc.fp_labels }
+  | CC_edge (_, Ast.L_var _, _) -> { acc with fp_opaque = true }
+  | CC_path (_, r, _, _) -> path_footprint acc r
+  | CC_cmp _ | CC_in _ -> acc
+  | CC_not c -> ccond_footprint acc c
+
+let step_footprint acc = function
+  | Exec c -> ccond_footprint acc c
+  | Domain_obj _ | Domain_label _ -> { acc with fp_opaque = true }
+
+let footprint steps =
+  let fp = List.fold_left step_footprint empty_footprint steps in
+  {
+    fp with
+    fp_collections = Ast.dedup fp.fp_collections;
+    fp_labels = Ast.dedup fp.fp_labels;
+  }
+
+let conds_footprint registry conds =
+  footprint (List.map (fun c -> Exec (compile registry c)) conds)
+
+let pp_footprint ppf fp =
+  Fmt.pf ppf "collections=[%a] labels=[%a]%s"
+    Fmt.(list ~sep:comma string)
+    fp.fp_collections
+    Fmt.(list ~sep:comma string)
+    fp.fp_labels
+    (if fp.fp_opaque then " opaque" else "")
+
 let step_binds = function
   | Exec c -> ccond_binds c
   | Domain_obj v | Domain_label v -> [ v ]

@@ -58,6 +58,28 @@ val executable :
 
 val step_binds : step -> Ast.var list
 
+(** {1 Collection/label footprint}
+
+    A conservative summary of the graph regions a plan can touch, used
+    to prune shards a query cannot match and by the lint pass to detect
+    site queries no shard of the configured repository covers. *)
+
+type footprint = {
+  fp_collections : string list;  (** collections scanned or probed *)
+  fp_labels : string list;  (** edge labels matched by constant *)
+  fp_opaque : bool;
+      (** the plan also touches regions this summary cannot name (label
+          variables, wildcard path edges, external predicates, domain
+          enumerators) — pruning by labels is then unsound, though
+          collection pruning of {e driving} scans remains valid *)
+}
+
+val footprint : step list -> footprint
+val conds_footprint : Builtins.registry -> Ast.condition list -> footprint
+(** [footprint] over the compiled (unordered) conditions. *)
+
+val pp_footprint : Format.formatter -> footprint -> unit
+
 (** {1 Cost model} *)
 
 type stats = {
