@@ -841,9 +841,8 @@ let pages_identical (a : Template.Generator.site)
 let e17 () =
   section "E17"
     "parallel materialization on domains + dependency-tracked render cache";
-  let cores =
-    match Domain.recommended_domain_count () with n when n > 0 -> n | _ -> 1
-  in
+  (* the same auto-detection [strudel build --jobs 0] uses *)
+  let cores = Strudel.Render_pool.auto_jobs () in
   Fmt.pr "recommended domain count on this machine: %d@." cores;
   let sites =
     [
@@ -864,8 +863,8 @@ let e17 () =
         Fmt.pr "@.%-10s sequential reference: %d pages, %.1f ms@." name
           (Template.Generator.page_count reference.Strudel.Site.site)
           t_seq;
-        Fmt.pr "  %-8s %10s %9s %6s %10s@." "jobs" "wall ms" "speedup"
-          "waves" "identical";
+        Fmt.pr "  %-8s %10s %9s %6s %7s %10s@." "jobs" "wall ms" "speedup"
+          "waves" "steals" "identical";
         let runs =
           List.map
             (fun jobs ->
@@ -874,8 +873,9 @@ let e17 () =
               let identical =
                 pages_identical reference.Strudel.Site.site b.Strudel.Site.site
               in
-              Fmt.pr "  %-8d %10.1f %8.2fx %6d %10b@." jobs t (t_seq /. t)
-                prof.Strudel.Render_pool.rp_waves identical;
+              Fmt.pr "  %-8d %10.1f %8.2fx %6d %7d %10b@." jobs t (t_seq /. t)
+                prof.Strudel.Render_pool.rp_waves
+                prof.Strudel.Render_pool.rp_steals identical;
               (jobs, t, prof, identical))
             job_levels
         in
@@ -941,6 +941,73 @@ let e17 () =
           (t_inc, i_hits, i_misses, i_inval) ))
       sites
   in
+  (* --- the synth scale leg: 100k+ pages, streamed (never held in
+     memory), identity checked by a chain digest over the canonical
+     emission order --- *)
+  let synth_items =
+    match Sys.getenv_opt "STRUDEL_SYNTH_PAGES" with
+    | Some s -> ( try max 1_000 (int_of_string s) with _ -> 100_000)
+    | None -> 100_000
+  in
+  let synth_data, t_data =
+    wall_it (fun () -> Sites.Scale.data ~items:synth_items ())
+  in
+  let (synth_sg, _, _, _), t_sg =
+    wall_it (fun () ->
+        Strudel.Site.build_site_graph Sites.Scale.definition synth_data)
+  in
+  let synth_roots = Strudel.Site.roots_of synth_sg "Root" in
+  let digest_sink () =
+    let d = ref "" and pages = ref 0 and bytes = ref 0 in
+    let sink =
+      {
+        Strudel.Render_pool.sk_emit =
+          (fun (p : Template.Generator.page) ->
+            d :=
+              Digest.string
+                (!d ^ p.Template.Generator.url ^ "\x00"
+               ^ p.Template.Generator.html);
+            incr pages;
+            bytes := !bytes + String.length p.Template.Generator.html);
+        sk_reset =
+          (fun () ->
+            d := "";
+            pages := 0;
+            bytes := 0);
+      }
+    in
+    (sink, d, pages, bytes)
+  in
+  let synth_run jobs =
+    let sink, d, pages, bytes = digest_sink () in
+    let (_, prof), t =
+      wall_it (fun () ->
+          Strudel.Render_pool.materialize ~jobs ~sink
+            ~templates:Sites.Scale.templates synth_sg ~roots:synth_roots)
+    in
+    (t, prof, !d, !pages, !bytes)
+  in
+  let t_ref, ref_prof, ref_digest, ref_pages, ref_bytes = synth_run 1 in
+  Fmt.pr
+    "@.synth-%dk   data %.0f ms, site graph %.0f ms; %d pages, %.1f MB, \
+     sequential materialize %.1f ms (streamed)@."
+    (synth_items / 1000) t_data t_sg ref_pages
+    (float_of_int ref_bytes /. 1e6)
+    t_ref;
+  Fmt.pr "  %-8s %10s %9s %6s %7s %10s@." "jobs" "wall ms" "speedup" "waves"
+    "steals" "identical";
+  let synth_runs =
+    List.map
+      (fun jobs ->
+        let t, prof, digest, pages, _ = synth_run jobs in
+        let identical = digest = ref_digest && pages = ref_pages in
+        Fmt.pr "  %-8d %10.1f %8.2fx %6d %7d %10b@." jobs t (t_ref /. t)
+          prof.Strudel.Render_pool.rp_waves prof.Strudel.Render_pool.rp_steals
+          identical;
+        (jobs, t, prof, identical))
+      job_levels
+  in
+  ignore ref_prof;
   Fmt.pr
     "@.note: speedup tracks the machine's core count (this container \
      reports %d); byte-identity holds at every jobs level by \
@@ -970,8 +1037,10 @@ let e17 () =
           Buffer.add_string buf
             (Printf.sprintf
                "{\"jobs\": %d, \"wall_ms\": %.3f, \"speedup\": %.3f, \
-                \"waves\": %d, \"pages\": %d, \"identical\": %b}"
+                \"waves\": %d, \"steals\": %d, \"pages\": %d, \
+                \"identical\": %b}"
                jobs t (t_seq /. t) prof.Strudel.Render_pool.rp_waves
+               prof.Strudel.Render_pool.rp_steals
                prof.Strudel.Render_pool.rp_pages identical))
         runs;
       Buffer.add_string buf
@@ -984,7 +1053,24 @@ let e17 () =
            t_cold t_warm w_hits w_misses w_inval hit_rate warm_id t_inc i_hits
            i_misses i_inval))
     entries;
-  Buffer.add_string buf "\n  ]\n}\n";
+  Buffer.add_string buf "\n  ],\n";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"synth\": {\"items\": %d, \"pages\": %d, \"bytes\": %d,\n   \
+        \"data_ms\": %.3f, \"site_graph_ms\": %.3f, \"sequential_ms\": \
+        %.3f,\n   \"jobs\": ["
+       synth_items ref_pages ref_bytes t_data t_sg t_ref);
+  List.iteri
+    (fun j (jobs, t, (prof : Strudel.Render_pool.profile), identical) ->
+      if j > 0 then Buffer.add_string buf ", ";
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"jobs\": %d, \"wall_ms\": %.3f, \"speedup\": %.3f, \"waves\": \
+            %d, \"steals\": %d, \"identical\": %b}"
+           jobs t (t_ref /. t) prof.Strudel.Render_pool.rp_waves
+           prof.Strudel.Render_pool.rp_steals identical))
+    synth_runs;
+  Buffer.add_string buf "]}\n}\n";
   let oc = open_out "BENCH_parallel.json" in
   output_string oc (Buffer.contents buf);
   close_out oc;

@@ -392,8 +392,19 @@ let build_cmd =
          & info [ "j"; "jobs" ] ~docv:"N"
              ~doc:
                "Render pages on $(docv) OCaml domains (1 = the \
-                sequential reference path; output is byte-identical \
+                sequential reference path; 0 = auto-detect the \
+                machine's domain count; output is byte-identical \
                 either way).")
+  in
+  let stream_arg =
+    Arg.(value & flag
+         & info [ "stream" ]
+             ~doc:
+               "Stream pages to the output directory as they render \
+                instead of materializing the whole site in memory \
+                first — peak memory is bounded by the render slice, \
+                not the site size.  Output is byte-identical to a \
+                non-streamed build.")
   in
   let stats_arg =
     Arg.(value & flag
@@ -432,9 +443,12 @@ let build_cmd =
          & info [ "shard-by" ] ~docv:"SPEC"
              ~doc:"Partitioning spec for $(b,--shards): collection or family.")
   in
-  let run data query root templates strategy dir jobs stats on_error retries
-      faults_out shards_dir shard_by =
+  let run data query root templates strategy dir jobs stream stats on_error
+      retries faults_out shards_dir shard_by =
     or_die (fun () ->
+        let jobs =
+          if jobs <= 0 then Strudel.Render_pool.auto_jobs () else jobs
+        in
         let fault = Fault.ctx () in
         let t0 = Unix.gettimeofday () in
         let g =
@@ -479,8 +493,11 @@ let build_cmd =
             ~strategy
             [ ("site", read_file query) ]
         in
+        let sink =
+          if stream then Some (Strudel.Render_pool.file_sink ~dir) else None
+        in
         let built =
-          Strudel.Site.build ~jobs ~on_error ~fault ?shards ~data:g def
+          Strudel.Site.build ~jobs ~on_error ~fault ?shards ?sink ~data:g def
         in
         let rec mkdirs d =
           if d <> "." && d <> "/" && not (Sys.file_exists d) then begin
@@ -489,9 +506,10 @@ let build_cmd =
           end
         in
         mkdirs dir;
-        Template.Generator.write_site ~dir built.Strudel.Site.site;
+        if not stream then
+          Template.Generator.write_site ~dir built.Strudel.Site.site;
         Fmt.pr "%d pages written to %s@."
-          (Template.Generator.page_count built.Strudel.Site.site)
+          built.Strudel.Site.render_profile.Strudel.Render_pool.rp_pages
           dir;
         if stats then begin
           (* the per-source outcome table (the degenerate one-source
@@ -537,8 +555,9 @@ let build_cmd =
   in
   Cmd.v (Cmd.info "build" ~doc:"Build a browsable site from data + query + templates.")
     Term.(const run $ data_arg $ query_arg $ root_arg $ template_arg
-          $ strategy_arg $ dir_arg $ jobs_arg $ stats_arg $ on_error_arg
-          $ retries_arg $ faults_out_arg $ shards_dir_arg $ shard_by_arg)
+          $ strategy_arg $ dir_arg $ jobs_arg $ stream_arg $ stats_arg
+          $ on_error_arg $ retries_arg $ faults_out_arg $ shards_dir_arg
+          $ shard_by_arg)
 
 (* --- faults: inspect a build manifest --- *)
 

@@ -191,6 +191,7 @@ let rebuild ?(depth = default_depth) ?jobs ?cache ?file_loader
           rp_pages = List.length pages;
           rp_rendered = !rerendered;
           rp_waves = 1;
+          rp_steals = 0;
           rp_shards =
             [ { Render_pool.sh_domain = 0;
                 sh_pages = !rerendered;

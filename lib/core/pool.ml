@@ -1,0 +1,228 @@
+(** Persistent worker-domain pool and work-stealing chunk queues.
+    See the interface for the design; the implementation notes below
+    cover the synchronization. *)
+
+let auto_jobs () = max 1 (Domain.recommended_domain_count ())
+
+(* --- Work-stealing chunk queues --- *)
+
+module Work = struct
+  (* One global chunk table plus a (lo, hi) window per worker over a
+     contiguous run of chunk indexes.  The owner pops at [lo], thieves
+     pop at [hi - 1]; both under the owner's mutex — chunk granularity
+     keeps the lock cold, and a mutex-protected window is immune to the
+     ABA subtleties of lock-free deques. *)
+  type t = {
+    chunks : (int * int) array;  (* chunk index -> item range [lo, hi) *)
+    lo : int array;              (* per worker: next own chunk *)
+    hi : int array;              (* per worker: one past last chunk *)
+    locks : Mutex.t array;
+    steals : int Atomic.t;
+    workers : int;
+  }
+
+  let create ~total ~workers =
+    let workers = max 1 workers in
+    (* several chunks per worker so stealing can rebalance skewed page
+       costs, capped so tiny frontiers still form whole chunks *)
+    let chunk = max 1 (min 64 ((total + (workers * 8) - 1) / (workers * 8))) in
+    let nchunks = if total = 0 then 0 else (total + chunk - 1) / chunk in
+    let chunks =
+      Array.init nchunks (fun k -> (k * chunk, min total ((k + 1) * chunk)))
+    in
+    let lo = Array.init workers (fun w -> w * nchunks / workers) in
+    let hi = Array.init workers (fun w -> (w + 1) * nchunks / workers) in
+    {
+      chunks;
+      lo;
+      hi;
+      locks = Array.init workers (fun _ -> Mutex.create ());
+      steals = Atomic.make 0;
+      workers;
+    }
+
+  let pop_own t w =
+    Mutex.lock t.locks.(w);
+    let r =
+      if t.lo.(w) < t.hi.(w) then begin
+        let i = t.lo.(w) in
+        t.lo.(w) <- i + 1;
+        Some t.chunks.(i)
+      end
+      else None
+    in
+    Mutex.unlock t.locks.(w);
+    r
+
+  let steal_from t v =
+    Mutex.lock t.locks.(v);
+    let r =
+      if t.lo.(v) < t.hi.(v) then begin
+        let i = t.hi.(v) - 1 in
+        t.hi.(v) <- i;
+        Some t.chunks.(i)
+      end
+      else None
+    in
+    Mutex.unlock t.locks.(v);
+    r
+
+  let take t w =
+    match pop_own t w with
+    | Some _ as r -> r
+    | None ->
+      let rec hunt k =
+        if k >= t.workers then None
+        else
+          let v = (w + k) mod t.workers in
+          match steal_from t v with
+          | Some _ as r ->
+            Atomic.incr t.steals;
+            r
+          | None -> hunt (k + 1)
+      in
+      hunt 1
+
+  let steals t = Atomic.get t.steals
+end
+
+(* --- The persistent pool --- *)
+
+(* A job carries the closure, the participant budget and the join
+   state.  Workers park in [worker_loop] on [cv]; publishing a job
+   bumps [epoch] and broadcasts; each woken worker claims the next
+   participant index (or skips the epoch if the job is fully claimed —
+   the pool may hold more workers than this job wants).  The caller
+   waits on the same condition variable for [remaining] to hit zero,
+   which also provides the happens-before edge publishing every
+   worker's writes (result slots, stat arrays) to the caller. *)
+type job = {
+  f : int -> unit;
+  jobs : int;
+  mutable next_id : int;
+  mutable remaining : int;
+  mutable error : exn option;
+}
+
+type t = {
+  m : Mutex.t;
+  cv : Condition.t;
+  mutable handles : unit Domain.t list;
+  mutable nworkers : int;
+  mutable job : job option;
+  mutable epoch : int;
+  mutable quit : bool;
+  busy : Mutex.t;  (* held across a pooled [run]; try-locked only *)
+}
+
+let create () =
+  let t =
+    {
+      m = Mutex.create ();
+      cv = Condition.create ();
+      handles = [];
+      nworkers = 0;
+      job = None;
+      epoch = 0;
+      quit = false;
+      busy = Mutex.create ();
+    }
+  in
+  at_exit (fun () ->
+      Mutex.lock t.m;
+      t.quit <- true;
+      Condition.broadcast t.cv;
+      let hs = t.handles in
+      t.handles <- [];
+      Mutex.unlock t.m;
+      List.iter Domain.join hs);
+  t
+
+let shared = create ()
+let live_workers t = t.nworkers
+
+let finish_participant t j err =
+  Mutex.lock t.m;
+  (match err with
+   | Some _ when j.error = None -> j.error <- err
+   | _ -> ());
+  j.remaining <- j.remaining - 1;
+  if j.remaining = 0 then Condition.broadcast t.cv;
+  Mutex.unlock t.m
+
+let rec worker_loop t last =
+  Mutex.lock t.m;
+  while (not t.quit) && t.epoch = last do
+    Condition.wait t.cv t.m
+  done;
+  if t.quit then Mutex.unlock t.m
+  else begin
+    let epoch = t.epoch in
+    let claim =
+      match t.job with
+      | Some j when j.next_id < j.jobs ->
+        let id = j.next_id in
+        j.next_id <- id + 1;
+        Some (j, id)
+      | _ -> None
+    in
+    Mutex.unlock t.m;
+    (match claim with
+     | Some (j, id) ->
+       let err = try j.f id; None with e -> Some e in
+       finish_participant t j err
+     | None -> ());
+    worker_loop t epoch
+  end
+
+(* Spawn with [t.m] held: the new domain blocks on the mutex until the
+   caller publishes the job, so it cannot miss the epoch it was spawned
+   for. *)
+let ensure_workers t wanted =
+  while t.nworkers < wanted do
+    let birth = t.epoch in
+    t.handles <- Domain.spawn (fun () -> worker_loop t birth) :: t.handles;
+    t.nworkers <- t.nworkers + 1
+  done
+
+(* Fallback when the pool is busy with a concurrent build: plain
+   spawn/join, the pre-pool behavior. *)
+let run_ephemeral ~jobs f =
+  let doms =
+    List.init (jobs - 1) (fun k ->
+        let w = k + 1 in
+        Domain.spawn (fun () -> f w))
+  in
+  let caller_err = try f 0; None with e -> Some e in
+  let worker_errs =
+    List.map (fun d -> try Domain.join d; None with e -> Some e) doms
+  in
+  match caller_err, List.find_opt Option.is_some worker_errs with
+  | Some e, _ -> raise e
+  | None, Some (Some e) -> raise e
+  | None, _ -> ()
+
+let run t ~jobs f =
+  if jobs <= 1 then f 0
+  else if not (Mutex.try_lock t.busy) then run_ephemeral ~jobs f
+  else
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock t.busy)
+      (fun () ->
+        let j = { f; jobs; next_id = 1; remaining = jobs - 1; error = None } in
+        Mutex.lock t.m;
+        ensure_workers t (jobs - 1);
+        t.job <- Some j;
+        t.epoch <- t.epoch + 1;
+        Condition.broadcast t.cv;
+        Mutex.unlock t.m;
+        let caller_err = try f 0; None with e -> Some e in
+        Mutex.lock t.m;
+        while j.remaining > 0 do
+          Condition.wait t.cv t.m
+        done;
+        t.job <- None;
+        Mutex.unlock t.m;
+        match caller_err, j.error with
+        | Some e, _ | None, Some e -> raise e
+        | None, None -> ())

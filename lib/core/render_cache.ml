@@ -135,6 +135,26 @@ let find_valid ?file_loader c g o =
       None
     end
 
+(* --- Batched lookups for the parallel render pool --- *)
+
+(** Entries for a batch of page objects, no verification, no statistic
+    updates: the pool prefetches entries on the main domain in one
+    pass, verifies the traces on worker domains ({!verify} only reads
+    the graph), and settles the table afterwards with {!settle} /
+    {!drop} / {!store}. *)
+let peek_batch c (os : Oid.t array) : entry option array =
+  Array.map (fun o -> Hashtbl.find_opt c.entries (Oid.name o)) os
+
+(** Fold one batch's verdict counts into the statistics. *)
+let settle c ~hits ~misses ~invalidations =
+  c.stats.hits <- c.stats.hits + hits;
+  c.stats.misses <- c.stats.misses + misses;
+  c.stats.invalidations <- c.stats.invalidations + invalidations
+
+(** Remove the entry for a page object — a stale entry whose re-render
+    degraded to a placeholder, which must not stay cached. *)
+let drop c o = Hashtbl.remove c.entries (Oid.name o)
+
 (** Record a freshly rendered page (must come from [render_page_full
     ~trace_reads:true], else the entry would validate vacuously). *)
 let store c (r : G.rendered) =

@@ -51,6 +51,20 @@ val find_valid :
     graph.  Counts a hit; a stale entry is removed and counted as an
     invalidation; an absent one as a miss. *)
 
+val peek_batch : t -> Oid.t array -> entry option array
+(** Entries for a batch of page objects (by name) in one pass, without
+    verification or statistics — the parallel pool prefetches on the
+    main domain, verifies traces on worker domains ({!verify} only
+    reads the graph), and settles the table afterwards with {!settle},
+    {!drop} and {!store}. *)
+
+val settle : t -> hits:int -> misses:int -> invalidations:int -> unit
+(** Fold one batch's verdict counts into the statistics. *)
+
+val drop : t -> Oid.t -> unit
+(** Remove the entry for a page object — a stale entry whose re-render
+    degraded to a placeholder, which must not stay cached. *)
+
 val store : t -> Template.Generator.rendered -> unit
 (** Record a freshly rendered page (render with [~trace_reads:true],
     else the entry validates vacuously). *)

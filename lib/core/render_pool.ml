@@ -1,30 +1,51 @@
-(** Parallel page materialization on OCaml 5 domains.
+(** Parallel page materialization: a work-stealing scheduler on a
+    persistent domain pool.
 
     The generator's page set is demand-driven: roots become pages, and
     every object a rendered page links to becomes a page transitively.
     That closure is order-independent, so it can be computed in {e
-    waves}: render the current frontier's pages concurrently (each page
-    render is a pure function of the graph — graph reads build no
-    indexes and mutate nothing), collect the objects they link to, and
-    repeat until no new page appears.
+    waves} (BFS levels of the demand graph): render the current
+    frontier's pages concurrently (each page render is a pure function
+    of the graph — graph reads build no indexes and mutate nothing),
+    collect the objects they link to, and repeat until no new page
+    appears.
 
-    Byte-identity with the sequential reference path
-    ({!Template.Generator.generate}) rests on URL assignment.  The
-    sequential generator assigns [slug name ^ ".html"] and uniquifies
-    collisions in discovery order — something a parallel wave cannot
-    know up front.  Pages here get slug-only URLs (the click-time
-    convention, which the incremental rebuilder already relies on);
-    after the fixpoint the canonical discovery order is reconstructed
-    sequentially from each page's recorded first-reference list, and if
-    any two pages collide on a URL the pool discards its output and
-    falls back to the sequential generator ([rp_fallback] — no site in
-    this repository collides).
+    Scheduling.  Each wave is cut into {e slices} of at most [slice]
+    pages (the emission granularity — see below), and each slice is cut
+    into chunks dealt to per-worker deques ({!Pool.Work}).  A worker
+    takes chunks from its own deque and steals from others when it runs
+    dry, so skewed page costs rebalance instead of stalling a round:
+    there is no per-page locking, no round-robin barrier within a
+    slice, and the worker domains themselves persist across builds in
+    {!Pool.shared} — {!Site.build}, {!Incremental.rebuild} and the
+    bench harness all reuse them, so only the first parallel build of a
+    process pays domain spawns.  Workers write results into per-page
+    slots, so output never depends on which worker rendered what.
 
-    A {!Render_cache} short-circuits rendering: before each wave fans
-    out, cached entries are re-verified against the graph on the main
-    domain, and only the misses are sharded across domains.  Fresh
-    renders are traced and stored back.  The cache is touched only from
-    the main domain. *)
+    Determinism and byte-identity with the sequential reference path
+    ({!Template.Generator.generate}) rest on URL assignment and page
+    order.  Pages here get slug-only URLs (the click-time convention,
+    which the incremental rebuilder already relies on), and the
+    concatenation of the wave frontiers — each frontier deduplicated in
+    frontier × first-reference order — replays exactly the sequential
+    generator's discovery queue, so pages are emitted in canonical
+    order with no post-hoc reconstruction.  If two pages collide on a
+    URL the pool discards its output and falls back to the sequential
+    generator ([rp_fallback] — no site in this repository collides).
+
+    Memory.  With a {!sink}, pages are {e streamed}: each slice's pages
+    are handed to the sink in canonical order as soon as the slice
+    settles and are never retained, so peak memory is bounded by the
+    slice size, not the site size — a 1M-page site builds in the memory
+    of a few thousand pages.  Without a sink the full
+    {!Template.Generator.site} is returned as before.
+
+    A {!Render_cache} short-circuits rendering with {e batched}
+    lookups: entries for a whole slice are prefetched in one pass on
+    the main domain, trace verification (pure graph reads) runs on the
+    worker domains alongside rendering, and the verdicts are settled
+    back into the cache on the main domain after the slice joins — the
+    cache table itself is only ever mutated from the main domain. *)
 
 module G = Template.Generator
 open Sgraph
@@ -40,6 +61,9 @@ type profile = {
   rp_pages : int;     (** pages in the final site *)
   rp_rendered : int;  (** pages actually rendered (not served from cache) *)
   rp_waves : int;
+  rp_steals : int;
+      (** chunks executed by a worker other than the one they were
+          dealt to — 0 when the load was balanced up front *)
   rp_shards : shard list;
   rp_cache_hits : int;
   rp_cache_misses : int;
@@ -55,10 +79,10 @@ type profile = {
 
 let pp_profile ppf p =
   Fmt.pf ppf
-    "@[<v>jobs=%d pages=%d rendered=%d waves=%d wall=%.2fms cache=%d/%d/%d \
-     (hit/miss/invalid)%s%s"
-    p.rp_jobs p.rp_pages p.rp_rendered p.rp_waves p.rp_wall_ms p.rp_cache_hits
-    p.rp_cache_misses p.rp_cache_invalidations
+    "@[<v>jobs=%d pages=%d rendered=%d waves=%d steals=%d wall=%.2fms \
+     cache=%d/%d/%d (hit/miss/invalid)%s%s"
+    p.rp_jobs p.rp_pages p.rp_rendered p.rp_waves p.rp_steals p.rp_wall_ms
+    p.rp_cache_hits p.rp_cache_misses p.rp_cache_invalidations
     (if p.rp_fallback then " FALLBACK(sequential)" else "")
     (if p.rp_degraded > 0 then Printf.sprintf " DEGRADED(%d)" p.rp_degraded
      else "");
@@ -71,18 +95,77 @@ let pp_profile ppf p =
 
 let now_ms () = Unix.gettimeofday () *. 1000.
 
-(** Materialize the site's pages.  [jobs = 1] with no cache is the
-    sequential reference path — a plain {!Template.Generator.generate}.
-    Otherwise the wave loop runs, on [jobs] domains (the main domain
-    renders a shard itself, so [jobs - 1] domains are spawned). *)
+let auto_jobs = Pool.auto_jobs
+
+(* --- Streaming emission --- *)
+
+type sink = {
+  sk_emit : G.page -> unit;
+      (** called once per page, in canonical (sequential discovery)
+          order; the pool retains nothing after the call *)
+  sk_reset : unit -> unit;
+      (** called if a URL collision forces the sequential fallback:
+          everything emitted so far is invalid and will be re-emitted *)
+}
+
+(** A sink that writes each page below [dir] as {!G.write_site} would
+    (the directory is created if missing); reset removes the emitted
+    files. *)
+let file_sink ~dir =
+  let rec mkdirs d =
+    if d <> "." && d <> "/" && not (Sys.file_exists d) then begin
+      mkdirs (Filename.dirname d);
+      Sys.mkdir d 0o755
+    end
+  in
+  mkdirs dir;
+  let written = ref [] in
+  {
+    sk_emit =
+      (fun p ->
+        let path = Filename.concat dir p.G.url in
+        let oc = open_out path in
+        output_string oc p.G.html;
+        close_out oc;
+        written := path :: !written);
+    sk_reset =
+      (fun () ->
+        List.iter (fun p -> try Sys.remove p with Sys_error _ -> ()) !written;
+        written := []);
+  }
+
+(** How many pages a wave slice holds in memory at once (and the
+    granularity of streaming emission and of deterministic fault-report
+    ordering).  Must not depend on [jobs], or degraded manifests would
+    not be reproducible across job counts. *)
+let default_slice = 4096
+
+(* Per-page result slot, written by exactly one worker; the pool
+   barrier publishes the writes to the main domain. *)
+type slot =
+  | S_hit of G.page * Oid.t list
+      (** verified cache entry: page + resolved demand refs *)
+  | S_fresh of G.rendered * Fault.report option * bool
+      (** fresh render (placeholder iff report present); the flag marks
+          a stale entry this render replaced (an invalidation, not a
+          miss) *)
+
+(** Materialize the site's pages.  [jobs = 1] with no cache and no sink
+    is the sequential reference path — a plain
+    {!Template.Generator.generate}.  [jobs <= 0] auto-detects
+    ({!auto_jobs}).  Otherwise the work-stealing wave loop runs on
+    [jobs] domains (the main domain renders alongside [jobs - 1] pool
+    workers). *)
 let materialize ?(jobs = 1) ?cache ?file_loader
-    ?(templates = G.empty_templates) ?(on_error = Fault.Abort) ?fault
-    (g : Graph.t) ~(roots : Oid.t list) : G.site * profile =
+    ?(templates = G.empty_templates) ?(on_error = Fault.Abort) ?fault ?sink
+    ?(slice = default_slice) (g : Graph.t) ~(roots : Oid.t list) :
+    G.site * profile =
   let t0 = now_ms () in
-  let jobs = max 1 jobs in
+  let jobs = if jobs <= 0 then auto_jobs () else jobs in
+  let slice = max 1 slice in
   (* the site graph is read-only from here on: freeze once so every
-     template attribute probe — from all render domains — hits the
-     kernel snapshot's per-(node, label) segments *)
+     graph probe — template attributes, cache-trace verification — from
+     all domains hits the kernel snapshot's per-(node, label) segments *)
   ignore (Graph.freeze g);
   let inject = Fault.inject fault in
   (* degraded (or injectable) builds always run the wave loop, even at
@@ -90,7 +173,9 @@ let materialize ?(jobs = 1) ?cache ?file_loader
      partial work leak extra pages into its queue, so only the wave
      loop — which isolates each page render — keeps degraded output
      independent of [jobs] *)
-  if jobs = 1 && cache = None && on_error = Fault.Abort && inject = None
+  if
+    jobs = 1 && cache = None && on_error = Fault.Abort && inject = None
+    && sink = None
   then begin
     let site = G.generate ?file_loader ~templates g ~roots in
     let wall = now_ms () -. t0 in
@@ -101,6 +186,7 @@ let materialize ?(jobs = 1) ?cache ?file_loader
         rp_pages = pages;
         rp_rendered = pages;
         rp_waves = 1;
+        rp_steals = 0;
         rp_shards = [ { sh_domain = 0; sh_pages = pages; sh_wall_ms = wall } ];
         rp_cache_hits = 0;
         rp_cache_misses = 0;
@@ -119,9 +205,7 @@ let materialize ?(jobs = 1) ?cache ?file_loader
     in
     let trace = cache <> None in
     let compiled = Array.init jobs (fun _ -> G.new_compiled ()) in
-    (* page → (rendered page, outgoing first-reference list) *)
-    let results : (G.page * Oid.t list) Oid.Tbl.t = Oid.Tbl.create 64 in
-    let seen = Oid.Tbl.create 64 in
+    let seen = Oid.Tbl.create 1024 in
     let dedup os =
       List.filter
         (fun o ->
@@ -135,170 +219,151 @@ let materialize ?(jobs = 1) ?cache ?file_loader
     let shard_pages = Array.make jobs 0 in
     let shard_ms = Array.make jobs 0. in
     let waves = ref 0 in
+    let steals = ref 0 in
     let rendered_count = ref 0 in
-    let wave_reports = ref [] in
     let all_reports = ref [] in
-    let frontier = ref (dedup roots) in
-    while !frontier <> [] do
-      incr waves;
-      (* cache validation runs sequentially on the main domain; only the
-         misses are sharded out *)
-      let to_render =
-        List.filter
-          (fun o ->
-            match cache with
-            | None -> true
-            | Some c -> (
-                match Render_cache.find_valid ?file_loader c g o with
-                | Some e ->
-                  Oid.Tbl.replace results o
-                    ( Render_cache.page_of_entry e o,
-                      Render_cache.refs_of_entry g e );
-                  false
-                | None -> true))
-          !frontier
+    let pages_rev = ref [] in  (* only fed without a sink *)
+    let emitted = ref 0 in
+    let urls = Hashtbl.create 1024 in
+    let collision = ref false in
+    let emit (p : G.page) =
+      if Hashtbl.mem urls p.G.url then collision := true
+      else Hashtbl.add urls p.G.url ();
+      (match sink with
+       | Some s -> s.sk_emit p
+       | None -> pages_rev := p :: !pages_rev);
+      incr emitted
+    in
+    let render_one w o =
+      let render () =
+        Fault.Inject.fire inject (Fault.Inject.Render_page (Oid.name o));
+        G.render_page_full ?file_loader ~templates ~compiled:compiled.(w)
+          ~trace_reads:trace g o
       in
-      rendered_count := !rendered_count + List.length to_render;
-      (* round-robin sharding keeps the shards balanced when page costs
-         are roughly uniform *)
-      let buckets = Array.make jobs [] in
-      List.iteri
-        (fun i o -> buckets.(i mod jobs) <- o :: buckets.(i mod jobs))
-        to_render;
-      let buckets = Array.map List.rev buckets in
-      (* each domain mutates only its own slots of shard_pages/shard_ms;
-         Domain.join publishes them to the main domain *)
-      let render_bucket i =
-        let t = now_ms () in
-        let render_one o =
-          let render () =
-            Fault.Inject.fire inject
-              (Fault.Inject.Render_page (Oid.name o));
-            G.render_page_full ?file_loader ~templates
-              ~compiled:compiled.(i) ~trace_reads:trace g o
+      match on_error with
+      | Fault.Abort -> (render (), None)
+      | Fault.Degrade -> (
+        try (render (), None)
+        with e ->
+          let cause =
+            match e with
+            | Fault.Inject.Injected m -> m
+            | G.Generator_error m -> m
+            | Template.Tparse.Template_error m -> "template error: " ^ m
+            | e -> Printexc.to_string e
           in
-          match on_error with
-          | Fault.Abort -> (o, render (), None)
-          | Fault.Degrade -> (
-            try (o, render (), None)
-            with e ->
-              let cause =
-                match e with
-                | Fault.Inject.Injected m -> m
-                | G.Generator_error m -> m
-                | Template.Tparse.Template_error m -> "template error: " ^ m
-                | e -> Printexc.to_string e
-              in
-              let url = G.slug (Oid.name o) ^ ".html" in
-              ( o,
-                {
-                  G.r_page = G.placeholder_page ~url ~cause o;
-                  r_reads = [];
-                  r_refs = [];
-                },
-                Some
-                  (Fault.report ~stage:Fault.Render ~source:(Graph.name g)
-                     ~location:url ~cause ()) ))
+          let url = G.slug (Oid.name o) ^ ".html" in
+          ( {
+              G.r_page = G.placeholder_page ~url ~cause o;
+              r_reads = [];
+              r_refs = [];
+            },
+            Some
+              (Fault.report ~stage:Fault.Render ~source:(Graph.name g)
+                 ~location:url ~cause ()) ))
+    in
+    let frontier = ref (dedup roots) in
+    while !frontier <> [] && not !collision do
+      incr waves;
+      let arr = Array.of_list !frontier in
+      let n = Array.length arr in
+      let refs_acc = ref [] in  (* per-page demand refs, reversed *)
+      let s0 = ref 0 in
+      while !s0 < n && not !collision do
+        let base = !s0 in
+        let len = min slice (n - base) in
+        s0 := base + len;
+        let ents =
+          match cache with
+          | Some c -> Render_cache.peek_batch c (Array.sub arr base len)
+          | None -> Array.make (min len 1) None
         in
-        let out = List.map render_one buckets.(i) in
-        shard_ms.(i) <- shard_ms.(i) +. (now_ms () -. t);
-        shard_pages.(i) <- shard_pages.(i) + List.length out;
-        out
-      in
-      let spawned =
-        List.init (jobs - 1) (fun k ->
-            let i = k + 1 in
-            if buckets.(i) = [] then None
-            else Some (Domain.spawn (fun () -> render_bucket i)))
-      in
-      (* render the main shard, then join everything before letting any
-         exception escape — never leave a domain running *)
-      let main_out = try Ok (render_bucket 0) with e -> Error e in
-      let joined =
-        List.map
-          (function
-            | None -> Ok []
-            | Some d -> ( try Ok (Domain.join d) with e -> Error e))
-          spawned
-      in
-      let outs =
-        List.map
-          (function Ok out -> out | Error e -> raise e)
-          (main_out :: joined)
-      in
-      List.iter
-        (List.iter (fun (o, (r : G.rendered), report) ->
-             (* placeholders never enter the cache: their empty read
-                trace would re-validate vacuously forever *)
-             (match (cache, report) with
-              | Some c, None -> Render_cache.store c r
-              | _ -> ());
-             (match report with
-              | Some rep -> wave_reports := rep :: !wave_reports
-              | None -> ());
-             Oid.Tbl.replace results o (r.G.r_page, r.G.r_refs)))
-        outs;
-      (* queue this wave's faults in deterministic (URL) order so the
-         manifest is identical whatever [jobs] sharding produced them;
-         they reach the context only if the pool's output is kept *)
-      all_reports :=
-        !all_reports
-        @ List.sort
-            (fun a b -> compare a.Fault.f_location b.Fault.f_location)
-            (List.rev !wave_reports);
-      wave_reports := [];
+        let slots : slot option array = Array.make len None in
+        (* executed on worker domains: verify the prefetched entry or
+           render; each slot is written by exactly one worker *)
+        let process w i =
+          let o = arr.(base + i) in
+          match if cache = None then None else ents.(i) with
+          | Some e when Render_cache.verify ?file_loader g e ->
+            slots.(i) <-
+              Some
+                (S_hit
+                   (Render_cache.page_of_entry e o,
+                    Render_cache.refs_of_entry g e))
+          | ent ->
+            let r, report = render_one w o in
+            shard_pages.(w) <- shard_pages.(w) + 1;
+            slots.(i) <- Some (S_fresh (r, report, ent <> None))
+        in
+        let work = Pool.Work.create ~total:len ~workers:jobs in
+        let run_worker w =
+          let t = now_ms () in
+          let rec loop () =
+            match Pool.Work.take work w with
+            | None -> ()
+            | Some (lo, hi) ->
+              for i = lo to hi - 1 do
+                process w i
+              done;
+              loop ()
+          in
+          Fun.protect
+            ~finally:(fun () -> shard_ms.(w) <- shard_ms.(w) +. (now_ms () -. t))
+            loop
+        in
+        if jobs = 1 then run_worker 0 else Pool.run Pool.shared ~jobs run_worker;
+        steals := !steals + Pool.Work.steals work;
+        (* settle the slice on the main domain, in frontier order:
+           cache verdicts and stores, fault reports (sorted by URL so
+           manifests are identical whatever the stealing produced),
+           page emission, demand refs *)
+        let sl_hits = ref 0 and sl_miss = ref 0 and sl_inval = ref 0 in
+        let sl_reports = ref [] in
+        for i = 0 to len - 1 do
+          match slots.(i) with
+          | Some (S_hit (p, refs)) ->
+            incr sl_hits;
+            refs_acc := refs :: !refs_acc;
+            emit p
+          | Some (S_fresh (r, report, stale)) ->
+            incr rendered_count;
+            if stale then incr sl_inval else incr sl_miss;
+            (* placeholders never enter the cache: their empty read
+               trace would re-validate vacuously forever *)
+            (match (cache, report) with
+             | Some c, None -> Render_cache.store c r
+             | Some c, Some _ -> if stale then Render_cache.drop c arr.(base + i)
+             | None, _ -> ());
+            (match report with
+             | Some rep -> sl_reports := rep :: !sl_reports
+             | None -> ());
+            refs_acc := r.G.r_refs :: !refs_acc;
+            emit r.G.r_page
+          | None -> assert false  (* Pool.run re-raised before settling *)
+        done;
+        (match cache with
+         | Some c ->
+           Render_cache.settle c ~hits:!sl_hits ~misses:!sl_miss
+             ~invalidations:!sl_inval
+         | None -> ());
+        all_reports :=
+          !all_reports
+          @ List.sort
+              (fun a b -> compare a.Fault.f_location b.Fault.f_location)
+              (List.rev !sl_reports)
+      done;
       (* next wave: referenced objects not yet seen, discovered in
-         deterministic frontier × reference order *)
-      let next =
-        List.concat_map
-          (fun o ->
-            match Oid.Tbl.find_opt results o with
-            | Some (_, refs) -> refs
-            | None -> [])
-          !frontier
-      in
-      frontier := dedup next
+         deterministic frontier × reference order — the concatenation of
+         these frontiers replays the sequential generator's queue *)
+      frontier := dedup (List.concat (List.rev !refs_acc))
     done;
-    (* reconstruct the sequential generator's discovery order: a FIFO
-       over the recorded first-reference lists replays its queue *)
-    let queue = Queue.create () in
-    let qseen = Oid.Tbl.create 64 in
-    let enqueue o =
-      if not (Oid.Tbl.mem qseen o) then begin
-        Oid.Tbl.add qseen o ();
-        Queue.add o queue
-      end
-    in
-    List.iter enqueue roots;
-    let order = ref [] in
-    while not (Queue.is_empty queue) do
-      let o = Queue.pop queue in
-      order := o :: !order;
-      match Oid.Tbl.find_opt results o with
-      | Some (_, refs) -> List.iter enqueue refs
-      | None -> ()
-    done;
-    let pages =
-      List.filter_map
-        (fun o -> Option.map fst (Oid.Tbl.find_opt results o))
-        (List.rev !order)
-    in
-    let urls = Hashtbl.create 64 in
-    let collision =
-      List.exists
-        (fun (p : G.page) ->
-          Hashtbl.mem urls p.G.url
-          ||
-          (Hashtbl.add urls p.G.url ();
-           false))
-        pages
-    in
     let mk_profile ~site_pages ~fallback ~degraded =
       {
         rp_jobs = jobs;
         rp_pages = site_pages;
         rp_rendered = !rendered_count;
         rp_waves = !waves;
+        rp_steals = !steals;
         rp_shards =
           List.init jobs (fun i ->
               {
@@ -329,25 +394,34 @@ let materialize ?(jobs = 1) ?cache ?file_loader
         rp_wall_ms = now_ms () -. t0;
       }
     in
-    if collision then begin
+    if !collision then begin
       (* distinct pages share a slug: only the sequential generator's
          discovery-ordered uniquification produces the reference URLs,
          and name-keyed cache entries are ambiguous — drop them.  The
          pool's queued fault reports are discarded with its output; the
          generator records its own. *)
       (match cache with Some c -> Render_cache.clear c | None -> ());
+      (match sink with Some s -> s.sk_reset () | None -> ());
       let site = G.generate ?file_loader ~templates ~on_error ?fault g ~roots in
-      let degraded =
-        List.length (List.filter G.is_placeholder site.G.pages)
+      let degraded = List.length (List.filter G.is_placeholder site.G.pages) in
+      let profile =
+        mk_profile ~site_pages:(G.page_count site) ~fallback:true ~degraded
       in
-      (site, mk_profile ~site_pages:(G.page_count site) ~fallback:true ~degraded)
+      match sink with
+      | Some s ->
+        List.iter s.sk_emit site.G.pages;
+        ({ G.pages = []; graph = g }, profile)
+      | None -> (site, profile)
     end
     else begin
       (match fault with
        | Some c -> List.iter (Fault.record c) !all_reports
        | None -> ());
+      let pages =
+        match sink with Some _ -> [] | None -> List.rev !pages_rev
+      in
       ( { G.pages; graph = g },
-        mk_profile ~site_pages:(List.length pages) ~fallback:false
+        mk_profile ~site_pages:!emitted ~fallback:false
           ~degraded:(List.length !all_reports) )
     end
   end

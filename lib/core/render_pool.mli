@@ -1,16 +1,24 @@
-(** Parallel page materialization on OCaml 5 domains.
+(** Parallel page materialization: a work-stealing scheduler on a
+    persistent domain pool.
 
-    Pages are rendered in waves: the current frontier is sharded
-    round-robin across [jobs] domains (page rendering is a pure
-    function of the graph), the objects the new pages link to form the
-    next frontier, and the fixpoint is the same demand-driven page set
-    the sequential generator discovers.  The canonical page order is
-    reconstructed afterwards from each page's recorded first-reference
-    list; on a URL collision (two pages sharing a slug) the pool falls
-    back to the sequential generator so output stays byte-identical to
-    the reference path.  A {!Render_cache} short-circuits rendering:
-    entries are re-verified on the main domain before each wave and
-    only the misses are sharded out. *)
+    Pages are rendered in waves (BFS levels of the demand-driven page
+    closure).  Each wave is cut into bounded {e slices}; a slice's
+    pages are chunked onto per-worker deques and the workers — the main
+    domain plus [jobs - 1] domains from the persistent {!Pool.shared},
+    reused across builds — take their own chunks and steal from each
+    other when they run dry.  Results land in per-page slots, so output
+    never depends on scheduling; the concatenation of the wave
+    frontiers replays the sequential generator's discovery queue, so
+    pages are produced in canonical order and byte-identical to the
+    reference path.  On a URL collision (two pages sharing a slug) the
+    pool falls back to the sequential generator.
+
+    With a {!sink} pages are streamed out in canonical order as each
+    slice settles and never retained — peak memory is bounded by the
+    slice size, not the site size.  A {!Render_cache} short-circuits
+    rendering with batched lookups: a slice's entries are prefetched in
+    one pass, traces verify on the worker domains, and verdicts settle
+    back on the main domain. *)
 
 open Sgraph
 
@@ -25,6 +33,9 @@ type profile = {
   rp_pages : int;     (** pages in the final site *)
   rp_rendered : int;  (** pages actually rendered (not served from cache) *)
   rp_waves : int;
+  rp_steals : int;
+      (** chunks executed by a worker other than the one they were
+          dealt to — 0 when the load was balanced up front *)
   rp_shards : shard list;
   rp_cache_hits : int;
   rp_cache_misses : int;
@@ -40,6 +51,29 @@ type profile = {
 
 val pp_profile : Format.formatter -> profile -> unit
 
+val auto_jobs : unit -> int
+(** The job count used for [jobs <= 0]:
+    [Domain.recommended_domain_count], clamped to at least 1. *)
+
+type sink = {
+  sk_emit : Template.Generator.page -> unit;
+      (** called once per page, in canonical (sequential discovery)
+          order; the pool retains nothing after the call *)
+  sk_reset : unit -> unit;
+      (** called if a URL collision forces the sequential fallback:
+          everything emitted so far is invalid and will be re-emitted *)
+}
+
+val file_sink : dir:string -> sink
+(** A sink writing each page below [dir] (created if missing), as
+    {!Template.Generator.write_site} would; reset removes the files
+    emitted so far. *)
+
+val default_slice : int
+(** Default bound on pages a wave slice holds in memory at once — also
+    the granularity of streaming emission and of deterministic
+    fault-report ordering (it must not depend on [jobs]). *)
+
 val materialize :
   ?jobs:int ->
   ?cache:Render_cache.t ->
@@ -47,20 +81,28 @@ val materialize :
   ?templates:Template.Generator.template_set ->
   ?on_error:Fault.on_error ->
   ?fault:Fault.ctx ->
+  ?sink:sink ->
+  ?slice:int ->
   Graph.t ->
   roots:Oid.t list ->
   Template.Generator.site * profile
 (** Materialize the site's pages.  [jobs = 1] (the default) with no
-    cache, no injector and [~on_error:Abort] is the sequential
-    reference path, a plain {!Template.Generator.generate}; otherwise
-    the wave loop runs on [jobs] domains ([jobs - 1] spawned — the main
-    domain renders a shard itself).  Output is byte-identical to the
-    reference path on every input (enforced by the differential suite).
+    cache, no injector, no sink and [~on_error:Abort] is the sequential
+    reference path, a plain {!Template.Generator.generate}; [jobs <= 0]
+    auto-detects ({!auto_jobs}); otherwise the work-stealing wave loop
+    runs on [jobs] domains (the main domain renders alongside
+    [jobs - 1] persistent pool workers).  Output is byte-identical to
+    the reference path on every input (enforced by the differential
+    suite).
+
+    With [~sink], pages are streamed to the sink in canonical order and
+    the returned site has an empty page list ([profile.rp_pages] still
+    counts them); peak memory is bounded by [slice] pages.
 
     With [~on_error:Degrade], a failed (or injected-faulty) page render
     is isolated: the page becomes a {!Template.Generator.placeholder_page},
     a [Render] fault is recorded in [fault] (in deterministic URL order
-    per wave, so manifests are [jobs]-independent), and the placeholder
+    per slice, so manifests are [jobs]-independent), and the placeholder
     is never stored in the render cache.  Degraded builds always run
     the wave loop — even at [jobs = 1] — so degraded output is
     identical across [jobs]. *)

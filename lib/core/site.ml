@@ -106,8 +106,8 @@ let build_site_graph ?scope ?shards ?into def (data : Graph.t) =
 let roots_of site_graph family =
   Schema.Verify.family_members site_graph family
 
-let build ?jobs ?render_cache ?file_loader ?on_error ?fault ?shards ~data
-    (def : definition) : built =
+let build ?jobs ?render_cache ?file_loader ?on_error ?fault ?shards ?sink
+    ~data (def : definition) : built =
   Log.debug (fun m ->
       m "building site %s over %a" def.name Graph.pp_stats data);
   let site_graph, scope, schemas, query_stats =
@@ -122,7 +122,7 @@ let build ?jobs ?render_cache ?file_loader ?on_error ?fault ?shards ~data
             def.root_family def.name));
   let site, render_profile =
     Render_pool.materialize ?jobs ?cache:render_cache ?file_loader ?on_error
-      ?fault ~templates:def.templates site_graph ~roots
+      ?fault ?sink ~templates:def.templates site_graph ~roots
   in
   let verification = Schema.Verify.check_all_site site_graph def.constraints in
   List.iter

@@ -82,13 +82,20 @@ val build :
   ?on_error:Fault.on_error ->
   ?fault:Fault.ctx ->
   ?shards:Struql.Exec.shard_ctx ->
+  ?sink:Render_pool.sink ->
   data:Graph.t -> definition ->
   built
 (** The full pipeline: site graph, schema, constraint verification,
     HTML generation.  [jobs] (default 1) fans page rendering out over
-    OCaml domains through {!Render_pool}; [render_cache] reuses pages
-    whose read traces still verify.  Output is byte-identical across
-    [jobs] values and cache states.
+    OCaml domains through {!Render_pool}'s work-stealing scheduler
+    ([jobs <= 0] auto-detects the machine's domain count);
+    [render_cache] reuses pages whose read traces still verify.
+    Output is byte-identical across [jobs] values and cache states.
+
+    With [sink], pages are streamed out in canonical order as they
+    render and [built.site] carries an empty page list — peak memory
+    is bounded by {!Render_pool.default_slice} pages instead of the
+    site size ([built.render_profile.rp_pages] still counts them).
 
     With [~on_error:Degrade] a failed page render becomes a
     placeholder instead of aborting the build; faults recorded in

@@ -219,6 +219,41 @@ let bibtex ?(seed = 3) ?(corrupt = 0) ~entries () =
   done;
   Buffer.contents buf
 
+(* --- Scale corpus (100k–1M page materialization workloads) --- *)
+
+(** Generate the scale corpus: [items] objects in [Items], each with a
+    [title], a [grp] key into one of [groups] groups, a [body], and the
+    same irregularities as the small sources (some items lack a body,
+    some carry an extra [tag] or a [ref] to another item).  A site over
+    it materializes to [items + groups + 1] pages — the root, one page
+    per group, one per item — so [items = 100_000] exercises the
+    100k-page regime the parallel materializer targets; the per-item
+    payload is deliberately small so builds are render-bound, not
+    generator-bound. *)
+let scale_graph ?(seed = 5) ?(graph_name = "SCALE") ?(groups = 100) ~items ()
+    =
+  let r = rng ~seed () in
+  let g = Graph.create ~name:graph_name () in
+  let groups = max 1 groups in
+  for i = 0 to items - 1 do
+    let o = Graph.new_node g (Printf.sprintf "item%d" i) in
+    Graph.add_to_collection g "Items" o;
+    Graph.add_edge g o "title"
+      (Graph.V
+         (Value.String
+            (Printf.sprintf "%s %d" (pick r project_words) i)));
+    Graph.add_edge g o "grp"
+      (Graph.V (Value.String (Printf.sprintf "g%03d" (i mod groups))));
+    if chance r 90 then
+      Graph.add_edge g o "body" (Graph.V (Value.String (sentence r)));
+    if chance r 20 then
+      Graph.add_edge g o "tag" (Graph.V (Value.String (pick r research_areas)));
+    if i > 0 && chance r 10 then
+      Graph.add_edge g o "ref"
+        (Graph.V (Value.String (Printf.sprintf "item%d" (int r i))))
+  done;
+  g
+
 (* --- News articles (the CNN-shaped source) --- *)
 
 (** Generate a news-article data graph directly (the crawled CNN pages

@@ -45,6 +45,16 @@ val bibtex : ?seed:int -> ?corrupt:int -> entries:int -> unit -> string
     that share of entries with ones missing the ',' after the citation
     key. *)
 
+val scale_graph :
+  ?seed:int -> ?graph_name:string -> ?groups:int -> items:int -> unit ->
+  Graph.t
+(** The scale corpus for 100k–1M page materialization workloads:
+    [items] objects in [Items] with [title], a [grp] key into one of
+    [groups] (default 100) groups, usually a [body], sometimes a [tag]
+    or a [ref] — small per-item payload, so a site over it is
+    render-bound.  A {!Sites.Scale}-style site materializes to
+    [items + groups + 1] pages. *)
+
 val news_graph : ?seed:int -> ?graph_name:string -> articles:int -> unit -> Graph.t
 (** The CNN-shaped article base: [Articles] with [headline],
     1–2 [section]s, [date], [body], optional [image]/[byline], and

@@ -165,6 +165,45 @@ let suite =
         check_bool "stats profile printed" true (contains out1 "jobs=1");
         check_bool "stats shows 4 domains" true (contains out4 "jobs=4");
         check_bool "written files byte-identical" true (pages1 = pages4)));
+    t "build: --jobs 0 auto-detects, --stream output byte-identical"
+      (guard (fun () ->
+        let d = write_tmp ".ddl" Sites.Paper_example.data_ddl in
+        let q = write_tmp ".struql" Sites.Paper_example.site_query in
+        let build_to flags =
+          let dir = Filename.temp_file "strudelsite" "" in
+          Sys.remove dir;
+          let code, out =
+            run_cmd
+              (Filename.quote cli ^ " build -d " ^ Filename.quote d ^ " -q "
+               ^ Filename.quote q ^ " --root RootPage " ^ flags ^ " -o "
+               ^ Filename.quote dir)
+          in
+          let pages =
+            List.sort compare
+              (List.map
+                 (fun f ->
+                   let ic = open_in_bin (Filename.concat dir f) in
+                   let n = in_channel_length ic in
+                   let s = really_input_string ic n in
+                   close_in ic;
+                   (f, s))
+                 (Array.to_list (Sys.readdir dir)))
+          in
+          Array.iter
+            (fun f -> Sys.remove (Filename.concat dir f))
+            (Sys.readdir dir);
+          Sys.rmdir dir;
+          (code, out, pages)
+        in
+        let code1, _, pages1 = build_to "--jobs 1" in
+        let code0, out0, pages0 = build_to "--jobs 0 --stream --stats" in
+        List.iter Sys.remove [ d; q ];
+        check_int "jobs=1 exit 0" 0 code1;
+        check_int "jobs=0 --stream exit 0" 0 code0;
+        check_bool "auto-detected profile printed" true
+          (contains out0
+             (Printf.sprintf "jobs=%d" (Strudel.Render_pool.auto_jobs ())));
+        check_bool "streamed files byte-identical" true (pages1 = pages0)));
     t "lint: bundled site in all three formats"
       (guard (fun () ->
         let code, text = run_cmd (cli ^ " lint cnn") in

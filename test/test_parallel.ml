@@ -76,6 +76,54 @@ let parallel_equals_sequential_random muts =
       = page_triples reference.Strudel.Site.site)
     job_levels
 
+(* scheduler correctness under fault injection: an injector's fail
+   decisions are a pure hash of (seed, point) — jobs-independent — so a
+   degraded work-stealing build must equal the degraded jobs=1 wave
+   build page-for-page (placeholders included), report-for-report (the
+   manifest), and count-for-count *)
+let degraded_parallel_equals_sequential (muts, seed) =
+  let data = Sites.Cnn.data ~articles:Test_end_to_end_props.articles () in
+  Test_end_to_end_props.apply_mutations data Test_end_to_end_props.articles
+    muts;
+  let run jobs =
+    let inject = Fault.Inject.create ~seed ~p_render:0.12 () in
+    let fault = Fault.ctx ~inject () in
+    let b =
+      Strudel.Site.build ~jobs ~on_error:Fault.Degrade ~fault ~data
+        Sites.Cnn.definition
+    in
+    ( page_triples b.Strudel.Site.site,
+      b.Strudel.Site.faults,
+      b.Strudel.Site.render_profile.Strudel.Render_pool.rp_degraded )
+  in
+  let reference = run 1 in
+  List.for_all (fun jobs -> run jobs = reference) job_levels
+
+(* cache-warm runs: a cache seeded by the sequential build must serve
+   parallel rebuilds verbatim — batched prefetch + worker-side trace
+   verification change the schedule, never the bytes *)
+let warm_cache_parallel_equals_sequential muts =
+  let data = Sites.Cnn.data ~articles:Test_end_to_end_props.articles () in
+  Test_end_to_end_props.apply_mutations data Test_end_to_end_props.articles
+    muts;
+  let cache = Strudel.Render_cache.create () in
+  let reference =
+    Strudel.Site.build ~render_cache:cache ~data Sites.Cnn.definition
+  in
+  let seq_pages = page_triples reference.Strudel.Site.site in
+  List.for_all
+    (fun jobs ->
+      Strudel.Render_cache.reset_stats cache;
+      let b =
+        Strudel.Site.build ~jobs ~render_cache:cache ~data
+          Sites.Cnn.definition
+      in
+      let hits, misses, _ = Strudel.Render_cache.stats cache in
+      page_triples b.Strudel.Site.site = seq_pages
+      && misses = 0
+      && hits = List.length seq_pages)
+    job_levels
+
 (* two distinct page objects sharing a name share a slug; only the
    sequential generator's discovery-ordered uniquification produces the
    reference URLs, so the pool must detect the collision and fall back *)
@@ -129,6 +177,21 @@ let suite =
               (jobs 2,4,8)"
            ~count:10 Test_end_to_end_props.muts_arb
            parallel_equals_sequential_random);
+      QCheck_alcotest.to_alcotest
+        (QCheck.Test.make
+           ~name:
+             "degraded builds equal sequential under seeded fault \
+              injection (jobs 2,4,8)"
+           ~count:10
+           QCheck.(pair Test_end_to_end_props.muts_arb small_nat)
+           degraded_parallel_equals_sequential);
+      QCheck_alcotest.to_alcotest
+        (QCheck.Test.make
+           ~name:
+             "warm-cache parallel rebuilds serve every page from the \
+              cache, byte-identically (jobs 2,4,8)"
+           ~count:8 Test_end_to_end_props.muts_arb
+           warm_cache_parallel_equals_sequential);
       t "slug collision falls back to the sequential generator"
         collision_fallback;
       t "render profile accounts for every page" profile_accounts_pages;
