@@ -1640,6 +1640,205 @@ let e21 () =
   Fmt.pr "shard profile written to BENCH_shard.json@."
 
 (* ----------------------------------------------------------------- *)
+(* E22 — strudeld: click-time serving throughput and overload shed    *)
+(* ----------------------------------------------------------------- *)
+
+(* Two legs.  Leg A drives Engine.handle in-process over every page of
+   the cnn site, cold (each page materialized on first touch) then
+   cached (the verifying-trace render cache answers) then revalidated
+   (If-None-Match → 304): the cost of click-time materialization
+   itself, no socket noise.  Leg B is the honest load test: a real TCP
+   daemon with a small admission bound, hammered by 2× max_inflight
+   concurrent closed-loop clients — the interesting numbers are the
+   shed rate and the p99 of the *admitted* requests, which the bounded
+   gate is supposed to keep flat. *)
+
+let e22 () =
+  section "E22" "strudeld: serve throughput (cold/cached/304) and overload";
+  let articles = 200 in
+  let built = Sites.Cnn.build ~articles () in
+  let engine =
+    Serve.Engine.create ~workers:4
+      ~source:(Serve.Engine.Static (Sites.Cnn.data ~articles ()))
+      Sites.Cnn.definition
+  in
+  let urls =
+    List.map
+      (fun (p : Template.Generator.page) -> "/" ^ p.Template.Generator.url)
+      built.Strudel.Site.site.Template.Generator.pages
+  in
+  let n_pages = List.length urls in
+  let req path headers =
+    {
+      Serve.Http.meth = Serve.Http.GET;
+      target = path;
+      path;
+      version = "HTTP/1.1";
+      headers;
+      body = "";
+    }
+  in
+  let sweep name headers_of =
+    let lat = Array.make n_pages 0. in
+    let t0 = Unix.gettimeofday () in
+    List.iteri
+      (fun i url ->
+        let r0 = Unix.gettimeofday () in
+        let resp = Serve.Engine.handle engine (req url (headers_of url)) in
+        lat.(i) <- ms (Unix.gettimeofday () -. r0);
+        ignore resp.Serve.Http.status)
+      urls;
+    let wall = Unix.gettimeofday () -. t0 in
+    Array.sort compare lat;
+    let rps = float_of_int n_pages /. wall in
+    let p50 = percentile lat 0.50 and p99 = percentile lat 0.99 in
+    Fmt.pr "  %-12s %6d req %10.0f req/s %10.3f ms p50 %10.3f ms p99@."
+      name n_pages rps p50 p99;
+    (name, n_pages, rps, p50, p99)
+  in
+  Fmt.pr "leg A: in-process Engine.handle over %d cnn pages@." n_pages;
+  let cold = sweep "cold" (fun _ -> []) in
+  let cached = sweep "cached" (fun _ -> []) in
+  (* collect the etags, then revalidate *)
+  let etags =
+    List.map
+      (fun url ->
+        let resp = Serve.Engine.handle engine (req url []) in
+        let tag =
+          List.assoc_opt "ETag" resp.Serve.Http.resp_headers
+          |> Option.value ~default:"\"\""
+        in
+        (url, tag))
+      urls
+  in
+  let tag_of = fun url -> [ ("if-none-match", List.assoc url etags) ] in
+  let reval = sweep "revalidated" tag_of in
+  (match Serve.Engine.cache_stats engine with
+  | Some (hits, misses, inv) ->
+    Fmt.pr "  render cache: %d hits, %d misses, %d invalidations@." hits
+      misses inv
+  | None -> ());
+  (* --- leg B: overload through the real daemon --- *)
+  let workers = 4 and max_inflight = 8 in
+  let clients = 2 * max_inflight in
+  let per_client = 150 in
+  Fmt.pr
+    "@.leg B: TCP daemon, %d workers, max-inflight %d, %d closed-loop \
+     clients (2x overload), %d requests each@."
+    workers max_inflight clients per_client;
+  let config =
+    { Serve.Daemon.default_config with workers; max_inflight }
+  in
+  let daemon =
+    Serve.Daemon.create ~config
+      ~handler:(fun ~worker r -> Serve.Engine.handle ~worker engine r)
+      ()
+  in
+  let listener, port =
+    Serve.Daemon.tcp_listener ~tick_ms:20. ~host:"127.0.0.1" ~port:0 ()
+  in
+  let srv = Domain.spawn (fun () -> Serve.Daemon.serve daemon listener) in
+  let addr = Unix.ADDR_INET (Unix.inet_addr_of_string "127.0.0.1", port) in
+  let url_arr = Array.of_list urls in
+  let one_request i =
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () ->
+        Unix.connect fd addr;
+        let url = url_arr.(i mod n_pages) in
+        let wire =
+          Printf.sprintf
+            "GET %s HTTP/1.1\r\nhost: bench\r\nConnection: close\r\n\r\n" url
+        in
+        ignore (Unix.write_substring fd wire 0 (String.length wire));
+        let b = Bytes.create 8192 in
+        let first = ref "" in
+        let rec slurp () =
+          match Unix.read fd b 0 8192 with
+          | 0 -> ()
+          | n ->
+            if !first = "" then first := Bytes.sub_string b 0 (min n 16);
+            slurp ()
+          | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _)
+            ->
+            ()
+        in
+        slurp ();
+        if String.length !first >= 12 then
+          Some (String.sub !first 9 3)
+        else None)
+  in
+  let t0 = Unix.gettimeofday () in
+  let worker_results =
+    List.init clients (fun c ->
+        Domain.spawn (fun () ->
+            let ok_lat = ref [] in
+            let shed = ref 0 and other = ref 0 in
+            for i = 0 to per_client - 1 do
+              let r0 = Unix.gettimeofday () in
+              match one_request ((c * per_client) + i) with
+              | Some "200" ->
+                ok_lat := ms (Unix.gettimeofday () -. r0) :: !ok_lat
+              | Some "503" -> incr shed
+              | Some _ | None -> incr other
+              | exception Unix.Unix_error (_, _, _) -> incr other
+            done;
+            (!ok_lat, !shed, !other)))
+    |> List.map Domain.join
+  in
+  let wall = Unix.gettimeofday () -. t0 in
+  Serve.Daemon.stop daemon;
+  Domain.join srv;
+  let ok_lat =
+    List.concat_map (fun (l, _, _) -> l) worker_results |> Array.of_list
+  in
+  Array.sort compare ok_lat;
+  let served = Array.length ok_lat in
+  let shed = List.fold_left (fun n (_, s, _) -> n + s) 0 worker_results in
+  let other = List.fold_left (fun n (_, _, o) -> n + o) 0 worker_results in
+  let total = clients * per_client in
+  let shed_rate = float_of_int shed /. float_of_int total in
+  let rps = float_of_int total /. wall in
+  let p50 = percentile ok_lat 0.50 and p99 = percentile ok_lat 0.99 in
+  Fmt.pr
+    "  %d requests in %.2f s (%.0f req/s): %d served, %d shed (%.1f%%), \
+     %d errors@."
+    total wall rps served shed (100. *. shed_rate) other;
+  Fmt.pr "  admitted latency: %.3f ms p50, %.3f ms p99@." p50 p99;
+  let ds = Serve.Daemon.stats daemon in
+  Fmt.pr "  daemon: served %d, shed %d, aborts %d, exit %d@."
+    ds.Serve.Daemon.d_served ds.Serve.Daemon.d_shed
+    ds.Serve.Daemon.d_client_aborts
+    (Serve.Daemon.exit_code daemon);
+  let buf = Buffer.create 1024 in
+  let leg (name, n, rps, p50, p99) =
+    Printf.sprintf
+      "  \"%s\": {\"requests\": %d, \"rps\": %.1f, \"p50_ms\": %.4f, \
+       \"p99_ms\": %.4f}"
+      name n rps p50 p99
+  in
+  Buffer.add_string buf "{\n  \"experiment\": \"E22_serve\",\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"site\": \"cnn\",\n  \"pages\": %d,\n" n_pages);
+  Buffer.add_string buf (leg cold ^ ",\n");
+  Buffer.add_string buf (leg cached ^ ",\n");
+  Buffer.add_string buf (leg reval ^ ",\n");
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"overload\": {\"clients\": %d, \"workers\": %d, \
+        \"max_inflight\": %d, \"requests\": %d, \"wall_s\": %.3f, \
+        \"rps\": %.1f, \"served\": %d, \"shed\": %d, \"errors\": %d, \
+        \"shed_rate\": %.4f, \"admitted_p50_ms\": %.4f, \
+        \"admitted_p99_ms\": %.4f}\n}\n"
+       clients workers max_inflight total wall rps served shed other
+       shed_rate p50 p99);
+  let oc = open_out "BENCH_serve.json" in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Fmt.pr "serve profile written to BENCH_serve.json@."
+
+(* ----------------------------------------------------------------- *)
 (* Bechamel microbenchmarks — one Test.make per measured experiment   *)
 (* ----------------------------------------------------------------- *)
 
@@ -1797,6 +1996,7 @@ let experiments =
     ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11);
     ("E12", e12); ("E13", e13); ("E14", e14); ("E15", e15); ("E16", e16);
     ("E17", e17); ("E18", e18); ("E19", e19); ("E20", e20); ("E21", e21);
+    ("E22", e22);
     ("micro", bechamel_suite);
   ]
 

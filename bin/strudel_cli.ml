@@ -800,6 +800,221 @@ let browse_cmd =
        ~doc:"Simulate click-time browsing of an example site.")
     Term.(const run $ which_arg $ clicks_arg $ seed_arg $ no_cache_arg)
 
+(* --- serve: the strudeld HTTP daemon --- *)
+
+let serve_cmd =
+  let which_arg =
+    Arg.(value & pos 0 (enum [ ("quickstart", `Quickstart);
+                               ("homepage", `Homepage); ("cnn", `Cnn);
+                               ("org", `Org) ]) `Homepage
+         & info [] ~docv:"SITE"
+             ~doc:
+               "Bundled site to serve (quickstart, homepage, cnn or org — \
+                org runs over the warehousing mediator, so refreshes pick \
+                up new epochs).  Ignored when --data/--query are given.")
+  in
+  let data_opt_arg =
+    Arg.(value & opt (some file) None
+         & info [ "d"; "data" ] ~docv:"DDL" ~doc:"Data graph in DDL syntax.")
+  in
+  let query_opt_arg =
+    Arg.(value & opt (some file) None
+         & info [ "q"; "query" ] ~docv:"QUERY" ~doc:"Site-definition query.")
+  in
+  let root_arg =
+    Arg.(value & opt string "RootPage"
+         & info [ "root" ] ~docv:"FAMILY"
+             ~doc:"Skolem family of the root page(s).")
+  in
+  let template_arg =
+    Arg.(value & opt_all (pair ~sep:'=' string file) []
+         & info [ "t"; "template" ] ~docv:"COLLECTION=FILE"
+             ~doc:"Template for a collection (repeatable).")
+  in
+  let host_arg =
+    Arg.(value & opt string "127.0.0.1"
+         & info [ "host" ] ~docv:"ADDR" ~doc:"Address to bind.")
+  in
+  let port_arg =
+    Arg.(value & opt int 8080
+         & info [ "p"; "port" ] ~docv:"PORT"
+             ~doc:"Port to bind (0 picks an ephemeral port).")
+  in
+  let workers_arg =
+    Arg.(value & opt int 4
+         & info [ "workers" ] ~docv:"N" ~doc:"Request worker domains.")
+  in
+  let max_inflight_arg =
+    Arg.(value & opt int 64
+         & info [ "max-inflight" ] ~docv:"N"
+             ~doc:
+               "Admitted-connection bound: beyond it new connections are \
+                shed with 503 + Retry-After (0 = unbounded).")
+  in
+  let deadline_arg =
+    Arg.(value & opt float 5000.
+         & info [ "deadline-ms" ] ~docv:"MS"
+             ~doc:"Per-request deadline; an overrun answer becomes 503 \
+                   (0 disables).")
+  in
+  let read_timeout_arg =
+    Arg.(value & opt float 10_000.
+         & info [ "read-timeout-ms" ] ~docv:"MS"
+             ~doc:"Slow-client read timeout (408).")
+  in
+  let write_timeout_arg =
+    Arg.(value & opt float 10_000.
+         & info [ "write-timeout-ms" ] ~docv:"MS"
+             ~doc:"Slow-client write timeout.")
+  in
+  let drain_deadline_arg =
+    Arg.(value & opt float 10_000.
+         & info [ "drain-deadline-ms" ] ~docv:"MS"
+             ~doc:
+               "How long a SIGTERM/SIGINT drain waits for in-flight \
+                work before force-closing it (exit 4); negative waits \
+                forever.")
+  in
+  let refresh_every_arg =
+    Arg.(value & opt float 0.
+         & info [ "refresh-every" ] ~docv:"SECONDS"
+             ~doc:
+               "Poll the warehouse for source changes this often and \
+                swap in the new epoch without restarting (0 = only on \
+                SIGHUP).")
+  in
+  let no_cache_arg =
+    Arg.(value & flag
+         & info [ "no-cache" ] ~doc:"Disable the render cache.")
+  in
+  let run which data query root templates host port workers max_inflight
+      deadline_ms read_timeout_ms write_timeout_ms drain_deadline_ms
+      refresh_every no_cache =
+    or_die (fun () ->
+        let source, def =
+          match (data, query) with
+          | Some d, Some q ->
+            let g, _ = Ddl.parse ~graph_name:"input" (read_file d) in
+            let templates =
+              {
+                Template.Generator.empty_templates with
+                Template.Generator.by_collection =
+                  List.map (fun (c, f) -> (c, read_file f)) templates;
+              }
+            in
+            ( Serve.Engine.Static g,
+              Strudel.Site.define ~name:"site" ~root_family:root ~templates
+                [ ("site", read_file q) ] )
+          | None, None -> begin
+            match which with
+            | `Quickstart ->
+              ( Serve.Engine.Static (Sites.Paper_example.data ()),
+                Sites.Paper_example.definition )
+            | `Homepage ->
+              ( Serve.Engine.Static (Sites.Homepage.data ()),
+                Sites.Homepage.definition )
+            | `Cnn ->
+              ( Serve.Engine.Static (Sites.Cnn.data ~articles:200 ()),
+                Sites.Cnn.definition )
+            | `Org ->
+              let _, w = Sites.Org.data ~people:100 ~orgs:6 () in
+              (Serve.Engine.Federated w, Sites.Org.definition)
+          end
+          | _ ->
+            Fmt.epr "serve: a custom site needs both --data and --query@.";
+            exit 2
+        in
+        let engine =
+          Serve.Engine.create ~cache:(not no_cache) ~workers ~source def
+        in
+        let config =
+          Serve.Daemon.
+            {
+              default_config with
+              workers;
+              max_inflight;
+              deadline_ms;
+              read_timeout_ms;
+              write_timeout_ms;
+              drain_deadline_ms;
+            }
+        in
+        let daemon =
+          Serve.Daemon.create ~config
+            ~on_drain:(fun () -> Serve.Engine.set_draining engine true)
+            ~degraded:(fun () -> Serve.Engine.degraded engine)
+            ~handler:(fun ~worker req -> Serve.Engine.handle ~worker engine req)
+            ()
+        in
+        Serve.Daemon.install_signal_handlers daemon;
+        let refresh_now = Atomic.make false in
+        (try
+           Sys.set_signal Sys.sighup
+             (Sys.Signal_handle (fun _ -> Atomic.set refresh_now true))
+         with Invalid_argument _ | Sys_error _ -> ());
+        let listener, bound =
+          Serve.Daemon.tcp_listener ~read_timeout_ms ~write_timeout_ms ~host
+            ~port ()
+        in
+        Fmt.pr "strudeld: %s on http://%s:%d — %d pages, epoch %d@."
+          def.Strudel.Site.name host bound
+          (Serve.Engine.page_count engine)
+          (Serve.Engine.epoch engine);
+        (* the refresher: live epoch pickup on a poll interval or SIGHUP,
+           off the serving path *)
+        let refresher =
+          Domain.spawn (fun () ->
+              let tick = 0.25 in
+              let rec loop elapsed =
+                if not (Serve.Daemon.stopping daemon) then begin
+                  Unix.sleepf tick;
+                  let elapsed = elapsed +. tick in
+                  let due = refresh_every > 0. && elapsed >= refresh_every in
+                  if Atomic.exchange refresh_now false || due then begin
+                    (if Serve.Engine.refresh engine then
+                       Fmt.pr "strudeld: epoch %d installed (%d pages)@."
+                         (Serve.Engine.epoch engine)
+                         (Serve.Engine.page_count engine));
+                    loop 0.
+                  end
+                  else loop elapsed
+                end
+              in
+              loop 0.)
+        in
+        Serve.Daemon.serve daemon listener;
+        Domain.join refresher;
+        let st = Serve.Daemon.stats daemon in
+        Fmt.pr
+          "strudeld: drained — served %d, shed %d, refused %d, client \
+           aborts %d, timeouts %d, deadline 503s %d, aborted in-flight %d@."
+          st.Serve.Daemon.d_served st.Serve.Daemon.d_shed
+          st.Serve.Daemon.d_refused st.Serve.Daemon.d_client_aborts
+          st.Serve.Daemon.d_timeouts st.Serve.Daemon.d_deadlines
+          st.Serve.Daemon.d_aborted_inflight;
+        exit (Serve.Daemon.exit_code daemon))
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run strudeld: serve a site over HTTP at click time."
+       ~man:
+         [ `S Manpage.s_description;
+           `P
+             "Serves pages by click-time materialization: a page is \
+              rendered on first request and cached with its read trace; \
+              a warehouse refresh swaps in a new epoch atomically and \
+              invalidates exactly the pages whose reads changed.";
+           `P
+             "Exit codes: 0 clean drain, 3 drained degraded (open \
+              breakers, quarantined sources or recorded faults), 4 \
+              drain deadline exceeded (in-flight connections aborted), \
+              1 fatal error." ])
+    Term.(const run $ which_arg $ data_opt_arg $ query_opt_arg $ root_arg
+          $ template_arg $ host_arg $ port_arg $ workers_arg
+          $ max_inflight_arg $ deadline_arg $ read_timeout_arg
+          $ write_timeout_arg $ drain_deadline_arg $ refresh_every_arg
+          $ no_cache_arg)
+
 (* --- repo: inspect a sharded repository --- *)
 
 let repo_cmd =
@@ -899,4 +1114,4 @@ let () =
        (Cmd.group (Cmd.info "strudel" ~doc)
           [ load_cmd; query_cmd; explain_cmd; explain_analyze_cmd; check_cmd;
             schema_cmd; decompose_cmd; build_cmd; faults_cmd; verify_cmd;
-            lint_cmd; browse_cmd; repo_cmd; demo_cmd ]))
+            lint_cmd; browse_cmd; serve_cmd; repo_cmd; demo_cmd ]))

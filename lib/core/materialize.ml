@@ -291,29 +291,76 @@ module Click_time = struct
           t.schemas
     end
 
-  (** Render one page at click time: expand the node (and, for embedded
-      content, its immediate successors), then render just that page. *)
-  let browse t (o : Oid.t) : string =
-    match
-      if t.cache_pages then Render_cache.find_valid t.page_cache t.partial o
-      else None
-    with
-    | Some e -> e.Render_cache.e_html
-    | None ->
+  type browse_error =
+    | Unknown_object of string
+        (** the oid is not a node of this session's site graph — the
+            serving layer's 404 *)
+    | Render_failed of string
+        (** the generator raised; the page is isolated — the serving
+            layer's 503 *)
+
+  exception Browse_error of browse_error
+
+  let browse_error_message = function
+    | Unknown_object name -> "unknown site object: " ^ name
+    | Render_failed msg -> "page render failed: " ^ msg
+
+  (** Expand the node (and, for embedded content, its immediate
+      successors) and render just that page, as a structured result: an
+      oid outside the session's site graph or a generator exception
+      becomes an [Error], never an escape — one crashing page must not
+      take down a serving worker.  [compiled] lets each caller thread of
+      control own its template-compilation cache (the session-wide one
+      is not domain-safe); [trace_reads] defaults to the session's
+      caching mode. *)
+  let render_page ?compiled ?trace_reads t (o : Oid.t) :
+      (Template.Generator.rendered, browse_error) result =
+    if not (Graph.mem_node t.partial o) then Error (Unknown_object (Oid.name o))
+    else begin
       expand t o;
-      (* templates may embed or traverse into neighbours: expand the
-         immediate successors so their attributes are available *)
       List.iter
         (fun (_, tgt) ->
           match tgt with Graph.N n -> expand t n | Graph.V _ -> ())
         (Graph.out_edges t.partial o);
-      let r =
-        Template.Generator.render_page_full
-          ~templates:t.def.Site.templates ~compiled:t.compiled
-          ~trace_reads:t.cache_pages t.partial o
+      let compiled = match compiled with Some c -> c | None -> t.compiled in
+      let trace_reads =
+        match trace_reads with Some b -> b | None -> t.cache_pages
       in
-      if t.cache_pages then Render_cache.store t.page_cache r;
-      r.Template.Generator.r_page.Template.Generator.html
+      match
+        Template.Generator.render_page_full
+          ~templates:t.def.Site.templates ~compiled ~trace_reads t.partial o
+      with
+      | r -> Ok r
+      | exception Template.Generator.Generator_error msg ->
+        Error (Render_failed msg)
+      | exception Template.Tparse.Template_error msg ->
+        Error (Render_failed msg)
+      | exception Fault.Inject.Injected msg -> Error (Render_failed msg)
+      | exception ((Out_of_memory | Stack_overflow | Sys.Break) as e) ->
+        raise e
+      | exception e -> Error (Render_failed (Printexc.to_string e))
+    end
+
+  let try_browse t (o : Oid.t) : (string, browse_error) result =
+    match
+      if t.cache_pages then Render_cache.find_valid t.page_cache t.partial o
+      else None
+    with
+    | Some e -> Ok e.Render_cache.e_html
+    | None -> (
+      match render_page t o with
+      | Ok r ->
+        if t.cache_pages then Render_cache.store t.page_cache r;
+        Ok r.Template.Generator.r_page.Template.Generator.html
+      | Error e -> Error e)
+
+  (** Render one page at click time, through the page cache when
+      enabled.  Raises {!Browse_error} on an unknown oid or a failed
+      render (callers that can degrade should use {!try_browse}). *)
+  let browse t (o : Oid.t) : string =
+    match try_browse t o with
+    | Ok html -> html
+    | Error e -> raise (Browse_error e)
 
   let roots t =
     List.filter

@@ -54,9 +54,39 @@ module Click_time : sig
       node's Skolem arguments bound.  Aggregate link targets are
       grouped and folded exactly as in full evaluation.  Idempotent. *)
 
+  type browse_error =
+    | Unknown_object of string
+        (** the oid is not a node of this session's site graph — the
+            serving layer's 404 *)
+    | Render_failed of string
+        (** the generator raised; the page is isolated — the serving
+            layer's 503 *)
+
+  exception Browse_error of browse_error
+
+  val browse_error_message : browse_error -> string
+
+  val render_page :
+    ?compiled:Template.Generator.compiled ->
+    ?trace_reads:bool ->
+    t -> Oid.t ->
+    (Template.Generator.rendered, browse_error) result
+  (** Expand the node and its immediate successors, then render just
+      that page, as a structured result: an unknown oid or a generator
+      exception becomes an [Error], never an escape.  [compiled] lets a
+      caller thread of control (a serving worker domain) own its
+      template-compilation cache; [trace_reads] defaults to the
+      session's caching mode.  Does not consult or fill the page
+      cache. *)
+
+  val try_browse : t -> Oid.t -> (string, browse_error) result
+  (** {!browse} with structured errors, through the page cache when
+      enabled. *)
+
   val browse : t -> Oid.t -> string
   (** Render one page at click time (expanding the node and its
-      immediate successors), through the page cache when enabled. *)
+      immediate successors), through the page cache when enabled.
+      Raises {!Browse_error} on an unknown oid or a failed render. *)
 
   val random_walk : t -> clicks:int -> seed:int -> int
   (** The browse simulator standing in for real user clicks: a

@@ -1,0 +1,123 @@
+(** Keyed circuit breakers on the fault clock (see the interface). *)
+
+type state = Closed | Open | Half_open
+
+type key_state = {
+  mutable ks_state : state;
+  mutable ks_failures : int;  (* consecutive failures while closed *)
+  mutable ks_opened : int;    (* times this key opened, drives the schedule *)
+  mutable ks_until : float;   (* cooldown end (ms on the breaker clock) *)
+  mutable ks_probing : bool;  (* half-open probe outstanding *)
+}
+
+type t = {
+  threshold : int;
+  schedule : float list;  (* cooldown ladder, never empty *)
+  clock : Fault.Clock.t;
+  m : Mutex.t;
+  tbl : (string, key_state) Hashtbl.t;
+  mutable trips : int;
+}
+
+let create ?(threshold = 3) ?(retry = Fault.Policy.default_retry) ~clock () =
+  let schedule =
+    match Fault.Retry.schedule retry with
+    | [] -> [ retry.Fault.Policy.base_delay_ms ]
+    | s -> s
+  in
+  {
+    threshold = max 1 threshold;
+    schedule;
+    clock;
+    m = Mutex.create ();
+    tbl = Hashtbl.create 16;
+    trips = 0;
+  }
+
+let with_lock t f =
+  Mutex.lock t.m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
+
+let key_state t key =
+  match Hashtbl.find_opt t.tbl key with
+  | Some ks -> ks
+  | None ->
+    let ks =
+      { ks_state = Closed; ks_failures = 0; ks_opened = 0; ks_until = 0.;
+        ks_probing = false }
+    in
+    Hashtbl.add t.tbl key ks;
+    ks
+
+(* Cooldown for the n-th opening (1-based): walk the schedule, repeat
+   its last entry once exhausted. *)
+let cooldown t n =
+  let rec go i = function
+    | [ last ] -> last
+    | d :: _ when i = 1 -> d
+    | _ :: rest -> go (i - 1) rest
+    | [] -> assert false
+  in
+  go (max 1 n) t.schedule
+
+let open_now t ks =
+  ks.ks_state <- Open;
+  ks.ks_failures <- 0;
+  ks.ks_probing <- false;
+  ks.ks_opened <- ks.ks_opened + 1;
+  ks.ks_until <- t.clock.Fault.Clock.now_ms () +. cooldown t ks.ks_opened;
+  t.trips <- t.trips + 1
+
+type decision = Proceed | Reject of float
+
+let check t key =
+  with_lock t (fun () ->
+      let ks = key_state t key in
+      match ks.ks_state with
+      | Closed -> Proceed
+      | Half_open -> if ks.ks_probing then Reject 0. else begin
+          ks.ks_probing <- true;
+          Proceed
+        end
+      | Open ->
+        let now = t.clock.Fault.Clock.now_ms () in
+        if now >= ks.ks_until then begin
+          ks.ks_state <- Half_open;
+          ks.ks_probing <- true;
+          Proceed
+        end
+        else Reject (ks.ks_until -. now))
+
+let state t key =
+  with_lock t (fun () ->
+      match Hashtbl.find_opt t.tbl key with
+      | None -> Closed
+      | Some ks -> ks.ks_state)
+
+let success t key =
+  with_lock t (fun () ->
+      let ks = key_state t key in
+      ks.ks_state <- Closed;
+      ks.ks_failures <- 0;
+      ks.ks_opened <- 0;
+      ks.ks_probing <- false)
+
+let failure t key =
+  with_lock t (fun () ->
+      let ks = key_state t key in
+      match ks.ks_state with
+      | Open -> ()  (* already open; rejected callers don't re-trip it *)
+      | Half_open -> open_now t ks  (* failed probe: next cooldown step *)
+      | Closed ->
+        ks.ks_failures <- ks.ks_failures + 1;
+        if ks.ks_failures >= t.threshold then open_now t ks)
+
+let trips t = with_lock t (fun () -> t.trips)
+
+let open_keys t =
+  with_lock t (fun () ->
+      Hashtbl.fold
+        (fun k ks acc ->
+          match ks.ks_state with Open | Half_open -> k :: acc | Closed -> acc)
+        t.tbl []
+      |> List.sort compare)

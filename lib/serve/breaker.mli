@@ -1,0 +1,56 @@
+(** Keyed circuit breakers on the fault clock.
+
+    The daemon keeps one breaker registry and keys it two ways: by
+    source name ([source:rdb]) for warehouse refresh outcomes, and by
+    page URL ([page:p.html]) for render failures — so a broken source
+    or a crashing page degrades exactly its own responses (503 with the
+    fault manifest as body) while the rest of the site keeps serving.
+
+    State machine per key: {e closed} (normal) → after [threshold]
+    consecutive failures {e open} (reject with the remaining cooldown,
+    which becomes the response's [Retry-After]) → once the cooldown
+    elapses {e half-open} (exactly one probe is let through) → a
+    success closes the breaker, a failure re-opens it with the next
+    cooldown.  Cooldowns are the backoff schedule of a
+    {!Fault.Policy.retry} ({!Fault.Retry.schedule}): exponential from
+    [base_delay_ms], capped at [max_delay_ms] — the serving layer
+    reuses the ingest layer's retry policy vocabulary.  Time comes from
+    a {!Fault.Clock.t}, so tests run on virtual time. *)
+
+type t
+
+val create :
+  ?threshold:int ->
+  ?retry:Fault.Policy.retry ->
+  clock:Fault.Clock.t ->
+  unit ->
+  t
+(** [threshold] (default 3) consecutive failures open a key.  [retry]
+    (default {!Fault.Policy.default_retry}) supplies the cooldown
+    schedule; its last delay repeats once the schedule is exhausted. *)
+
+type state = Closed | Open | Half_open
+
+val state : t -> string -> state
+(** {!Open} is reported until a {!check} observes the elapsed cooldown
+    (which transitions the key to {!Half_open}). *)
+
+type decision =
+  | Proceed
+  | Reject of float  (** remaining cooldown in ms (≥ 0) *)
+
+val check : t -> string -> decision
+(** Consult the breaker before doing work for [key].  On an open key
+    whose cooldown elapsed, transitions to half-open and lets exactly
+    one caller {!Proceed} (until {!success} or {!failure} settles the
+    probe; other callers keep getting {!Reject}). *)
+
+val success : t -> string -> unit
+val failure : t -> string -> unit
+
+val trips : t -> int
+(** Closed→open transitions since creation (re-opens included). *)
+
+val open_keys : t -> string list
+(** Keys currently open or half-open, sorted — the degraded-state
+    inventory for [/healthz] and the drain exit code. *)

@@ -1,0 +1,83 @@
+(** Bounded admission (see the interface). *)
+
+type stats = {
+  g_admitted : int;
+  g_shed : int;
+  g_refused : int;
+}
+
+type t = {
+  max_inflight : int;
+  m : Mutex.t;
+  idle : Condition.t;
+  mutable inflight : int;
+  mutable draining : bool;
+  mutable admitted : int;
+  mutable shed : int;
+  mutable refused : int;
+}
+
+let create ~max_inflight =
+  {
+    max_inflight;
+    m = Mutex.create ();
+    idle = Condition.create ();
+    inflight = 0;
+    draining = false;
+    admitted = 0;
+    shed = 0;
+    refused = 0;
+  }
+
+type verdict = Admitted | Shed | Refused
+
+let with_lock t f =
+  Mutex.lock t.m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
+
+let try_admit t =
+  with_lock t (fun () ->
+      if t.draining then begin
+        t.refused <- t.refused + 1;
+        Refused
+      end
+      else if t.max_inflight > 0 && t.inflight >= t.max_inflight then begin
+        t.shed <- t.shed + 1;
+        Shed
+      end
+      else begin
+        t.inflight <- t.inflight + 1;
+        t.admitted <- t.admitted + 1;
+        Admitted
+      end)
+
+let release t =
+  with_lock t (fun () ->
+      t.inflight <- t.inflight - 1;
+      if t.inflight < 0 then t.inflight <- 0;
+      if t.inflight = 0 then Condition.broadcast t.idle)
+
+let begin_drain t =
+  with_lock t (fun () ->
+      t.draining <- true;
+      (* wake idle waiters so a drain that starts with nothing in
+         flight completes immediately *)
+      Condition.broadcast t.idle)
+
+let draining t = with_lock t (fun () -> t.draining)
+let inflight t = with_lock t (fun () -> t.inflight)
+
+let wait_idle ?(give_up = fun () -> false) t =
+  with_lock t (fun () ->
+      let stop = ref (t.inflight = 0 || give_up ()) in
+      while not !stop do
+        Condition.wait t.idle t.m;
+        stop := t.inflight = 0 || give_up ()
+      done;
+      t.inflight = 0)
+
+let wake t = with_lock t (fun () -> Condition.broadcast t.idle)
+
+let stats t =
+  with_lock t (fun () ->
+      { g_admitted = t.admitted; g_shed = t.shed; g_refused = t.refused })

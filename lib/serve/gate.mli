@@ -1,0 +1,51 @@
+(** Bounded admission for [strudeld].
+
+    One gate guards the whole daemon: every accepted connection takes a
+    slot before any work is done for it and releases the slot when it
+    closes.  Once [max_inflight] slots are taken, further connections
+    are {e shed} immediately (the acceptor answers
+    [503 + Retry-After] and closes) — admitted work is never delayed
+    behind an unbounded backlog, which is what keeps the tail latency
+    of admitted requests bounded under overload.  After
+    {!begin_drain}, everything new is {e refused} while in-flight work
+    finishes; {!wait_idle} is the drain barrier. *)
+
+type t
+
+val create : max_inflight:int -> t
+(** [max_inflight <= 0] means unbounded (shedding disabled). *)
+
+type verdict =
+  | Admitted  (** a slot was taken; the caller must {!release} it *)
+  | Shed      (** over capacity: answer 503 + [Retry-After] and close *)
+  | Refused   (** draining: answer 503 and close *)
+
+val try_admit : t -> verdict
+val release : t -> unit
+(** Release one admitted slot (wakes {!wait_idle} when the last one
+    goes). *)
+
+val begin_drain : t -> unit
+(** Refuse all new admissions from now on.  Idempotent. *)
+
+val draining : t -> bool
+val inflight : t -> int
+
+val wait_idle : ?give_up:(unit -> bool) -> t -> bool
+(** Block until no admitted slot is outstanding ([true]) or until
+    [give_up ()] answers [true] at a wake-up ([false] — the drain
+    deadline).  Event-driven (a condition variable signalled by
+    {!release} and {!wake}), so it composes with the virtual clock: no
+    polling, no sleeps. *)
+
+val wake : t -> unit
+(** Wake {!wait_idle} waiters without releasing anything — the drain
+    watchdog uses this to get its deadline re-checked. *)
+
+type stats = {
+  g_admitted : int;
+  g_shed : int;
+  g_refused : int;
+}
+
+val stats : t -> stats

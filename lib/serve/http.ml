@@ -1,0 +1,262 @@
+(** A small, strict HTTP/1.1 codec for [strudeld] (see the interface
+    for the contract and limits). *)
+
+type meth = GET | HEAD | POST | Other of string
+
+let meth_name = function
+  | GET -> "GET"
+  | HEAD -> "HEAD"
+  | POST -> "POST"
+  | Other m -> m
+
+type request = {
+  meth : meth;
+  target : string;
+  path : string;
+  version : string;
+  headers : (string * string) list;
+  body : string;
+}
+
+exception Bad_request of string
+
+(* --- limits: a malicious or broken client must cost O(limit), never
+   O(what it sends) --- *)
+
+let max_request_line = 8 * 1024
+let max_header_count = 100
+let max_headers_bytes = 64 * 1024
+let max_body_bytes = 1024 * 1024
+
+let header req name =
+  let name = String.lowercase_ascii name in
+  List.assoc_opt name req.headers
+
+let token_eq a b = String.lowercase_ascii a = String.lowercase_ascii b
+
+let keep_alive req =
+  match header req "connection" with
+  | Some c when token_eq c "close" -> false
+  | Some c when token_eq c "keep-alive" -> true
+  | _ -> req.version = "HTTP/1.1"
+
+(* --- the connection read buffer --- *)
+
+type buf = {
+  mutable data : Bytes.t;
+  mutable len : int;  (* bytes of [data] that are valid *)
+  mutable pos : int;  (* consumed prefix *)
+}
+
+let create_buf () = { data = Bytes.create 4096; len = 0; pos = 0 }
+
+let compact b =
+  if b.pos > 0 then begin
+    Bytes.blit b.data b.pos b.data 0 (b.len - b.pos);
+    b.len <- b.len - b.pos;
+    b.pos <- 0
+  end
+
+(* Pull more bytes from the transport; false at end of stream. *)
+let fill ~read b =
+  compact b;
+  if b.len = Bytes.length b.data then begin
+    let bigger = Bytes.create (2 * Bytes.length b.data) in
+    Bytes.blit b.data 0 bigger 0 b.len;
+    b.data <- bigger
+  end;
+  let n = read b.data b.len (Bytes.length b.data - b.len) in
+  if n < 0 then raise (Bad_request "transport returned a negative read");
+  if n = 0 then false
+  else begin
+    b.len <- b.len + n;
+    true
+  end
+
+(* Index of the next '\n' at or after [from], or -1. *)
+let find_nl b from =
+  let rec go i = if i >= b.len then -1
+    else if Bytes.get b.data i = '\n' then i
+    else go (i + 1)
+  in
+  go (max from b.pos)
+
+(* Read one CRLF- (or bare-LF-) terminated line, without the ending. *)
+let read_line ~read ~limit ~what b =
+  (* rescans from [pos] after each refill: fill may compact the buffer,
+     so a saved scan offset would go stale; lines are limit-bounded, so
+     the rescan cost is bounded too *)
+  let rec go () =
+    match find_nl b b.pos with
+    | -1 ->
+      if b.len - b.pos > limit then
+        raise (Bad_request (what ^ " exceeds " ^ string_of_int limit ^ " bytes"));
+      if fill ~read b then go ()
+      else if b.len > b.pos then
+        raise (Bad_request ("connection closed inside " ^ what))
+      else None
+    | nl ->
+      if nl - b.pos > limit then
+        raise (Bad_request (what ^ " exceeds " ^ string_of_int limit ^ " bytes"));
+      let stop = if nl > b.pos && Bytes.get b.data (nl - 1) = '\r' then nl - 1 else nl in
+      let line = Bytes.sub_string b.data b.pos (stop - b.pos) in
+      b.pos <- nl + 1;
+      Some line
+  in
+  go ()
+
+let read_exact ~read b n =
+  while b.len - b.pos < n do
+    if not (fill ~read b) then
+      raise (Bad_request "connection closed inside request body")
+  done;
+  let s = Bytes.sub_string b.data b.pos n in
+  b.pos <- b.pos + n;
+  s
+
+let meth_of_string = function
+  | "GET" -> GET
+  | "HEAD" -> HEAD
+  | "POST" -> POST
+  | m ->
+    String.iter
+      (fun c ->
+        match c with
+        | 'A' .. 'Z' | '0' .. '9' | '-' -> ()
+        | _ -> raise (Bad_request "malformed method token"))
+      m;
+    if m = "" then raise (Bad_request "empty method token");
+    Other m
+
+let split_request_line line =
+  match String.split_on_char ' ' line with
+  | [ m; target; version ] ->
+    if version <> "HTTP/1.1" && version <> "HTTP/1.0" then
+      raise (Bad_request ("unsupported protocol version " ^ version));
+    if target = "" then raise (Bad_request "empty request target");
+    (meth_of_string m, target, version)
+  | _ -> raise (Bad_request "malformed request line")
+
+let path_of_target target =
+  let path =
+    match String.index_opt target '?' with
+    | Some q -> String.sub target 0 q
+    | None -> target
+  in
+  if path = "" || path.[0] <> '/' then
+    raise (Bad_request "request target must be origin-form (start with /)");
+  (* reject dot-segments outright: page URLs never contain them, and a
+     traversal attempt must not reach the router *)
+  List.iter
+    (fun seg ->
+      if seg = ".." || seg = "." then
+        raise (Bad_request "dot-segments are not allowed"))
+    (String.split_on_char '/' path);
+  path
+
+let parse_header line =
+  match String.index_opt line ':' with
+  | None -> raise (Bad_request "malformed header line (no colon)")
+  | Some i ->
+    let name = String.lowercase_ascii (String.sub line 0 i) in
+    let value =
+      String.trim (String.sub line (i + 1) (String.length line - i - 1))
+    in
+    if name = "" then raise (Bad_request "empty header name");
+    String.iter
+      (fun c ->
+        match c with
+        | 'a' .. 'z' | '0' .. '9' | '-' | '_' -> ()
+        | _ -> raise (Bad_request "malformed header name"))
+      name;
+    (name, value)
+
+let read_request ~read b =
+  (* skip blank lines before the request line (robustness, RFC 9112) *)
+  let rec first_line () =
+    match read_line ~read ~limit:max_request_line ~what:"request line" b with
+    | None -> None
+    | Some "" -> first_line ()
+    | Some line -> Some line
+  in
+  match first_line () with
+  | None -> None
+  | Some line ->
+    let meth, target, version = split_request_line line in
+    let headers = ref [] in
+    let count = ref 0 in
+    let bytes = ref 0 in
+    let rec loop () =
+      match read_line ~read ~limit:max_headers_bytes ~what:"header line" b with
+      | None -> raise (Bad_request "connection closed inside headers")
+      | Some "" -> ()
+      | Some line ->
+        incr count;
+        bytes := !bytes + String.length line;
+        if !count > max_header_count then
+          raise (Bad_request "too many header lines");
+        if !bytes > max_headers_bytes then
+          raise (Bad_request "header section too large");
+        headers := parse_header line :: !headers;
+        loop ()
+    in
+    loop ();
+    let headers = List.rev !headers in
+    let req =
+      { meth; target; path = path_of_target target; version; headers; body = "" }
+    in
+    let body =
+      match header req "content-length" with
+      | None -> ""
+      | Some l -> (
+        match int_of_string_opt (String.trim l) with
+        | Some n when n >= 0 ->
+          if n > max_body_bytes then
+            raise (Bad_request "request body too large");
+          read_exact ~read b n
+        | _ -> raise (Bad_request "malformed content-length"))
+    in
+    (match header req "transfer-encoding" with
+     | Some _ -> raise (Bad_request "transfer-encoding is not supported")
+     | None -> ());
+    Some { req with body }
+
+(* --- responses --- *)
+
+type response = {
+  status : int;
+  reason : string;
+  resp_headers : (string * string) list;
+  resp_body : string;
+}
+
+let reason_of_status = function
+  | 200 -> "OK"
+  | 304 -> "Not Modified"
+  | 400 -> "Bad Request"
+  | 404 -> "Not Found"
+  | 405 -> "Method Not Allowed"
+  | 408 -> "Request Timeout"
+  | 500 -> "Internal Server Error"
+  | 503 -> "Service Unavailable"
+  | _ -> "Response"
+
+let response ?reason ?(headers = []) ~status body =
+  let reason = match reason with Some r -> r | None -> reason_of_status status in
+  { status; reason; resp_headers = headers; resp_body = body }
+
+let with_header r name value =
+  { r with resp_headers = (name, value) :: r.resp_headers }
+
+let serialize ?(head_only = false) r =
+  let buf = Buffer.create (256 + String.length r.resp_body) in
+  Buffer.add_string buf
+    (Printf.sprintf "HTTP/1.1 %d %s\r\n" r.status r.reason);
+  List.iter
+    (fun (n, v) -> Buffer.add_string buf (Printf.sprintf "%s: %s\r\n" n v))
+    r.resp_headers;
+  Buffer.add_string buf
+    (Printf.sprintf "Content-Length: %d\r\n\r\n"
+       (String.length r.resp_body));
+  if not head_only then Buffer.add_string buf r.resp_body;
+  Buffer.contents buf

@@ -1,0 +1,74 @@
+(** A small, strict HTTP/1.1 codec for [strudeld].
+
+    Requests are read incrementally from a caller-supplied [read]
+    function through a growable buffer, so the daemon's slow-client
+    timeouts live in the transport, not here.  The parser enforces hard
+    limits (request-line length, header count and size, body size) and
+    raises {!Bad_request} — never an unbounded allocation — on
+    malformed or oversized input.  Responses serialize with an exact
+    [Content-Length]; bodies are never chunked. *)
+
+type meth = GET | HEAD | POST | Other of string
+
+val meth_name : meth -> string
+
+type request = {
+  meth : meth;
+  target : string;  (** the raw request target, e.g. ["/p.html?x=1"] *)
+  path : string;    (** target up to [?], normalized to a leading [/] *)
+  version : string; (** ["HTTP/1.1"] or ["HTTP/1.0"] *)
+  headers : (string * string) list;
+      (** field names lowercased, in arrival order *)
+  body : string;
+}
+
+exception Bad_request of string
+(** Malformed or limit-violating input; the daemon answers 400. *)
+
+val header : request -> string -> string option
+(** Case-insensitive header lookup (first occurrence). *)
+
+val keep_alive : request -> bool
+(** Whether the connection persists after this exchange: HTTP/1.1
+    without [Connection: close], or HTTP/1.0 with
+    [Connection: keep-alive]. *)
+
+(** {1 Reading} *)
+
+type buf
+(** Connection read buffer; holds bytes of a pipelined next request
+    between {!read_request} calls. *)
+
+val create_buf : unit -> buf
+
+val read_request : read:(bytes -> int -> int -> int) -> buf -> request option
+(** Read one request.  [read b off len] must return the number of bytes
+    read, [0] at end of stream, and may raise (e.g. the transport's
+    timeout exception) — the exception passes through.  Returns [None]
+    on a clean end of stream before any request byte.  Raises
+    {!Bad_request} on malformed input or when a limit (8 KiB request
+    line, 100 headers, 64 KiB of headers, 1 MiB body) is exceeded. *)
+
+(** {1 Responses} *)
+
+type response = {
+  status : int;
+  reason : string;
+  resp_headers : (string * string) list;
+  resp_body : string;
+}
+
+val reason_of_status : int -> string
+
+val response :
+  ?reason:string -> ?headers:(string * string) list -> status:int ->
+  string -> response
+(** Build a response; [reason] defaults from the status code. *)
+
+val with_header : response -> string -> string -> response
+(** Add (prepend) one header. *)
+
+val serialize : ?head_only:bool -> response -> string
+(** The wire bytes: status line, headers, [Content-Length] (always the
+    body length, also for [head_only] — a HEAD answer describes the GET
+    entity), blank line, and the body unless [head_only]. *)
