@@ -1983,6 +1983,129 @@ let bechamel_suite () =
       else Fmt.pr "  %-45s %12.0f ns/run@." name e)
     (List.sort compare !rows)
 
+(* ----------------------------------------------------------------- *)
+(* E23 — Dsan: race-sanitizer cost on parallel materialization        *)
+(* ----------------------------------------------------------------- *)
+
+(* Two numbers.  (a) The *disabled* cost: every hot loop in the pool,
+   the render scheduler and the shard evaluator now carries sanitizer
+   calls whose disabled fast path is one atomic flag load — the wall
+   times below are the instrumented-but-off baseline the ≤2% E17
+   budget is judged against.  (b) The *enabled* cost: the same
+   materialization with the vector-clock detector armed, at several
+   perturber seeds ("schedules"), reported as a slowdown factor — this
+   is a correctness tool, so the factor is informational, but the race
+   count it reports on the stock runtime must be zero. *)
+
+let e23 () =
+  section "E23" "Dsan: race sanitizer, disabled overhead and sanitized runs";
+  let items =
+    match Sys.getenv_opt "STRUDEL_DSAN_PAGES" with
+    | Some s -> ( try max 1_000 (int_of_string s) with _ -> 10_000)
+    | None -> 10_000
+  in
+  let data = Sites.Scale.data ~items () in
+  let sg, _, _, _ =
+    Strudel.Site.build_site_graph Sites.Scale.definition data
+  in
+  let roots = Strudel.Site.roots_of sg "Root" in
+  let run jobs =
+    let pages = ref 0 in
+    let sink =
+      {
+        Strudel.Render_pool.sk_emit = (fun _ -> incr pages);
+        sk_reset = (fun () -> pages := 0);
+      }
+    in
+    let _, t =
+      wall_it (fun () ->
+          Strudel.Render_pool.materialize ~jobs ~sink
+            ~templates:Sites.Scale.templates sg ~roots)
+    in
+    (t, !pages)
+  in
+  let job_levels = [ 1; 4; 8 ] in
+  ignore (run 8) (* warm the shared pool: spawn domains outside timing *);
+  let disabled = List.map (fun j -> (j, run j)) job_levels in
+  let ref_pages = snd (snd (List.hd disabled)) in
+  let schedules = 2 in
+  let enabled =
+    List.map
+      (fun j ->
+        let per_sched =
+          List.init schedules (fun k ->
+              Dsan.reset ();
+              Dsan.enable ~seed:(1 + k) ();
+              let t, p = run j in
+              Dsan.disable ();
+              let st = Dsan.stats () in
+              (t, p, st))
+        in
+        let mean =
+          List.fold_left (fun a (t, _, _) -> a +. t) 0. per_sched
+          /. float_of_int schedules
+        in
+        let ops =
+          List.fold_left (fun a (_, _, st) -> a + st.Dsan.st_ops) 0 per_sched
+        in
+        let races =
+          List.fold_left
+            (fun a (_, _, st) -> max a st.Dsan.st_races)
+            0 per_sched
+        in
+        let pages_ok =
+          List.for_all (fun (_, p, _) -> p = ref_pages) per_sched
+        in
+        (j, mean, ops, races, pages_ok))
+      job_levels
+  in
+  Fmt.pr "synth-%dk: %d pages@." (items / 1000) ref_pages;
+  Fmt.pr "  %-6s %14s %14s %9s %12s %6s@." "jobs" "disabled ms" "enabled ms"
+    "slowdown" "dsan ops" "races";
+  List.iter2
+    (fun (j, (td, _)) (j', te, ops, races, _) ->
+      assert (j = j');
+      Fmt.pr "  %-6d %14.1f %14.1f %8.2fx %12d %6d@." j td te (te /. td) ops
+        races)
+    disabled enabled;
+  let total_races =
+    List.fold_left (fun a (_, _, _, r, _) -> a + r) 0 enabled
+  in
+  if total_races > 0 then
+    Fmt.pr "  RACES DETECTED on the stock runtime — fix before trusting \
+            parallel output@."
+  else
+    Fmt.pr "  no races across %d schedule(s) per jobs level@." schedules;
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n  \"experiment\": \"E23_race_sanitizer\",\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"items\": %d, \"pages\": %d, \"schedules\": %d,\n"
+       items ref_pages schedules);
+  Buffer.add_string buf "  \"disabled\": [";
+  List.iteri
+    (fun i (j, (t, _)) ->
+      if i > 0 then Buffer.add_string buf ", ";
+      Buffer.add_string buf
+        (Printf.sprintf "{\"jobs\": %d, \"wall_ms\": %.3f}" j t))
+    disabled;
+  Buffer.add_string buf "],\n  \"enabled\": [";
+  List.iteri
+    (fun i (j, te, ops, races, pages_ok) ->
+      if i > 0 then Buffer.add_string buf ", ";
+      let td = fst (List.assoc j disabled) in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"jobs\": %d, \"wall_ms\": %.3f, \"slowdown\": %.3f, \"ops\": \
+            %d, \"races\": %d, \"pages_identical\": %b}"
+           j te (te /. td) ops races pages_ok))
+    enabled;
+  Buffer.add_string buf
+    (Printf.sprintf "],\n  \"races_total\": %d\n}\n" total_races);
+  let oc = open_out "BENCH_dsan.json" in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Fmt.pr "sanitizer profile written to BENCH_dsan.json@."
+
 (* --- experiment selection ---
 
    With no arguments every experiment runs, in order.  With arguments,
@@ -1997,6 +2120,7 @@ let experiments =
     ("E12", e12); ("E13", e13); ("E14", e14); ("E15", e15); ("E16", e16);
     ("E17", e17); ("E18", e18); ("E19", e19); ("E20", e20); ("E21", e21);
     ("E22", e22);
+    ("E23", e23);
     ("micro", bechamel_suite);
   ]
 

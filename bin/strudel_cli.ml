@@ -626,13 +626,21 @@ let verify_cmd =
 
 let lint_cmd =
   let spec_arg =
-    Arg.(required & pos 0 (some string) None
+    Arg.(value & pos 0 (some string) None
          & info [] ~docv:"SITE"
              ~doc:
                "A bundled example site (quickstart, homepage, cnn, org, \
                 rodin — a path like examples/cnn also works) or a StruQL \
                 site-definition query file (combine with $(b,-d), \
-                $(b,-t) and $(b,--root)).")
+                $(b,-t) and $(b,--root)).  Optional with \
+                $(b,--list-codes).")
+  in
+  let list_codes_arg =
+    Arg.(value & flag
+         & info [ "list-codes" ]
+             ~doc:
+               "Print the stable diagnostic catalog (code, default \
+                severity, description) and exit.")
   in
   let format_arg =
     Arg.(value & opt (enum [ ("text", `Text); ("json", `Json);
@@ -672,8 +680,25 @@ let lint_cmd =
     | "rodin" -> Some (Sites.Lint_specs.rodin ())
     | _ -> None
   in
-  let run spec_name data templates root format fail_on shards output =
+  let run list_codes spec_name data templates root format fail_on shards
+      output =
     or_die (fun () ->
+        if list_codes then begin
+          List.iter
+            (fun (code, sev, desc) ->
+              Fmt.pr "%s  %-7s  %s@." code
+                (Analysis.Diagnostic.severity_name sev)
+                desc)
+            Analysis.Diagnostic.catalog;
+          exit 0
+        end;
+        let spec_name =
+          match spec_name with
+          | Some s -> s
+          | None ->
+            Fmt.epr "a SITE argument is required (or use --list-codes)@.";
+            exit 2
+        in
         let spec =
           match resolve_bundled spec_name with
           | Some s -> s
@@ -742,9 +767,163 @@ let lint_cmd =
           path emptiness, dead/unused spec, constraint verification and \
           template lint, as structured SA0xx diagnostics.  With \
           $(b,--shards), also checks query collections against the \
-          repository's shard manifest (SA050).")
-    Term.(const run $ spec_arg $ data_opt_arg $ template_arg $ root_arg
-          $ format_arg $ fail_on_arg $ shards_dir_arg $ output_arg)
+          repository's shard manifest (SA050).  $(b,--list-codes) \
+          prints the full stable catalog, including the race-sanitizer \
+          codes emitted by $(b,strudel dsan).")
+    Term.(const run $ list_codes_arg $ spec_arg $ data_opt_arg $ template_arg
+          $ root_arg $ format_arg $ fail_on_arg $ shards_dir_arg $ output_arg)
+
+(* --- dsan: race-sanitized runs of the parallel runtime --- *)
+
+let dsan_cmd =
+  let site_arg =
+    Arg.(value & pos 0 (enum [ ("quickstart", `Quickstart);
+                               ("homepage", `Homepage); ("cnn", `Cnn);
+                               ("org", `Org); ("rodin", `Rodin) ]) `Org
+         & info [] ~docv:"SITE"
+             ~doc:
+               "Bundled example site the sanitized workload runs on \
+                (org also exercises the warehouse's parallel refresh).")
+  in
+  let jobs_arg =
+    Arg.(value & opt int 4
+         & info [ "j"; "jobs" ] ~docv:"N"
+             ~doc:"Domains for the parallel phases (builds, serving).")
+  in
+  let schedules_arg =
+    Arg.(value & opt int 1
+         & info [ "schedules" ] ~docv:"K"
+             ~doc:
+               "Distinct perturber seeds to explore: the whole workload \
+                runs $(docv) times, each under a different deterministic \
+                schedule perturbation.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 1
+         & info [ "seed" ] ~docv:"SEED"
+             ~doc:"Base perturber seed (schedule k uses SEED + k).")
+  in
+  let format_arg =
+    Arg.(value & opt (enum [ ("text", `Text); ("json", `Json);
+                             ("sarif", `Sarif) ]) `Text
+         & info [ "f"; "format" ] ~docv:"FORMAT"
+             ~doc:"Report format: text, json or sarif (2.1.0).")
+  in
+  let fail_on_arg =
+    Arg.(value & opt (enum [ ("error", Analysis.Lint.Fail_error);
+                             ("warning", Analysis.Lint.Fail_warning) ])
+           Analysis.Lint.Fail_error
+         & info [ "fail-on" ] ~docv:"SEVERITY"
+             ~doc:
+               "Exit 1 when a diagnostic at or above $(docv) is present \
+                (races are errors; the run summary is info).")
+  in
+  let run site jobs schedules seed format fail_on output =
+    or_die (fun () ->
+        let jobs = max 2 jobs in
+        let def, data =
+          match site with
+          | `Quickstart ->
+            (Sites.Paper_example.definition, Sites.Paper_example.data ())
+          | `Homepage ->
+            (Sites.Homepage.definition, Sites.Homepage.data ~entries:40 ())
+          | `Cnn -> (Sites.Cnn.definition, Sites.Cnn.data ~articles:60 ())
+          | `Org ->
+            let _, w = Sites.Org.data ~people:60 ~orgs:4 () in
+            (Sites.Org.definition, Mediator.Warehouse.graph w)
+          | `Rodin -> (Sites.Rodin.definition, Sites.Rodin.data ())
+        in
+        let request path =
+          {
+            Serve.Http.meth = Serve.Http.GET;
+            target = path;
+            path;
+            version = "HTTP/1.1";
+            headers = [];
+            body = "";
+          }
+        in
+        let workload () =
+          (* two parallel builds sharing a render cache: the second run
+             verifies traces on worker domains instead of rendering *)
+          let cache = Strudel.Render_cache.create () in
+          ignore (Strudel.Site.build ~jobs ~render_cache:cache ~data def);
+          ignore (Strudel.Site.build ~jobs ~render_cache:cache ~data def);
+          (* an engine hammered from [jobs] domains: epoch pickup, ETag
+             memoization, render cache and breakers under contention *)
+          let eng =
+            Serve.Engine.create ~workers:jobs
+              ~source:(Serve.Engine.Static data) def
+          in
+          Strudel.Pool.run Strudel.Pool.shared ~jobs (fun w ->
+              for _ = 1 to 25 do
+                List.iter
+                  (fun path ->
+                    ignore (Serve.Engine.handle ~worker:w eng (request path)))
+                  [ "/"; "/healthz"; "/readyz" ]
+              done);
+          (* org: the warehouse's parallel source loads and view swap *)
+          match site with
+          | `Org ->
+            let srcs, _ = Sites.Org.data ~people:40 ~orgs:3 () in
+            let w =
+              Mediator.Warehouse.create ~jobs
+                ~sources:
+                  [ srcs.Sites.Org.rdb; srcs.Sites.Org.projects;
+                    srcs.Sites.Org.bib; srcs.Sites.Org.html ]
+                ~mappings:Sites.Org.mediation_mappings ()
+            in
+            ignore (Mediator.Warehouse.refresh ~jobs w)
+          | _ -> ()
+        in
+        let schedules = max 1 schedules in
+        let race_diags = ref [] in
+        let ops = ref 0 and locs = ref 0 and yields = ref 0 in
+        for k = 0 to schedules - 1 do
+          Dsan.reset ();
+          Dsan.enable ~seed:(seed + k) ();
+          workload ();
+          Dsan.disable ();
+          race_diags :=
+            List.map Analysis.Dsan_report.diagnostic_of_race (Dsan.races ())
+            @ !race_diags;
+          let st = Dsan.stats () in
+          ops := !ops + st.Dsan.st_ops;
+          locs := max !locs st.Dsan.st_locations;
+          yields := !yields + st.Dsan.st_yields
+        done;
+        let races =
+          List.sort_uniq Analysis.Diagnostic.compare !race_diags
+        in
+        let stats =
+          {
+            Dsan.st_ops = !ops;
+            st_locations = !locs;
+            st_yields = !yields;
+            st_races = List.length races;
+          }
+        in
+        let diags =
+          races @ [ Analysis.Dsan_report.summary ~schedules ~stats () ]
+        in
+        let rendered =
+          match format with
+          | `Text -> Analysis.Diagnostic.to_text diags
+          | `Json -> Analysis.Diagnostic.to_json diags
+          | `Sarif -> Analysis.Diagnostic.to_sarif diags
+        in
+        emit output rendered;
+        exit (Analysis.Lint.exit_code fail_on diags))
+  in
+  Cmd.v
+    (Cmd.info "dsan"
+       ~doc:
+         "Run the domain-parallel runtime (parallel builds, cached \
+          rebuilds, concurrent serving, warehouse refresh) under the \
+          happens-before race sanitizer and report any data races as \
+          SA060/SA061 diagnostics, plus an SA062 run summary.")
+    Term.(const run $ site_arg $ jobs_arg $ schedules_arg $ seed_arg
+          $ format_arg $ fail_on_arg $ output_arg)
 
 (* --- browse: click-time materialization simulator --- *)
 
@@ -1114,4 +1293,4 @@ let () =
        (Cmd.group (Cmd.info "strudel" ~doc)
           [ load_cmd; query_cmd; explain_cmd; explain_analyze_cmd; check_cmd;
             schema_cmd; decompose_cmd; build_cmd; faults_cmd; verify_cmd;
-            lint_cmd; browse_cmd; serve_cmd; repo_cmd; demo_cmd ]))
+            lint_cmd; dsan_cmd; browse_cmd; serve_cmd; repo_cmd; demo_cmd ]))

@@ -49,6 +49,11 @@ let catalog : (string * severity * string) list =
     ("SA050", Warning,
      "query reads a collection no shard of the repository manifest is home \
       to");
+    ("SA060", Error,
+     "data race: two unordered writes to the same shared location");
+    ("SA061", Error,
+     "data race: unordered read and write of the same shared location");
+    ("SA062", Info, "race sanitizer run summary");
   ]
 
 let compare a b =

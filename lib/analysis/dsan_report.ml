@@ -1,0 +1,45 @@
+(** {!Dsan} races as catalog diagnostics (see the interface). *)
+
+let span_of_pos ((file, line, c1, c2) : Dsan.pos) =
+  { Diagnostic.file; l1 = line; c1 = c1 + 1; l2 = line; c2 = c2 + 1 }
+
+let pos_str ((file, line, _, _) : Dsan.pos) = Printf.sprintf "%s:%d" file line
+
+let lockset_str = function
+  | [] -> "no locks held"
+  | ls -> "holding " ^ String.concat ", " ls
+
+let diagnostic_of_race (r : Dsan.race) =
+  let code, what =
+    match r.Dsan.r_kind with
+    | `Write_write -> ("SA060", "conflicting writes")
+    | `Read_write -> ("SA061", "conflicting read and write")
+  in
+  let message =
+    Printf.sprintf "%s to %s (field %d) with no happens-before order"
+      what r.Dsan.r_object r.Dsan.r_field
+  in
+  let access which site tid locks =
+    Printf.sprintf "%s access: %s on domain %d, %s" which (pos_str site) tid
+      (lockset_str locks)
+  in
+  Diagnostic.make
+    ~span:(span_of_pos r.Dsan.r_site1)
+    ~related:
+      [ access "first" r.Dsan.r_site1 r.Dsan.r_tid1 r.Dsan.r_locks1;
+        access "second" r.Dsan.r_site2 r.Dsan.r_tid2 r.Dsan.r_locks2 ]
+    ~code Diagnostic.Error message
+
+let summary ?(schedules = 1) ~stats () =
+  Diagnostic.make ~code:"SA062" Diagnostic.Info
+    (Printf.sprintf
+       "race sanitizer: %d instrumented ops, %d locations, %d schedule(s) \
+        explored, %d perturbation(s), %d race(s)"
+       stats.Dsan.st_ops stats.Dsan.st_locations schedules
+       stats.Dsan.st_yields stats.Dsan.st_races)
+
+let report ?schedules () =
+  let races = List.map diagnostic_of_race (Dsan.races ()) in
+  let races = List.sort Diagnostic.compare races in
+  if races = [] && not (Dsan.enabled ()) then []
+  else races @ [ summary ?schedules ~stats:(Dsan.stats ()) () ]

@@ -1,0 +1,31 @@
+(** Rendering {!Dsan} race reports as [strudel lint] diagnostics.
+
+    The sanitizer runtime ({!Dsan}) records conflicting unordered
+    access pairs; this module maps them onto the stable diagnostic
+    catalog so races render through the same text / JSON / SARIF
+    pipeline (and CI gating) as every other analyzer finding:
+
+    {ul
+    {- [SA060] ([Error]) — write/write race;}
+    {- [SA061] ([Error]) — read/write race;}
+    {- [SA062] ([Info]) — one summary line per sanitized run (ops
+       replayed, locations tracked, schedule points perturbed, races).}}
+
+    Diagnostics are deterministic: races are sorted by site, object and
+    field before rendering, so two runs that find the same races emit
+    byte-identical reports. *)
+
+val diagnostic_of_race : Dsan.race -> Diagnostic.t
+(** [SA060]/[SA061] with the first access site as the span; the second
+    site, both domains and both held locksets go in [related]. *)
+
+val summary :
+  ?schedules:int -> stats:Dsan.stats -> unit -> Diagnostic.t
+(** The [SA062] run summary.  [schedules] is the number of seeds the
+    caller explored (defaults to 1). *)
+
+val report : ?schedules:int -> unit -> Diagnostic.t list
+(** Everything the current sanitizer run produced — the sorted race
+    diagnostics followed by the [SA062] summary — read straight from
+    the {!Dsan} runtime.  Empty when the sanitizer is disabled and no
+    races were recorded. *)

@@ -1,6 +1,14 @@
 (** Persistent worker-domain pool and work-stealing chunk queues.
     See the interface for the design; the implementation notes below
-    cover the synchronization. *)
+    cover the synchronization.
+
+    Dsan instrumentation: every mutex is registered with a lock id and
+    every protected field family with an object id, so a sanitized run
+    checks the protocol this file's comments claim — job state only
+    under [t.m], deque windows only under the owner's lock, the
+    caller-observes-worker-writes edge provided by the join barrier.
+    [Condition.wait] is modeled as release-before / acquire-after,
+    which is exactly what it does to the mutex. *)
 
 let auto_jobs () = max 1 (Domain.recommended_domain_count ())
 
@@ -19,6 +27,11 @@ module Work = struct
     locks : Mutex.t array;
     steals : int Atomic.t;
     workers : int;
+    (* sanitizer identities: field 0 = [chunks] (written once at
+       create, read by every worker), field 1+w = worker [w]'s window *)
+    ds_obj : int;
+    ds_locks : int array;
+    ds_steals : int;
   }
 
   let create ~total ~workers =
@@ -32,6 +45,11 @@ module Work = struct
     in
     let lo = Array.init workers (fun w -> w * nchunks / workers) in
     let hi = Array.init workers (fun w -> (w + 1) * nchunks / workers) in
+    let ds_obj = Dsan.alloc ~name:"Pool.Work" in
+    Dsan.write ~site:__POS__ ds_obj 0;
+    for w = 0 to workers - 1 do
+      Dsan.write ~site:__POS__ ds_obj (1 + w)
+    done;
     {
       chunks;
       lo;
@@ -39,31 +57,44 @@ module Work = struct
       locks = Array.init workers (fun _ -> Mutex.create ());
       steals = Atomic.make 0;
       workers;
+      ds_obj;
+      ds_locks =
+        Array.init workers (fun w ->
+            Dsan.lock_id ~name:(Printf.sprintf "Pool.Work.lock[%d]" w));
+      ds_steals = Dsan.atomic_id ~name:"Pool.Work.steals";
     }
 
   let pop_own t w =
     Mutex.lock t.locks.(w);
+    Dsan.acquire ~site:__POS__ t.ds_locks.(w);
     let r =
+      Dsan.write ~site:__POS__ t.ds_obj (1 + w);
       if t.lo.(w) < t.hi.(w) then begin
         let i = t.lo.(w) in
         t.lo.(w) <- i + 1;
+        Dsan.read ~site:__POS__ t.ds_obj 0;
         Some t.chunks.(i)
       end
       else None
     in
+    Dsan.release ~site:__POS__ t.ds_locks.(w);
     Mutex.unlock t.locks.(w);
     r
 
   let steal_from t v =
     Mutex.lock t.locks.(v);
+    Dsan.acquire ~site:__POS__ t.ds_locks.(v);
     let r =
+      Dsan.write ~site:__POS__ t.ds_obj (1 + v);
       if t.lo.(v) < t.hi.(v) then begin
         let i = t.hi.(v) - 1 in
         t.hi.(v) <- i;
+        Dsan.read ~site:__POS__ t.ds_obj 0;
         Some t.chunks.(i)
       end
       else None
     in
+    Dsan.release ~site:__POS__ t.ds_locks.(v);
     Mutex.unlock t.locks.(v);
     r
 
@@ -78,12 +109,15 @@ module Work = struct
           match steal_from t v with
           | Some _ as r ->
             Atomic.incr t.steals;
+            Dsan.publish ~site:__POS__ t.ds_steals;
             r
           | None -> hunt (k + 1)
       in
       hunt 1
 
-  let steals t = Atomic.get t.steals
+  let steals t =
+    Dsan.consume ~site:__POS__ t.ds_steals;
+    Atomic.get t.steals
 end
 
 (* --- The persistent pool --- *)
@@ -113,6 +147,11 @@ type t = {
   mutable epoch : int;
   mutable quit : bool;
   busy : Mutex.t;  (* held across a pooled [run]; try-locked only *)
+  (* sanitizer identities: field 0 = everything guarded by [m] (job,
+     epoch, handles, nworkers, quit and the published job's fields) *)
+  ds_obj : int;
+  ds_m : int;
+  ds_busy : int;
 }
 
 let create () =
@@ -126,14 +165,19 @@ let create () =
       epoch = 0;
       quit = false;
       busy = Mutex.create ();
+      ds_obj = Dsan.alloc ~name:"Pool";
+      ds_m = Dsan.lock_id ~name:"Pool.m";
+      ds_busy = Dsan.lock_id ~name:"Pool.busy";
     }
   in
   at_exit (fun () ->
       Mutex.lock t.m;
+      Dsan.acquire ~site:__POS__ t.ds_m;
       t.quit <- true;
       Condition.broadcast t.cv;
       let hs = t.handles in
       t.handles <- [];
+      Dsan.release ~site:__POS__ t.ds_m;
       Mutex.unlock t.m;
       List.iter Domain.join hs);
   t
@@ -141,24 +185,39 @@ let create () =
 let shared = create ()
 let live_workers t = t.nworkers
 
+(* [Condition.wait] releases the mutex while blocked and reacquires it
+   before returning — mirror that for the sanitizer. *)
+let dsan_wait ~site t =
+  Dsan.release ~site t.ds_m;
+  Condition.wait t.cv t.m;
+  Dsan.acquire ~site t.ds_m
+
 let finish_participant t j err =
   Mutex.lock t.m;
+  Dsan.acquire ~site:__POS__ t.ds_m;
+  Dsan.write ~site:__POS__ t.ds_obj 0;
   (match err with
    | Some _ when j.error = None -> j.error <- err
    | _ -> ());
   j.remaining <- j.remaining - 1;
   if j.remaining = 0 then Condition.broadcast t.cv;
+  Dsan.release ~site:__POS__ t.ds_m;
   Mutex.unlock t.m
 
 let rec worker_loop t last =
   Mutex.lock t.m;
+  Dsan.acquire ~site:__POS__ t.ds_m;
   while (not t.quit) && t.epoch = last do
-    Condition.wait t.cv t.m
+    dsan_wait ~site:__POS__ t
   done;
-  if t.quit then Mutex.unlock t.m
+  if t.quit then begin
+    Dsan.release ~site:__POS__ t.ds_m;
+    Mutex.unlock t.m
+  end
   else begin
     let epoch = t.epoch in
     let claim =
+      Dsan.write ~site:__POS__ t.ds_obj 0;
       match t.job with
       | Some j when j.next_id < j.jobs ->
         let id = j.next_id in
@@ -166,6 +225,7 @@ let rec worker_loop t last =
         Some (j, id)
       | _ -> None
     in
+    Dsan.release ~site:__POS__ t.ds_m;
     Mutex.unlock t.m;
     (match claim with
      | Some (j, id) ->
@@ -181,7 +241,12 @@ let rec worker_loop t last =
 let ensure_workers t wanted =
   while t.nworkers < wanted do
     let birth = t.epoch in
-    t.handles <- Domain.spawn (fun () -> worker_loop t birth) :: t.handles;
+    let tok = Dsan.fork () in
+    t.handles <-
+      Domain.spawn (fun () ->
+          Dsan.born tok;
+          worker_loop t birth)
+      :: t.handles;
     t.nworkers <- t.nworkers + 1
   done
 
@@ -191,11 +256,22 @@ let run_ephemeral ~jobs f =
   let doms =
     List.init (jobs - 1) (fun k ->
         let w = k + 1 in
-        Domain.spawn (fun () -> f w))
+        let tok = Dsan.fork () in
+        let d =
+          Domain.spawn (fun () ->
+              Dsan.born tok;
+              Fun.protect ~finally:(fun () -> Dsan.dying tok) (fun () -> f w))
+        in
+        (d, tok))
   in
   let caller_err = try f 0; None with e -> Some e in
   let worker_errs =
-    List.map (fun d -> try Domain.join d; None with e -> Some e) doms
+    List.map
+      (fun (d, tok) ->
+        let r = try Domain.join d; None with e -> Some e in
+        Dsan.joined tok;
+        r)
+      doms
   in
   match caller_err, List.find_opt Option.is_some worker_errs with
   | Some e, _ -> raise e
@@ -205,24 +281,34 @@ let run_ephemeral ~jobs f =
 let run t ~jobs f =
   if jobs <= 1 then f 0
   else if not (Mutex.try_lock t.busy) then run_ephemeral ~jobs f
-  else
+  else begin
+    Dsan.acquire ~site:__POS__ t.ds_busy;
     Fun.protect
-      ~finally:(fun () -> Mutex.unlock t.busy)
+      ~finally:(fun () ->
+        Dsan.release ~site:__POS__ t.ds_busy;
+        Mutex.unlock t.busy)
       (fun () ->
         let j = { f; jobs; next_id = 1; remaining = jobs - 1; error = None } in
         Mutex.lock t.m;
+        Dsan.acquire ~site:__POS__ t.ds_m;
         ensure_workers t (jobs - 1);
+        Dsan.write ~site:__POS__ t.ds_obj 0;
         t.job <- Some j;
         t.epoch <- t.epoch + 1;
         Condition.broadcast t.cv;
+        Dsan.release ~site:__POS__ t.ds_m;
         Mutex.unlock t.m;
         let caller_err = try f 0; None with e -> Some e in
         Mutex.lock t.m;
+        Dsan.acquire ~site:__POS__ t.ds_m;
         while j.remaining > 0 do
-          Condition.wait t.cv t.m
+          dsan_wait ~site:__POS__ t
         done;
+        Dsan.write ~site:__POS__ t.ds_obj 0;
         t.job <- None;
+        Dsan.release ~site:__POS__ t.ds_m;
         Mutex.unlock t.m;
         match caller_err, j.error with
         | Some e, _ | None, Some e -> raise e
         | None, None -> ())
+  end

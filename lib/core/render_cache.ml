@@ -41,6 +41,11 @@ type t = {
   entries : (string, entry) Hashtbl.t;  (* page-object name → entry *)
   stats : stats;
   mutable templates_fp : int option;
+  (* sanitizer identity: field 0 = [entries]/[templates_fp], field 1 =
+     [stats].  Nothing locks them — the documented invariant is that
+     every access stays on the main domain, and instrumenting both
+     fields makes a sanitized parallel build check exactly that. *)
+  ds_obj : int;
 }
 
 let create () =
@@ -48,13 +53,23 @@ let create () =
     entries = Hashtbl.create 64;
     stats = { hits = 0; misses = 0; invalidations = 0 };
     templates_fp = None;
+    ds_obj = Dsan.alloc ~name:"Render_cache";
   }
 
-let clear c = Hashtbl.reset c.entries
-let size c = Hashtbl.length c.entries
-let stats c = (c.stats.hits, c.stats.misses, c.stats.invalidations)
+let clear c =
+  Dsan.write ~site:__POS__ c.ds_obj 0;
+  Hashtbl.reset c.entries
+
+let size c =
+  Dsan.read ~site:__POS__ c.ds_obj 0;
+  Hashtbl.length c.entries
+
+let stats c =
+  Dsan.read ~site:__POS__ c.ds_obj 1;
+  (c.stats.hits, c.stats.misses, c.stats.invalidations)
 
 let reset_stats c =
+  Dsan.write ~site:__POS__ c.ds_obj 1;
   c.stats.hits <- 0;
   c.stats.misses <- 0;
   c.stats.invalidations <- 0
@@ -77,6 +92,7 @@ let fingerprint_templates (ts : G.template_set) =
     (template text is an input the read traces cannot see). *)
 let set_templates c ts =
   let fp = fingerprint_templates ts in
+  Dsan.write ~site:__POS__ c.ds_obj 0;
   (match c.templates_fp with
    | Some old when old <> fp -> clear c
    | _ -> ());
@@ -120,6 +136,8 @@ let verify ?file_loader g entry =
     removed and counted as an invalidation; an absent one as a miss. *)
 let find_valid ?file_loader c g o =
   let key = Oid.name o in
+  Dsan.write ~site:__POS__ c.ds_obj 0;
+  Dsan.write ~site:__POS__ c.ds_obj 1;
   match Hashtbl.find_opt c.entries key with
   | None ->
     c.stats.misses <- c.stats.misses + 1;
@@ -143,22 +161,27 @@ let find_valid ?file_loader c g o =
     the graph), and settles the table afterwards with {!settle} /
     {!drop} / {!store}. *)
 let peek_batch c (os : Oid.t array) : entry option array =
+  Dsan.read ~site:__POS__ c.ds_obj 0;
   Array.map (fun o -> Hashtbl.find_opt c.entries (Oid.name o)) os
 
 (** Fold one batch's verdict counts into the statistics. *)
 let settle c ~hits ~misses ~invalidations =
+  Dsan.write ~site:__POS__ c.ds_obj 1;
   c.stats.hits <- c.stats.hits + hits;
   c.stats.misses <- c.stats.misses + misses;
   c.stats.invalidations <- c.stats.invalidations + invalidations
 
 (** Remove the entry for a page object — a stale entry whose re-render
     degraded to a placeholder, which must not stay cached. *)
-let drop c o = Hashtbl.remove c.entries (Oid.name o)
+let drop c o =
+  Dsan.write ~site:__POS__ c.ds_obj 0;
+  Hashtbl.remove c.entries (Oid.name o)
 
 (** Record a freshly rendered page (must come from [render_page_full
     ~trace_reads:true], else the entry would validate vacuously). *)
 let store c (r : G.rendered) =
   let p = r.G.r_page in
+  Dsan.write ~site:__POS__ c.ds_obj 0;
   Hashtbl.replace c.entries (Oid.name p.G.obj)
     {
       e_url = p.G.url;
@@ -182,5 +205,6 @@ let refs_of_entry g (e : entry) : Oid.t list =
   List.filter_map (Graph.find_node g) e.e_refs
 
 let pp_stats ppf c =
+  Dsan.read ~site:__POS__ c.ds_obj 1;
   Fmt.pf ppf "%d entries, %d hits / %d misses / %d invalidations" (size c)
     c.stats.hits c.stats.misses c.stats.invalidations

@@ -218,6 +218,10 @@ let materialize ?(jobs = 1) ?cache ?file_loader
     in
     let shard_pages = Array.make jobs 0 in
     let shard_ms = Array.make jobs 0. in
+    (* sanitizer identity for the per-worker tallies: field [w] covers
+       [shard_pages.(w)]/[shard_ms.(w)]/[compiled.(w)] — written only by
+       worker [w], read by the main domain after the pool barrier *)
+    let ds_shard = Dsan.alloc ~name:"Render_pool.shards" in
     let waves = ref 0 in
     let steals = ref 0 in
     let rendered_count = ref 0 in
@@ -279,9 +283,19 @@ let materialize ?(jobs = 1) ?cache ?file_loader
           | None -> Array.make (min len 1) None
         in
         let slots : slot option array = Array.make len None in
+        (* sanitizer identity for the slice: field [i] covers cell [i]
+           of [ents] (written on the main domain before fan-out) and of
+           [slots] (written by exactly one worker, read at settle) *)
+        let ds_slice = Dsan.alloc ~name:"Render_pool.slice" in
+        if Dsan.enabled () then
+          for i = 0 to len - 1 do
+            Dsan.write ~site:__POS__ ds_slice i
+          done;
         (* executed on worker domains: verify the prefetched entry or
            render; each slot is written by exactly one worker *)
         let process w i =
+          Dsan.write ~site:__POS__ ds_slice i;
+          Dsan.write ~site:__POS__ ds_shard w;
           let o = arr.(base + i) in
           match if cache = None then None else ents.(i) with
           | Some e when Render_cache.verify ?file_loader g e ->
@@ -299,6 +313,7 @@ let materialize ?(jobs = 1) ?cache ?file_loader
         let run_worker w =
           let t = now_ms () in
           let rec loop () =
+            Dsan.yield ~site:__POS__;
             match Pool.Work.take work w with
             | None -> ()
             | Some (lo, hi) ->
@@ -308,7 +323,9 @@ let materialize ?(jobs = 1) ?cache ?file_loader
               loop ()
           in
           Fun.protect
-            ~finally:(fun () -> shard_ms.(w) <- shard_ms.(w) +. (now_ms () -. t))
+            ~finally:(fun () ->
+              Dsan.write ~site:__POS__ ds_shard w;
+              shard_ms.(w) <- shard_ms.(w) +. (now_ms () -. t))
             loop
         in
         if jobs = 1 then run_worker 0 else Pool.run Pool.shared ~jobs run_worker;
@@ -320,6 +337,7 @@ let materialize ?(jobs = 1) ?cache ?file_loader
         let sl_hits = ref 0 and sl_miss = ref 0 and sl_inval = ref 0 in
         let sl_reports = ref [] in
         for i = 0 to len - 1 do
+          Dsan.read ~site:__POS__ ds_slice i;
           match slots.(i) with
           | Some (S_hit (p, refs)) ->
             incr sl_hits;
@@ -366,6 +384,7 @@ let materialize ?(jobs = 1) ?cache ?file_loader
         rp_steals = !steals;
         rp_shards =
           List.init jobs (fun i ->
+              Dsan.read ~site:__POS__ ds_shard i;
               {
                 sh_domain = i;
                 sh_pages = shard_pages.(i);

@@ -52,6 +52,10 @@ type t = {
   mutable seen_versions : (string * int) list;
   mutable refreshes : int;  (** number of integrations performed *)
   mutable last_stats : source_stat list;
+  (* sanitizer identities: field 0 = the view state guarded by [lock]
+     ([current]/[seen_versions]/[refreshes]/[last_stats]) *)
+  ds_obj : int;
+  ds_lock : int;
 }
 
 let versions sources = List.map (fun s -> (Source.name s, Source.version s)) sources
@@ -106,21 +110,43 @@ let attempt_parallel ~jobs ~clock ~fault ~direct sources =
   let jobs = max 1 (min jobs n) in
   let results = Array.make n (Source.Load_failed (Exit, 0), 0.) in
   let now () = clock.Fault.Clock.now_ms () in
+  (* sanitizer identity: field j = [results.(j)], each written by
+     exactly one domain (round-robin striping), read after the joins *)
+  let ds_par = Dsan.alloc ~name:"Warehouse.parallel_load" in
   let slice i () =
     let j = ref i in
     while !j < n do
+      Dsan.yield ~site:__POS__;
       let s = srcs.(!j) in
       let t0 = now () in
       let att =
         if direct then attempt_direct s else Source.load_attempt ~clock ?fault s
       in
+      Dsan.write ~site:__POS__ ds_par !j;
       results.(!j) <- (att, now () -. t0);
       j := !j + jobs
     done
   in
-  let workers = List.init (jobs - 1) (fun i -> Domain.spawn (slice (i + 1))) in
+  let workers =
+    List.init (jobs - 1) (fun i ->
+        let tok = Dsan.fork () in
+        let d =
+          Domain.spawn (fun () ->
+              Dsan.born tok;
+              Fun.protect ~finally:(fun () -> Dsan.dying tok) (slice (i + 1)))
+        in
+        (d, tok))
+  in
   slice 0 ();
-  List.iter Domain.join workers;
+  List.iter
+    (fun (d, tok) ->
+      Domain.join d;
+      Dsan.joined tok)
+    workers;
+  if Dsan.enabled () then
+    for j = 0 to n - 1 do
+      Dsan.read ~site:__POS__ ds_par j
+    done;
   results
 
 let integrate_now ~jobs ~prev w_options ~clock ~snapshots ~fault sources mappings
@@ -206,24 +232,45 @@ let create ?(options = Struql.Eval.default_options)
       seen_versions = vs;
       refreshes = 1;
       last_stats = stats;
+      ds_obj = Dsan.alloc ~name:"Warehouse";
+      ds_lock = Dsan.lock_id ~name:"Warehouse.lock";
     }
   in
-  w.current <- build_view w ~epoch:1 ~source_versions:vs g;
+  let v = build_view w ~epoch:1 ~source_versions:vs g in
+  Mutex.protect w.lock (fun () ->
+      Dsan.acquire ~site:__POS__ w.ds_lock;
+      Dsan.write ~site:__POS__ w.ds_obj 0;
+      w.current <- v;
+      Dsan.release ~site:__POS__ w.ds_lock);
   w
 
-let pin w = Mutex.protect w.lock (fun () -> w.current)
+(* Every access to the lock-guarded view state goes through here so the
+   sanitizer sees the acquire/release edges Mutex.protect provides. *)
+let locked ~site ~wr w f =
+  Mutex.protect w.lock (fun () ->
+      Dsan.acquire ~site w.ds_lock;
+      if wr then Dsan.write ~site w.ds_obj 0 else Dsan.read ~site w.ds_obj 0;
+      Fun.protect ~finally:(fun () -> Dsan.release ~site w.ds_lock) f)
+
+let pin w = locked ~site:__POS__ ~wr:false w (fun () -> w.current)
 let view_epoch v = v.v_epoch
 let view_graph v = v.v_graph
 let view_shards v = v.v_shards
 let graph w = (pin w).v_graph
-let refresh_count w = Mutex.protect w.lock (fun () -> w.refreshes)
-let last_refresh w = Mutex.protect w.lock (fun () -> w.last_stats)
+
+let refresh_count w =
+  locked ~site:__POS__ ~wr:false w (fun () -> w.refreshes)
+
+let last_refresh w =
+  locked ~site:__POS__ ~wr:false w (fun () -> w.last_stats)
+
 let shard_config w = w.shards
 
 let faults w = match w.fault with Some c -> Fault.reports c | None -> []
 
 let stale w =
-  versions w.sources <> Mutex.protect w.lock (fun () -> w.seen_versions)
+  versions w.sources
+  <> locked ~site:__POS__ ~wr:false w (fun () -> w.seen_versions)
 
 (** Re-integrate if any source changed; returns whether a rebuild
     happened.  The new graph (and shard snapshot) is built completely
@@ -232,15 +279,15 @@ let stale w =
 let refresh ?jobs w =
   if stale w then begin
     let jobs = match jobs with Some j -> j | None -> w.jobs in
-    let prev = Mutex.protect w.lock (fun () -> w.seen_versions) in
+    let prev = locked ~site:__POS__ ~wr:false w (fun () -> w.seen_versions) in
     let g, stats =
       integrate_now ~jobs ~prev w.options ~clock:w.clock
         ~snapshots:w.snapshots ~fault:w.fault w.sources w.mappings
     in
     let vs = versions w.sources in
-    let epoch = Mutex.protect w.lock (fun () -> w.refreshes) + 1 in
+    let epoch = locked ~site:__POS__ ~wr:false w (fun () -> w.refreshes) + 1 in
     let view = build_view w ~epoch ~source_versions:vs g in
-    Mutex.protect w.lock (fun () ->
+    locked ~site:__POS__ ~wr:true w (fun () ->
         w.current <- view;
         w.seen_versions <- vs;
         w.refreshes <- w.refreshes + 1;

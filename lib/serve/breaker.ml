@@ -17,6 +17,10 @@ type t = {
   m : Mutex.t;
   tbl : (string, key_state) Hashtbl.t;
   mutable trips : int;
+  (* sanitizer identities: field 0 = [tbl], every key_state and [trips],
+     all guarded by [m] *)
+  ds_obj : int;
+  ds_m : int;
 }
 
 let create ?(threshold = 3) ?(retry = Fault.Policy.default_retry) ~clock () =
@@ -32,11 +36,21 @@ let create ?(threshold = 3) ?(retry = Fault.Policy.default_retry) ~clock () =
     m = Mutex.create ();
     tbl = Hashtbl.create 16;
     trips = 0;
+    ds_obj = Dsan.alloc ~name:"Breaker";
+    ds_m = Dsan.lock_id ~name:"Breaker.m";
   }
 
-let with_lock t f =
+(* [wr] declares whether the section mutates the guarded state (see
+   {!Gate.with_lock}). *)
+let with_lock ?(wr = true) ~site t f =
   Mutex.lock t.m;
-  Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
+  Dsan.acquire ~site t.ds_m;
+  if wr then Dsan.write ~site t.ds_obj 0 else Dsan.read ~site t.ds_obj 0;
+  Fun.protect
+    ~finally:(fun () ->
+      Dsan.release ~site t.ds_m;
+      Mutex.unlock t.m)
+    f
 
 let key_state t key =
   match Hashtbl.find_opt t.tbl key with
@@ -71,7 +85,7 @@ let open_now t ks =
 type decision = Proceed | Reject of float
 
 let check t key =
-  with_lock t (fun () ->
+  with_lock ~site:__POS__ t (fun () ->
       let ks = key_state t key in
       match ks.ks_state with
       | Closed -> Proceed
@@ -89,13 +103,13 @@ let check t key =
         else Reject (ks.ks_until -. now))
 
 let state t key =
-  with_lock t (fun () ->
+  with_lock ~wr:false ~site:__POS__ t (fun () ->
       match Hashtbl.find_opt t.tbl key with
       | None -> Closed
       | Some ks -> ks.ks_state)
 
 let success t key =
-  with_lock t (fun () ->
+  with_lock ~site:__POS__ t (fun () ->
       let ks = key_state t key in
       ks.ks_state <- Closed;
       ks.ks_failures <- 0;
@@ -103,7 +117,7 @@ let success t key =
       ks.ks_probing <- false)
 
 let failure t key =
-  with_lock t (fun () ->
+  with_lock ~site:__POS__ t (fun () ->
       let ks = key_state t key in
       match ks.ks_state with
       | Open -> ()  (* already open; rejected callers don't re-trip it *)
@@ -112,10 +126,10 @@ let failure t key =
         ks.ks_failures <- ks.ks_failures + 1;
         if ks.ks_failures >= t.threshold then open_now t ks)
 
-let trips t = with_lock t (fun () -> t.trips)
+let trips t = with_lock ~wr:false ~site:__POS__ t (fun () -> t.trips)
 
 let open_keys t =
-  with_lock t (fun () ->
+  with_lock ~wr:false ~site:__POS__ t (fun () ->
       Hashtbl.fold
         (fun k ks acc ->
           match ks.ks_state with Open | Half_open -> k :: acc | Closed -> acc)

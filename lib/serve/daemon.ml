@@ -166,6 +166,16 @@ type t = {
   s_timeouts : int Atomic.t;
   s_deadlines : int Atomic.t;
   s_aborted : int Atomic.t;
+  (* sanitizer identities: field 0 = [q]/[q_closed] (under [q_m]),
+     field 1 = [active] (under [act_m]), field 2 = [code] (main domain
+     only, before workers start and after they join).  [stop_requested]
+     is deliberately not instrumented: it is set from signal handlers,
+     where taking the sanitizer's mutex could self-deadlock, and as a
+     lone atomic flag it orders nothing by itself — the worker handoff
+     happens through the instrumented queue. *)
+  ds_obj : int;
+  ds_q_m : int;
+  ds_act_m : int;
 }
 
 let create ?(config = default_config) ?(on_drain = fun () -> ())
@@ -190,11 +200,17 @@ let create ?(config = default_config) ?(on_drain = fun () -> ())
     s_timeouts = Atomic.make 0;
     s_deadlines = Atomic.make 0;
     s_aborted = Atomic.make 0;
+    ds_obj = Dsan.alloc ~name:"Daemon";
+    ds_q_m = Dsan.lock_id ~name:"Daemon.q_m";
+    ds_act_m = Dsan.lock_id ~name:"Daemon.act_m";
   }
 
 let stop t = Atomic.set t.stop_requested true
 let stopping t = Atomic.get t.stop_requested
-let exit_code t = t.code
+
+let exit_code t =
+  Dsan.read ~site:__POS__ t.ds_obj 2;
+  t.code
 
 let install_signal_handlers t =
   (* A client that vanishes mid-write must surface as EPIPE (a counted
@@ -230,35 +246,53 @@ let stats t =
 
 let enqueue t conn =
   Mutex.lock t.q_m;
+  Dsan.acquire ~site:__POS__ t.ds_q_m;
+  Dsan.write ~site:__POS__ t.ds_obj 0;
   Queue.add conn t.q;
   Condition.signal t.q_c;
+  Dsan.release ~site:__POS__ t.ds_q_m;
   Mutex.unlock t.q_m
 
 let dequeue t =
   Mutex.lock t.q_m;
+  Dsan.acquire ~site:__POS__ t.ds_q_m;
   while Queue.is_empty t.q && not t.q_closed do
-    Condition.wait t.q_c t.q_m
+    (* Condition.wait releases [q_m] while blocked and reacquires it *)
+    Dsan.release ~site:__POS__ t.ds_q_m;
+    Condition.wait t.q_c t.q_m;
+    Dsan.acquire ~site:__POS__ t.ds_q_m
   done;
+  Dsan.write ~site:__POS__ t.ds_obj 0;
   let c = if Queue.is_empty t.q then None else Some (Queue.pop t.q) in
+  Dsan.release ~site:__POS__ t.ds_q_m;
   Mutex.unlock t.q_m;
   c
 
 let close_queue t =
   Mutex.lock t.q_m;
+  Dsan.acquire ~site:__POS__ t.ds_q_m;
+  Dsan.write ~site:__POS__ t.ds_obj 0;
   t.q_closed <- true;
   Condition.broadcast t.q_c;
+  Dsan.release ~site:__POS__ t.ds_q_m;
   Mutex.unlock t.q_m
 
 let register t conn =
   let id = Atomic.fetch_and_add t.next_id 1 in
   Mutex.lock t.act_m;
+  Dsan.acquire ~site:__POS__ t.ds_act_m;
+  Dsan.write ~site:__POS__ t.ds_obj 1;
   Hashtbl.add t.active id conn;
+  Dsan.release ~site:__POS__ t.ds_act_m;
   Mutex.unlock t.act_m;
   id
 
 let unregister t id =
   Mutex.lock t.act_m;
+  Dsan.acquire ~site:__POS__ t.ds_act_m;
+  Dsan.write ~site:__POS__ t.ds_obj 1;
   Hashtbl.remove t.active id;
+  Dsan.release ~site:__POS__ t.ds_act_m;
   Mutex.unlock t.act_m
 
 (* --- Request workers --- *)
@@ -381,16 +415,22 @@ let accept_loop t listener =
    fast and the workers come home. *)
 let force_close t =
   Mutex.lock t.q_m;
+  Dsan.acquire ~site:__POS__ t.ds_q_m;
+  Dsan.write ~site:__POS__ t.ds_obj 0;
   let queued = Queue.length t.q in
   while not (Queue.is_empty t.q) do
     let c = Queue.pop t.q in
     (try c.c_close () with _ -> ());
     Gate.release t.gate
   done;
+  Dsan.release ~site:__POS__ t.ds_q_m;
   Mutex.unlock t.q_m;
   Mutex.lock t.act_m;
+  Dsan.acquire ~site:__POS__ t.ds_act_m;
+  Dsan.read ~site:__POS__ t.ds_obj 1;
   let held = Hashtbl.length t.active in
   Hashtbl.iter (fun _ c -> try c.c_close () with _ -> ()) t.active;
+  Dsan.release ~site:__POS__ t.ds_act_m;
   Mutex.unlock t.act_m;
   Atomic.set t.s_aborted (queued + held)
 
@@ -408,13 +448,20 @@ let drain t =
          clock waits are purely event-driven and no watchdog runs. *)
       let ticking = Atomic.make true in
       let watchdog =
-        if clk == Fault.Clock.real && t.cfg.drain_deadline_ms > 0. then
+        if clk == Fault.Clock.real && t.cfg.drain_deadline_ms > 0. then begin
+          let tok = Dsan.fork () in
           Some
-            (Domain.spawn (fun () ->
-                 while Atomic.get ticking do
-                   Unix.sleepf 0.05;
-                   Gate.wake t.gate
-                 done))
+            ( Domain.spawn (fun () ->
+                  Dsan.born tok;
+                  Fun.protect
+                    ~finally:(fun () -> Dsan.dying tok)
+                    (fun () ->
+                      while Atomic.get ticking do
+                        Unix.sleepf 0.05;
+                        Gate.wake t.gate
+                      done)),
+              tok )
+        end
         else None
       in
       let idle =
@@ -423,7 +470,11 @@ let drain t =
           t.gate
       in
       Atomic.set ticking false;
-      Option.iter Domain.join watchdog;
+      Option.iter
+        (fun (d, tok) ->
+          Domain.join d;
+          Dsan.joined tok)
+        watchdog;
       idle
     end
   in
@@ -446,8 +497,10 @@ let serve t listener =
                (try listener.l_close () with _ -> ());
                drain t))
    with e ->
+     Dsan.write ~site:__POS__ t.ds_obj 2;
      t.code <- 1;
      raise e);
+  Dsan.write ~site:__POS__ t.ds_obj 2;
   t.code <-
     (if Atomic.get t.s_aborted > 0 then 4
      else if t.degraded () then 3

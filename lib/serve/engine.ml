@@ -22,6 +22,9 @@ type epoch_state = {
   ep_root : string;                       (* url "/" resolves to *)
   ep_etag_m : Mutex.t;
   ep_etags : (string, string) Hashtbl.t;  (* page url -> strong ETag *)
+  (* sanitizer identities: field 0 = [ep_etags], the one mutable corner *)
+  ds_ep_obj : int;
+  ds_ep_m : int;
 }
 
 type t = {
@@ -35,13 +38,21 @@ type t = {
   brk : Breaker.t;
   swap_m : Mutex.t;  (* serializes refreshes, not requests *)
   current : epoch_state Atomic.t;
-  mutable draining : bool;
+  draining : bool Atomic.t;
+      (* atomic: set by the daemon's shutdown path while serving
+         workers read it in [readyz] *)
   c_requests : int Atomic.t;
   c_page_ok : int Atomic.t;
   c_not_modified : int Atomic.t;
   c_not_found : int Atomic.t;
   c_unavailable : int Atomic.t;
   c_rejected : int Atomic.t;
+  (* sanitizer identities for the release/acquire publication points
+     and the two engine-level mutexes *)
+  ds_current : int;
+  ds_draining : int;
+  ds_cache_m : int;
+  ds_swap_m : int;
 }
 
 (* --- Epoch construction --- *)
@@ -80,7 +91,9 @@ let build_epoch def ~epoch data =
     (Graph.nodes ct.CT.partial);
   let root = match CT.roots ct with o :: _ -> page_url o | [] -> "" in
   { ep_epoch = epoch; ep_ct = ct; ep_routes = routes; ep_root = root;
-    ep_etag_m = Mutex.create (); ep_etags = Hashtbl.create 64 }
+    ep_etag_m = Mutex.create (); ep_etags = Hashtbl.create 64;
+    ds_ep_obj = Dsan.alloc ~name:"Engine.epoch";
+    ds_ep_m = Dsan.lock_id ~name:"Engine.ep_etag_m" }
 
 let create ?(clock = Fault.Clock.real) ?(cache = true) ?(workers = 8)
     ?breaker_threshold ?breaker_retry ?fault ~source def =
@@ -100,6 +113,7 @@ let create ?(clock = Fault.Clock.real) ?(cache = true) ?(workers = 8)
       Some c
     end
   in
+  let t =
   {
     def;
     warehouse;
@@ -113,24 +127,53 @@ let create ?(clock = Fault.Clock.real) ?(cache = true) ?(workers = 8)
         ~clock ();
     swap_m = Mutex.create ();
     current = Atomic.make (build_epoch def ~epoch data);
-    draining = false;
+    draining = Atomic.make false;
     c_requests = Atomic.make 0;
     c_page_ok = Atomic.make 0;
     c_not_modified = Atomic.make 0;
     c_not_found = Atomic.make 0;
     c_unavailable = Atomic.make 0;
     c_rejected = Atomic.make 0;
+    ds_current = Dsan.atomic_id ~name:"Engine.current";
+    ds_draining = Dsan.atomic_id ~name:"Engine.draining";
+    ds_cache_m = Dsan.lock_id ~name:"Engine.cache_m";
+    ds_swap_m = Dsan.lock_id ~name:"Engine.swap_m";
   }
+  in
+  (* the initial epoch's graph writes (the crawl) happen before any
+     worker exists, but record the publication anyway so consumers are
+     ordered after them regardless of who spawned whom *)
+  Dsan.publish ~site:__POS__ t.ds_current;
+  t
 
 (* --- Introspection --- *)
 
-let epoch t = (Atomic.get t.current).ep_epoch
-let page_count t = Hashtbl.length (Atomic.get t.current).ep_routes
-let set_draining t b = t.draining <- b
+let epoch t =
+  Dsan.consume ~site:__POS__ t.ds_current;
+  (Atomic.get t.current).ep_epoch
+
+let page_count t =
+  Dsan.consume ~site:__POS__ t.ds_current;
+  Hashtbl.length (Atomic.get t.current).ep_routes
+
+let set_draining t b =
+  Dsan.publish ~site:__POS__ t.ds_draining;
+  Atomic.set t.draining b
 let breaker t = t.brk
 
+(* Under [cache_m]: [/healthz] runs on serving workers while other
+   workers mutate the statistics inside [find_valid] — an unlocked read
+   here is a data race (found by the sanitizer, kept fixed by it). *)
 let cache_stats t =
-  Option.map Strudel.Render_cache.stats t.cache
+  Option.map
+    (fun c ->
+      Mutex.lock t.cache_m;
+      Dsan.acquire ~site:__POS__ t.ds_cache_m;
+      let s = Strudel.Render_cache.stats c in
+      Dsan.release ~site:__POS__ t.ds_cache_m;
+      Mutex.unlock t.cache_m;
+      s)
+    t.cache
 
 let quarantined t =
   match t.warehouse with
@@ -257,7 +300,8 @@ let healthz t ep =
   Http.response ~headers:(epoch_header ep :: json_headers) ~status:200 body
 
 let readyz t ep =
-  if t.draining then
+  Dsan.consume ~site:__POS__ t.ds_draining;
+  if Atomic.get t.draining then
     Http.response ~headers:(epoch_header ep :: json_headers) ~status:503
       "{\"ready\":false,\"reason\":\"draining\"}\n"
   else
@@ -268,6 +312,8 @@ let readyz t ep =
 
 let etag_of ep url html =
   Mutex.lock ep.ep_etag_m;
+  Dsan.acquire ~site:__POS__ ep.ds_ep_m;
+  Dsan.write ~site:__POS__ ep.ds_ep_obj 0;
   let tag =
     match Hashtbl.find_opt ep.ep_etags url with
     | Some tag -> tag
@@ -276,6 +322,7 @@ let etag_of ep url html =
       Hashtbl.add ep.ep_etags url tag;
       tag
   in
+  Dsan.release ~site:__POS__ ep.ds_ep_m;
   Mutex.unlock ep.ep_etag_m;
   tag
 
@@ -291,7 +338,9 @@ let cache_find t ep o =
   | None -> None
   | Some c ->
     Mutex.lock t.cache_m;
+    Dsan.acquire ~site:__POS__ t.ds_cache_m;
     let e = Strudel.Render_cache.find_valid c ep.ep_ct.CT.partial o in
+    Dsan.release ~site:__POS__ t.ds_cache_m;
     Mutex.unlock t.cache_m;
     e
 
@@ -300,7 +349,9 @@ let cache_store t rendered =
   | None -> ()
   | Some c ->
     Mutex.lock t.cache_m;
+    Dsan.acquire ~site:__POS__ t.ds_cache_m;
     Strudel.Render_cache.store c rendered;
+    Dsan.release ~site:__POS__ t.ds_cache_m;
     Mutex.unlock t.cache_m
 
 let render t ep ~worker o =
@@ -361,6 +412,7 @@ let serve_page t ep ~worker req url =
 
 let handle ?(worker = 0) t req =
   Atomic.incr t.c_requests;
+  Dsan.consume ~site:__POS__ t.ds_current;
   let ep = Atomic.get t.current in
   match req.Http.meth with
   | Http.POST | Http.Other _ ->
@@ -398,8 +450,11 @@ let refresh ?jobs t =
   | None -> false
   | Some w ->
     Mutex.lock t.swap_m;
+    Dsan.acquire ~site:__POS__ t.ds_swap_m;
     Fun.protect
-      ~finally:(fun () -> Mutex.unlock t.swap_m)
+      ~finally:(fun () ->
+        Dsan.release ~site:__POS__ t.ds_swap_m;
+        Mutex.unlock t.swap_m)
       (fun () ->
         match Warehouse.refresh ?jobs w with
         | exception e ->
@@ -419,6 +474,7 @@ let refresh ?jobs t =
               build_epoch t.def ~epoch:(Warehouse.view_epoch view)
                 (Warehouse.view_graph view)
             in
+            Dsan.publish ~site:__POS__ t.ds_current;
             Atomic.set t.current ep
           end;
           changed)

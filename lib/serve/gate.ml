@@ -15,6 +15,9 @@ type t = {
   mutable admitted : int;
   mutable shed : int;
   mutable refused : int;
+  (* sanitizer identities: field 0 = all counters/flags guarded by [m] *)
+  ds_obj : int;
+  ds_m : int;
 }
 
 let create ~max_inflight =
@@ -27,16 +30,27 @@ let create ~max_inflight =
     admitted = 0;
     shed = 0;
     refused = 0;
+    ds_obj = Dsan.alloc ~name:"Gate";
+    ds_m = Dsan.lock_id ~name:"Gate.m";
   }
 
 type verdict = Admitted | Shed | Refused
 
-let with_lock t f =
+(* [wr] declares whether the section mutates the guarded state; the
+   sanitizer records a matching access so any unlocked touch of the
+   gate's fields elsewhere shows up as a race. *)
+let with_lock ?(wr = true) ~site t f =
   Mutex.lock t.m;
-  Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
+  Dsan.acquire ~site t.ds_m;
+  if wr then Dsan.write ~site t.ds_obj 0 else Dsan.read ~site t.ds_obj 0;
+  Fun.protect
+    ~finally:(fun () ->
+      Dsan.release ~site t.ds_m;
+      Mutex.unlock t.m)
+    f
 
 let try_admit t =
-  with_lock t (fun () ->
+  with_lock ~site:__POS__ t (fun () ->
       if t.draining then begin
         t.refused <- t.refused + 1;
         Refused
@@ -52,32 +66,36 @@ let try_admit t =
       end)
 
 let release t =
-  with_lock t (fun () ->
+  with_lock ~site:__POS__ t (fun () ->
       t.inflight <- t.inflight - 1;
       if t.inflight < 0 then t.inflight <- 0;
       if t.inflight = 0 then Condition.broadcast t.idle)
 
 let begin_drain t =
-  with_lock t (fun () ->
+  with_lock ~site:__POS__ t (fun () ->
       t.draining <- true;
       (* wake idle waiters so a drain that starts with nothing in
          flight completes immediately *)
       Condition.broadcast t.idle)
 
-let draining t = with_lock t (fun () -> t.draining)
-let inflight t = with_lock t (fun () -> t.inflight)
+let draining t = with_lock ~wr:false ~site:__POS__ t (fun () -> t.draining)
+let inflight t = with_lock ~wr:false ~site:__POS__ t (fun () -> t.inflight)
 
 let wait_idle ?(give_up = fun () -> false) t =
-  with_lock t (fun () ->
+  with_lock ~wr:false ~site:__POS__ t (fun () ->
       let stop = ref (t.inflight = 0 || give_up ()) in
       while not !stop do
+        (* Condition.wait releases [m] while blocked and reacquires it *)
+        Dsan.release ~site:__POS__ t.ds_m;
         Condition.wait t.idle t.m;
+        Dsan.acquire ~site:__POS__ t.ds_m;
+        Dsan.read ~site:__POS__ t.ds_obj 0;
         stop := t.inflight = 0 || give_up ()
       done;
       t.inflight = 0)
 
-let wake t = with_lock t (fun () -> Condition.broadcast t.idle)
+let wake t = with_lock ~wr:false ~site:__POS__ t (fun () -> Condition.broadcast t.idle)
 
 let stats t =
-  with_lock t (fun () ->
+  with_lock ~wr:false ~site:__POS__ t (fun () ->
       { g_admitted = t.admitted; g_shed = t.shed; g_refused = t.refused })

@@ -1,10 +1,15 @@
+(* Atomic, not plain mutable ints: the memo hit/miss counters are
+   bumped from worker domains during parallel shard scans and the
+   freeze counter from whichever domain wins the double-checked
+   freeze, while profiling readers sum them from the main domain. *)
 type kstats = {
-  mutable freezes : int;
-  mutable hits : int;
-  mutable misses : int;
+  freezes : int Atomic.t;
+  hits : int Atomic.t;
+  misses : int Atomic.t;
 }
 
-let kstats_create () = { freezes = 0; hits = 0; misses = 0 }
+let kstats_create () =
+  { freezes = Atomic.make 0; hits = Atomic.make 0; misses = Atomic.make 0 }
 
 type cache = ..
 

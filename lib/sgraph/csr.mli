@@ -33,13 +33,15 @@
     live structures), never wrong. *)
 
 type kstats = {
-  mutable freezes : int;
-  mutable hits : int;
-  mutable misses : int;
+  freezes : int Atomic.t;
+  hits : int Atomic.t;
+  misses : int Atomic.t;
 }
 (** Kernel counters, shared by reference between a graph and all its
     snapshots so deltas survive re-freezes (surfaced by
-    [explain-analyze]). *)
+    [explain-analyze]).  Atomic: memo hits/misses are bumped from
+    worker domains during parallel shard scans while the profiler
+    reads them from the main domain. *)
 
 val kstats_create : unit -> kstats
 

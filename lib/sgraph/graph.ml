@@ -49,6 +49,14 @@ type t = {
   mutable frozen : Csr.t option;
   kstats : Csr.kstats;
   freeze_lock : Mutex.t;
+  (* sanitizer identities: field 0 = the mutable structure (proxied by
+     the generation bump every mutation performs), field 1 = [frozen];
+     [dsan_frozen] is the publication point of the double-checked
+     freeze (the unlocked fast-path read is an intended racy read,
+     ordered by publish/consume, not by the freeze lock) *)
+  dsan_obj : int;
+  dsan_frozen : int;
+  dsan_freeze_lock : int;
 }
 
 let create ?(indexed = true) ?(name = "g") () =
@@ -72,12 +80,17 @@ let create ?(indexed = true) ?(name = "g") () =
     frozen = None;
     kstats = Csr.kstats_create ();
     freeze_lock = Mutex.create ();
+    dsan_obj = Dsan.alloc ~name:("Graph(" ^ name ^ ")");
+    dsan_frozen = Dsan.atomic_id ~name:("Graph(" ^ name ^ ").frozen");
+    dsan_freeze_lock = Dsan.lock_id ~name:("Graph(" ^ name ^ ").freeze_lock");
   }
 
 let name g = g.gname
 let indexed g = g.use_index
 let generation g = g.generation
-let touch g = g.generation <- g.generation + 1
+let touch g =
+  Dsan.write ~site:__POS__ g.dsan_obj 0;
+  g.generation <- g.generation + 1
 
 let add_node g o =
   if not (Oid.Set.mem o g.nodes) then begin
@@ -333,23 +346,38 @@ let build_csr g : Csr.t =
     cache = Hashtbl.create 8;
   }
 
+(* The [frozen] field is an {e intended} racy read: the fast path
+   checks it with no lock, ordered only by the publish below — so the
+   sanitizer models it as a publication point (publish/consume), not a
+   plain field.  The [generation] read (field 0) stays a plain read:
+   mutating the graph while another domain freezes or snapshots it is
+   a genuine protocol violation Dsan must flag. *)
 let freeze g =
+  Dsan.consume ~site:__POS__ g.dsan_frozen;
+  Dsan.read ~site:__POS__ g.dsan_obj 0;
   match g.frozen with
   | Some s when s.Csr.gen = g.generation -> s
   | _ ->
     Mutex.lock g.freeze_lock;
+    Dsan.acquire ~site:__POS__ g.dsan_freeze_lock;
     Fun.protect
-      ~finally:(fun () -> Mutex.unlock g.freeze_lock)
+      ~finally:(fun () ->
+        Dsan.release ~site:__POS__ g.dsan_freeze_lock;
+        Mutex.unlock g.freeze_lock)
       (fun () ->
+        Dsan.consume ~site:__POS__ g.dsan_frozen;
         match g.frozen with
         | Some s when s.Csr.gen = g.generation -> s
         | _ ->
           let s = build_csr g in
-          g.kstats.freezes <- g.kstats.freezes + 1;
+          Atomic.incr g.kstats.freezes;
           g.frozen <- Some s;
+          Dsan.publish ~site:__POS__ g.dsan_frozen;
           s)
 
 let snapshot g =
+  Dsan.consume ~site:__POS__ g.dsan_frozen;
+  Dsan.read ~site:__POS__ g.dsan_obj 0;
   match g.frozen with
   | Some s when s.Csr.gen = g.generation -> Some s
   | _ -> None
@@ -358,15 +386,15 @@ type kernel_counters = { freezes : int; hits : int; misses : int }
 
 let kernel_counters g =
   {
-    freezes = g.kstats.Csr.freezes;
-    hits = g.kstats.Csr.hits;
-    misses = g.kstats.Csr.misses;
+    freezes = Atomic.get g.kstats.Csr.freezes;
+    hits = Atomic.get g.kstats.Csr.hits;
+    misses = Atomic.get g.kstats.Csr.misses;
   }
 
 let reset_kernel_counters g =
-  g.kstats.Csr.freezes <- 0;
-  g.kstats.Csr.hits <- 0;
-  g.kstats.Csr.misses <- 0
+  Atomic.set g.kstats.Csr.freezes 0;
+  Atomic.set g.kstats.Csr.hits 0;
+  Atomic.set g.kstats.Csr.misses 0
 
 let decode_tcode (s : Csr.t) tc =
   if tc < s.Csr.n_nodes then N s.Csr.node_ids.(tc)

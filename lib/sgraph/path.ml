@@ -275,10 +275,10 @@ let q_push p c =
 let kernel_eval_from p src_i =
   match Hashtbl.find_opt p.memo_fwd src_i with
   | Some r ->
-    p.pcsr.Csr.stats.Csr.hits <- p.pcsr.Csr.stats.Csr.hits + 1;
+    Atomic.incr p.pcsr.Csr.stats.Csr.hits;
     r
   | None ->
-    p.pcsr.Csr.stats.Csr.misses <- p.pcsr.Csr.stats.Csr.misses + 1;
+    Atomic.incr p.pcsr.Csr.stats.Csr.misses;
     let s = p.pcsr in
     let ns = p.nstates in
     let nn = s.Csr.n_nodes in
@@ -327,10 +327,10 @@ let kernel_eval_from p src_i =
 let kernel_sources p probes =
   match Hashtbl.find_opt p.memo_bwd probes with
   | Some r ->
-    p.pcsr.Csr.stats.Csr.hits <- p.pcsr.Csr.stats.Csr.hits + 1;
+    Atomic.incr p.pcsr.Csr.stats.Csr.hits;
     r
   | None ->
-    p.pcsr.Csr.stats.Csr.misses <- p.pcsr.Csr.stats.Csr.misses + 1;
+    Atomic.incr p.pcsr.Csr.stats.Csr.misses;
     let s = p.pcsr in
     let ns = p.nstates in
     let nn = s.Csr.n_nodes in

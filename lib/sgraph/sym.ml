@@ -3,12 +3,24 @@ let table : (string, int) Hashtbl.t = Hashtbl.create 256
 let names = ref (Array.make 64 "")
 let count = ref 0
 
+(* Dsan identities: the interner is one mutex-guarded shared object —
+   every read or write of [table]/[names]/[count] happens with [lock]
+   held, which the sanitizer checks via the acquire/release edges. *)
+let dsan_lock = Dsan.lock_id ~name:"Sym.lock"
+let dsan_obj = Dsan.alloc ~name:"Sym.table"
+
 let locked f =
   Mutex.lock lock;
-  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+  Dsan.acquire ~site:__POS__ dsan_lock;
+  Fun.protect
+    ~finally:(fun () ->
+      Dsan.release ~site:__POS__ dsan_lock;
+      Mutex.unlock lock)
+    f
 
 let intern s =
   locked (fun () ->
+      Dsan.write ~site:__POS__ dsan_obj 0;
       match Hashtbl.find_opt table s with
       | Some i -> i
       | None ->
@@ -23,6 +35,17 @@ let intern s =
         incr count;
         i)
 
-let find s = locked (fun () -> Hashtbl.find_opt table s)
-let name i = locked (fun () -> !names.(i))
-let count () = locked (fun () -> !count)
+let find s =
+  locked (fun () ->
+      Dsan.read ~site:__POS__ dsan_obj 0;
+      Hashtbl.find_opt table s)
+
+let name i =
+  locked (fun () ->
+      Dsan.read ~site:__POS__ dsan_obj 0;
+      !names.(i))
+
+let count () =
+  locked (fun () ->
+      Dsan.read ~site:__POS__ dsan_obj 0;
+      !count)

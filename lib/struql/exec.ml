@@ -471,19 +471,44 @@ let sharded_rows rctx (sc : shard_ctx) cname v bound steps ops =
         let results = Array.make n [] in
         let wstats = Array.init jobs (fun _ -> ops_of_steps bound steps) in
         let wlive = Array.init jobs (fun _ -> { cur = 0; peak = 0 }) in
+        (* sanitizer identity: field j < n covers [results.(j)] (each
+           written by exactly one worker, striped j mod jobs), field
+           n+w covers worker w's private [wstats]/[wlive]; the
+           fork/join edges order all of them before the merge below *)
+        let ds_scan = Dsan.alloc ~name:"Exec.shard_scan" in
         let slice w () =
           let wrest = List.tl wstats.(w) in
           let j = ref w in
           while !j < n do
+            Dsan.yield ~site:__POS__;
+            Dsan.write ~site:__POS__ ds_scan !j;
             results.(!j) <- eval_ext ~live:wlive.(w) wrest exts_a.(!j);
             j := !j + jobs
-          done
+          done;
+          Dsan.write ~site:__POS__ ds_scan (n + w)
         in
         let workers =
-          List.init (jobs - 1) (fun w -> Domain.spawn (slice (w + 1)))
+          List.init (jobs - 1) (fun w ->
+              let tok = Dsan.fork () in
+              let d =
+                Domain.spawn (fun () ->
+                    Dsan.born tok;
+                    Fun.protect
+                      ~finally:(fun () -> Dsan.dying tok)
+                      (slice (w + 1)))
+              in
+              (d, tok))
         in
         slice 0 ();
-        List.iter Domain.join workers;
+        List.iter
+          (fun (d, tok) ->
+            Domain.join d;
+            Dsan.joined tok)
+          workers;
+        if Dsan.enabled () then
+          for k = 0 to n + jobs - 1 do
+            Dsan.read ~site:__POS__ ds_scan k
+          done;
         Array.iter
           (fun wops ->
             List.iter2
