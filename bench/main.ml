@@ -854,11 +854,26 @@ let e17 () =
     ]
   in
   let job_levels = [ 1; 2; 4; 8 ] in
+  (* Steady-state measurement discipline: the shared pool spawns its
+     worker domains on first use and each site's first build pays
+     one-time costs (graph freeze, template compile, allocator growth)
+     that are not render cost.  One untimed warm-up build at the
+     highest jobs level pays all of it up front, and a major GC before
+     every timed leg keeps earlier legs' garbage from being collected
+     inside a later one — the old org-100 jobs=1 reading (2.3x its
+     sequential twin, which runs the very same code) was exactly that
+     pollution. *)
+  let max_jobs = List.fold_left max 1 job_levels in
+  let measured f =
+    Gc.full_major ();
+    wall_it f
+  in
   let entries =
     List.map
       (fun (name, def, data) ->
+        ignore (Strudel.Site.build ~jobs:max_jobs ~data def);
         let reference, t_seq =
-          wall_it (fun () -> Strudel.Site.build ~data def)
+          measured (fun () -> Strudel.Site.build ~data def)
         in
         Fmt.pr "@.%-10s sequential reference: %d pages, %.1f ms@." name
           (Template.Generator.page_count reference.Strudel.Site.site)
@@ -868,7 +883,7 @@ let e17 () =
         let runs =
           List.map
             (fun jobs ->
-              let b, t = wall_it (fun () -> Strudel.Site.build ~jobs ~data def) in
+              let b, t = measured (fun () -> Strudel.Site.build ~jobs ~data def) in
               let prof = b.Strudel.Site.render_profile in
               let identical =
                 pages_identical reference.Strudel.Site.site b.Strudel.Site.site
@@ -884,11 +899,11 @@ let e17 () =
            whose read set saw it *)
         let cache = Strudel.Render_cache.create () in
         let _, t_cold =
-          wall_it (fun () -> Strudel.Site.build ~render_cache:cache ~data def)
+          measured (fun () -> Strudel.Site.build ~render_cache:cache ~data def)
         in
         Strudel.Render_cache.reset_stats cache;
         let warm, t_warm =
-          wall_it (fun () -> Strudel.Site.build ~render_cache:cache ~data def)
+          measured (fun () -> Strudel.Site.build ~render_cache:cache ~data def)
         in
         let w_hits, w_misses, w_inval =
           Strudel.Render_cache.stats cache
@@ -921,7 +936,7 @@ let e17 () =
            Graph.add_edge edited o a (Graph.V (Value.String "E17 edited"))
          | None -> ());
         let inc, t_inc =
-          wall_it (fun () ->
+          measured (fun () ->
               Strudel.Site.build ~render_cache:cache ~data:edited def)
         in
         let i_hits, i_misses, i_inval = Strudel.Render_cache.stats cache in
@@ -981,7 +996,7 @@ let e17 () =
   let synth_run jobs =
     let sink, d, pages, bytes = digest_sink () in
     let (_, prof), t =
-      wall_it (fun () ->
+      measured (fun () ->
           Strudel.Render_pool.materialize ~jobs ~sink
             ~templates:Sites.Scale.templates synth_sg ~roots:synth_roots)
     in
@@ -2106,6 +2121,200 @@ let e23 () =
   close_out oc;
   Fmt.pr "sanitizer profile written to BENCH_dsan.json@."
 
+(* ----------------------------------------------------------------- *)
+(* E24 — Delta-StruQL: differential maintenance vs full rebuild       *)
+(* ----------------------------------------------------------------- *)
+
+type e24_row = {
+  dr_requested : int;  (** mutation size asked for *)
+  dr_mutated : int;  (** items actually mutated (capped by corpus) *)
+  dr_watch_ms : float;  (** end-to-end [Watch.cycle]: ingest → publish *)
+  dr_delta_ms : float;  (** the cycle's own maintain+publish clock *)
+  dr_full_ms : float;  (** cold [Site.build] over the same mutated data *)
+  dr_drivers : int;
+  dr_rows : int;
+  dr_touched : int;
+  dr_rerendered : int;
+  dr_reused : int;
+  dr_identical : bool;
+}
+
+let e24 () =
+  section "E24"
+    "Delta-StruQL: differential maintenance vs full re-query + rebuild";
+  let sizes = [ 1; 10; 100; 1000 ] in
+  let header label =
+    Fmt.pr "@.%s@." label;
+    Fmt.pr "  %8s %8s %12s %12s %9s %11s %9s %10s@." "edited" "mutated"
+      "watch ms" "full ms" "speedup" "rerendered" "reused" "identical"
+  in
+  (* One mutate→publish measurement: apply the edit, run one watch
+     cycle, then time the comparator — a cold [Site.build] over the
+     same mutated data — and check the two publishes byte-identical. *)
+  let row ~session ~mutate ~cold k =
+    let mutated = mutate k in
+    Gc.full_major ();
+    let report, t_watch = wall_it (fun () -> Serve.Watch.cycle session) in
+    Gc.full_major ();
+    let cold_built, t_full = wall_it cold in
+    let identical =
+      pages_identical (Serve.Watch.built session).Strudel.Site.site
+        cold_built.Strudel.Site.site
+    in
+    Fmt.pr "  %8d %8d %12.1f %12.1f %8.1fx %11d %9d %10b@." k mutated t_watch
+      t_full (t_full /. t_watch) report.Serve.Watch.cy_rerendered
+      report.Serve.Watch.cy_reused identical;
+    {
+      dr_requested = k;
+      dr_mutated = mutated;
+      dr_watch_ms = t_watch;
+      dr_delta_ms = report.Serve.Watch.cy_wall_ms;
+      dr_full_ms = t_full;
+      dr_drivers = report.Serve.Watch.cy_drivers;
+      dr_rows = report.Serve.Watch.cy_rows;
+      dr_touched = report.Serve.Watch.cy_touched;
+      dr_rerendered = report.Serve.Watch.cy_rerendered;
+      dr_reused = report.Serve.Watch.cy_reused;
+      dr_identical = identical;
+    }
+  in
+  (* --- direct mode: synth-100k, edits through the watch recorder --- *)
+  let synth_items =
+    match Sys.getenv_opt "STRUDEL_SYNTH_PAGES" with
+    | Some s -> ( try max 1_000 (int_of_string s) with _ -> 100_000)
+    | None -> 100_000
+  in
+  let data = Sites.Scale.data ~items:synth_items () in
+  let session, t_prime =
+    wall_it (fun () ->
+        Serve.Watch.create ~source:(Serve.Watch.Direct data)
+          Sites.Scale.definition)
+  in
+  let synth_pages =
+    List.length
+      (Serve.Watch.built session).Strudel.Site.site.Template.Generator.pages
+  in
+  let items = Array.of_list (Graph.collection data "Items") in
+  let cursor = ref 0 in
+  let rev = ref 0 in
+  let mutate k =
+    let r = Option.get (Serve.Watch.recorder session) in
+    incr rev;
+    for _ = 1 to k do
+      let o = items.(!cursor mod Array.length items) in
+      incr cursor;
+      Delta.Rec.set_value r o "title"
+        (Value.String (Printf.sprintf "%s rev %d" (Oid.name o) !rev))
+    done;
+    min k (Array.length items)
+  in
+  let cold () = Strudel.Site.build ~data Sites.Scale.definition in
+  header
+    (Printf.sprintf "synth-%dk   %d pages, watch primed in %.0f ms"
+       (synth_items / 1000) synth_pages t_prime);
+  let synth_rows = List.map (row ~session ~mutate ~cold) sizes in
+  (* --- mediated mode: org-100, edits arrive as source updates --- *)
+  let sources, w = Sites.Org.data ~people:100 ~orgs:6 () in
+  let pubs = 80 (* [Sites.Org.data]'s default bibliography size *) in
+  (* Re-seat the bibliography on a text we control, so graded edits
+     below change exactly [k] titles relative to this base. *)
+  let base_bib = Wrappers.Synth.bibtex ~seed:77 ~entries:pubs () in
+  let load_bib text () = fst (Wrappers.Bibtex.load ~graph_name:"BIB" text) in
+  Mediator.Source.update sources.Sites.Org.bib (load_bib base_bib);
+  ignore (Mediator.Warehouse.refresh_delta w);
+  let osession, t_oprime =
+    wall_it (fun () ->
+        Serve.Watch.create ~source:(Serve.Watch.Mediated w)
+          Sites.Org.definition)
+  in
+  let org_pages =
+    List.length
+      (Serve.Watch.built osession).Strudel.Site.site.Template.Generator.pages
+  in
+  let orev = ref 0 in
+  let omutate k =
+    incr orev;
+    (* leading newline + indent so "booktitle = {" doesn't match *)
+    let pat = "\n  title = {" in
+    let plen = String.length pat in
+    let len = String.length base_bib in
+    let buf = Buffer.create (len + 64) in
+    let n = ref 0 in
+    let i = ref 0 in
+    while !i < len do
+      if !n < k && !i + plen <= len && String.sub base_bib !i plen = pat
+      then begin
+        Buffer.add_string buf
+          (Printf.sprintf "\n  title = {Revision %d of " !orev);
+        incr n;
+        i := !i + plen
+      end
+      else begin
+        Buffer.add_char buf base_bib.[!i];
+        incr i
+      end
+    done;
+    Mediator.Source.update sources.Sites.Org.bib
+      (load_bib (Buffer.contents buf));
+    !n
+  in
+  let ocold () =
+    Strudel.Site.build ~data:(Mediator.Warehouse.graph w) Sites.Org.definition
+  in
+  header
+    (Printf.sprintf "org-100    %d pages, watch primed in %.0f ms"
+       org_pages t_oprime);
+  let org_rows =
+    List.map (row ~session:osession ~mutate:omutate ~cold:ocold) sizes
+  in
+  (* --- acceptance + profile --- *)
+  let one = List.hd synth_rows in
+  let speedup_1 = one.dr_full_ms /. one.dr_watch_ms in
+  let all_identical =
+    List.for_all (fun r -> r.dr_identical) (synth_rows @ org_rows)
+  in
+  Fmt.pr
+    "@.acceptance: 1-item mutation on synth-%dk publishes %.1fx faster than \
+     a full rebuild (>=10x: %b), byte-identical everywhere: %b@."
+    (synth_items / 1000) speedup_1 (speedup_1 >= 10.) all_identical;
+  let json_rows rows =
+    String.concat ", "
+      (List.map
+         (fun r ->
+           Printf.sprintf
+             "{\"requested\": %d, \"mutated\": %d, \"watch_ms\": %.3f, \
+              \"delta_ms\": %.3f, \"full_ms\": %.3f, \"speedup\": %.2f, \
+              \"drivers\": %d, \"rows\": %d, \"touched\": %d, \
+              \"rerendered\": %d, \"reused\": %d, \"identical\": %b}"
+             r.dr_requested r.dr_mutated r.dr_watch_ms r.dr_delta_ms
+             r.dr_full_ms
+             (r.dr_full_ms /. r.dr_watch_ms)
+             r.dr_drivers r.dr_rows r.dr_touched r.dr_rerendered r.dr_reused
+             r.dr_identical)
+         rows)
+  in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\n  \"experiment\": \"E24_delta_maintenance\",\n";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"synth\": {\"items\": %d, \"pages\": %d, \"prime_ms\": %.1f, \
+        \"runs\": [%s]},\n"
+       synth_items synth_pages t_prime (json_rows synth_rows));
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"org\": {\"pubs\": %d, \"pages\": %d, \"prime_ms\": %.1f, \
+        \"runs\": [%s]},\n"
+       pubs org_pages t_oprime (json_rows org_rows));
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"acceptance\": {\"synth_1item_speedup\": %.2f, \"ge_10x\": %b, \
+        \"all_identical\": %b}\n}\n"
+       speedup_1 (speedup_1 >= 10.) all_identical);
+  let oc = open_out "BENCH_delta.json" in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Fmt.pr "delta maintenance profile written to BENCH_delta.json@."
+
 (* --- experiment selection ---
 
    With no arguments every experiment runs, in order.  With arguments,
@@ -2121,6 +2330,7 @@ let experiments =
     ("E17", e17); ("E18", e18); ("E19", e19); ("E20", e20); ("E21", e21);
     ("E22", e22);
     ("E23", e23);
+    ("E24", e24);
     ("micro", bechamel_suite);
   ]
 

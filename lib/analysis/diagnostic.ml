@@ -54,6 +54,9 @@ let catalog : (string * severity * string) list =
     ("SA061", Error,
      "data race: unordered read and write of the same shared location");
     ("SA062", Info, "race sanitizer run summary");
+    ("SA070", Info,
+     "site query block cannot be delta-evaluated; [strudel watch] \
+      re-evaluates it in full each cycle");
   ]
 
 let compare a b =

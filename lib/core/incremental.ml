@@ -87,6 +87,68 @@ let page_candidates site_graph roots =
       || List.exists (Oid.equal o) roots)
     (List.filter (fun o -> Oid.Set.mem o reachable) (Graph.nodes site_graph))
 
+(** The differential publish leg ([strudel watch]): the site graph has
+    already been maintained in place by {!Struql.Dexec}, so query
+    re-evaluation is skipped entirely and only the render stage runs —
+    against the cross-epoch [cache], whose verifying read traces give
+    exact page invalidation.  [touched]/[removed] are the site-node
+    names the delta cycle reported: when both are empty the previous
+    pages are reused wholesale without touching the render pipeline. *)
+let publish_delta ?jobs ?file_loader ?(on_error = Fault.Abort) ?fault ?sink
+    ~cache ~(previous : Site.built) ~data ~site_graph ~scope ~touched ~removed
+    () : rebuild_report =
+  let def = previous.Site.def in
+  if touched = [] && removed = [] then
+    let total =
+      List.length previous.Site.site.Template.Generator.pages
+    in
+    {
+      built = { previous with Site.data; site_graph; scope };
+      pages_total = total;
+      pages_rerendered = 0;
+      pages_reused = total;
+    }
+  else begin
+    let roots = Site.roots_of site_graph def.Site.root_family in
+    (* the delta cycle's touched ∪ removed names are exactly the site
+       nodes whose adjacency changed: hand them to the render pool so
+       trace verification replays only reads of changed nodes *)
+    let dirty =
+      let tbl = Hashtbl.create 64 in
+      List.iter (fun n -> Hashtbl.replace tbl n ()) touched;
+      List.iter (fun n -> Hashtbl.replace tbl n ()) removed;
+      fun n -> Hashtbl.mem tbl n
+    in
+    let site, render_profile =
+      Render_pool.materialize ?jobs ~cache ~dirty ?file_loader
+        ~templates:def.Site.templates ~on_error ?fault ?sink ~refreeze:false
+        site_graph ~roots
+    in
+    let verification =
+      Schema.Verify.check_all_site site_graph def.Site.constraints
+    in
+    let rerendered = render_profile.Render_pool.rp_rendered in
+    let pages_total = render_profile.Render_pool.rp_pages in
+    {
+      built =
+        {
+          Site.def;
+          data;
+          site_graph;
+          scope;
+          schemas = previous.Site.schemas;
+          site;
+          verification;
+          query_stats = previous.Site.query_stats;
+          render_profile;
+          faults = (match fault with Some c -> Fault.reports c | None -> []);
+        };
+      pages_total;
+      pages_rerendered = rerendered;
+      pages_reused = pages_total - rerendered;
+    }
+  end
+
 (** Rebuild the site over changed data, reusing unchanged pages of
     [previous] without re-rendering them.
 

@@ -131,6 +131,23 @@ let verify_read ?(file_loader = fun _ -> None) g read =
 let verify ?file_loader g entry =
   List.for_all (verify_read ?file_loader g) entry.e_reads
 
+(** Like {!verify}, but with an exact change hint: [dirty name] must be
+    [true] for every site node whose values, out-edges or collection
+    membership changed since the entry's trace was recorded (the delta
+    cycle's touched ∪ removed names are exactly that set).  Graph reads
+    of non-dirty subjects are accepted without replay; dirty-subject
+    reads and file reads are replayed as usual.  Turns the per-publish
+    verification cost from O(site × trace) into O(changed × trace). *)
+let verify_dirty ?file_loader ~dirty g entry =
+  List.for_all
+    (fun r ->
+      match r with
+      | (G.R_attr (name, _, _) | G.R_edges (name, _) | G.R_colls (name, _))
+        when not (dirty name) ->
+        true
+      | r -> verify_read ?file_loader g r)
+    entry.e_reads
+
 (** Look up the page for object [o] (keyed by its name) and re-verify
     its trace against [g].  Counts a hit on success; a stale entry is
     removed and counted as an invalidation; an absent one as a miss. *)

@@ -156,17 +156,21 @@ type slot =
     ({!auto_jobs}).  Otherwise the work-stealing wave loop runs on
     [jobs] domains (the main domain renders alongside [jobs - 1] pool
     workers). *)
-let materialize ?(jobs = 1) ?cache ?file_loader
+let materialize ?(jobs = 1) ?cache ?dirty ?file_loader
     ?(templates = G.empty_templates) ?(on_error = Fault.Abort) ?fault ?sink
-    ?(slice = default_slice) (g : Graph.t) ~(roots : Oid.t list) :
-    G.site * profile =
+    ?(slice = default_slice) ?(refreeze = true) (g : Graph.t)
+    ~(roots : Oid.t list) : G.site * profile =
   let t0 = now_ms () in
   let jobs = if jobs <= 0 then auto_jobs () else jobs in
   let slice = max 1 slice in
   (* the site graph is read-only from here on: freeze once so every
      graph probe — template attributes, cache-trace verification — from
-     all domains hits the kernel snapshot's per-(node, label) segments *)
-  ignore (Graph.freeze g);
+     all domains hits the kernel snapshot's per-(node, label) segments.
+     A sequential caller may opt out ([refreeze:false]): the delta
+     publish path re-renders a handful of pages against the live graph
+     rather than paying an O(site) refreeze per cycle.  Fan-out always
+     freezes — worker domains must read the immutable snapshot. *)
+  if refreeze || jobs > 1 then ignore (Graph.freeze g);
   let inject = Fault.inject fault in
   (* degraded (or injectable) builds always run the wave loop, even at
      [jobs = 1]: the sequential generator lets a failed render's
@@ -293,12 +297,17 @@ let materialize ?(jobs = 1) ?cache ?file_loader
           done;
         (* executed on worker domains: verify the prefetched entry or
            render; each slot is written by exactly one worker *)
+        let verify_entry e =
+          match dirty with
+          | Some d -> Render_cache.verify_dirty ?file_loader ~dirty:d g e
+          | None -> Render_cache.verify ?file_loader g e
+        in
         let process w i =
           Dsan.write ~site:__POS__ ds_slice i;
           Dsan.write ~site:__POS__ ds_shard w;
           let o = arr.(base + i) in
           match if cache = None then None else ents.(i) with
-          | Some e when Render_cache.verify ?file_loader g e ->
+          | Some e when verify_entry e ->
             slots.(i) <-
               Some
                 (S_hit

@@ -77,12 +77,14 @@ val default_slice : int
 val materialize :
   ?jobs:int ->
   ?cache:Render_cache.t ->
+  ?dirty:(string -> bool) ->
   ?file_loader:(string -> string option) ->
   ?templates:Template.Generator.template_set ->
   ?on_error:Fault.on_error ->
   ?fault:Fault.ctx ->
   ?sink:sink ->
   ?slice:int ->
+  ?refreeze:bool ->
   Graph.t ->
   roots:Oid.t list ->
   Template.Generator.site * profile
@@ -98,6 +100,16 @@ val materialize :
     With [~sink], pages are streamed to the sink in canonical order and
     the returned site has an empty page list ([profile.rp_pages] still
     counts them); peak memory is bounded by [slice] pages.
+
+    [dirty] (with [cache]) is an exact change hint for trace
+    verification — see {!Render_cache.verify_dirty}.  The delta publish
+    path passes the cycle's touched ∪ removed site-node names, making
+    cache verification O(changed) instead of O(site).
+
+    [refreeze:false] skips the graph freeze when running sequentially
+    (an O(site) cost the delta publish path avoids every cycle); with
+    [jobs > 1] the freeze always happens, as worker domains must read
+    the immutable kernel snapshot.
 
     With [~on_error:Degrade], a failed (or injected-faulty) page render
     is isolated: the page becomes a {!Template.Generator.placeholder_page},

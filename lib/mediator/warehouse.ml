@@ -296,6 +296,39 @@ let refresh ?jobs w =
   end
   else false
 
+(** Delta refresh ([strudel watch]'s ingest leg): re-integrate if
+    stale, {e rebase} the fresh graph onto the previous view's oids
+    (matching nodes by name, which Skolem terms and wrapper keys keep
+    stable across integrations), install the rebased graph as the new
+    view, and return the structural delta between the two views.
+    [None] when no source changed; [Some Delta.empty] when sources
+    bumped versions without changing content.  Fault policies
+    (quarantine / retry / stale-snapshot) apply exactly as in
+    {!refresh} — a quarantined source serves its previous data, so its
+    objects simply do not appear in the delta. *)
+let refresh_delta ?jobs w =
+  if stale w then begin
+    let jobs = match jobs with Some j -> j | None -> w.jobs in
+    let old = (pin w).v_graph in
+    let prev = locked ~site:__POS__ ~wr:false w (fun () -> w.seen_versions) in
+    let g, stats =
+      integrate_now ~jobs ~prev w.options ~clock:w.clock
+        ~snapshots:w.snapshots ~fault:w.fault w.sources w.mappings
+    in
+    let rebased = Sgraph.Delta.rebase ~old g in
+    let delta = Sgraph.Delta.diff ~old rebased in
+    let vs = versions w.sources in
+    let epoch = locked ~site:__POS__ ~wr:false w (fun () -> w.refreshes) + 1 in
+    let view = build_view w ~epoch ~source_versions:vs rebased in
+    locked ~site:__POS__ ~wr:true w (fun () ->
+        w.current <- view;
+        w.seen_versions <- vs;
+        w.refreshes <- w.refreshes + 1;
+        w.last_stats <- stats);
+    Some delta
+  end
+  else None
+
 let find_source w name =
   List.find_opt (fun s -> Source.name s = name) w.sources
 

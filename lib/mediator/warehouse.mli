@@ -85,6 +85,18 @@ val refresh : ?jobs:int -> t -> bool
     half-refreshed mix.  [jobs] overrides the warehouse default for
     this refresh only. *)
 
+val refresh_delta : ?jobs:int -> t -> Delta.t option
+(** Delta refresh: like {!refresh}, but the freshly integrated graph is
+    {!Sgraph.Delta.rebase}d onto the previous view's oids (nodes
+    matched by name) before the view swap, and the structural
+    {!Sgraph.Delta.diff} between the two views is returned — the
+    change currency [strudel watch] feeds to the differential
+    evaluator.  [None] when no source changed ([refresh] would have
+    returned [false]); [Some Delta.empty] when versions bumped without
+    a content change.  Source fault policies apply as in {!refresh}:
+    a quarantined source serves its previous data and contributes
+    nothing to the delta. *)
+
 val refresh_count : t -> int
 (** Number of integrations performed (including the initial one). *)
 

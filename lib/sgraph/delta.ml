@@ -1,0 +1,360 @@
+(** Data-graph deltas — the change currency of differential site
+    maintenance.
+
+    A delta is a set of node / edge / collection additions and
+    removals between two states of a graph, together with two order
+    signals the byte-identity contract needs: nodes whose out-edge
+    bucket kept its edge set but changed order ([d_resequenced]), and
+    collections whose surviving members changed relative order
+    ([d_reordered]).  Deltas come from two producers:
+
+    - {!Rec}, a recorder wrapped around a live graph: mutations are
+      applied and logged, so the delta is exact and O(change) — the
+      path [strudel watch] uses for direct (un-mediated) data.
+    - {!diff}, an oid-keyed structural diff of two graphs that share
+      oids — the path {!Mediator.Warehouse} uses after {!rebase}
+      re-keys a freshly integrated graph onto the previous
+      integration's oids (matched by node name, which Skolem terms
+      keep stable across refreshes). *)
+
+type edge = Oid.t * string * Graph.target
+
+type t = {
+  nodes_added : Oid.t list;
+  nodes_removed : Oid.t list;
+  edges_added : edge list;
+  edges_removed : edge list;
+  coll_added : (string * Oid.t) list;
+  coll_removed : (string * Oid.t) list;
+  resequenced : Oid.t list;
+      (** out-bucket kept its edge set but changed order *)
+  reordered : string list;
+      (** collections whose surviving members changed relative order *)
+}
+
+let empty =
+  {
+    nodes_added = [];
+    nodes_removed = [];
+    edges_added = [];
+    edges_removed = [];
+    coll_added = [];
+    coll_removed = [];
+    resequenced = [];
+    reordered = [];
+  }
+
+let is_empty d =
+  d.nodes_added = [] && d.nodes_removed = [] && d.edges_added = []
+  && d.edges_removed = [] && d.coll_added = [] && d.coll_removed = []
+  && d.resequenced = [] && d.reordered = []
+
+let card d =
+  List.length d.nodes_added + List.length d.nodes_removed
+  + List.length d.edges_added + List.length d.edges_removed
+  + List.length d.coll_added + List.length d.coll_removed
+  + List.length d.resequenced
+
+let union a b =
+  {
+    nodes_added = a.nodes_added @ b.nodes_added;
+    nodes_removed = a.nodes_removed @ b.nodes_removed;
+    edges_added = a.edges_added @ b.edges_added;
+    edges_removed = a.edges_removed @ b.edges_removed;
+    coll_added = a.coll_added @ b.coll_added;
+    coll_removed = a.coll_removed @ b.coll_removed;
+    resequenced = a.resequenced @ b.resequenced;
+    reordered = a.reordered @ b.reordered;
+  }
+
+(* Seeds of dependency propagation: every oid whose local
+   neighbourhood (out-bucket, existence, or collection membership) the
+   delta touches.  Value-edge changes seed their source node; a
+   membership change seeds the member. *)
+let touched d =
+  let add s o = Oid.Set.add o s in
+  let s = Oid.Set.empty in
+  let s = List.fold_left add s d.nodes_added in
+  let s = List.fold_left add s d.nodes_removed in
+  let s = List.fold_left add s d.resequenced in
+  let s =
+    List.fold_left
+      (fun s (src, _, tgt) ->
+        let s = add s src in
+        match tgt with Graph.N o -> add s o | Graph.V _ -> s)
+      s
+      (d.edges_added @ d.edges_removed)
+  in
+  List.fold_left (fun s (_, o) -> add s o) s (d.coll_added @ d.coll_removed)
+
+(** Backward closure of the touched set: every node that can {e reach}
+    a touched element along forward edges, i.e. every candidate driver
+    whose binding rows may change.  Expansion walks the graph's
+    incoming-edge index — on a frozen graph this is the CSR kernel's
+    reverse-adjacency lane (it feeds the same in-index) — plus the
+    reverse of the {e removed} edges, which the post-mutation graph no
+    longer holds. *)
+let closure g d =
+  let rm_in : (int, Oid.t list) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (src, _, tgt) ->
+      match tgt with
+      | Graph.N o ->
+        let id = Oid.id o in
+        Hashtbl.replace rm_in id
+          (src :: (try Hashtbl.find rm_in id with Not_found -> []))
+      | Graph.V _ -> ())
+    d.edges_removed;
+  let seen = ref (touched d) in
+  let stack = ref (Oid.Set.elements !seen) in
+  let push o =
+    if not (Oid.Set.mem o !seen) then begin
+      seen := Oid.Set.add o !seen;
+      stack := o :: !stack
+    end
+  in
+  let rec loop () =
+    match !stack with
+    | [] -> ()
+    | o :: rest ->
+      stack := rest;
+      List.iter (fun (src, _) -> push src) (Graph.in_edges g (Graph.N o));
+      (try List.iter push (Hashtbl.find rm_in (Oid.id o))
+       with Not_found -> ());
+      loop ()
+  in
+  loop ();
+  !seen
+
+(* --- the oid-keyed structural diff --- *)
+
+(* Whether [kept] (the old sequence restricted to survivors) is in the
+   same relative order as [now] restricted to the same elements. *)
+let same_relative_order ~mem kept now =
+  let now' = List.filter mem now in
+  let rec eq a b =
+    match a, b with
+    | [], [] -> true
+    | x :: a', y :: b' -> Oid.equal x y && eq a' b'
+    | _ -> false
+  in
+  eq kept now'
+
+let diff ~old g =
+  let d = ref empty in
+  let add f = d := f !d in
+  let old_nodes = Graph.node_set old and new_nodes = Graph.node_set g in
+  Oid.Set.iter
+    (fun o ->
+      if not (Oid.Set.mem o old_nodes) then
+        add (fun d -> { d with nodes_added = o :: d.nodes_added }))
+    new_nodes;
+  Oid.Set.iter
+    (fun o ->
+      if not (Oid.Set.mem o new_nodes) then begin
+        add (fun d -> { d with nodes_removed = o :: d.nodes_removed });
+        List.iter
+          (fun (l, tgt) ->
+            add (fun d -> { d with edges_removed = (o, l, tgt) :: d.edges_removed }))
+          (Graph.out_edges old o)
+      end)
+    old_nodes;
+  (* out-buckets of surviving nodes *)
+  let tk = function
+    | Graph.N o -> "N" ^ string_of_int (Oid.id o)
+    | Graph.V v -> "V" ^ Value.to_string v
+  in
+  let ekey (l, tgt) = (l, tk tgt) in
+  Oid.Set.iter
+    (fun o ->
+      if Oid.Set.mem o old_nodes then begin
+        let oe = Graph.out_edges old o and ne = Graph.out_edges g o in
+        let oset = Hashtbl.create 8 and nset = Hashtbl.create 8 in
+        List.iter (fun e -> Hashtbl.replace oset (ekey e) ()) oe;
+        List.iter (fun e -> Hashtbl.replace nset (ekey e) ()) ne;
+        let changed = ref false in
+        List.iter
+          (fun (l, tgt) ->
+            if not (Hashtbl.mem oset (ekey (l, tgt))) then begin
+              changed := true;
+              add (fun d -> { d with edges_added = (o, l, tgt) :: d.edges_added })
+            end)
+          ne;
+        List.iter
+          (fun (l, tgt) ->
+            if not (Hashtbl.mem nset (ekey (l, tgt))) then begin
+              changed := true;
+              add (fun d ->
+                  { d with edges_removed = (o, l, tgt) :: d.edges_removed })
+            end)
+          oe;
+        if not !changed then begin
+          (* same edge set: any order change must still resequence *)
+          let rec eq a b =
+            match a, b with
+            | [], [] -> true
+            | x :: a', y :: b' -> ekey x = ekey y && eq a' b'
+            | _ -> false
+          in
+          if not (eq oe ne) then
+            add (fun d -> { d with resequenced = o :: d.resequenced })
+        end
+      end)
+    new_nodes;
+  (* collections: membership diff plus surviving-order check *)
+  let colls =
+    List.sort_uniq String.compare (Graph.collections old @ Graph.collections g)
+  in
+  List.iter
+    (fun c ->
+      let oc = Graph.collection old c and nc = Graph.collection g c in
+      let oset =
+        List.fold_left (fun s o -> Oid.Set.add o s) Oid.Set.empty oc
+      in
+      let nset =
+        List.fold_left (fun s o -> Oid.Set.add o s) Oid.Set.empty nc
+      in
+      List.iter
+        (fun o ->
+          if not (Oid.Set.mem o oset) then
+            add (fun d -> { d with coll_added = (c, o) :: d.coll_added }))
+        nc;
+      List.iter
+        (fun o ->
+          if not (Oid.Set.mem o nset) then
+            add (fun d -> { d with coll_removed = (c, o) :: d.coll_removed }))
+        oc;
+      let kept = List.filter (fun o -> Oid.Set.mem o nset) oc in
+      if not (same_relative_order ~mem:(fun o -> Oid.Set.mem o oset) kept nc)
+      then add (fun d -> { d with reordered = c :: d.reordered }))
+    colls;
+  !d
+
+(* --- rebase: re-key a fresh integration onto the previous one's oids --- *)
+
+let dup_names g =
+  let counts = Hashtbl.create 64 in
+  List.iter
+    (fun o ->
+      let n = Oid.name o in
+      Hashtbl.replace counts n (1 + try Hashtbl.find counts n with Not_found -> 0))
+    (Graph.nodes g);
+  counts
+
+let rebase ~old g =
+  let old_dups = dup_names old and new_dups = dup_names g in
+  let unique tbl n = (try Hashtbl.find tbl n with Not_found -> 0) = 1 in
+  let old_by_name = Hashtbl.create 64 in
+  List.iter
+    (fun o ->
+      let n = Oid.name o in
+      if unique old_dups n then Hashtbl.replace old_by_name n o)
+    (Graph.nodes old);
+  let stable o =
+    let n = Oid.name o in
+    if unique new_dups n then
+      match Hashtbl.find_opt old_by_name n with Some oo -> oo | None -> o
+    else o
+  in
+  let stable_t = function
+    | Graph.N o -> Graph.N (stable o)
+    | Graph.V _ as v -> v
+  in
+  let g' = Graph.create ~indexed:(Graph.indexed g) ~name:(Graph.name g) () in
+  List.iter (fun o -> Graph.add_node g' (stable o)) (Graph.nodes g);
+  Graph.iter_edges
+    (fun src l tgt -> Graph.add_edge g' (stable src) l (stable_t tgt))
+    g;
+  List.iter
+    (fun c ->
+      List.iter
+        (fun o -> Graph.add_to_collection g' c (stable o))
+        (Graph.collection g c))
+    (Graph.collections g);
+  g'
+
+(* --- the recording mutator --- *)
+
+module Rec = struct
+  type r = { rg : Graph.t; mutable acc : t }
+
+  let create g = { rg = g; acc = empty }
+  let graph r = r.rg
+
+  let add_node r o =
+    if not (Graph.mem_node r.rg o) then begin
+      Graph.add_node r.rg o;
+      r.acc <- { r.acc with nodes_added = o :: r.acc.nodes_added }
+    end
+
+  let add_edge r src l tgt =
+    if not (Graph.has_edge r.rg src l tgt) then begin
+      (* add_edge implicitly adds endpoint nodes *)
+      add_node r src;
+      (match tgt with Graph.N o -> add_node r o | Graph.V _ -> ());
+      Graph.add_edge r.rg src l tgt;
+      r.acc <- { r.acc with edges_added = (src, l, tgt) :: r.acc.edges_added }
+    end
+
+  let remove_edge r src l tgt =
+    if Graph.has_edge r.rg src l tgt then begin
+      Graph.remove_edge r.rg src l tgt;
+      r.acc <-
+        { r.acc with edges_removed = (src, l, tgt) :: r.acc.edges_removed }
+    end
+
+  let remove_node r o =
+    if Graph.mem_node r.rg o then begin
+      List.iter (fun (l, tgt) -> remove_edge r o l tgt) (Graph.out_edges r.rg o);
+      List.iter
+        (fun (src, l) -> remove_edge r src l (Graph.N o))
+        (Graph.in_edges r.rg (Graph.N o));
+      List.iter
+        (fun c ->
+          r.acc <- { r.acc with coll_removed = (c, o) :: r.acc.coll_removed })
+        (Graph.collections_of r.rg o);
+      Graph.remove_node r.rg o;
+      r.acc <- { r.acc with nodes_removed = o :: r.acc.nodes_removed }
+    end
+
+  let add_to_collection r c o =
+    if not (Graph.in_collection r.rg c o) then begin
+      add_node r o;
+      Graph.add_to_collection r.rg c o;
+      r.acc <- { r.acc with coll_added = (c, o) :: r.acc.coll_added }
+    end
+
+  let remove_from_collection r c o =
+    if Graph.in_collection r.rg c o then begin
+      Graph.remove_from_collection r.rg c o;
+      r.acc <- { r.acc with coll_removed = (c, o) :: r.acc.coll_removed }
+    end
+
+  (** Replace the first [label] value of [o] (a data-file style
+      attribute update): removes every existing [label] edge to an
+      atomic value, then adds [v]. *)
+  let set_value r o label v =
+    List.iter
+      (fun (l, tgt) ->
+        match tgt with
+        | Graph.V _ when l = label -> remove_edge r o l tgt
+        | _ -> ())
+      (Graph.out_edges r.rg o);
+    add_edge r o label (Graph.V v)
+
+  let flush r =
+    let d = r.acc in
+    r.acc <- empty;
+    d
+end
+
+let pp ppf d =
+  Fmt.pf ppf "+%dn -%dn +%de -%de +%dc -%dc ~%db ~%dx"
+    (List.length d.nodes_added)
+    (List.length d.nodes_removed)
+    (List.length d.edges_added)
+    (List.length d.edges_removed)
+    (List.length d.coll_added)
+    (List.length d.coll_removed)
+    (List.length d.resequenced)
+    (List.length d.reordered)

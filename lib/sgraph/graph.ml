@@ -528,6 +528,30 @@ let value_index g v =
       g []
     |> List.rev
 
+let remove_node g o =
+  if Oid.Set.mem o g.nodes then begin
+    List.iter (fun (l, tgt) -> remove_edge g o l tgt) (out_edges g o);
+    List.iter (fun (src, l) -> remove_edge g src l (N o)) (in_edges g (N o));
+    List.iter (fun c -> remove_from_collection g c o) (collections_of g o);
+    touch g;
+    g.nodes <- Oid.Set.remove o g.nodes;
+    g.node_order_rev <-
+      List.filter (fun x -> not (Oid.equal x o)) g.node_order_rev;
+    Oid.Tbl.remove g.out_tbl o;
+    Oid.Tbl.remove g.in_idx o;
+    match Hashtbl.find_opt g.names (Oid.name o) with
+    | Some o' when Oid.equal o o' -> Hashtbl.remove g.names (Oid.name o)
+    | _ -> ()
+  end
+
+let set_out_edges g o edges =
+  List.iter (fun (l, tgt) -> remove_edge g o l tgt) (out_edges g o);
+  List.iter (fun (l, tgt) -> add_edge g o l tgt) edges
+
+let set_collection g c members =
+  List.iter (fun o -> remove_from_collection g c o) (collection g c);
+  List.iter (fun o -> add_to_collection g c o) members
+
 let merge_into ~dst ~src =
   List.iter (fun o -> add_node dst o) (nodes src);
   iter_edges (fun s l t -> add_edge dst s l t) src;

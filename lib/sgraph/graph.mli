@@ -134,6 +134,21 @@ val reset_kernel_counters : t -> unit
 
 (** {1 Whole-graph operations} *)
 
+val remove_node : t -> Oid.t -> unit
+(** Removes the node together with its outgoing edges, incoming edges
+    and collection memberships.  The name table only forgets the name
+    when it maps to this oid (first-added-wins: a later node sharing
+    the name becomes unfindable by name rather than adopted). *)
+
+val set_out_edges : t -> Oid.t -> (string * target) list -> unit
+(** Replace the node's out-edge bucket with exactly [edges], in order.
+    Implemented as remove-all / re-add, so every index stays
+    consistent; the {e global} orders of the label/value/incoming
+    indexes place the re-added edges last. *)
+
+val set_collection : t -> string -> Oid.t list -> unit
+(** Replace a collection's extent with exactly [members], in order. *)
+
 val copy : ?name:string -> t -> t
 val merge_into : dst:t -> src:t -> unit
 (** Adds all nodes, edges and collections of [src] to [dst] (objects are

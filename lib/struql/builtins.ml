@@ -57,3 +57,9 @@ let with_label_pred name f reg =
 let find_extern reg name = List.assoc_opt name reg.externs
 let find_label_pred reg name = List.assoc_opt name reg.label_preds
 let is_extern reg name = List.mem_assoc name reg.externs
+
+(* The bundled externs are pure functions of their bound arguments —
+   safe to re-apply during differential evaluation.  User-registered
+   closures are opaque: they may capture state the delta engine cannot
+   see, so they force full re-evaluation. *)
+let pure_extern name = List.mem_assoc name default_externs

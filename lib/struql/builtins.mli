@@ -30,3 +30,8 @@ val with_label_pred : string -> (string -> bool) -> registry -> registry
 val find_extern : registry -> string -> extern option
 val find_label_pred : registry -> string -> (string -> bool) option
 val is_extern : registry -> string -> bool
+
+val pure_extern : string -> bool
+(** Whether the extern is one of the bundled pure predicates (a
+    function of its bound arguments only).  User-registered closures
+    are opaque and force the differential evaluator to fall back. *)

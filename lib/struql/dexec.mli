@@ -1,0 +1,98 @@
+(** Differential (semi-naive) evaluation of StruQL site queries — the
+    Delta-StruQL engine.
+
+    Where {!Exec} recomputes a site graph from scratch, this engine
+    {e maintains} one under {!Sgraph.Delta} changes to the data graph,
+    at O(change) cost and byte-identical to a cold full build.
+
+    Each top-level block is classified ({!Plan.delta_class}): {e driven}
+    blocks re-derive only the drivers — members of the driving
+    collection — whose forward neighbourhood the delta touches (found by
+    the backward closure over the reverse-adjacency index);
+    {e fallback} blocks (aggregates, negation, enumerators, opaque
+    externs, constant-anchored reads) replay in full each cycle, reason
+    recorded.  Construction events are support-counted per
+    (block, driver) and carry a canonical (block, driver-rank, sequence)
+    position; touched out-buckets and collections re-sort by minimum
+    position over supporters, which is exactly cold construction order.
+
+    Typical use (the [strudel watch] loop):
+    {[
+      let dx = Dexec.create ~queries data in
+      Dexec.prime dx;                        (* cold build, recorded *)
+      ...mutate data / integrate sources...
+      let ch = Dexec.apply dx delta in       (* O(change) maintenance *)
+      ...re-render pages named in ch.sc_touched...
+    ]} *)
+
+open Sgraph
+
+type t
+
+type counters = {
+  mutable c_cycles : int;
+  mutable c_drivers : int;  (** drivers (re-)derived *)
+  mutable c_rows : int;  (** binding rows (re-)derived *)
+  mutable c_events_added : int;
+  mutable c_events_removed : int;
+  mutable c_fallback_replays : int;  (** ⊥-driver full block replays *)
+  mutable c_full_rederives : int;  (** whole-block re-derivations *)
+}
+
+val create : ?options:Eval.options -> queries:Ast.query list -> Graph.t -> t
+(** An engine over the given data graph; validates the queries when
+    [options.validate] (the default).  Call {!prime} before {!apply}. *)
+
+val prime : t -> unit
+(** Cold-prime: plan, classify, and construct the site graph with the
+    eager engine's exact mutation sequence, recording every
+    construction event.  The resulting {!site_graph} is byte-identical
+    to {!Eval.run} / {!Exec.run} of the same queries. *)
+
+val site_graph : t -> Graph.t
+(** The maintained site graph.  Owned by the engine: callers must not
+    mutate it. *)
+
+val scope : t -> Skolem.t
+(** The Skolem scope naming the site graph's nodes. *)
+
+val data_graph : t -> Graph.t
+
+val site_queries : t -> Ast.query list
+(** The queries the engine maintains, in evaluation order. *)
+
+(** What one delta cycle changed in the site graph. *)
+type site_change = {
+  sc_touched : string list;
+      (** site-node names whose rendered bytes may have changed *)
+  sc_removed : string list;  (** site nodes that no longer exist *)
+  sc_drivers : int;  (** drivers re-derived this cycle *)
+  sc_rows : int;  (** binding rows re-derived this cycle *)
+  sc_fallbacks : (string * string) list;
+      (** (block path, reason) of full block replays this cycle *)
+}
+
+val apply : ?data:Graph.t -> t -> Delta.t -> site_change
+(** Apply one data delta and bring the site graph up to date.  [data]
+    swaps in a replacement data graph sharing surviving oids (the
+    mediated path: {!Sgraph.Delta.rebase} + {!Sgraph.Delta.diff});
+    without it the engine's current graph is assumed already mutated
+    (the direct path: {!Sgraph.Delta.Rec}).  When {!Exec.delta_enabled}
+    is cleared, the cycle re-derives every block through the same
+    machinery — still byte-identical, no longer O(change). *)
+
+val counters : t -> counters
+
+val classes : t -> (string * string) list
+(** Per top-level block: (path, classification) — "static",
+    "driven by Coll(v)", or "fallback: reason". *)
+
+val fallbacks : t -> (string * string) list
+(** The blocks that force full re-evaluation, with reasons — the
+    [explain-analyze] / SA070 surface. *)
+
+val fill_profile : t -> Exec.profile -> unit
+(** Thread the engine's cumulative counters into a streaming profile
+    (rows in = drivers re-derived, rows out = rows re-derived). *)
+
+val pp_counters : Format.formatter -> counters -> unit

@@ -370,13 +370,49 @@ let exec_steps ?stats g reg envs steps =
 
 (* --- Stage 2: the construction stage --- *)
 
+(** Construction events, observable through an {!emitter}: exactly the
+    graph mutations construction performs, in mutation order.  The
+    differential engine ({!Dexec}) records them per driver to maintain
+    the site graph under data deltas. *)
+type emitter = {
+  em_apply : bool;
+      (** also perform the graph writes (prime/full runs); when false
+          the sink only observes, and the caller applies events *)
+  em_node : Oid.t -> unit;
+  em_edge : Oid.t -> string -> Graph.target -> unit;
+  em_coll : string -> Oid.t -> unit;
+}
+
 (** The construction sinks: the output graph and the Skolem scope that
     names the nodes it creates.  Shared by the eager evaluator below
-    and the streaming {!Exec} engine, which feeds rows one at a time. *)
+    and the streaming {!Exec} engine, which feeds rows one at a time.
+    An optional {!emitter} observes (and may replace) the writes. *)
 type cons = {
   out : Graph.t;
   scope : Skolem.t;
+  emit : emitter option;
 }
+
+let sink_node sink o =
+  match sink.emit with
+  | None -> Graph.add_node sink.out o
+  | Some e ->
+    if e.em_apply then Graph.add_node sink.out o;
+    e.em_node o
+
+let sink_edge sink src l tgt =
+  match sink.emit with
+  | None -> Graph.add_edge sink.out src l tgt
+  | Some e ->
+    if e.em_apply then Graph.add_edge sink.out src l tgt;
+    e.em_edge src l tgt
+
+let sink_coll sink c o =
+  match sink.emit with
+  | None -> Graph.add_to_collection sink.out c o
+  | Some e ->
+    if e.em_apply then Graph.add_to_collection sink.out c o;
+    e.em_coll c o
 
 type context = {
   sink : cons;
@@ -404,7 +440,7 @@ let rec cons_target sink env (t : Ast.term) : Graph.target =
         args
     in
     let o, _fresh = Skolem.apply sink.scope f sargs in
-    Graph.add_node sink.out o;
+    sink_node sink o;
     Graph.N o
   | Ast.T_agg (fn, _) ->
     raise
@@ -531,12 +567,12 @@ let construct_row sink (groups : agg_groups) (b : Ast.block) env =
         Hashtbl.replace vals (target_key v) v
       | y ->
         let src, label = link_source sink env x lt in
-        Graph.add_edge sink.out src label (cons_target sink env y))
+        sink_edge sink src label (cons_target sink env y))
     b.link;
   List.iter
     (fun (c, t) ->
       match cons_target sink env t with
-      | Graph.N o -> Graph.add_to_collection sink.out c o
+      | Graph.N o -> sink_coll sink c o
       | Graph.V _ ->
         raise (Eval_error ("COLLECT " ^ c ^ " applied to an atomic value")))
     b.collect
@@ -546,7 +582,7 @@ let construct_flush sink (groups : agg_groups) =
   Hashtbl.iter
     (fun _ (src, label, fn, vals) ->
       let values = Hashtbl.fold (fun _ v acc -> v :: acc) vals [] in
-      Graph.add_edge sink.out src label (Graph.V (aggregate fn values)))
+      sink_edge sink src label (Graph.V (aggregate fn values)))
     groups
 
 (** Run the construction clauses of one block over its whole binding
@@ -607,7 +643,7 @@ let run ?(options = default_options) ?scope ?into g (q : Ast.query) =
   if not (out == g) then ignore (Graph.freeze g);
   let ctx =
     {
-      sink = { out; scope };
+      sink = { out; scope; emit = None };
       registry = options.registry;
       strategy = options.strategy;
       run_stats = new_stats ();
@@ -615,6 +651,22 @@ let run ?(options = default_options) ?scope ?into g (q : Ast.query) =
   in
   List.iter (fun b -> run_block g ctx [] [ Env.empty ] b) q.blocks;
   out
+
+(** Evaluate a whole query into a caller-built sink — the hook the
+    differential engine uses to replay non-incrementalizable queries
+    through an observing emitter with the exact eager semantics. *)
+let run_query ?(options = default_options) ~sink g (q : Ast.query) =
+  if options.validate then Check.validate_exn q;
+  if not (sink.out == g) then ignore (Graph.freeze g);
+  let ctx =
+    {
+      sink;
+      registry = options.registry;
+      strategy = options.strategy;
+      run_stats = new_stats ();
+    }
+  in
+  List.iter (fun b -> run_block g ctx [] [ Env.empty ] b) q.blocks
 
 let run_with_stats ?(options = default_options) ?scope ?into g q =
   if options.validate then Check.validate_exn q;
@@ -627,7 +679,7 @@ let run_with_stats ?(options = default_options) ?scope ?into g q =
   if not (out == g) then ignore (Graph.freeze g);
   let ctx =
     {
-      sink = { out; scope };
+      sink = { out; scope; emit = None };
       registry = options.registry;
       strategy = options.strategy;
       run_stats = new_stats ();

@@ -49,11 +49,25 @@ val exec_steps :
 
 (** {1 Stage 2: the construction stage} *)
 
+(** Construction events, observable through an emitter: exactly the
+    graph mutations construction performs, in mutation order.  The
+    differential engine ({!Dexec}) records them per driver to maintain
+    the site graph under data deltas. *)
+type emitter = {
+  em_apply : bool;
+      (** also perform the graph writes; when [false] the sink only
+          observes and the caller applies the events itself *)
+  em_node : Oid.t -> unit;
+  em_edge : Oid.t -> string -> Graph.target -> unit;
+  em_coll : string -> Oid.t -> unit;
+}
+
 (** The construction sinks: the output graph and the Skolem scope that
-    names the nodes it creates. *)
+    names the nodes it creates, plus an optional observing emitter. *)
 type cons = {
   out : Graph.t;
   scope : Skolem.t;
+  emit : emitter option;
 }
 
 type agg_groups
@@ -108,6 +122,11 @@ val run :
     (§5.2: "we allowed queries to add nodes and arcs to a graph").
     Without them, a fresh scope and a fresh graph named after the
     query's OUTPUT are used. *)
+
+val run_query : ?options:options -> sink:cons -> Graph.t -> Ast.query -> unit
+(** Evaluate a whole query into a caller-built sink (eager semantics,
+    identical mutation sequence to {!run}); the differential engine's
+    full-re-evaluation fallback path. *)
 
 val run_with_stats :
   ?options:options ->

@@ -223,6 +223,14 @@ type profile = {
   mutable prf_shards_scanned : int;
   mutable prf_shards_pruned : int;
   mutable prf_shard_kernel : (string * Graph.kernel_counters) list;
+  (* differential-evaluation observability (Delta-StruQL): how many
+     blocks the delta engine could maintain incrementally vs the
+     fallback reasons, and — when a profile is threaded through an
+     actual delta cycle — the binding rows deltas consumed/produced *)
+  mutable prf_delta_blocks : int;
+  mutable prf_delta_fallback : (string * string) list;  (* path, reason *)
+  mutable prf_delta_rows_in : int;
+  mutable prf_delta_rows_out : int;
       (* per-shard kernel activity during the run, shards in context
          order, only those with any *)
 }
@@ -268,7 +276,19 @@ let pp_profile ppf p =
         (fun (name, k) ->
           Fmt.pf ppf "@,shard %s kernel: freezes=%d memo hits=%d misses=%d"
             name k.Graph.freezes k.Graph.hits k.Graph.misses)
-        p.prf_shard_kernel)
+        p.prf_shard_kernel;
+      if p.prf_delta_blocks > 0 || p.prf_delta_fallback <> [] then begin
+        Fmt.pf ppf "@,delta: evaluable blocks=%d fallback=%d"
+          p.prf_delta_blocks
+          (List.length p.prf_delta_fallback);
+        if p.prf_delta_rows_in > 0 || p.prf_delta_rows_out > 0 then
+          Fmt.pf ppf " rows in=%d out=%d" p.prf_delta_rows_in
+            p.prf_delta_rows_out;
+        List.iter
+          (fun (path, why) ->
+            Fmt.pf ppf "@,  block %s falls back: %s" path why)
+          (List.rev p.prf_delta_fallback)
+      end)
 
 (* --- Live-binding accounting --- *)
 
@@ -361,6 +381,13 @@ type shard_ctx = {
 }
 
 let shard_enabled = ref true
+
+(** Kill switch for differential (delta) evaluation: when cleared,
+    {!Dexec}-driven pipelines ([strudel watch], warehouse delta
+    refresh) fall back to cold full builds.  The streaming evaluator
+    itself always runs full — the switch is honoured by the
+    differential layer above it. *)
+let delta_enabled = ref true
 
 (* Whether a compiled condition is safe to evaluate from several
    domains at once: path conditions go through the kernel's memo tables
@@ -550,6 +577,15 @@ let rec run_block rctx ~top path bound (inputs : Eval.env Seq.t) (b : Ast.block)
   let ops = ops_of_steps bound steps in
   let bpr = { bpr_path = path; bpr_ops = ops; bpr_rows = 0 } in
   rctx.blocks_rev := bpr :: !(rctx.blocks_rev);
+  (match
+     Plan.delta_class ~pure:Builtins.pure_extern
+       ~bound:(List.fold_left (fun s v -> Plan.VSet.add v s) Plan.VSet.empty bound)
+       ~top b steps
+   with
+   | Plan.D_static | Plan.D_driven _ ->
+     rctx.prof.prf_delta_blocks <- rctx.prof.prf_delta_blocks + 1
+   | Plan.D_fallback why ->
+     rctx.prof.prf_delta_fallback <- (path, why) :: rctx.prof.prf_delta_fallback);
   let groups = Eval.new_groups () in
   let sharded =
     match shardable rctx ~top steps b with
@@ -633,6 +669,10 @@ let run_with_profile ?(options = Eval.default_options) ?(timed = false) ?scope
       prf_shards_scanned = 0;
       prf_shards_pruned = 0;
       prf_shard_kernel = [];
+      prf_delta_blocks = 0;
+      prf_delta_fallback = [];
+      prf_delta_rows_in = 0;
+      prf_delta_rows_out = 0;
     }
   in
   let shard_k0 =
@@ -652,7 +692,7 @@ let run_with_profile ?(options = Eval.default_options) ?(timed = false) ?scope
   let rctx =
     {
       g;
-      sink = { Eval.out; scope };
+      sink = { Eval.out; scope; emit = None };
       registry = options.Eval.registry;
       strategy = options.Eval.strategy;
       timed;

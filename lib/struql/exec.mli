@@ -120,6 +120,14 @@ type profile = {
   mutable prf_shard_kernel : (string * Graph.kernel_counters) list;
       (** per-shard kernel freeze/hit/miss deltas during the run, shards
           in context order, omitting all-zero entries *)
+  mutable prf_delta_blocks : int;
+      (** blocks the differential engine could maintain incrementally *)
+  mutable prf_delta_fallback : (string * string) list;
+      (** (block path, reason) for blocks that force full re-evaluation *)
+  mutable prf_delta_rows_in : int;
+      (** binding rows consumed by delta re-derivation (delta cycles) *)
+  mutable prf_delta_rows_out : int;
+      (** binding rows produced by delta re-derivation (delta cycles) *)
 }
 
 val profile_steps : profile -> int
@@ -156,6 +164,11 @@ val shard_enabled : bool ref
 (** Kill switch (default [true], mirroring [Path.kernel_enabled]): when
     off, a supplied shard context is ignored and every block runs the
     plain pipeline. *)
+
+val delta_enabled : bool ref
+(** Kill switch for differential (delta) evaluation; cleared, the
+    differential layer ([strudel watch], warehouse delta refresh)
+    rebuilds cold instead.  Defaults to [true]. *)
 
 (** {1 Whole-query evaluation} *)
 

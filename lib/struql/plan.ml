@@ -476,3 +476,101 @@ let plan ?(strategy = Heuristic) ?(limited = []) ~registry g ~bound
   in
   verify bound0 ordered;
   ordered
+
+(* --- differential-evaluation classification (Delta-StruQL) ---
+
+   A top-level block is differentially evaluable when its plan opens
+   with an unbound collection scan (the driver) and every later step is
+   anchored: it only reads forward from already-bound objects, so the
+   block's rows for one driver value are a function of that driver's
+   forward neighbourhood.  Anything else — negation, active-domain
+   enumerators, opaque externs, aggregate link targets, a second
+   unbound scan (cross product) — makes per-driver re-derivation
+   unsound or unbounded and falls back to full re-evaluation. *)
+
+type delta_class =
+  | D_static  (** no generators (or, nested: fully anchored) *)
+  | D_driven of string * string  (** driving collection, driver var *)
+  | D_fallback of string  (** reason the block cannot delta-evaluate *)
+
+let block_has_agg (b : Ast.block) =
+  List.exists
+    (fun (_, _, y) -> match y with Ast.T_agg _ -> true | _ -> false)
+    b.Ast.link
+
+let anchored_step ~pure (bound, der) (s : step) :
+    (VSet.t * VSet.t, string) result =
+  (* [der] are the driver-derived variables: values reached only by
+     forward reads from the driver, so backward closure from a touched
+     object finds every driver whose reads it can invalidate.  A data
+     read anchored on a bound-but-not-derived object (a constant, or a
+     binding minted by a comparison with a literal) is a global filter
+     the closure cannot see, and must fall back. *)
+  let binds = step_binds s in
+  let extend ~derived =
+    let bound' = List.fold_left (fun b v -> VSet.add v b) bound binds in
+    let der' =
+      if derived then List.fold_left (fun b v -> VSet.add v b) der binds
+      else der
+    in
+    Ok (bound', der')
+  in
+  let term_der = function Ast.T_var v -> VSet.mem v der | _ -> false in
+  match s with
+  | Domain_obj _ | Domain_label _ -> Error "active-domain enumerator"
+  | Exec c ->
+    (match c with
+     | CC_coll (name, t) ->
+       if term_der t then extend ~derived:true
+       else if term_bound bound t then
+         Error ("collection " ^ name ^ " probed on a non-derived object")
+       else Error ("unbound scan of collection " ^ name)
+     | CC_edge (x, _, _) ->
+       if term_der x then extend ~derived:true
+       else if term_bound bound x then
+         Error "edge condition anchored on a non-derived source"
+       else Error "edge condition with unbound source"
+     | CC_path (x, _, _, _) ->
+       if term_der x then extend ~derived:true
+       else if term_bound bound x then
+         Error "path condition anchored on a non-derived source"
+       else Error "path condition with unbound source"
+     | CC_cmp (_, a, b) ->
+       (* pure value comparison: no graph read, so a constant anchor is
+          fine — but a binding it mints is only derived if a compared
+          side is *)
+       if term_bound bound a || term_bound bound b then
+         extend ~derived:(term_der a || term_der b)
+       else Error "comparison over unbound variables"
+     | CC_in (_, _) -> extend ~derived:false
+     | CC_extern (name, ts) ->
+       if not (pure name) then Error ("opaque external predicate " ^ name)
+       else if List.for_all (term_bound bound) ts then extend ~derived:false
+       else Error ("external predicate " ^ name ^ " binds its argument")
+     | CC_not _ -> Error "negation")
+
+let anchored_steps ~pure ~bound ~der steps =
+  List.fold_left
+    (fun acc s ->
+      match acc with Error _ -> acc | Ok bd -> anchored_step ~pure bd s)
+    (Ok (bound, der))
+    steps
+
+let delta_class ~pure ?(bound = VSet.empty) ?der ~top (b : Ast.block)
+    (steps : step list) : delta_class =
+  let der = match der with Some d -> d | None -> bound in
+  if block_has_agg b then D_fallback "aggregate link target"
+  else if not top then
+    match anchored_steps ~pure ~bound ~der steps with
+    | Ok _ -> D_static
+    | Error e -> D_fallback e
+  else
+    match steps with
+    | [] -> D_static
+    | Exec (CC_coll (cname, Ast.T_var v)) :: rest
+      when not (VSet.mem v bound) -> (
+        let seed = VSet.add v bound in
+        match anchored_steps ~pure ~bound:seed ~der:(VSet.add v der) rest with
+        | Ok _ -> D_driven (cname, v)
+        | Error e -> D_fallback e)
+    | _ -> D_fallback "no driving collection scan"

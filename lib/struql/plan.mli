@@ -122,3 +122,48 @@ val plan :
     active-domain enumerators when no condition binds them. *)
 
 val pp_step : Format.formatter -> step -> unit
+
+(** {1 Differential-evaluation classification}
+
+    Whether a block's plan can be maintained by per-driver re-derivation
+    under a data delta (see {!Dexec}): the plan must open with an
+    unbound scan of a {e driving} collection and every later step must
+    be anchored — reading only forward from {e driver-derived} objects,
+    so the backward closure of a data delta finds every driver whose
+    rows it can change.  Aggregates, negation, active-domain
+    enumerators, opaque externs, constant-anchored data reads and cross
+    products fall back, with the reason recorded. *)
+
+type delta_class =
+  | D_static  (** no generators (or, for nested blocks: fully anchored) *)
+  | D_driven of string * string  (** driving collection, driver variable *)
+  | D_fallback of string  (** why the block must fully re-evaluate *)
+
+val block_has_agg : Ast.block -> bool
+(** Whether any LINK target of the block is an aggregate. *)
+
+val anchored_steps :
+  pure:(string -> bool) ->
+  bound:VSet.t ->
+  der:VSet.t ->
+  step list ->
+  (VSet.t * VSet.t, string) result
+(** Fold the anchoring check over a plan: [bound] are all bound
+    variables, [der ⊆ bound] the driver-derived ones (data reads may
+    only anchor on these).  Returns the extended [(bound, der)] pair —
+    the seed for classifying nested blocks — or the first reason the
+    plan cannot delta-evaluate. *)
+
+val delta_class :
+  pure:(string -> bool) ->
+  ?bound:VSet.t ->
+  ?der:VSet.t ->
+  top:bool ->
+  Ast.block ->
+  step list ->
+  delta_class
+(** Classify one block given its plan.  [pure] says whether an external
+    predicate is a pure function of its arguments
+    ({!Builtins.pure_extern}); [bound] holds ancestor bindings (nested
+    blocks) and [der] (default [bound]) the driver-derived subset;
+    [top] marks a top-level block (only those carry a driver). *)

@@ -1,0 +1,443 @@
+(* Delta-StruQL: the differential engine (Struql.Dexec), the delta
+   refresh (Warehouse.refresh_delta) and the watch loop (Serve.Watch)
+   maintain a published site byte-identically to a cold full build —
+   property-tested under random edit scripts, including
+   collection-emptying removals, at jobs 1 and 4; plus units for the
+   kill switch, the fallback taxonomy, and quarantine under seeded
+   source failures. *)
+
+open Sgraph
+
+let t name f = Alcotest.test_case name `Quick f
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let page_map (site : Template.Generator.site) =
+  List.map
+    (fun (p : Template.Generator.page) ->
+      (Oid.name p.Template.Generator.obj, p.Template.Generator.html))
+    site.Template.Generator.pages
+  |> List.sort compare
+
+(* --- a small delta-friendly site: driving collection + nested
+   attribute copy, same shape as the scale site --- *)
+
+let site_query =
+  {|INPUT DATA
+{ CREATE Root()
+  COLLECT Roots(Root()) }
+{ WHERE Items(i), i -> "grp" -> g
+  CREATE GroupPage(g), ItemPage(i)
+  LINK GroupPage(g) -> "Name" -> g,
+       GroupPage(g) -> "Item" -> ItemPage(i),
+       ItemPage(i) -> "Group" -> GroupPage(g),
+       Root() -> "Group" -> GroupPage(g)
+  COLLECT GroupPages(GroupPage(g)), ItemPages(ItemPage(i))
+  { WHERE i -> l -> v
+    LINK ItemPage(i) -> l -> v }
+}
+OUTPUT SITE
+|}
+
+let templates : Template.Generator.template_set =
+  {
+    Template.Generator.by_object = [];
+    by_collection =
+      [
+        ("Roots", {|<h1>Index</h1>
+<SFMTLIST @Group ORDER=ascend KEY=Name>
+|});
+        ("GroupPages", {|<h1><SFMT @Name></h1>
+<SFMTLIST @Item ORDER=ascend KEY=title>
+|});
+        ( "ItemPages",
+          {|<h1><SFMT @title></h1>
+<SIF @body != NULL><p><SFMT @body></p></SIF>
+<SIF @tag != NULL><p><i><SFMT @tag></i></p></SIF>
+<p><SFMT @Group LINK="Up"></p>
+|} );
+      ];
+    named = [];
+  }
+
+let definition =
+  Strudel.Site.define ~name:"DELTASITE" ~root_family:"Root" ~templates
+    [ ("site", site_query) ]
+
+let add_item_raw add_node add_edge add_coll i =
+  let it = Oid.fresh (Printf.sprintf "item%d" i) in
+  add_node it;
+  add_edge it "title" (Graph.V (Value.String (Printf.sprintf "Item %03d" i)));
+  add_edge it "grp" (Graph.V (Value.String (Printf.sprintf "G%d" (i mod 3))));
+  add_coll "Items" it;
+  it
+
+let mk_data n =
+  let g = Graph.create ~name:"DATA" () in
+  for i = 1 to n do
+    ignore
+      (add_item_raw (Graph.add_node g)
+         (fun o l v -> Graph.add_edge g o l v)
+         (fun c o -> Graph.add_to_collection g c o)
+         i)
+  done;
+  g
+
+(* --- random edit scripts, applied through the watch recorder --- *)
+
+type op =
+  | Add of int
+  | Remove of int
+  | Retitle of int * string
+  | Tag of int * string
+  | Move_group of int * int
+  | Drop_member of int
+  | Empty_collection
+
+let op_gen =
+  let open QCheck.Gen in
+  frequency
+    [
+      (3, map (fun i -> Add i) (int_bound 999));
+      (3, map (fun i -> Remove i) (int_bound 99));
+      (3, map2 (fun i s -> Retitle (i, "T" ^ s)) (int_bound 99)
+           (string_size ~gen:(char_range 'a' 'z') (int_range 1 6)));
+      (2, map2 (fun i s -> Tag (i, s)) (int_bound 99)
+           (oneofl [ "new"; "hot"; "old" ]));
+      (2, map2 (fun i j -> Move_group (i, j)) (int_bound 99) (int_bound 3));
+      (2, map (fun i -> Drop_member i) (int_bound 99));
+      (1, return Empty_collection);
+    ]
+
+let nth_member g i =
+  match Graph.collection g "Items" with
+  | [] -> None
+  | ms -> Some (List.nth ms (i mod List.length ms))
+
+let apply_op r nextid op =
+  let g = Delta.Rec.graph r in
+  match op with
+  | Add _ ->
+    incr nextid;
+    ignore
+      (add_item_raw (Delta.Rec.add_node r) (Delta.Rec.add_edge r)
+         (Delta.Rec.add_to_collection r)
+         (100 + !nextid))
+  | Remove i -> (
+    match nth_member g i with
+    | Some o -> Delta.Rec.remove_node r o
+    | None -> ())
+  | Retitle (i, s) -> (
+    match nth_member g i with
+    | Some o -> Delta.Rec.set_value r o "title" (Value.String s)
+    | None -> ())
+  | Tag (i, s) -> (
+    match nth_member g i with
+    | Some o -> Delta.Rec.add_edge r o "tag" (Graph.V (Value.String s))
+    | None -> ())
+  | Move_group (i, j) -> (
+    match nth_member g i with
+    | Some o ->
+      Delta.Rec.set_value r o "grp" (Value.String (Printf.sprintf "G%d" j))
+    | None -> ())
+  | Drop_member i -> (
+    match nth_member g i with
+    | Some o -> Delta.Rec.remove_from_collection r "Items" o
+    | None -> ())
+  | Empty_collection ->
+    List.iter
+      (fun o -> Delta.Rec.remove_from_collection r "Items" o)
+      (Graph.collection g "Items")
+
+(* One watch session over [items] items, the edit script applied
+   through the recorder, one delta cycle — published pages must equal a
+   cold Site.build over the same mutated data. *)
+let delta_equals_cold ~jobs ops =
+  let g = mk_data 30 in
+  let w = Serve.Watch.create ~jobs ~source:(Serve.Watch.Direct g) definition in
+  let r = Option.get (Serve.Watch.recorder w) in
+  let nextid = ref 0 in
+  List.iter (apply_op r nextid) ops;
+  let _report = Serve.Watch.cycle w in
+  let cold = Strudel.Site.build ~data:g definition in
+  page_map (Serve.Watch.built w).Strudel.Site.site
+  = page_map cold.Strudel.Site.site
+
+let ops_arb = QCheck.make QCheck.Gen.(list_size (int_range 1 10) op_gen)
+
+(* --- units --- *)
+
+let parse = Struql.Parser.parse
+
+let classes_of queries data =
+  let dx = Struql.Dexec.create ~queries:(List.map parse queries) data in
+  Struql.Dexec.prime dx;
+  (dx, Struql.Dexec.classes dx)
+
+let has_fallback classes =
+  List.exists
+    (fun (_, c) -> String.length c >= 8 && String.sub c 0 8 = "fallback")
+    classes
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make
+         ~name:"delta publish equals cold build (random edits, jobs=1)"
+         ~count:20 ops_arb (delta_equals_cold ~jobs:1));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make
+         ~name:"delta publish equals cold build (random edits, jobs=4)"
+         ~count:8 ops_arb (delta_equals_cold ~jobs:4));
+    t "clean cycle publishes nothing" (fun () ->
+        let g = mk_data 12 in
+        let w =
+          Serve.Watch.create ~source:(Serve.Watch.Direct g) definition
+        in
+        let r = Serve.Watch.cycle w in
+        check_bool "unchanged" false r.Serve.Watch.cy_changed;
+        check_int "no rerenders" 0 r.Serve.Watch.cy_rerendered);
+    t "one-item edit re-renders only its neighbourhood" (fun () ->
+        let g = mk_data 60 in
+        let w =
+          Serve.Watch.create ~source:(Serve.Watch.Direct g) definition
+        in
+        let r = Option.get (Serve.Watch.recorder w) in
+        let o = Option.get (nth_member g 7) in
+        Delta.Rec.set_value r o "title" (Value.String "Renamed");
+        let rep = Serve.Watch.cycle w in
+        check_bool "changed" true rep.Serve.Watch.cy_changed;
+        check_bool "few pages re-rendered" true
+          (rep.Serve.Watch.cy_rerendered * 4
+           < rep.Serve.Watch.cy_rerendered + rep.Serve.Watch.cy_reused);
+        check_bool "most pages reused" true (rep.Serve.Watch.cy_reused > 50);
+        let cold = Strudel.Site.build ~data:g definition in
+        check_bool "byte-identical" true
+          (page_map (Serve.Watch.built w).Strudel.Site.site
+           = page_map cold.Strudel.Site.site));
+    t "kill switch: full re-derive stays byte-identical" (fun () ->
+        Fun.protect
+          ~finally:(fun () -> Struql.Exec.delta_enabled := true)
+          (fun () ->
+            Struql.Exec.delta_enabled := false;
+            check_bool "identical with delta disabled" true
+              (delta_equals_cold ~jobs:1
+                 [ Add 1; Remove 3; Retitle (2, "Tx"); Empty_collection;
+                   Add 2 ])));
+    t "counters advance across cycles" (fun () ->
+        let g = mk_data 20 in
+        let w =
+          Serve.Watch.create ~source:(Serve.Watch.Direct g) definition
+        in
+        let r = Option.get (Serve.Watch.recorder w) in
+        let o = Option.get (nth_member g 3) in
+        Delta.Rec.set_value r o "title" (Value.String "X");
+        ignore (Serve.Watch.cycle w);
+        let c = Struql.Dexec.counters (Serve.Watch.engine w) in
+        check_bool "cycles counted" true (c.Struql.Dexec.c_cycles >= 1);
+        check_bool "drivers counted" true (c.Struql.Dexec.c_drivers >= 1);
+        check_bool "rows counted" true (c.Struql.Dexec.c_rows >= 1));
+    (* --- fallback taxonomy --- *)
+    t "aggregates classify as fallback" (fun () ->
+        let dx, classes =
+          classes_of
+            [
+              {|WHERE Items(i), i -> "grp" -> g
+                CREATE Y(g) LINK Y(g) -> "n" -> count(i)
+                COLLECT Ys(Y(g)) OUTPUT o|};
+            ]
+            (mk_data 6)
+        in
+        check_bool "fallback" true (has_fallback classes);
+        check_bool "reason recorded" true (Struql.Dexec.fallbacks dx <> []));
+    t "negation classifies as fallback" (fun () ->
+        let _, classes =
+          classes_of
+            [
+              {|WHERE Items(i), not(i -> "tag" -> "old")
+                CREATE P(i) COLLECT Ps(P(i)) OUTPUT o|};
+            ]
+            (mk_data 6)
+        in
+        check_bool "fallback" true (has_fallback classes));
+    t "non-derived data read classifies as fallback" (fun () ->
+        (* x is bound by a comparison with a literal, not derived from
+           the driver: reads from x escape delta invalidation and the
+           block must replay in full *)
+        let _, classes =
+          classes_of
+            [
+              {|WHERE Items(i), i -> "title" -> t, t = "Item 001",
+                      Items(j), j -> "grp" -> h
+                CREATE Q(h) COLLECT Qs(Q(h)) OUTPUT o|};
+            ]
+            (mk_data 6)
+        in
+        check_bool "fallback" true (has_fallback classes));
+    t "driving-collection scan classifies as driven" (fun () ->
+        let _, classes =
+          classes_of [ site_query ] (mk_data 6)
+        in
+        check_bool "some block driven" true
+          (List.exists
+             (fun (_, c) ->
+               String.length c >= 6 && String.sub c 0 6 = "driven")
+             classes));
+    (* --- mediated mode --- *)
+    t "warehouse refresh_delta: None when clean, rebased when stale"
+      (fun () ->
+        let src =
+          Mediator.Source.make ~name:"s" (fun () ->
+              let g = Graph.create ~name:"S" () in
+              let a = Oid.fresh "a" in
+              Graph.add_node g a;
+              Graph.add_edge g a "title" (Graph.V (Value.String "A"));
+              Graph.add_to_collection g "Items" a;
+              g)
+        in
+        let copy =
+          Mediator.Gav.mapping_of_string ~source:"s"
+            {|WHERE Items(x), x -> l -> v, isAtomic(v)
+              CREATE It(x) LINK It(x) -> l -> v
+              COLLECT Items(It(x)) OUTPUT mediated|}
+        in
+        let w =
+          Mediator.Warehouse.create ~sources:[ src ] ~mappings:[ copy ] ()
+        in
+        check_bool "clean -> None" true
+          (Mediator.Warehouse.refresh_delta w = None);
+        let before =
+          Option.get (Graph.find_node (Mediator.Warehouse.graph w) "It(a)")
+        in
+        Mediator.Source.update src (fun () ->
+            let g = Graph.create ~name:"S" () in
+            let a = Oid.fresh "a" and b = Oid.fresh "b" in
+            Graph.add_node g a;
+            Graph.add_node g b;
+            Graph.add_edge g a "title" (Graph.V (Value.String "A"));
+            Graph.add_edge g b "title" (Graph.V (Value.String "B"));
+            Graph.add_to_collection g "Items" a;
+            Graph.add_to_collection g "Items" b;
+            g);
+        (match Mediator.Warehouse.refresh_delta w with
+         | None -> Alcotest.fail "stale warehouse returned no delta"
+         | Some d ->
+           check_bool "delta not empty" false (Delta.is_empty d));
+        let after =
+          Option.get (Graph.find_node (Mediator.Warehouse.graph w) "It(a)")
+        in
+        check_bool "surviving node keeps its oid (rebase)" true
+          (Oid.equal before after));
+    t "mediated org watch: delta cycle equals cold build" (fun () ->
+        let sources, w =
+          Sites.Org.data ~people:24 ~orgs:4 ~projects:6 ~pubs:8 ()
+        in
+        let session =
+          Serve.Watch.create ~source:(Serve.Watch.Mediated w)
+            Sites.Org.definition
+        in
+        let r0 = Serve.Watch.cycle session in
+        check_bool "initially clean" false r0.Serve.Watch.cy_changed;
+        Mediator.Source.update sources.Sites.Org.bib (fun () ->
+            fst
+              (Wrappers.Bibtex.load ~graph_name:"BIB"
+                 (Wrappers.Synth.bibtex ~seed:99 ~entries:10 ())));
+        let r1 = Serve.Watch.cycle session in
+        check_bool "changed" true r1.Serve.Watch.cy_changed;
+        let cold =
+          Strudel.Site.build
+            ~data:(Mediator.Warehouse.graph w)
+            Sites.Org.definition
+        in
+        check_bool "byte-identical to cold build" true
+          (page_map (Serve.Watch.built session).Strudel.Site.site
+           = page_map cold.Strudel.Site.site));
+    t "watch survives a quarantined source and reports it" (fun () ->
+        let fault = Fault.ctx () in
+        let flaky_down = ref false in
+        let mk_graph () =
+          let g = Graph.create ~name:"S" () in
+          List.iter
+            (fun n ->
+              let o = Oid.fresh n in
+              Graph.add_node g o;
+              Graph.add_edge g o "title" (Graph.V (Value.String n));
+              Graph.add_edge g o "grp" (Graph.V (Value.String "G0"));
+              Graph.add_to_collection g "Items" o)
+            [ "i1"; "i2"; "i3" ];
+          g
+        in
+        let src =
+          Mediator.Source.make
+            ~policy:(Fault.Policy.skip_source ~retry:Fault.Policy.no_retry ())
+            ~name:"flaky"
+            (fun () ->
+              if !flaky_down then failwith "socket timeout" else mk_graph ())
+        in
+        let copy =
+          Mediator.Gav.mapping_of_string ~source:"flaky"
+            {|WHERE Items(x), x -> l -> v, isAtomic(v)
+              CREATE It(x) LINK It(x) -> l -> v
+              COLLECT Items(It(x)) OUTPUT mediated|}
+        in
+        let w =
+          Mediator.Warehouse.create ~fault ~sources:[ src ] ~mappings:[ copy ]
+            ()
+        in
+        let definition =
+          Strudel.Site.define ~name:"FLAKYSITE" ~root_family:"Root"
+            ~templates
+            [
+              ( "site",
+                {|INPUT MEDIATED
+{ CREATE Root() COLLECT Roots(Root()) }
+{ WHERE Items(i), i -> "grp" -> g
+  CREATE GroupPage(g), ItemPage(i)
+  LINK GroupPage(g) -> "Name" -> g,
+       GroupPage(g) -> "Item" -> ItemPage(i),
+       ItemPage(i) -> "Group" -> GroupPage(g),
+       Root() -> "Group" -> GroupPage(g)
+  COLLECT GroupPages(GroupPage(g)), ItemPages(ItemPage(i))
+  { WHERE i -> l -> v LINK ItemPage(i) -> l -> v } }
+OUTPUT SITE|} );
+            ]
+        in
+        let session =
+          Serve.Watch.create ~fault ~source:(Serve.Watch.Mediated w)
+            definition
+        in
+        let pages_before =
+          List.length
+            (Serve.Watch.built session).Strudel.Site.site
+              .Template.Generator.pages
+        in
+        check_bool "cold build has item pages" true (pages_before > 3);
+        flaky_down := true;
+        Mediator.Source.update src (fun () ->
+            failwith "update loader must not run");
+        let r = Serve.Watch.cycle session in
+        check_bool "quarantine reported" true
+          (List.exists (fun (s, _) -> s = "flaky") r.Serve.Watch.cy_quarantined);
+        (* the skip policy drops the source's data for this integration;
+           the published site must match a cold build of whatever the
+           warehouse now serves -- degraded, never wedged *)
+        let cold =
+          Strudel.Site.build ~data:(Mediator.Warehouse.graph w) definition
+        in
+        check_bool "still byte-identical under quarantine" true
+          (page_map (Serve.Watch.built session).Strudel.Site.site
+           = page_map cold.Strudel.Site.site));
+    t "watch loop honours max_cycles and exit codes" (fun () ->
+        let g = mk_data 5 in
+        let w =
+          Serve.Watch.create ~source:(Serve.Watch.Direct g) definition
+        in
+        let seen = ref 0 in
+        let code =
+          Serve.Watch.watch ~interval:0.0 ~max_cycles:3
+            ~on_cycle:(fun _ _ -> incr seen)
+            w
+        in
+        check_int "three cycles ran" 3 !seen;
+        check_int "clean exit" 0 code);
+  ]

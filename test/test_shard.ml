@@ -625,6 +625,7 @@ let warehouse_tests =
         in
         let violations = Atomic.make 0 in
         let stop = Atomic.make false in
+        let observed = Atomic.make 0 in
         (* the "site build": repeatedly pin a view and read every item's
            version marker — a consistent snapshot shows one marker value
            across both sources, always on all 6 items *)
@@ -643,6 +644,7 @@ let warehouse_tests =
                     (Graph.collection g "Items")
                 in
                 incr checks;
+                Atomic.incr observed;
                 (match ks with
                  | k0 :: rest
                    when List.length ks = 6
@@ -656,6 +658,11 @@ let warehouse_tests =
           Mediator.Source.update sa (fun () -> item_graph ~name:"a" ~k 3);
           Mediator.Source.update sb (fun () -> item_graph ~name:"b" ~k 3);
           ignore (Mediator.Warehouse.refresh w)
+        done;
+        (* on a loaded single-core machine the reader domain may not
+           have been scheduled yet: give it a beat before stopping *)
+        while Atomic.get observed = 0 do
+          Domain.cpu_relax ()
         done;
         Atomic.set stop true;
         let checks = Domain.join reader in
